@@ -1,0 +1,102 @@
+"""Shared fixtures for the benchmark harness.
+
+Each paper artifact (table/figure) has one module here. Heavy state —
+trained agents, benchmark suites, Oz baselines — is built once per session
+and shared. Results are printed as paper-style rows and also written to
+``benchmarks/results/*.json`` so EXPERIMENTS.md can cite exact numbers.
+
+Knobs (environment variables):
+
+* ``REPRO_BENCH_EPISODES``  — training episodes per agent (default 900).
+* ``REPRO_BENCH_SEED``      — agent seed (default 0).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro import PosetRL, load_suite
+from repro.core.evaluate import optimize_with_oz
+from repro.core.presets import scaled_config
+from repro.ir.module import Module
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+EPISODES = int(os.environ.get("REPRO_BENCH_EPISODES", "900"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+SUITE_NAMES = ("mibench", "spec2006", "spec2017")
+
+
+def save_results(name: str, payload) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / f"{name}.json", "w") as fh:
+        json.dump(payload, fh, indent=2, default=str)
+
+
+@pytest.fixture(scope="session")
+def suites() -> Dict[str, List[Tuple[str, Module]]]:
+    return {name: load_suite(name) for name in SUITE_NAMES}
+
+
+@pytest.fixture(scope="session")
+def training_corpus():
+    return load_suite("llvm_test_suite")[:48]
+
+
+@pytest.fixture(scope="session")
+def oz_baselines(suites):
+    """Size/cycles of -Oz per benchmark per target."""
+    out: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for target in ("x86-64", "aarch64"):
+        out[target] = {}
+        for suite, benches in suites.items():
+            for name, module in benches:
+                out[target][name] = optimize_with_oz(module, target)
+    return out
+
+
+def _train_agent(action_space: str, target: str, corpus) -> PosetRL:
+    agent = PosetRL(
+        action_space=action_space,
+        target=target,
+        seed=SEED,
+        agent_config=scaled_config(),
+    )
+    agent.train(corpus, episodes=EPISODES)
+    return agent
+
+
+@pytest.fixture(scope="session")
+def agents(training_corpus) -> Dict[Tuple[str, str], PosetRL]:
+    """Trained agents keyed by (action_space, target) — the paper trains
+    manual and ODG models for x86 and AArch64 (Section V-A)."""
+    out = {}
+    for action_space in ("manual", "odg"):
+        for target in ("x86-64", "aarch64"):
+            out[(action_space, target)] = _train_agent(
+                action_space, target, training_corpus
+            )
+    return out
+
+
+def format_table(headers: List[str], rows: List[List]) -> str:
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows))
+        for i in range(len(headers))
+    ]
+    def fmt(row):
+        return "  ".join(str(c).rjust(w) for c, w in zip(row, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)
+
+
+def print_artifact(title: str, body: str) -> None:
+    bar = "=" * max(len(title), 8)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")

@@ -1,0 +1,67 @@
+"""Figure 5: per-benchmark runtime and binary size, Oz vs ODG-predicted
+sequences, for SPEC CPU 2017 and SPEC CPU 2006 (x86-64, lower is better).
+
+The paper's panels show (a)/(b) runtime in seconds and (c)/(d) binary size
+in KB; we emit the same four series with the MCA cycle estimate standing
+in for wall-clock seconds. Paper highlights reproduced as shape checks:
+most benchmarks shrink, a couple (519.lbm, 464.h264ref in the paper)
+regress slightly.
+"""
+
+from __future__ import annotations
+
+from conftest import format_table, print_artifact, save_results
+
+
+def test_fig5_per_benchmark_series(benchmark, agents, suites, oz_baselines):
+    agent = agents[("odg", "x86-64")]
+
+    def run():
+        series = {}
+        for suite in ("spec2017", "spec2006"):
+            summary = agent.evaluate_suite(suite, suites[suite])
+            series[suite] = [
+                {
+                    "bench": r.name,
+                    "oz_cycles": r.oz_cycles,
+                    "odg_cycles": r.agent_cycles,
+                    "oz_kb": r.oz_size / 1024.0,
+                    "odg_kb": r.agent_size / 1024.0,
+                    "size_pct": r.size_reduction_pct,
+                    "runtime_pct": r.runtime_improvement_pct,
+                }
+                for r in summary.results
+            ]
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    for suite, label in (("spec2017", "(a)+(c)"), ("spec2006", "(b)+(d)")):
+        rows = [
+            [
+                e["bench"],
+                f"{e['oz_cycles']:.0f}",
+                f"{e['odg_cycles']:.0f}",
+                f"{e['oz_kb']:.2f}",
+                f"{e['odg_kb']:.2f}",
+                f"{e['size_pct']:+.1f}%",
+            ]
+            for e in series[suite]
+        ]
+        print_artifact(
+            f"Fig. 5 {label} — {suite}: runtime (cycles) and size (KB), "
+            "Oz vs ODG (lower is better)",
+            format_table(
+                ["benchmark", "Oz cyc", "ODG cyc", "Oz KB", "ODG KB", "Δsize"],
+                rows,
+            ),
+        )
+    save_results("fig5_per_benchmark", series)
+
+    # Shape: most SPEC2017 benchmarks shrink; at most a couple regress
+    # (the paper sees slight size increases for 519.lbm and 464.h264ref).
+    for suite in ("spec2017", "spec2006"):
+        shrunk = sum(1 for e in series[suite] if e["size_pct"] > 0)
+        regressed = sum(1 for e in series[suite] if e["size_pct"] < -1.0)
+        assert shrunk >= len(series[suite]) // 2, (suite, shrunk)
+        assert regressed <= 3, (suite, regressed)

@@ -1,0 +1,52 @@
+"""Throughput microbenchmarks for the substrate itself (pytest-benchmark
+proper): how fast are the pieces the RL loop leans on — cloning, the Oz
+pipeline, embeddings, size/MCA measurement, one environment step."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codegen import object_size
+from repro.core import PhaseOrderingEnv
+from repro.embeddings import program_embedding
+from repro.mca import estimate_throughput
+from repro.passes import build_pipeline
+from repro.workloads import ProgramProfile, generate_program
+
+
+@pytest.fixture(scope="module")
+def module():
+    return generate_program(ProgramProfile(name="micro", seed=17, segments=8))
+
+
+def test_clone_throughput(benchmark, module):
+    benchmark(module.clone)
+
+
+def test_oz_pipeline_throughput(benchmark, module):
+    def run():
+        build_pipeline("Oz").run(module.clone())
+
+    benchmark(run)
+
+
+def test_embedding_throughput(benchmark, module):
+    benchmark(program_embedding, module)
+
+
+def test_object_size_throughput(benchmark, module):
+    benchmark(object_size, module, "x86-64")
+
+
+def test_mca_throughput(benchmark, module):
+    benchmark(estimate_throughput, module, "x86-64")
+
+
+def test_env_step_throughput(benchmark, module):
+    env = PhaseOrderingEnv(module)
+
+    def step():
+        env.reset()
+        env.step(23)
+
+    benchmark(step)

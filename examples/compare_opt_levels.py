@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""The embedded-systems motivation (Section I / Fig. 1): compare O0..Oz on
+a benchmark suite for size and the MCA runtime proxy, on both targets.
+
+Run:  python examples/compare_opt_levels.py [suite]
+      (suite: mibench | spec2006 | spec2017; default mibench)
+"""
+
+import sys
+
+from repro import load_suite
+from repro.codegen import object_size
+from repro.mca import estimate_throughput
+from repro.passes import OPT_LEVELS, build_pipeline
+
+
+def main() -> None:
+    suite_name = sys.argv[1] if len(sys.argv) > 1 else "mibench"
+    suite = load_suite(suite_name)
+    print(f"== {suite_name}: {len(suite)} benchmarks ==\n")
+
+    for target in ("x86-64", "aarch64"):
+        print(f"--- {target} ---")
+        header = f"{'benchmark':16}" + "".join(f"{lvl:>12}" for lvl in OPT_LEVELS)
+        print(header + "   (object bytes)")
+        totals = {lvl: 0 for lvl in OPT_LEVELS}
+        cycle_totals = {lvl: 0.0 for lvl in OPT_LEVELS}
+        for name, module in suite:
+            row = f"{name:16}"
+            for level in OPT_LEVELS:
+                copy = module.clone()
+                build_pipeline(level).run(copy)
+                size = object_size(copy, target).total_bytes
+                totals[level] += size
+                cycle_totals[level] += estimate_throughput(
+                    copy, target
+                ).total_cycles
+                row += f"{size:12}"
+            print(row)
+        print(f"{'TOTAL size':16}" + "".join(f"{totals[l]:12}" for l in OPT_LEVELS))
+        print(
+            f"{'TOTAL cycles':16}"
+            + "".join(f"{cycle_totals[l]:12.0f}" for l in OPT_LEVELS)
+        )
+        o3, oz = totals["O3"], totals["Oz"]
+        c3, cz = cycle_totals["O3"], cycle_totals["Oz"]
+        print(
+            f"\nOz vs O3: {100 * (o3 - oz) / o3:.1f}% smaller, "
+            f"{100 * (cz - c3) / c3:.1f}% slower "
+            f"(the trade-off POSET-RL attacks)\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

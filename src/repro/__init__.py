@@ -1,0 +1,42 @@
+"""POSET-RL reproduction.
+
+Phase ordering for optimizing size and execution time with reinforcement
+learning (Jain et al., ISPASS 2022), rebuilt end-to-end in Python on a
+from-scratch SSA compiler substrate. See DESIGN.md for the system map.
+
+Quick start::
+
+    from repro import PosetRL, load_suite
+
+    agent = PosetRL(action_space="odg", target="x86-64")
+    agent.train(load_suite("llvm_test_suite")[:16], episodes=20)
+    summary = agent.evaluate_suite("mibench", load_suite("mibench"))
+    print(summary.row())
+"""
+
+from .core import (
+    MANUAL_SUBSEQUENCES,
+    OZ_PASS_SEQUENCE,
+    OzDependenceGraph,
+    PAPER_ODG_SUBSEQUENCES,
+    PhaseOrderingEnv,
+    PosetRL,
+    RewardWeights,
+    make_action_space,
+)
+from .workloads import load_suite
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MANUAL_SUBSEQUENCES",
+    "OZ_PASS_SEQUENCE",
+    "OzDependenceGraph",
+    "PAPER_ODG_SUBSEQUENCES",
+    "PhaseOrderingEnv",
+    "PosetRL",
+    "RewardWeights",
+    "load_suite",
+    "make_action_space",
+    "__version__",
+]

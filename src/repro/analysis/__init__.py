@@ -1,0 +1,43 @@
+"""Program analyses over the miniature IR."""
+
+from .blockfreq import BlockFrequency, DEFAULT_TRIP_COUNT
+from .callgraph import CallGraph
+from .cfg import (
+    postorder,
+    predecessors_map,
+    reachable_blocks,
+    remove_unreachable_blocks,
+    reverse_postorder,
+)
+from .dominators import DominatorTree
+from .liveness import Liveness
+from .loops import Loop, LoopInfo
+from .memdep import (
+    clobbers_between,
+    may_alias,
+    must_alias,
+    pointer_escapes,
+    underlying_object,
+)
+from .reaching import ReachingStores
+
+__all__ = [
+    "BlockFrequency",
+    "CallGraph",
+    "DEFAULT_TRIP_COUNT",
+    "DominatorTree",
+    "Liveness",
+    "Loop",
+    "LoopInfo",
+    "ReachingStores",
+    "clobbers_between",
+    "may_alias",
+    "must_alias",
+    "pointer_escapes",
+    "postorder",
+    "predecessors_map",
+    "reachable_blocks",
+    "remove_unreachable_blocks",
+    "reverse_postorder",
+    "underlying_object",
+]

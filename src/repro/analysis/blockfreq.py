@@ -1,0 +1,128 @@
+"""Static block-frequency estimation.
+
+Frequency = ``trip**loop_depth`` scaled by branch probabilities derived from
+``llvm.expect`` hints (recorded by the lower-expect pass as branch-weight
+metadata). The MCA-style throughput model weights per-block cycle estimates
+by these frequencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..ir.instructions import Branch
+from ..ir.module import BasicBlock, Function
+from .cfg import predecessors_map, reverse_postorder
+from .dominators import DominatorTree
+from .loops import LoopInfo
+
+#: Assumed iterations for loops of unknown trip count (matches LLVM's
+#: BlockFrequencyInfo default heuristics closely enough for ranking).
+DEFAULT_TRIP_COUNT = 10.0
+
+
+class BlockFrequency:
+    """Relative execution frequency per block (entry = 1.0)."""
+
+    def __init__(self, fn: Function, loop_info: Optional[LoopInfo] = None):
+        self.fn = fn
+        self.loop_info = loop_info or LoopInfo(fn)
+        self.freq: Dict[int, float] = {}
+        self._compute()
+
+    def _branch_probability(self, block: BasicBlock, succ_index: int) -> float:
+        term = block.terminator
+        succs = block.successors()
+        if not succs:
+            return 0.0
+        if isinstance(term, Branch) and term.is_conditional:
+            weights = term.meta.get("branch_weights")
+            if isinstance(weights, (list, tuple)) and len(weights) == 2:
+                total = float(weights[0] + weights[1]) or 1.0
+                return float(weights[succ_index]) / total
+            return 0.5
+        return 1.0 / len(succs)
+
+    def _exit_loop(self, src: BasicBlock, dst: BasicBlock):
+        """The outermost loop containing ``src`` but not ``dst`` (the loop
+        this edge exits), or None for a non-exit edge."""
+        loop = self.loop_info.loop_for(src)
+        exited = None
+        while loop is not None:
+            if loop.contains(dst):
+                break
+            exited = loop
+            loop = loop.parent
+        return exited
+
+    def _compute(self) -> None:
+        fn = self.fn
+        order = reverse_postorder(fn)
+        freq: Dict[int, float] = {id(b): 0.0 for b in fn.blocks}
+        if not order:
+            self.freq = freq
+            return
+        freq[id(order[0])] = 1.0
+
+        # Acyclic flow in RPO with loop-aware conservation: back edges are
+        # skipped, and an edge that exits a loop carries the flow that
+        # *entered* the loop (split across exit edges), so code after a
+        # loop runs as often as code before it — regardless of in-loop
+        # branch shapes.
+        exit_edge_counts: Dict[int, int] = {}
+        for loop in self.loop_info.loops:
+            count = 0
+            for block in loop.blocks:
+                for succ in block.successors():
+                    if not loop.contains(succ):
+                        count += 1
+            exit_edge_counts[id(loop)] = max(count, 1)
+
+        for block in order:
+            f = freq[id(block)]
+            block_loop = self.loop_info.loop_for(block)
+            if f == 0.0 and block_loop is not None:
+                f = freq[id(block)] = 1e-3  # entered only via back edges
+            for i, succ in enumerate(block.successors()):
+                if block_loop is not None and succ is block_loop.header:
+                    continue  # back edge
+                exited = self._exit_loop(block, succ)
+                if exited is not None:
+                    contribution = freq.get(id(exited.header), 1e-3) / (
+                        exit_edge_counts[id(exited)]
+                    )
+                else:
+                    contribution = f * self._branch_probability(block, i)
+                freq[id(succ)] = freq.get(id(succ), 0.0) + contribution
+
+        trip_of = self._trip_counts()
+        for block in fn.blocks:
+            loop = self.loop_info.loop_for(block)
+            if loop is None:
+                continue
+            multiplier = 1.0
+            node = loop
+            while node is not None:
+                multiplier *= trip_of.get(id(node), DEFAULT_TRIP_COUNT)
+                node = node.parent
+            freq[id(block)] = max(freq.get(id(block), 0.0), 1e-3) * multiplier
+        self.freq = freq
+
+    def _trip_counts(self) -> Dict[int, float]:
+        """Constant trip counts where derivable (so unrolling/vectorizing
+        visibly changes the cycle estimate); DEFAULT_TRIP_COUNT otherwise."""
+        # Imported lazily: analysis must not import passes at module load.
+        from ..passes.loops.iv import analyze_loop
+
+        trips: Dict[int, float] = {}
+        for loop in self.loop_info.loops:
+            try:
+                bounds = analyze_loop(loop)
+            except Exception:  # pragma: no cover - malformed loops
+                bounds = None
+            if bounds is not None and bounds.trip_count is not None:
+                trips[id(loop)] = float(min(bounds.trip_count, 10_000))
+        return trips
+
+    def frequency(self, block: BasicBlock) -> float:
+        return self.freq.get(id(block), 0.0)

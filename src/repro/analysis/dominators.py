@@ -1,0 +1,149 @@
+"""Dominator tree (Cooper–Harvey–Kennedy) and dominance frontiers.
+
+Used by mem2reg/SROA (phi placement), the verifier (SSA dominance), CSE
+scoping, LICM and GVN.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..ir.instructions import Instruction, Phi
+from ..ir.module import BasicBlock, Function
+from ..ir.values import Argument, Constant, Value
+from .cfg import postorder, predecessors_map
+
+
+class DominatorTree:
+    """Immediate-dominator tree over the reachable CFG of a function."""
+
+    def __init__(self, fn: Function):
+        self.fn = fn
+        self.idom: Dict[int, Optional[BasicBlock]] = {}
+        self._order_index: Dict[int, int] = {}
+        self._children: Dict[int, List[BasicBlock]] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        fn = self.fn
+        if not fn.blocks:
+            return
+        order = postorder(fn)  # reachable blocks only
+        rpo = list(reversed(order))
+        index = {id(b): i for i, b in enumerate(order)}
+        self._order_index = index
+        preds = predecessors_map(fn)
+
+        entry = fn.entry
+        idom: Dict[int, Optional[BasicBlock]] = {id(b): None for b in rpo}
+        idom[id(entry)] = entry
+
+        def intersect(b1: BasicBlock, b2: BasicBlock) -> BasicBlock:
+            while b1 is not b2:
+                while index[id(b1)] < index[id(b2)]:
+                    b1 = idom[id(b1)]  # type: ignore[assignment]
+                while index[id(b2)] < index[id(b1)]:
+                    b2 = idom[id(b2)]  # type: ignore[assignment]
+            return b1
+
+        changed = True
+        while changed:
+            changed = False
+            for block in rpo:
+                if block is entry:
+                    continue
+                new_idom: Optional[BasicBlock] = None
+                for pred in preds.get(id(block), []):
+                    if id(pred) not in index:
+                        continue  # unreachable pred
+                    if idom[id(pred)] is None:
+                        continue
+                    new_idom = (
+                        pred if new_idom is None else intersect(pred, new_idom)
+                    )
+                if new_idom is not None and idom[id(block)] is not new_idom:
+                    idom[id(block)] = new_idom
+                    changed = True
+
+        self.idom = idom
+        self.idom[id(entry)] = None  # entry has no immediate dominator
+        self._children = {id(b): [] for b in rpo}
+        for block in rpo:
+            parent = self.idom[id(block)]
+            if parent is not None:
+                self._children[id(parent)].append(block)
+
+    # -- queries ----------------------------------------------------------
+    def is_reachable(self, block: BasicBlock) -> bool:
+        return id(block) in self.idom
+
+    def immediate_dominator(self, block: BasicBlock) -> Optional[BasicBlock]:
+        return self.idom.get(id(block))
+
+    def children(self, block: BasicBlock) -> List[BasicBlock]:
+        return self._children.get(id(block), [])
+
+    def dominates_block(self, a: BasicBlock, b: BasicBlock) -> bool:
+        """Does block ``a`` dominate block ``b`` (reflexively)?"""
+        if not self.is_reachable(a) or not self.is_reachable(b):
+            return False
+        node: Optional[BasicBlock] = b
+        while node is not None:
+            if node is a:
+                return True
+            node = self.idom.get(id(node))
+        return False
+
+    def strictly_dominates_block(self, a: BasicBlock, b: BasicBlock) -> bool:
+        return a is not b and self.dominates_block(a, b)
+
+    def dominates(self, definition: Value, user: Instruction) -> bool:
+        """Does SSA value ``definition`` dominate the use site ``user``?
+
+        Arguments and constants dominate everything. For instruction defs,
+        intra-block ordering is consulted; a use in a phi is checked against
+        the end of the incoming block by callers (this method treats phi
+        users as block-entry uses).
+        """
+        if isinstance(definition, (Argument, Constant)):
+            return True
+        if not isinstance(definition, Instruction):
+            return True
+        def_block = definition.parent
+        use_block = user.parent
+        assert def_block is not None and use_block is not None
+        if def_block is use_block:
+            if isinstance(user, Phi):
+                return False
+            insts = def_block.instructions
+            return insts.index(definition) < insts.index(user)
+        return self.dominates_block(def_block, use_block)
+
+    def dominance_frontiers(self) -> Dict[int, Set[int]]:
+        """Cytron-style dominance frontiers, keyed/valued by ``id(block)``."""
+        frontiers: Dict[int, Set[int]] = {bid: set() for bid in self.idom}
+        preds = predecessors_map(self.fn)
+        for block in self.fn.blocks:
+            if not self.is_reachable(block):
+                continue
+            block_preds = [p for p in preds.get(id(block), []) if self.is_reachable(p)]
+            if len(block_preds) < 2:
+                continue
+            for pred in block_preds:
+                runner: Optional[BasicBlock] = pred
+                while runner is not None and runner is not self.idom[id(block)]:
+                    frontiers[id(runner)].add(id(block))
+                    runner = self.idom[id(runner)]
+        return frontiers
+
+    def dfs_preorder(self) -> List[BasicBlock]:
+        """Preorder walk of the dominator tree (entry first)."""
+        if not self.fn.blocks:
+            return []
+        order: List[BasicBlock] = []
+        stack = [self.fn.entry]
+        while stack:
+            block = stack.pop()
+            order.append(block)
+            stack.extend(reversed(self.children(block)))
+        return order

@@ -1,0 +1,87 @@
+"""Live-variable analysis (backward dataflow over SSA values).
+
+Feeds the IR2Vec-style embedder (liveness-weighted composition) and the
+codegen register-pressure heuristic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set
+
+from ..ir.instructions import Instruction, Phi
+from ..ir.module import BasicBlock, Function
+from .cfg import predecessors_map
+
+
+class Liveness:
+    """Per-block live-in / live-out sets of SSA values (ids)."""
+
+    def __init__(self, fn: Function):
+        self.fn = fn
+        self.live_in: Dict[int, Set[int]] = {}
+        self.live_out: Dict[int, Set[int]] = {}
+        self._values: Dict[int, Instruction] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        fn = self.fn
+        use: Dict[int, Set[int]] = {}
+        defs: Dict[int, Set[int]] = {}
+        phi_uses: Dict[int, Set[int]] = {id(b): set() for b in fn.blocks}
+
+        for block in fn.blocks:
+            u: Set[int] = set()
+            d: Set[int] = set()
+            for inst in block.instructions:
+                self._values[id(inst)] = inst
+                if isinstance(inst, Phi):
+                    # Phi operands are live-out of the incoming blocks.
+                    for value, pred in inst.incoming():
+                        if isinstance(value, Instruction):
+                            phi_uses[id(pred)].add(id(value))
+                    d.add(id(inst))
+                    continue
+                for op in inst.operands:
+                    if isinstance(op, Instruction) and id(op) not in d:
+                        u.add(id(op))
+                if not inst.type.is_void:
+                    d.add(id(inst))
+            use[id(block)] = u
+            defs[id(block)] = d
+
+        live_in: Dict[int, Set[int]] = {id(b): set() for b in fn.blocks}
+        live_out: Dict[int, Set[int]] = {id(b): set() for b in fn.blocks}
+
+        changed = True
+        while changed:
+            changed = False
+            for block in reversed(fn.blocks):
+                bid = id(block)
+                out: Set[int] = set(phi_uses.get(bid, ()))
+                for succ in block.successors():
+                    out |= live_in[id(succ)]
+                new_in = use[bid] | (out - defs[bid])
+                if out != live_out[bid] or new_in != live_in[bid]:
+                    live_out[bid] = out
+                    live_in[bid] = new_in
+                    changed = True
+
+        self.live_in = live_in
+        self.live_out = live_out
+
+    def live_across_blocks(self, inst: Instruction) -> int:
+        """Number of blocks through which ``inst``'s value stays live."""
+        count = 0
+        key = id(inst)
+        for block in self.fn.blocks:
+            if key in self.live_in.get(id(block), ()):
+                count += 1
+        return count
+
+    def max_pressure(self) -> int:
+        """Maximum number of simultaneously live values at block boundaries."""
+        if not self.fn.blocks:
+            return 0
+        return max(
+            (len(self.live_out[id(b)]) for b in self.fn.blocks), default=0
+        )

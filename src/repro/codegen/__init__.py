@@ -1,0 +1,25 @@
+"""Code generation cost models: instruction selection and object size."""
+
+from .isel import lower_block, lower_function, lower_instruction
+from .objfile import (
+    FunctionSizeReport,
+    SizeReport,
+    function_text_size,
+    object_size,
+)
+from .target import AARCH64, TARGETS, TargetDescriptor, X86_64, get_target
+
+__all__ = [
+    "AARCH64",
+    "FunctionSizeReport",
+    "SizeReport",
+    "TARGETS",
+    "TargetDescriptor",
+    "X86_64",
+    "function_text_size",
+    "get_target",
+    "lower_block",
+    "lower_function",
+    "lower_instruction",
+    "object_size",
+]

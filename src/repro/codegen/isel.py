@@ -1,0 +1,204 @@
+"""Instruction selection: lower IR instructions to machine-op lists.
+
+This is a *cost-model* lowering: it produces the machine-op classes (with
+no operands) that a real ISel would, so that the object-size and MCA
+models see a realistic instruction stream — compare+branch fusion, GEPs
+folded into addressing modes, immediate materialization, phi-resolution
+copies, argument setup, etc.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    ExtractElement,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    InsertElement,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Switch,
+    Unreachable,
+)
+from ..ir.module import BasicBlock, Function
+from ..ir.types import FloatType, IntType, VectorType
+from ..ir.values import ConstantInt, ConstantVector, Value
+from .target import TargetDescriptor
+
+_INT_OP_CLASS = {
+    "add": "alu", "sub": "alu", "and": "alu", "or": "alu", "xor": "alu",
+    "shl": "alu", "lshr": "alu", "ashr": "alu",
+    "mul": "imul",
+    "sdiv": "idiv", "udiv": "idiv", "srem": "idiv", "urem": "idiv",
+}
+_FLOAT_OP_CLASS = {
+    "fadd": "fpalu", "fsub": "fpalu",
+    "fmul": "fpmul",
+    "fdiv": "fpdiv", "frem": "fpdiv",
+}
+
+
+def _is_addressing_foldable(gep: GetElementPtr) -> bool:
+    """GEPs whose every use is a load/store address fold into the
+    addressing mode (base + index*scale + disp) and cost nothing."""
+    if len(gep.indices) > 2:
+        return False
+    for use in gep.uses:
+        user = use.user
+        if isinstance(user, Load) and user.pointer is gep:
+            continue
+        if isinstance(user, Store) and user.pointer is gep and user.value is not gep:
+            continue
+        return False
+    return bool(gep.uses)
+
+
+def _fused_with_branch(icmp: Instruction) -> bool:
+    """A compare only consumed by one branch fuses into cmp+jcc."""
+    users = list(icmp.users())
+    return (
+        len(users) == 1
+        and isinstance(users[0], Branch)
+        and users[0].parent is icmp.parent
+    )
+
+
+def _needs_imm_materialization(target: TargetDescriptor, value: Value) -> bool:
+    return (
+        isinstance(value, ConstantInt)
+        and abs(value.value) > target.max_short_imm
+    )
+
+
+def lower_instruction(
+    inst: Instruction, target: TargetDescriptor
+) -> List[str]:
+    """Machine-op classes for one IR instruction."""
+    ops: List[str] = []
+
+    def imm_cost(operands) -> None:
+        for op in operands:
+            if _needs_imm_materialization(target, op):
+                ops.append("movimm")
+
+    if isinstance(inst, BinaryOp):
+        imm_cost(inst.operands)
+        if isinstance(inst.type, VectorType):
+            ops.append("vfp" if inst.type.element.is_float else "valu")
+            if inst.opcode in ("sdiv", "udiv", "srem", "urem", "fdiv"):
+                ops.append("vfp")  # divides decompose
+        elif isinstance(inst.type, FloatType):
+            ops.append(_FLOAT_OP_CLASS[inst.opcode])
+        else:
+            cls = _INT_OP_CLASS[inst.opcode]
+            ops.append(cls)
+            if cls == "idiv" and not target.fixed_width:
+                ops.append("alu")  # cdq/cqo sign-extension companion
+        return ops
+
+    if isinstance(inst, (ICmp, FCmp)):
+        imm_cost(inst.operands)
+        ops.append("fpalu" if isinstance(inst, FCmp) else "alu")  # cmp
+        if not _fused_with_branch(inst):
+            users = list(inst.users())
+            if not all(isinstance(u, (Select, Branch)) for u in users):
+                ops.append("alu")  # setcc / cset materialization
+        return ops
+
+    if isinstance(inst, Alloca):
+        return []  # folded into frame layout; see objfile accounting
+
+    if isinstance(inst, Load):
+        if isinstance(inst.type, VectorType):
+            return ["vload"]
+        return ["load"]
+
+    if isinstance(inst, Store):
+        imm_cost([inst.value])
+        if isinstance(inst.value.type, VectorType):
+            return ops + ["vstore"]
+        return ops + ["store"]
+
+    if isinstance(inst, GetElementPtr):
+        if _is_addressing_foldable(inst):
+            return []
+        if inst.has_all_constant_indices:
+            return ["lea"]
+        return ["lea"] + (["alu"] if len(inst.indices) > 1 else [])
+
+    if isinstance(inst, Phi):
+        # Phis cost a move per incoming edge (resolved in predecessors);
+        # attribute them to the phi so block sizes stay well-defined.
+        return ["mov"] * inst.num_incoming
+
+    if isinstance(inst, Select):
+        imm_cost([inst.true_value, inst.false_value])
+        return ops + ["cmov"]
+
+    if isinstance(inst, Cast):
+        if inst.opcode in ("bitcast", "inttoptr", "ptrtoint", "trunc"):
+            return []  # register reinterpretation
+        if inst.opcode in ("zext", "sext"):
+            return ["alu"]
+        return ["fpalu"]  # fp<->int conversions
+
+    if isinstance(inst, (ExtractElement, InsertElement)):
+        return ["valu"]
+
+    if isinstance(inst, Call):
+        callee = inst.called_function
+        n_args = len(inst.args)
+        if callee is not None and callee.name.startswith("llvm.memset"):
+            return ["mov"] * 3 + ["call"]
+        if callee is not None and callee.name.startswith("llvm.memcpy"):
+            return ["mov"] * 3 + ["call"]
+        if callee is not None and callee.name.startswith("llvm."):
+            return ["alu"]  # residual intrinsics lower to an op or nothing
+        ops.extend(["mov"] * min(n_args, 6))
+        ops.extend(["store"] * max(0, n_args - 6))  # stack-passed args
+        ops.append("call")
+        return ops
+
+    if isinstance(inst, Branch):
+        if inst.is_conditional:
+            cond = inst.condition
+            fused = isinstance(cond, (ICmp, FCmp)) and _fused_with_branch(cond)
+            if fused:
+                return ["branch"]
+            return ["alu", "branch"]  # test + jcc
+        return ["branch"]
+
+    if isinstance(inst, Switch):
+        # Compare-and-branch chain (small switches; Oz avoids jump tables).
+        return ["alu", "branch"] * max(1, inst.num_cases) + ["branch"]
+
+    if isinstance(inst, Ret):
+        return ["ret"]
+
+    if isinstance(inst, Unreachable):
+        return ["trap"]
+
+    raise TypeError(f"cannot lower {inst!r}")  # pragma: no cover
+
+
+def lower_block(block: BasicBlock, target: TargetDescriptor) -> List[str]:
+    ops: List[str] = []
+    for inst in block.instructions:
+        ops.extend(lower_instruction(inst, target))
+    return ops
+
+
+def lower_function(fn: Function, target: TargetDescriptor) -> Dict[int, List[str]]:
+    """Machine ops per block (keyed by id(block))."""
+    return {id(b): lower_block(b, target) for b in fn.blocks}

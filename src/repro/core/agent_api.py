@@ -1,0 +1,174 @@
+"""High-level POSET-RL API.
+
+:class:`PosetRL` wires everything together: action space (manual or ODG),
+Double-DQN agent, training over a corpus of modules, greedy prediction,
+and suite evaluation against ``-Oz``. This is the facade the examples and
+benchmark harness drive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ir.module import Module
+from ..rl.dqn import AgentConfig, DoubleDQNAgent, DQNAgent
+from .environment import (
+    ActionSpace,
+    DEFAULT_EPISODE_LENGTH,
+    PhaseOrderingEnv,
+    make_action_space,
+)
+from .evaluate import BenchmarkResult, SuiteSummary, evaluate_benchmark
+from .rewards import RewardWeights
+
+
+@dataclass
+class TrainStats:
+    """Per-episode training diagnostics."""
+
+    episode: int
+    module: str
+    total_reward: float
+    final_size: int
+    epsilon: float
+    actions: List[int] = field(default_factory=list)
+
+
+class PosetRL:
+    """Train/predict/evaluate phase orderings for size and runtime."""
+
+    def __init__(
+        self,
+        action_space: str = "odg",
+        target: str = "x86-64",
+        weights: RewardWeights = RewardWeights(),
+        episode_length: int = DEFAULT_EPISODE_LENGTH,
+        agent_config: Optional[AgentConfig] = None,
+        double_dqn: bool = True,
+        seed: int = 0,
+    ):
+        self.action_space_kind = action_space
+        self.actions = make_action_space(action_space)
+        self.target = target
+        self.weights = weights
+        self.episode_length = episode_length
+        config = agent_config or AgentConfig()
+        config = replace(
+            config, num_actions=len(self.actions), seed=seed
+        )
+        agent_cls = DoubleDQNAgent if double_dqn else DQNAgent
+        self.agent = agent_cls(config)
+        self._rng = np.random.RandomState(seed + 13)
+        self.train_history: List[TrainStats] = []
+
+    # -- environments --------------------------------------------------------
+    def make_env(self, module: Module) -> PhaseOrderingEnv:
+        return PhaseOrderingEnv(
+            module,
+            self.actions,
+            target=self.target,
+            weights=self.weights,
+            episode_length=self.episode_length,
+        )
+
+    # -- training ---------------------------------------------------------------
+    def train(
+        self,
+        modules: Sequence[Tuple[str, Module]],
+        episodes: int = 50,
+        callback: Optional[Callable[[TrainStats], None]] = None,
+    ) -> List[TrainStats]:
+        """ε-greedy training over a corpus.
+
+        ``modules`` are (name, module) pairs — e.g. the 130 llvm-test-suite
+        single-source programs the paper trains on. Episodes sample the
+        corpus uniformly; each episode runs ``episode_length`` steps.
+        """
+        if not modules:
+            raise ValueError("training corpus is empty")
+        envs: Dict[str, PhaseOrderingEnv] = {}
+        stats: List[TrainStats] = []
+        for episode in range(episodes):
+            name, module = modules[int(self._rng.randint(len(modules)))]
+            env = envs.get(name)
+            if env is None:
+                env = self.make_env(module)
+                envs[name] = env
+            state = env.reset()
+            total = 0.0
+            actions: List[int] = []
+            done = False
+            while not done:
+                action = self.agent.act(state)
+                next_state, reward, done, info = env.step(action)
+                self.agent.remember(state, action, reward, next_state, done)
+                state = next_state
+                total += reward
+                actions.append(action)
+            record = TrainStats(
+                episode=episode,
+                module=name,
+                total_reward=total,
+                final_size=env.last_size,
+                epsilon=self.agent.epsilon,
+                actions=actions,
+            )
+            stats.append(record)
+            if callback is not None:
+                callback(record)
+        self.train_history.extend(stats)
+        return stats
+
+    # -- inference -----------------------------------------------------------------
+    def predict(self, module: Module) -> List[int]:
+        """Greedy rollout: the predicted sub-sequence ordering (Table VI)."""
+        env = self.make_env(module)
+        state = env.reset()
+        actions: List[int] = []
+        done = False
+        while not done:
+            action = self.agent.act(state, greedy=True)
+            state, _, done, _ = env.step(action)
+            actions.append(action)
+        return actions
+
+    def apply_actions(self, module: Module, actions: Sequence[int]) -> Module:
+        """Apply a predicted action sequence to a fresh copy of ``module``."""
+        copy = module.clone()
+        for action in actions:
+            self.actions.apply(action, copy)
+        return copy
+
+    def predicted_pass_sequence(self, actions: Sequence[int]) -> List[str]:
+        passes: List[str] = []
+        for action in actions:
+            passes.extend(self.actions.passes_for(action))
+        return passes
+
+    # -- evaluation -------------------------------------------------------------------
+    def evaluate_suite(
+        self, suite_name: str, modules: Sequence[Tuple[str, Module]]
+    ) -> SuiteSummary:
+        """Table IV / Table V style summary for one benchmark suite."""
+        results: List[BenchmarkResult] = []
+        for name, module in modules:
+            results.append(
+                evaluate_benchmark(
+                    name,
+                    module,
+                    predict=self.predict,
+                    apply_actions=self.apply_actions,
+                    target=self.target,
+                )
+            )
+        return SuiteSummary(suite=suite_name, target=self.target, results=results)
+
+    # -- persistence -----------------------------------------------------------
+    def save(self, path: str) -> None:
+        self.agent.save(path)
+
+    def load(self, path: str) -> None:
+        self.agent.load(path)

@@ -1,0 +1,166 @@
+"""The phase-ordering RL environment (Section III-A).
+
+Gym-style interface over one program: the state is the IR2Vec-style
+300-d embedding of the current module, an action applies one optimization
+sub-sequence through the pass manager, and the reward combines the object
+file's size delta with the MCA throughput delta (both normalized against
+the unoptimized module, Eqns 1-3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..codegen.objfile import object_size
+from ..embeddings.ir2vec import IR2VecEncoder
+from ..ir.module import Module
+from ..mca.sched import estimate_throughput
+from ..passes.base import PassManager, create_pass
+from .rewards import RewardWeights, combined_reward
+from .subsequences import PAPER_ODG_SUBSEQUENCES
+
+#: Episode length: the paper's predicted sequences (Table VI) are 15
+#: actions long.
+DEFAULT_EPISODE_LENGTH = 15
+
+
+@dataclass
+class StepInfo:
+    """Extra diagnostics returned from :meth:`PhaseOrderingEnv.step`."""
+
+    action: int
+    passes: List[str]
+    bin_size: int
+    throughput: float
+    size_reward: float
+    throughput_reward: float
+
+
+class ActionSpace:
+    """A list of pass sub-sequences, pre-instantiated as PassManagers."""
+
+    def __init__(self, subsequences: Sequence[Sequence[str]]):
+        self.subsequences: List[List[str]] = [list(s) for s in subsequences]
+        self._managers = [
+            PassManager(list(s)) for s in self.subsequences
+        ]
+
+    def __len__(self) -> int:
+        return len(self.subsequences)
+
+    def passes_for(self, action: int) -> List[str]:
+        return list(self.subsequences[action])
+
+    def apply(self, action: int, module: Module) -> bool:
+        return self._managers[action].run(module)
+
+
+class PhaseOrderingEnv:
+    """RL environment optimizing one module for size and throughput."""
+
+    def __init__(
+        self,
+        module: Module,
+        action_space: Optional[ActionSpace] = None,
+        target: str = "x86-64",
+        weights: RewardWeights = RewardWeights(),
+        episode_length: int = DEFAULT_EPISODE_LENGTH,
+        encoder: Optional[IR2VecEncoder] = None,
+    ):
+        self.original = module
+        self.action_space = action_space or ActionSpace(PAPER_ODG_SUBSEQUENCES)
+        self.target = target
+        self.weights = weights
+        self.episode_length = episode_length
+        self.encoder = encoder or IR2VecEncoder()
+
+        # Baseline ("without any optimization") metrics — Eqns 2-3
+        # denominators — computed once.
+        self.base_size = object_size(module, target).total_bytes
+        self.base_throughput = estimate_throughput(module, target).throughput
+
+        self.current: Module = module.clone()
+        self.steps = 0
+        self.last_size = self.base_size
+        self.last_throughput = self.base_throughput
+        self.history: List[StepInfo] = []
+
+    # -- gym-style API ---------------------------------------------------------
+    @property
+    def num_actions(self) -> int:
+        return len(self.action_space)
+
+    @property
+    def state_dim(self) -> int:
+        return self.encoder.dimension
+
+    def observe(self) -> np.ndarray:
+        return self.encoder.program_embedding(self.current)
+
+    def reset(self) -> np.ndarray:
+        self.current = self.original.clone()
+        self.steps = 0
+        self.last_size = self.base_size
+        self.last_throughput = self.base_throughput
+        self.history = []
+        return self.observe()
+
+    def step(self, action: int) -> Tuple[np.ndarray, float, bool, StepInfo]:
+        if not (0 <= action < self.num_actions):
+            raise IndexError(f"action {action} out of range")
+        passes = self.action_space.passes_for(action)
+        self.action_space.apply(action, self.current)
+
+        size = object_size(self.current, self.target).total_bytes
+        throughput = estimate_throughput(self.current, self.target).throughput
+
+        reward = combined_reward(
+            self.last_size,
+            size,
+            self.base_size,
+            self.last_throughput,
+            throughput,
+            self.base_throughput,
+            self.weights,
+        )
+        info = StepInfo(
+            action=action,
+            passes=passes,
+            bin_size=size,
+            throughput=throughput,
+            size_reward=(self.last_size - size) / self.base_size,
+            throughput_reward=(throughput - self.last_throughput)
+            / self.base_throughput,
+        )
+        self.history.append(info)
+        self.last_size = size
+        self.last_throughput = throughput
+        self.steps += 1
+        done = self.steps >= self.episode_length
+        return self.observe(), reward, done, info
+
+    # -- convenience -----------------------------------------------------------
+    def rollout(self, actions: Sequence[int]) -> List[StepInfo]:
+        """Reset and apply a fixed action sequence; returns step infos."""
+        self.reset()
+        infos = []
+        for action in actions:
+            _, _, done, info = self.step(action)
+            infos.append(info)
+            if done:
+                break
+        return infos
+
+
+def make_action_space(kind: str = "odg") -> ActionSpace:
+    """``"odg"`` (Table III, 34 actions) or ``"manual"`` (Table II, 15)."""
+    from .subsequences import MANUAL_SUBSEQUENCES
+
+    if kind == "odg":
+        return ActionSpace(PAPER_ODG_SUBSEQUENCES)
+    if kind == "manual":
+        return ActionSpace(MANUAL_SUBSEQUENCES)
+    raise ValueError(f"unknown action space {kind!r} (use 'odg' or 'manual')")

@@ -1,0 +1,98 @@
+"""Parameterized action spaces — the paper's stated future work.
+
+Section VII: *"In future, we plan to extend this framework to support
+predicting the parameters of the optimizations (like unroll factors and
+vector factors) along with the sequence."* This module implements that
+extension: selected sub-sequences are replicated with different pass
+parameters (unroll budgets, inline thresholds), so the agent picks the
+parameter by picking the action. Everything else — environment, reward,
+agent — is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, Union
+
+from ..passes.base import Pass, create_pass
+from ..passes.ipo.inline import Inliner
+from ..passes.loops.loop_unroll import LoopUnroll
+from .environment import ActionSpace
+from .subsequences import PAPER_ODG_SUBSEQUENCES
+
+__all__ = [
+    "PARAMETERIZED_VARIANTS",
+    "ParameterizedActionSpace",
+    "make_parameterized_action_space",
+]
+
+#: (pass name, parameter label, factory) — the parameter grid exposed to
+#: the agent. Budgets follow the Oz/Os/O2 tiers of the pipelines.
+PARAMETERIZED_VARIANTS = {
+    "loop-unroll": [
+        ("unroll=tiny", lambda: LoopUnroll(size_budget=16, max_trip=4)),
+        ("unroll=default", lambda: LoopUnroll(size_budget=48, max_trip=16)),
+        ("unroll=wide", lambda: LoopUnroll(size_budget=160, max_trip=16)),
+    ],
+    "inline": [
+        ("inline=size", lambda: Inliner(threshold=24)),
+        ("inline=speed", lambda: Inliner(threshold=80)),
+    ],
+}
+
+
+class ParameterizedActionSpace(ActionSpace):
+    """An ActionSpace whose actions carry concrete pass parameters.
+
+    Sub-sequences containing a parameterizable pass are expanded into one
+    action per parameter choice; all other sub-sequences appear once. The
+    ``labels`` list names each action (e.g. ``"20[unroll=wide]"``).
+    """
+
+    def __init__(self, subsequences: Sequence[Sequence[str]]):
+        expanded: List[List[Union[str, Pass]]] = []
+        labels: List[str] = []
+        for index, seq in enumerate(subsequences):
+            variants = self._expand(list(seq))
+            for label_suffix, concrete in variants:
+                expanded.append(concrete)
+                labels.append(
+                    f"{index}{label_suffix}" if label_suffix else str(index)
+                )
+        self.labels = labels
+        # ActionSpace stores pass-name lists; we bypass it to keep Pass
+        # instances, so replicate its internals with instantiated managers.
+        from ..passes.base import PassManager
+
+        self.subsequences = [
+            [p if isinstance(p, str) else p.name for p in seq]
+            for seq in expanded
+        ]
+        self._managers = [
+            PassManager(
+                [p if isinstance(p, Pass) else create_pass(p) for p in seq]
+            )
+            for seq in expanded
+        ]
+
+    @staticmethod
+    def _expand(
+        seq: List[str],
+    ) -> List[Tuple[str, List[Union[str, Pass]]]]:
+        for position, name in enumerate(seq):
+            variants = PARAMETERIZED_VARIANTS.get(name)
+            if variants is None:
+                continue
+            out: List[Tuple[str, List[Union[str, Pass]]]] = []
+            for label, factory in variants:
+                concrete: List[Union[str, Pass]] = list(seq)
+                concrete[position] = factory()
+                out.append((f"[{label}]", concrete))
+            return out
+        return [("", list(seq))]
+
+
+def make_parameterized_action_space(
+    base: Sequence[Sequence[str]] = PAPER_ODG_SUBSEQUENCES,
+) -> ParameterizedActionSpace:
+    """The ODG action space with unroll/inline parameters exposed."""
+    return ParameterizedActionSpace(base)

@@ -1,0 +1,114 @@
+"""The Oz Dependence Graph (ODG) — Fig. 4 / Section IV-B.
+
+Nodes are the transformation passes of ``-Oz``; a directed edge connects
+each pass to the one immediately following it in the sequence (edges are
+deduplicated, so the ODG is a simple digraph). Nodes of total degree
+≥ k (k = 8) are *critical*; the paper finds ``simplifycfg`` (11),
+``instcombine`` (10) and ``loop-simplify`` (8). Sub-sequences for the RL
+action space are walks that start at a critical node and end on reaching
+another critical node (or a sink), so each pass appears with its
+dependencies already applied.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..passes.pipelines import OZ_PASS_SEQUENCE
+
+#: The paper's critical-node degree threshold.
+DEFAULT_CRITICAL_DEGREE = 8
+#: Walks longer than this are cut (Table III's longest has 16 passes).
+MAX_WALK_LENGTH = 16
+
+
+class OzDependenceGraph:
+    """ODG construction, critical-node detection, and walk generation."""
+
+    def __init__(
+        self,
+        sequence: Sequence[str] = tuple(OZ_PASS_SEQUENCE),
+        critical_degree: int = DEFAULT_CRITICAL_DEGREE,
+    ):
+        self.sequence = list(sequence)
+        self.critical_degree = critical_degree
+        self.graph = nx.DiGraph()
+        for name in self.sequence:
+            self.graph.add_node(name)
+        for earlier, later in zip(self.sequence, self.sequence[1:]):
+            if earlier != later:
+                self.graph.add_edge(earlier, later)
+
+    # -- structure ------------------------------------------------------------
+    def degree(self, node: str) -> int:
+        """Total degree (in + out) over the deduplicated edge set."""
+        return self.graph.in_degree(node) + self.graph.out_degree(node)
+
+    def critical_nodes(self) -> List[str]:
+        """Nodes with degree ≥ threshold, most-connected first."""
+        nodes = [
+            n for n in self.graph.nodes if self.degree(n) >= self.critical_degree
+        ]
+        return sorted(nodes, key=lambda n: (-self.degree(n), n))
+
+    def successors(self, node: str) -> List[str]:
+        return sorted(self.graph.successors(node))
+
+    # -- walks -------------------------------------------------------------------
+    def generate_subsequences(
+        self, max_walks: Optional[int] = None
+    ) -> List[List[str]]:
+        """All simple walks from a critical node to the next critical node
+        (or a sink), each a candidate action-space sub-sequence."""
+        critical = set(self.critical_nodes())
+        walks: List[List[str]] = []
+        seen: Set[Tuple[str, ...]] = set()
+
+        def extend(path: List[str]) -> None:
+            if max_walks is not None and len(walks) >= max_walks:
+                return
+            node = path[-1]
+            successors = [
+                s for s in self.successors(node) if s not in path[1:]
+            ]
+            terminal = not successors
+            for succ in successors:
+                if succ in critical:
+                    self._record(path, walks, seen)
+                    continue
+                if succ in path:
+                    continue
+                if len(path) >= MAX_WALK_LENGTH:
+                    terminal = True
+                    continue
+                extend(path + [succ])
+            if terminal:
+                self._record(path, walks, seen)
+
+        for start in self.critical_nodes():
+            extend([start])
+        walks.sort(key=lambda w: (w[0], len(w), tuple(w)))
+        return walks
+
+    @staticmethod
+    def _record(
+        path: List[str], walks: List[List[str]], seen: Set[Tuple[str, ...]]
+    ) -> None:
+        key = tuple(path)
+        if key not in seen and len(path) >= 1:
+            seen.add(key)
+            walks.append(list(path))
+
+    # -- reporting -----------------------------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        return {
+            "nodes": self.graph.number_of_nodes(),
+            "edges": self.graph.number_of_edges(),
+            "critical_nodes": {
+                n: self.degree(n) for n in self.critical_nodes()
+            },
+            "sequence_length": len(self.sequence),
+            "unique_passes": len(set(self.sequence)),
+        }

@@ -1,0 +1,55 @@
+"""Calibrated training presets.
+
+The paper trains its DDQN for ~16 hours on a Xeon; this reproduction runs
+on a laptop-scale budget, so the presets below compress that schedule: the
+same algorithm (Double DQN, ε-greedy with annealing, replay), with
+stability-oriented settings found by calibration — short replay (keeps the
+data near-on-policy), frequent target syncs, a large batch, and a moderate
+discount (the phase-ordering return is dominated by near-term rewards).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from ..rl.dqn import AgentConfig
+
+__all__ = ["paper_config", "scaled_config", "quick_config"]
+
+
+def paper_config() -> AgentConfig:
+    """The paper's stated hyper-parameters (lr 1e-4, ε 1.0→0.01 over
+    20 000 steps) with standard defaults elsewhere. Needs paper-scale
+    training time (tens of thousands of episodes) to converge."""
+    return AgentConfig(
+        learning_rate=1e-4,
+        epsilon_steps=20_000,
+        epsilon_end=0.01,
+    )
+
+
+def scaled_config() -> AgentConfig:
+    """The calibrated laptop-scale schedule used by the benchmark harness
+    (~900 training episodes ≈ 3 minutes)."""
+    return AgentConfig(
+        hidden=(256, 128),
+        learning_rate=1e-3,
+        gamma=0.5,
+        batch_size=128,
+        replay_capacity=2_000,
+        min_replay=512,
+        train_every=1,
+        target_sync_every=50,
+        epsilon_steps=8_000,
+        epsilon_end=0.01,
+        reward_scale=0.25,
+    )
+
+
+def quick_config() -> AgentConfig:
+    """A fast-smoke schedule for tests and the quickstart example."""
+    return replace(
+        scaled_config(),
+        min_replay=128,
+        epsilon_steps=1_500,
+    )

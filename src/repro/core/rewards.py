@@ -1,0 +1,53 @@
+"""Reward computation (Section III-C, Equations 1-3).
+
+``R = α · R_BinSize + β · R_Throughput`` with α = 10, β = 5 (Section V-A),
+where both components are deltas between consecutive episode states
+normalized by the *unoptimized* program's metrics:
+
+    R_BinSize    = (BinSize_last − BinSize_curr)   / BinSize_base
+    R_Throughput = (Throughput_curr − Throughput_last) / Throughput_base
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Paper values: "We set α to 10 and β to 5 … to give more weight to
+#: R_BinSize than R_Throughput."
+ALPHA = 10.0
+BETA = 5.0
+
+
+@dataclass(frozen=True)
+class RewardWeights:
+    alpha: float = ALPHA
+    beta: float = BETA
+
+
+def binsize_reward(last: float, current: float, base: float) -> float:
+    """Equation (2)."""
+    if base <= 0:
+        return 0.0
+    return (last - current) / base
+
+
+def throughput_reward(last: float, current: float, base: float) -> float:
+    """Equation (3)."""
+    if base <= 0:
+        return 0.0
+    return (current - last) / base
+
+
+def combined_reward(
+    size_last: float,
+    size_curr: float,
+    size_base: float,
+    tp_last: float,
+    tp_curr: float,
+    tp_base: float,
+    weights: RewardWeights = RewardWeights(),
+) -> float:
+    """Equation (1)."""
+    return weights.alpha * binsize_reward(
+        size_last, size_curr, size_base
+    ) + weights.beta * throughput_reward(tp_last, tp_curr, tp_base)

@@ -1,0 +1,144 @@
+"""The paper's action-space tables.
+
+* :data:`MANUAL_SUBSEQUENCES` — Table II: 15 hand-grouped sub-sequences of
+  the ``-Oz`` pipeline.
+* :data:`PAPER_ODG_SUBSEQUENCES` — Table III: the 34 sub-sequences the
+  authors derive by walking the Oz Dependence Graph with critical-node
+  threshold k ≥ 8. (Obvious OCR slips in the published tables —
+  ``loop-inster``, ``lessa``, ``adee``, ``simplifyefg``,
+  ``instromibne`` — are corrected to the pass names they clearly denote.)
+
+Every sub-sequence is a list of pass names executable directly by
+:func:`repro.passes.run_passes`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..passes.base import parse_pass_list
+from ..passes.pipelines import OZ_PASS_SEQUENCE
+
+__all__ = [
+    "MANUAL_SUBSEQUENCES",
+    "PAPER_ODG_SUBSEQUENCES",
+    "OZ_PASS_SEQUENCE",
+    "flags_to_passes",
+]
+
+
+def flags_to_passes(flags: str) -> List[str]:
+    """``"-simplifycfg -sroa"`` → ``["simplifycfg", "sroa"]``."""
+    return parse_pass_list(flags)
+
+
+#: Table II: manual sub-sequences of -Oz.
+MANUAL_SUBSEQUENCES: List[List[str]] = [
+    flags_to_passes(s)
+    for s in [
+        "-ee-instrument -simplifycfg -sroa -early-cse -lower-expect "
+        "-forceattrs -inferattrs -mem2reg",
+        "-ipsccp -called-value-propagation -attributor -globalopt",
+        "-deadargelim -instcombine -simplifycfg",
+        "-prune-eh -inline -functionattrs -barrier",
+        "-sroa -early-cse-memssa -speculative-execution -jump-threading "
+        "-correlated-propagation",
+        "-simplifycfg -instcombine -tailcallelim -simplifycfg -reassociate",
+        "-loop-simplify -lcssa -loop-rotate -licm -loop-unswitch "
+        "-simplifycfg -instcombine",
+        "-loop-simplify -lcssa -indvars -loop-idiom -loop-deletion -loop-unroll",
+        "-mldst-motion -gvn -memcpyopt -sccp -bdce -instcombine "
+        "-jump-threading -correlated-propagation -dse",
+        "-loop-simplify -lcssa -licm -adce -simplifycfg -instcombine",
+        "-barrier -elim-avail-extern -rpo-functionattrs -globalopt "
+        "-globaldce -float2int -lower-constant-intrinsics",
+        "-loop-simplify -lcssa -loop-rotate -loop-distribute -loop-vectorize",
+        "-loop-simplify -loop-load-elim -instcombine -simplifycfg -instcombine",
+        "-loop-simplify -lcssa -loop-unroll -instcombine -loop-simplify "
+        "-lcssa -licm -alignment-from-assumptions",
+        "-strip-dead-prototypes -globaldce -constmerge -loop-simplify "
+        "-lcssa -loop-sink -instsimplify -div-rem-pairs -simplifycfg",
+    ]
+]
+
+#: Table III: the authors' 34 ODG sub-sequences (k >= 8 critical nodes:
+#: simplifycfg, instcombine, loop-simplify).
+PAPER_ODG_SUBSEQUENCES: List[List[str]] = [
+    flags_to_passes(s)
+    for s in [
+        # 1-7: walks starting at instcombine
+        "-instcombine -barrier -elim-avail-extern -rpo-functionattrs "
+        "-globalopt -globaldce -constmerge",
+        "-instcombine -barrier -elim-avail-extern -rpo-functionattrs "
+        "-globalopt -globaldce -float2int -lower-constant-intrinsics",
+        "-instcombine -barrier -elim-avail-extern -rpo-functionattrs "
+        "-globalopt -mem2reg -deadargelim",
+        "-instcombine -jump-threading -correlated-propagation -dse",
+        "-instcombine -jump-threading -correlated-propagation",
+        "-instcombine",
+        "-instcombine -tailcallelim",
+        # 8-22: walks starting at loop-simplify
+        "-loop-simplify -lcssa -indvars -loop-idiom -loop-deletion -loop-unroll",
+        "-loop-simplify -lcssa -indvars -loop-idiom -loop-deletion "
+        "-loop-unroll -mldst-motion -gvn -memcpyopt -sccp -bdce",
+        "-loop-simplify -lcssa -licm -adce",
+        "-loop-simplify -lcssa -licm -alignment-from-assumptions "
+        "-strip-dead-prototypes -globaldce -constmerge",
+        "-loop-simplify -lcssa -licm -alignment-from-assumptions "
+        "-strip-dead-prototypes -globaldce -float2int "
+        "-lower-constant-intrinsics",
+        "-loop-simplify -lcssa -licm -loop-unswitch",
+        "-loop-simplify -lcssa -loop-rotate -licm -adce",
+        "-loop-simplify -lcssa -loop-rotate -licm "
+        "-alignment-from-assumptions -strip-dead-prototypes -globaldce "
+        "-constmerge",
+        "-loop-simplify -lcssa -loop-rotate -licm "
+        "-alignment-from-assumptions -strip-dead-prototypes -globaldce "
+        "-float2int -lower-constant-intrinsics",
+        "-loop-simplify -lcssa -loop-rotate -licm -loop-unswitch",
+        "-loop-simplify -lcssa -loop-rotate -loop-distribute -loop-vectorize",
+        "-loop-simplify -lcssa -loop-sink -instsimplify -div-rem-pairs "
+        "-simplifycfg",
+        "-loop-simplify -lcssa -loop-unroll",
+        "-loop-simplify -lcssa -loop-unroll -mldst-motion -gvn -memcpyopt "
+        "-sccp -bdce",
+        "-loop-simplify -loop-load-elim",
+        # 23-34: walks starting at simplifycfg
+        "-simplifycfg",
+        "-simplifycfg -prune-eh -inline -functionattrs -sroa -early-cse "
+        "-lower-expect -forceattrs -inferattrs -ipsccp "
+        "-called-value-propagation -attributor -globalopt -globaldce "
+        "-constmerge -barrier",
+        "-simplifycfg -prune-eh -inline -functionattrs -sroa -early-cse "
+        "-lower-expect -forceattrs -inferattrs -ipsccp "
+        "-called-value-propagation -attributor -globalopt -globaldce "
+        "-float2int -lower-constant-intrinsics -barrier",
+        "-simplifycfg -prune-eh -inline -functionattrs -sroa -early-cse "
+        "-lower-expect -forceattrs -inferattrs -ipsccp "
+        "-called-value-propagation -attributor -globalopt -mem2reg "
+        "-deadargelim -barrier",
+        "-simplifycfg -prune-eh -inline -functionattrs -sroa "
+        "-early-cse-memssa -speculative-execution -jump-threading "
+        "-correlated-propagation -dse -barrier",
+        "-simplifycfg -prune-eh -inline -functionattrs -sroa "
+        "-early-cse-memssa -speculative-execution -jump-threading "
+        "-correlated-propagation -barrier",
+        "-simplifycfg -reassociate",
+        "-simplifycfg -sroa -early-cse -lower-expect -forceattrs "
+        "-inferattrs -ipsccp -called-value-propagation -attributor "
+        "-globalopt -globaldce -constmerge",
+        "-simplifycfg -sroa -early-cse -lower-expect -forceattrs "
+        "-inferattrs -ipsccp -called-value-propagation -attributor "
+        "-globalopt -globaldce -float2int -lower-constant-intrinsics",
+        "-simplifycfg -sroa -early-cse -lower-expect -forceattrs "
+        "-inferattrs -ipsccp -called-value-propagation -attributor "
+        "-globalopt -mem2reg -deadargelim",
+        "-simplifycfg -sroa -early-cse-memssa -speculative-execution "
+        "-jump-threading -correlated-propagation -dse",
+        "-simplifycfg -sroa -early-cse-memssa -speculative-execution "
+        "-jump-threading -correlated-propagation",
+    ]
+]
+
+assert len(MANUAL_SUBSEQUENCES) == 15, "Table II has 15 sub-sequences"
+assert len(PAPER_ODG_SUBSEQUENCES) == 34, "Table III has 34 sub-sequences"

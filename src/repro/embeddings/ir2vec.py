@@ -1,0 +1,158 @@
+"""Flow-aware IR2Vec-style program embeddings.
+
+Follows the IR2Vec construction: an instruction embedding combines its
+opcode, type and operand-kind seed vectors with fixed weights
+(``Wo=1, Wt=0.5, Wa=0.2``, the published IR2Vec values); flow awareness
+mixes in the embeddings of reaching definitions (use-def chains over SSA
+plus store→load reaching information); function embeddings sum their
+instructions weighted by liveness span; the program embedding sums its
+functions (a sum, as in IR2Vec, so magnitude tracks program size — the
+signal the size reward pays for); the DQN consumes these as 300-d states.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..analysis.liveness import Liveness
+from ..analysis.reaching import ReachingStores
+from ..ir.instructions import Instruction, Load
+from ..ir.module import BasicBlock, Function, Module
+from ..ir.types import (
+    ArrayType,
+    FloatType,
+    IntType,
+    LabelType,
+    PointerType,
+    StructType,
+    Type,
+    VectorType,
+)
+from ..ir.values import Argument, Constant, GlobalValue, Value
+from .vocabulary import DIMENSION, Vocabulary, default_vocabulary
+
+#: IR2Vec composition weights.
+W_OPCODE = 1.0
+W_TYPE = 0.5
+W_ARG = 0.2
+#: Weight of flow (reaching-definition) context.
+W_FLOW = 0.2
+#: Extra weight per block a value stays live across (liveness emphasis).
+W_LIVE = 0.1
+
+
+def _type_kind(ty: Type) -> str:
+    if isinstance(ty, IntType):
+        return f"int{ty.bits}"
+    if isinstance(ty, FloatType):
+        return "float" if ty.bits == 32 else "double"
+    if isinstance(ty, PointerType):
+        return "pointer"
+    if isinstance(ty, ArrayType):
+        return "array"
+    if isinstance(ty, VectorType):
+        return "vector"
+    if isinstance(ty, StructType):
+        return "struct"
+    if isinstance(ty, LabelType):
+        return "label"
+    return "void"
+
+
+def _operand_kind(value: Value) -> str:
+    from ..ir.module import BasicBlock as BB, Function as Fn
+
+    if isinstance(value, Fn):
+        return "function"
+    if isinstance(value, BB):
+        return "block"
+    if isinstance(value, GlobalValue):
+        return "global"
+    if isinstance(value, Constant):
+        return "constant"
+    if isinstance(value, Argument):
+        return "argument"
+    return "instruction"
+
+
+class IR2VecEncoder:
+    """Produces instruction / function / program embeddings."""
+
+    def __init__(self, vocabulary: Optional[Vocabulary] = None):
+        self.vocab = vocabulary or default_vocabulary()
+        self.dimension = self.vocab.dimension
+
+    # -- level 0: seed (syntactic) embeddings ------------------------------
+    def seed_instruction(self, inst: Instruction) -> np.ndarray:
+        vec = W_OPCODE * self.vocab.opcode(inst.opcode)
+        vec = vec + W_TYPE * self.vocab.type_kind(_type_kind(inst.type))
+        for op in inst.operands:
+            vec = vec + W_ARG * self.vocab.operand_kind(_operand_kind(op))
+        return vec
+
+    # -- level 1: flow-aware instruction embeddings --------------------------
+    def function_instruction_embeddings(
+        self, fn: Function
+    ) -> Dict[int, np.ndarray]:
+        seeds: Dict[int, np.ndarray] = {}
+        for inst in fn.instructions():
+            seeds[id(inst)] = self.seed_instruction(inst)
+
+        reaching = ReachingStores(fn)
+        flowed: Dict[int, np.ndarray] = {}
+        for inst in fn.instructions():
+            vec = seeds[id(inst)].copy()
+            # Use-def flow: embeddings of SSA defs this instruction reads.
+            for op in inst.operands:
+                if isinstance(op, Instruction) and id(op) in seeds:
+                    vec += W_FLOW * seeds[id(op)]
+            # Memory flow: stores that may reach a load.
+            if isinstance(inst, Load):
+                for store in reaching.stores_for(inst):
+                    if id(store) in seeds:
+                        vec += W_FLOW * seeds[id(store)]
+            flowed[id(inst)] = vec
+        return flowed
+
+    # -- level 2: function and program embeddings -----------------------------
+    def function_embedding(self, fn: Function) -> np.ndarray:
+        if fn.is_declaration:
+            return np.zeros(self.dimension)
+        flowed = self.function_instruction_embeddings(fn)
+        liveness = Liveness(fn)
+        total = np.zeros(self.dimension)
+        for inst in fn.instructions():
+            weight = 1.0
+            if not inst.type.is_void:
+                weight += W_LIVE * liveness.live_across_blocks(inst)
+            total += weight * flowed[id(inst)]
+        return total
+
+    def program_embedding(self, module: Module) -> np.ndarray:
+        """The RL state vector: 300-d, float32.
+
+        As in IR2Vec, the program embedding is the *sum* of function
+        embeddings — magnitude therefore scales with program size, which
+        is a first-class feature for the size-oriented agent (a mean would
+        erase exactly the signal the reward pays for). A constant scale
+        keeps values in a comfortable range for the Q-network.
+        """
+        total = np.zeros(self.dimension)
+        for fn in module.functions:
+            if not fn.is_declaration:
+                total += self.function_embedding(fn)
+        return (total / 100.0).astype(np.float32)
+
+
+_DEFAULT_ENCODER = IR2VecEncoder()
+
+
+def program_embedding(module: Module) -> np.ndarray:
+    """Encode a module with the default vocabulary."""
+    return _DEFAULT_ENCODER.program_embedding(module)
+
+
+def function_embedding(fn: Function) -> np.ndarray:
+    return _DEFAULT_ENCODER.function_embedding(fn)

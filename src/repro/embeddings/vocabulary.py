@@ -1,0 +1,85 @@
+"""Seed vocabulary for the IR2Vec-style encoder.
+
+IR2Vec learns a seed embedding per IR *entity* (opcode, type, operand
+kind) with a knowledge-graph method (TransE). Offline we substitute
+deterministic pseudo-random unit vectors: what the downstream RL model
+needs from the vocabulary is that distinct entities get stable,
+well-separated directions — which high-dimensional random vectors provide
+(near-orthogonality), and determinism makes runs reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict
+
+import numpy as np
+
+#: Embedding dimensionality — the paper uses 300-d program vectors.
+DIMENSION = 300
+
+OPCODES = [
+    "add", "sub", "mul", "sdiv", "udiv", "srem", "urem",
+    "and", "or", "xor", "shl", "lshr", "ashr",
+    "fadd", "fsub", "fmul", "fdiv", "frem",
+    "icmp", "fcmp", "alloca", "load", "store", "gep", "phi",
+    "select", "call", "br", "switch", "ret", "unreachable",
+    "trunc", "zext", "sext", "fptrunc", "fpext",
+    "fptosi", "sitofp", "uitofp", "bitcast", "ptrtoint", "inttoptr",
+    "extractelement", "insertelement",
+]
+
+TYPE_KINDS = [
+    "void", "int1", "int8", "int16", "int32", "int64",
+    "float", "double", "pointer", "array", "vector", "struct", "label",
+]
+
+OPERAND_KINDS = ["constant", "argument", "instruction", "global", "block", "function"]
+
+
+def _seed_vector(entity: str, dimension: int = DIMENSION) -> np.ndarray:
+    """Deterministic unit vector for an entity name."""
+    digest = hashlib.sha256(entity.encode("utf-8")).digest()
+    seed = int.from_bytes(digest[:8], "little") % (2**32)
+    rng = np.random.RandomState(seed)
+    vec = rng.standard_normal(dimension).astype(np.float64)
+    return vec / np.linalg.norm(vec)
+
+
+class Vocabulary:
+    """Entity -> seed-vector lookup with an explicit out-of-vocabulary
+    fallback (IR2Vec's OOV story is one of its selling points; ours simply
+    derives a vector for any unseen entity deterministically)."""
+
+    def __init__(self, dimension: int = DIMENSION):
+        self.dimension = dimension
+        self._cache: Dict[str, np.ndarray] = {}
+        for name in OPCODES:
+            self._cache[f"op:{name}"] = _seed_vector(f"op:{name}", dimension)
+        for name in TYPE_KINDS:
+            self._cache[f"ty:{name}"] = _seed_vector(f"ty:{name}", dimension)
+        for name in OPERAND_KINDS:
+            self._cache[f"arg:{name}"] = _seed_vector(f"arg:{name}", dimension)
+
+    def _get(self, key: str) -> np.ndarray:
+        vec = self._cache.get(key)
+        if vec is None:
+            vec = _seed_vector(key, self.dimension)
+            self._cache[key] = vec
+        return vec
+
+    def opcode(self, name: str) -> np.ndarray:
+        return self._get(f"op:{name}")
+
+    def type_kind(self, name: str) -> np.ndarray:
+        return self._get(f"ty:{name}")
+
+    def operand_kind(self, name: str) -> np.ndarray:
+        return self._get(f"arg:{name}")
+
+
+_DEFAULT: Vocabulary = Vocabulary()
+
+
+def default_vocabulary() -> Vocabulary:
+    return _DEFAULT

@@ -1,0 +1,89 @@
+"""Miniature SSA IR: the LLVM-substitute substrate.
+
+Public surface:
+
+* types: :mod:`repro.ir.types` (``I32``, ``F64``, ``ptr`` …)
+* values/constants: :mod:`repro.ir.values`
+* instructions: :mod:`repro.ir.instructions`
+* containers: :class:`Module`, :class:`Function`, :class:`BasicBlock`
+* :class:`IRBuilder` for construction, :func:`parse_module` /
+  :func:`print_module` for text, :func:`verify_module` for invariants,
+  :func:`run_module` for reference execution.
+"""
+
+from .builder import IRBuilder
+from .clone import clone_blocks_into, clone_function_body, clone_module
+from .instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    ExtractElement,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    InsertElement,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Switch,
+    Unreachable,
+    BINARY_OPS,
+    CAST_OPS,
+    COMMUTATIVE_OPS,
+    ICMP_PREDICATES,
+    FCMP_PREDICATES,
+    INVERTED_PREDICATE,
+    SWAPPED_PREDICATE,
+)
+from .interp import Interpreter, InterpError, OutOfFuel, run_module
+from .module import BasicBlock, Function, Module
+from .parser import ParseError, parse_module
+from .printer import print_function, print_module
+from .types import (
+    ArrayType,
+    FloatType,
+    FunctionType,
+    IntType,
+    LabelType,
+    PointerType,
+    StructType,
+    Type,
+    VectorType,
+    VoidType,
+    F32,
+    F64,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    LABEL,
+    VOID,
+    ptr,
+)
+from .values import (
+    Argument,
+    Constant,
+    ConstantArray,
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    ConstantString,
+    ConstantVector,
+    GlobalValue,
+    GlobalVariable,
+    UndefValue,
+    Use,
+    User,
+    Value,
+    make_constant,
+    zero,
+)
+from .verifier import VerificationError, verify_function, verify_module
+
+__all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,208 @@
+"""IRBuilder: convenience layer for constructing IR.
+
+The builder tracks an insertion point (a block, appending at its end) and
+auto-names produced values so the verifier and printer stay happy. It does
+*no* folding — simplification is the optimizer's job, which keeps generated
+programs rich in optimization opportunities.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+from .instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    ExtractElement,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    InsertElement,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Switch,
+    Unreachable,
+)
+from .module import BasicBlock, Function
+from .types import FloatType, IntType, Type, VectorType
+from .values import Constant, ConstantFloat, ConstantInt, Value
+
+
+class IRBuilder:
+    """Appends instructions to a basic block."""
+
+    def __init__(self, block: Optional[BasicBlock] = None):
+        self.block = block
+
+    def set_insert_point(self, block: BasicBlock) -> None:
+        self.block = block
+
+    @property
+    def function(self) -> Function:
+        assert self.block is not None and self.block.parent is not None
+        return self.block.parent
+
+    def _emit(self, inst: Instruction, name: str = "") -> Instruction:
+        assert self.block is not None, "no insertion point"
+        if not inst.type.is_void:
+            inst.name = name or inst.name or self.function.next_name()
+        self.block.append(inst)
+        return inst
+
+    # -- constants -----------------------------------------------------------
+    @staticmethod
+    def const_int(ty: IntType, value: int) -> ConstantInt:
+        return ConstantInt(ty, value)
+
+    @staticmethod
+    def const_float(ty: FloatType, value: float) -> ConstantFloat:
+        return ConstantFloat(ty, value)
+
+    # -- arithmetic ------------------------------------------------------------
+    def binary(self, opcode: str, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self._emit(BinaryOp(opcode, lhs, rhs), name)
+
+    def add(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binary("add", lhs, rhs, name)
+
+    def sub(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binary("sub", lhs, rhs, name)
+
+    def mul(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binary("mul", lhs, rhs, name)
+
+    def sdiv(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binary("sdiv", lhs, rhs, name)
+
+    def udiv(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binary("udiv", lhs, rhs, name)
+
+    def srem(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binary("srem", lhs, rhs, name)
+
+    def and_(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binary("and", lhs, rhs, name)
+
+    def or_(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binary("or", lhs, rhs, name)
+
+    def xor(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binary("xor", lhs, rhs, name)
+
+    def shl(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binary("shl", lhs, rhs, name)
+
+    def lshr(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binary("lshr", lhs, rhs, name)
+
+    def ashr(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binary("ashr", lhs, rhs, name)
+
+    def fadd(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binary("fadd", lhs, rhs, name)
+
+    def fsub(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binary("fsub", lhs, rhs, name)
+
+    def fmul(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binary("fmul", lhs, rhs, name)
+
+    def fdiv(self, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self.binary("fdiv", lhs, rhs, name)
+
+    # -- comparisons ------------------------------------------------------------
+    def icmp(self, predicate: str, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self._emit(ICmp(predicate, lhs, rhs), name)
+
+    def fcmp(self, predicate: str, lhs: Value, rhs: Value, name: str = "") -> Value:
+        return self._emit(FCmp(predicate, lhs, rhs), name)
+
+    # -- memory -------------------------------------------------------------------
+    def alloca(self, ty: Type, name: str = "") -> Value:
+        return self._emit(Alloca(ty), name)
+
+    def load(self, pointer: Value, name: str = "") -> Value:
+        return self._emit(Load(pointer), name)
+
+    def store(self, value: Value, pointer: Value) -> Instruction:
+        return self._emit(Store(value, pointer))
+
+    def gep(self, pointer: Value, indices: Sequence[Value], name: str = "") -> Value:
+        return self._emit(GetElementPtr(pointer, indices), name)
+
+    # -- misc values --------------------------------------------------------------
+    def select(self, cond: Value, tval: Value, fval: Value, name: str = "") -> Value:
+        return self._emit(Select(cond, tval, fval), name)
+
+    def cast(self, opcode: str, value: Value, to_type: Type, name: str = "") -> Value:
+        return self._emit(Cast(opcode, value, to_type), name)
+
+    def trunc(self, value: Value, to_type: Type, name: str = "") -> Value:
+        return self.cast("trunc", value, to_type, name)
+
+    def zext(self, value: Value, to_type: Type, name: str = "") -> Value:
+        return self.cast("zext", value, to_type, name)
+
+    def sext(self, value: Value, to_type: Type, name: str = "") -> Value:
+        return self.cast("sext", value, to_type, name)
+
+    def sitofp(self, value: Value, to_type: Type, name: str = "") -> Value:
+        return self.cast("sitofp", value, to_type, name)
+
+    def fptosi(self, value: Value, to_type: Type, name: str = "") -> Value:
+        return self.cast("fptosi", value, to_type, name)
+
+    def bitcast(self, value: Value, to_type: Type, name: str = "") -> Value:
+        return self.cast("bitcast", value, to_type, name)
+
+    def phi(self, ty: Type, name: str = "") -> Phi:
+        """Phis are inserted before the first non-phi of the block."""
+        assert self.block is not None
+        phi = Phi(ty, name or self.function.next_name())
+        first = self.block.first_non_phi
+        if first is None:
+            self.block.append(phi)
+        else:
+            self.block.insert(self.block.instructions.index(first), phi)
+            phi.parent = self.block
+        return phi
+
+    def extractelement(self, vector: Value, index: Value, name: str = "") -> Value:
+        return self._emit(ExtractElement(vector, index), name)
+
+    def insertelement(
+        self, vector: Value, element: Value, index: Value, name: str = ""
+    ) -> Value:
+        return self._emit(InsertElement(vector, element, index), name)
+
+    # -- calls and control flow ------------------------------------------------
+    def call(self, callee: Value, args: Sequence[Value] = (), name: str = "",
+             tail: bool = False) -> Value:
+        return self._emit(Call(callee, args, tail=tail), name)
+
+    def br(self, target: BasicBlock) -> Instruction:
+        return self._emit(Branch(target))
+
+    def cond_br(self, cond: Value, then: BasicBlock, els: BasicBlock) -> Instruction:
+        return self._emit(Branch(cond, then, els))
+
+    def switch(
+        self,
+        value: Value,
+        default: BasicBlock,
+        cases: Sequence[Tuple[ConstantInt, BasicBlock]] = (),
+    ) -> Instruction:
+        return self._emit(Switch(value, default, cases))
+
+    def ret(self, value: Optional[Value] = None) -> Instruction:
+        return self._emit(Ret(value))
+
+    def unreachable(self) -> Instruction:
+        return self._emit(Unreachable())

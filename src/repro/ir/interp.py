@@ -1,0 +1,540 @@
+"""Reference interpreter for the IR.
+
+Executes a module's functions over a flat byte-addressed memory. Used by
+the test-suite to prove that optimization passes preserve semantics: run a
+program before and after a pipeline and compare return values and the
+observable side-effect trace (external calls, in order, with arguments).
+"""
+
+from __future__ import annotations
+
+import struct as _struct
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    ExtractElement,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    InsertElement,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Switch,
+    Unreachable,
+)
+from .module import BasicBlock, Function, Module
+from .types import (
+    ArrayType,
+    FloatType,
+    IntType,
+    PointerType,
+    StructType,
+    Type,
+    VectorType,
+)
+from .values import (
+    Argument,
+    Constant,
+    ConstantArray,
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    ConstantString,
+    ConstantVector,
+    GlobalVariable,
+    UndefValue,
+    Value,
+)
+
+
+class InterpError(Exception):
+    """Raised on runtime faults (traps, fuel exhaustion, bad memory)."""
+
+
+class OutOfFuel(InterpError):
+    """The step budget was exhausted (probably an infinite loop)."""
+
+
+class Memory:
+    """Flat little-endian byte memory with a bump allocator."""
+
+    def __init__(self, size: int = 1 << 22):
+        self.data = bytearray(size)
+        self.brk = 16  # keep 0 as the null page
+
+    def allocate(self, size: int, alignment: int = 8) -> int:
+        addr = (self.brk + alignment - 1) // alignment * alignment
+        self.brk = addr + max(size, 1)
+        if self.brk > len(self.data):
+            self.data.extend(bytearray(self.brk - len(self.data) + 4096))
+        return addr
+
+    def _check(self, addr: int, size: int) -> None:
+        if addr <= 0 or addr + size > len(self.data):
+            raise InterpError(f"memory access out of range: {addr}+{size}")
+
+    def read(self, addr: int, size: int) -> bytes:
+        self._check(addr, size)
+        return bytes(self.data[addr : addr + size])
+
+    def write(self, addr: int, payload: bytes) -> None:
+        self._check(addr, len(payload))
+        self.data[addr : addr + len(payload)] = payload
+
+
+def _encode(ty: Type, value) -> bytes:
+    if isinstance(ty, IntType):
+        size = ty.size
+        return (value & ((1 << (8 * size)) - 1)).to_bytes(size, "little")
+    if isinstance(ty, FloatType):
+        return _struct.pack("<f" if ty.bits == 32 else "<d", value)
+    if isinstance(ty, PointerType):
+        return int(value).to_bytes(8, "little")
+    if isinstance(ty, VectorType):
+        return b"".join(_encode(ty.element, lane) for lane in value)
+    if isinstance(ty, ArrayType):
+        return b"".join(_encode(ty.element, elem) for elem in value)
+    raise InterpError(f"cannot encode {ty}")
+
+
+def _decode(ty: Type, payload: bytes):
+    if isinstance(ty, IntType):
+        raw = int.from_bytes(payload[: ty.size], "little")
+        return ty.wrap(raw)
+    if isinstance(ty, FloatType):
+        fmt = "<f" if ty.bits == 32 else "<d"
+        return _struct.unpack(fmt, payload[: ty.size])[0]
+    if isinstance(ty, PointerType):
+        return int.from_bytes(payload[:8], "little")
+    if isinstance(ty, VectorType):
+        step = ty.element.size
+        return [
+            _decode(ty.element, payload[i * step : (i + 1) * step])
+            for i in range(ty.count)
+        ]
+    raise InterpError(f"cannot decode {ty}")
+
+
+def _const_value(const: Constant, interp: "Interpreter"):
+    if isinstance(const, ConstantInt):
+        return const.value
+    if isinstance(const, ConstantFloat):
+        return const.value
+    if isinstance(const, ConstantNull):
+        return 0
+    if isinstance(const, UndefValue):
+        ty = const.type
+        if isinstance(ty, VectorType):
+            return [0] * ty.count
+        return 0 if not isinstance(ty, FloatType) else 0.0
+    if isinstance(const, ConstantVector):
+        return [_const_value(e, interp) for e in const.elements]
+    if isinstance(const, GlobalVariable):
+        return interp.global_address(const)
+    from .module import Function
+
+    if isinstance(const, Function):
+        return interp.function_address(const)
+    raise InterpError(f"cannot evaluate constant {const!r}")
+
+
+def _int_binop(op: str, ty: IntType, a: int, b: int) -> int:
+    ua = a & ty.max_unsigned
+    ub = b & ty.max_unsigned
+    if op == "add":
+        return ty.wrap(a + b)
+    if op == "sub":
+        return ty.wrap(a - b)
+    if op == "mul":
+        return ty.wrap(a * b)
+    if op == "sdiv":
+        if b == 0:
+            raise InterpError("sdiv by zero")
+        return ty.wrap(int(a / b))
+    if op == "udiv":
+        if ub == 0:
+            raise InterpError("udiv by zero")
+        return ty.wrap(ua // ub)
+    if op == "srem":
+        if b == 0:
+            raise InterpError("srem by zero")
+        return ty.wrap(a - int(a / b) * b)
+    if op == "urem":
+        if ub == 0:
+            raise InterpError("urem by zero")
+        return ty.wrap(ua % ub)
+    if op == "and":
+        return ty.wrap(ua & ub)
+    if op == "or":
+        return ty.wrap(ua | ub)
+    if op == "xor":
+        return ty.wrap(ua ^ ub)
+    if op == "shl":
+        return ty.wrap(ua << (ub % ty.bits))
+    if op == "lshr":
+        return ty.wrap(ua >> (ub % ty.bits))
+    if op == "ashr":
+        return ty.wrap(a >> (ub % ty.bits))
+    raise InterpError(f"bad int op {op}")
+
+
+def _float_binop(op: str, a: float, b: float) -> float:
+    if op == "fadd":
+        return a + b
+    if op == "fsub":
+        return a - b
+    if op == "fmul":
+        return a * b
+    if op == "fdiv":
+        if b == 0.0:
+            return float("inf") if a > 0 else float("-inf") if a < 0 else float("nan")
+        return a / b
+    if op == "frem":
+        import math
+
+        return math.fmod(a, b) if b != 0.0 else float("nan")
+    raise InterpError(f"bad float op {op}")
+
+
+def _icmp(pred: str, ty: IntType, a: int, b: int) -> int:
+    ua = a & ty.max_unsigned
+    ub = b & ty.max_unsigned
+    table = {
+        "eq": a == b, "ne": a != b,
+        "slt": a < b, "sle": a <= b, "sgt": a > b, "sge": a >= b,
+        "ult": ua < ub, "ule": ua <= ub, "ugt": ua > ub, "uge": ua >= ub,
+    }
+    return 1 if table[pred] else 0
+
+
+def _fcmp(pred: str, a: float, b: float) -> int:
+    table = {
+        "oeq": a == b, "one": a != b,
+        "olt": a < b, "ole": a <= b, "ogt": a > b, "oge": a >= b,
+    }
+    return 1 if table[pred] else 0
+
+
+class Interpreter:
+    """Executes IR functions; records externally visible effects."""
+
+    def __init__(
+        self,
+        module: Module,
+        fuel: int = 2_000_000,
+        externals: Optional[Dict[str, Callable]] = None,
+    ):
+        self.module = module
+        self.fuel = fuel
+        self.memory = Memory()
+        self.trace: List[Tuple[str, Tuple]] = []
+        self.externals = dict(externals or {})
+        self._globals: Dict[int, int] = {}
+        self._fn_addrs: Dict[int, int] = {}
+        self._addr_to_fn: Dict[int, Function] = {}
+        for gv in module.globals:
+            self.global_address(gv)
+
+    # -- addresses ------------------------------------------------------------
+    def global_address(self, gv: GlobalVariable) -> int:
+        addr = self._globals.get(id(gv))
+        if addr is None:
+            size = max(gv.value_type.size, 1)
+            addr = self.memory.allocate(size, gv.alignment)
+            self._globals[id(gv)] = addr
+            init = gv.initializer
+            if init is not None and not isinstance(init, UndefValue):
+                self.memory.write(addr, self._encode_initializer(init))
+        return addr
+
+    def function_address(self, fn: Function) -> int:
+        addr = self._fn_addrs.get(id(fn))
+        if addr is None:
+            addr = self.memory.allocate(8, 8)
+            self._fn_addrs[id(fn)] = addr
+            self._addr_to_fn[addr] = fn
+        return addr
+
+    def _encode_initializer(self, const: Constant) -> bytes:
+        if isinstance(const, ConstantString):
+            return const.data
+        if isinstance(const, ConstantArray):
+            return b"".join(self._encode_initializer(e) for e in const.elements)
+        return _encode(const.type, _const_value(const, self))
+
+    # -- execution --------------------------------------------------------------
+    def run(self, fn_name: str, args: Sequence = ()) :
+        fn = self.module.get_function(fn_name)
+        if fn is None:
+            raise InterpError(f"no such function @{fn_name}")
+        return self.call_function(fn, list(args))
+
+    def call_function(self, fn: Function, args: List):
+        if fn.is_declaration:
+            return self._call_external(fn, args)
+        env: Dict[int, object] = {}
+        for arg, value in zip(fn.args, args):
+            env[id(arg)] = value
+        block = fn.entry
+        prev: Optional[BasicBlock] = None
+        while True:
+            next_block, result, finished = self._run_block(fn, block, prev, env)
+            if finished:
+                return result
+            prev, block = block, next_block  # type: ignore[assignment]
+
+    def _call_external(self, fn: Function, args: List):
+        self.trace.append((fn.name, tuple(args)))
+        handler = self.externals.get(fn.name)
+        if handler is not None:
+            result = handler(*args)
+        else:
+            result = 0
+        ret = fn.return_type
+        if ret.is_void:
+            return None
+        if isinstance(ret, IntType):
+            return ret.wrap(int(result))
+        if isinstance(ret, FloatType):
+            return float(result)
+        return result
+
+    def _value(self, env: Dict[int, object], value: Value):
+        if isinstance(value, Constant):
+            return _const_value(value, self)
+        try:
+            return env[id(value)]
+        except KeyError:
+            raise InterpError(f"undefined value at runtime: {value!r}")
+
+    def _run_block(
+        self,
+        fn: Function,
+        block: BasicBlock,
+        prev: Optional[BasicBlock],
+        env: Dict[int, object],
+    ):
+        # Phis are evaluated in parallel against the incoming edge.
+        phi_values = []
+        for phi in block.phis():
+            incoming = phi.incoming_for_block(prev) if prev is not None else None
+            if incoming is None:
+                raise InterpError(
+                    f"phi %{phi.name} has no incoming for %{prev.name if prev else '?'}"
+                )
+            phi_values.append((phi, self._value(env, incoming)))
+        for phi, value in phi_values:
+            env[id(phi)] = value
+
+        for inst in block.non_phi_instructions():
+            self.fuel -= 1
+            if self.fuel <= 0:
+                raise OutOfFuel("interpreter fuel exhausted")
+            outcome = self._execute(fn, inst, env)
+            if outcome is not None:
+                return outcome
+        raise InterpError(f"fell off the end of %{block.name}")
+
+    def _execute(self, fn: Function, inst: Instruction, env: Dict[int, object]):
+        v = lambda x: self._value(env, x)
+
+        if isinstance(inst, BinaryOp):
+            lhs, rhs = v(inst.lhs), v(inst.rhs)
+            ty = inst.type
+            if isinstance(ty, VectorType):
+                elem = ty.element
+                if isinstance(elem, IntType):
+                    env[id(inst)] = [
+                        _int_binop(inst.opcode, elem, a, b) for a, b in zip(lhs, rhs)
+                    ]
+                else:
+                    env[id(inst)] = [
+                        _float_binop(inst.opcode, a, b) for a, b in zip(lhs, rhs)
+                    ]
+            elif isinstance(ty, IntType):
+                env[id(inst)] = _int_binop(inst.opcode, ty, lhs, rhs)
+            else:
+                env[id(inst)] = _float_binop(inst.opcode, lhs, rhs)
+            return None
+
+        if isinstance(inst, ICmp):
+            ty = inst.lhs.type
+            if isinstance(ty, VectorType):
+                env[id(inst)] = [
+                    _icmp(inst.predicate, ty.element, a, b)  # type: ignore[arg-type]
+                    for a, b in zip(v(inst.lhs), v(inst.rhs))
+                ]
+            else:
+                cmp_ty = ty if isinstance(ty, IntType) else IntType(64)
+                env[id(inst)] = _icmp(inst.predicate, cmp_ty, v(inst.lhs), v(inst.rhs))
+            return None
+
+        if isinstance(inst, FCmp):
+            env[id(inst)] = _fcmp(inst.predicate, v(inst.lhs), v(inst.rhs))
+            return None
+
+        if isinstance(inst, Alloca):
+            env[id(inst)] = self.memory.allocate(
+                inst.allocated_type.size, inst.alignment
+            )
+            return None
+
+        if isinstance(inst, Load):
+            addr = v(inst.pointer)
+            env[id(inst)] = _decode(inst.type, self.memory.read(addr, inst.type.size))
+            return None
+
+        if isinstance(inst, Store):
+            addr = v(inst.pointer)
+            self.memory.write(addr, _encode(inst.value.type, v(inst.value)))
+            return None
+
+        if isinstance(inst, GetElementPtr):
+            addr = v(inst.pointer)
+            ty: Type = inst.pointer.type.pointee  # type: ignore[union-attr]
+            indices = inst.indices
+            addr += v(indices[0]) * ty.size
+            for idx in indices[1:]:
+                if isinstance(ty, (ArrayType, VectorType)):
+                    ty = ty.element
+                    addr += v(idx) * ty.size
+                elif isinstance(ty, StructType):
+                    field = v(idx)
+                    addr += ty.field_offset(field)
+                    ty = ty.fields[field]
+            env[id(inst)] = addr
+            return None
+
+        if isinstance(inst, Select):
+            env[id(inst)] = v(inst.true_value) if v(inst.condition) else v(inst.false_value)
+            return None
+
+        if isinstance(inst, Cast):
+            env[id(inst)] = self._cast(inst, v(inst.value))
+            return None
+
+        if isinstance(inst, ExtractElement):
+            env[id(inst)] = v(inst.vector)[v(inst.index)]
+            return None
+
+        if isinstance(inst, InsertElement):
+            vec = list(v(inst.vector))
+            vec[v(inst.operand(2))] = v(inst.operand(1))
+            env[id(inst)] = vec
+            return None
+
+        if isinstance(inst, Call):
+            return self._execute_call(inst, env)
+
+        if isinstance(inst, Branch):
+            if inst.is_conditional:
+                target = inst.true_target if v(inst.condition) else inst.false_target
+            else:
+                target = inst.targets[0]
+            return (target, None, False)
+
+        if isinstance(inst, Switch):
+            value = v(inst.value)
+            for cv, target in inst.cases():
+                if cv.value == value:
+                    return (target, None, False)
+            return (inst.default, None, False)
+
+        if isinstance(inst, Ret):
+            return (None, v(inst.value) if inst.value is not None else None, True)
+
+        if isinstance(inst, Unreachable):
+            raise InterpError("executed unreachable")
+
+        raise InterpError(f"cannot execute {inst!r}")
+
+    def _execute_call(self, inst: Call, env: Dict[int, object]):
+        v = lambda x: self._value(env, x)
+        callee = inst.called_function
+        if callee is None:
+            addr = v(inst.callee)
+            callee = self._addr_to_fn.get(addr)
+            if callee is None:
+                raise InterpError(f"indirect call to non-function address {addr}")
+
+        if callee.name.startswith("llvm."):
+            result = self._execute_intrinsic(callee.name, [v(a) for a in inst.args])
+        else:
+            result = self.call_function(callee, [v(a) for a in inst.args])
+        if not inst.type.is_void:
+            env[id(inst)] = result
+        return None
+
+    def _execute_intrinsic(self, name: str, args: List):
+        if name.startswith("llvm.memcpy") or name.startswith("llvm.memmove"):
+            dst, src, length = args[0], args[1], args[2]
+            self.memory.write(dst, self.memory.read(src, length))
+            return None
+        if name.startswith("llvm.memset"):
+            dst, value, length = args[0], args[1], args[2]
+            self.memory.write(dst, bytes([value & 0xFF]) * length)
+            return None
+        if name.startswith("llvm.expect"):
+            return args[0]
+        if name.startswith("llvm.assume"):
+            return None
+        if name.startswith("llvm.is.constant"):
+            return 0
+        if name.startswith("llvm.objectsize"):
+            return -1
+        if name.startswith("llvm.abs"):
+            return abs(args[0])
+        raise InterpError(f"unknown intrinsic {name}")
+
+    def _cast(self, inst: Cast, value):
+        op = inst.opcode
+        to = inst.type
+        if op == "trunc":
+            return to.wrap(value)  # type: ignore[union-attr]
+        if op == "zext":
+            src = inst.value.type
+            return to.wrap(value & src.max_unsigned)  # type: ignore[union-attr]
+        if op == "sext":
+            return to.wrap(value)  # type: ignore[union-attr]
+        if op in ("fptrunc", "fpext"):
+            if to.size == 4:
+                return _struct.unpack("<f", _struct.pack("<f", value))[0]
+            return float(value)
+        if op == "fptosi":
+            if value != value or abs(value) > 2**62:  # NaN / overflow
+                return 0
+            return to.wrap(int(value))  # type: ignore[union-attr]
+        if op in ("sitofp", "uitofp"):
+            if op == "uitofp":
+                value = value & inst.value.type.max_unsigned  # type: ignore[union-attr]
+            result = float(value)
+            if to.size == 4:
+                return _struct.unpack("<f", _struct.pack("<f", result))[0]
+            return result
+        if op in ("bitcast", "ptrtoint", "inttoptr"):
+            if isinstance(to, IntType):
+                return to.wrap(int(value))
+            return value
+        raise InterpError(f"bad cast {op}")
+
+
+def run_module(
+    module: Module,
+    fn_name: str = "main",
+    args: Sequence = (),
+    fuel: int = 2_000_000,
+    externals: Optional[Dict[str, Callable]] = None,
+) -> Tuple[object, List[Tuple[str, Tuple]]]:
+    """Run ``fn_name`` and return ``(return_value, external_call_trace)``."""
+    interp = Interpreter(module, fuel=fuel, externals=externals)
+    result = interp.run(fn_name, args)
+    return result, interp.trace

@@ -1,0 +1,193 @@
+"""Textual form of the IR (LLVM-flavoured).
+
+:func:`print_module` renders a module to text; :mod:`repro.ir.parser` reads
+the same format back. The round-trip is exercised heavily in tests and used
+by the RL environment for debugging dumps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    ExtractElement,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    InsertElement,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Switch,
+    Unreachable,
+)
+from .module import BasicBlock, Function, Module
+from .values import (
+    Argument,
+    Constant,
+    GlobalValue,
+    GlobalVariable,
+    Value,
+)
+
+
+class _Namer:
+    """Assigns unique printed names to local values within a function."""
+
+    def __init__(self) -> None:
+        self.names: Dict[int, str] = {}
+        self.used: set = set()
+
+    def name_of(self, value: Value) -> str:
+        existing = self.names.get(id(value))
+        if existing is not None:
+            return existing
+        base = value.name or "v"
+        candidate = base
+        i = 0
+        while candidate in self.used:
+            i += 1
+            candidate = f"{base}.{i}"
+        self.used.add(candidate)
+        self.names[id(value)] = candidate
+        return candidate
+
+
+def _ref(value: Value, namer: _Namer) -> str:
+    if isinstance(value, GlobalValue):
+        return f"@{value.name}"
+    if isinstance(value, Constant):
+        return value.ref()
+    if isinstance(value, (BasicBlock, Argument, Instruction)):
+        return f"%{namer.name_of(value)}"
+    return value.ref()
+
+
+def _typed(value: Value, namer: _Namer) -> str:
+    return f"{value.type} {_ref(value, namer)}"
+
+
+def format_instruction(inst: Instruction, namer: _Namer) -> str:
+    """Render one instruction (without indentation)."""
+    r = lambda v: _ref(v, namer)
+    tr = lambda v: _typed(v, namer)
+
+    if isinstance(inst, BinaryOp):
+        body = f"{inst.opcode} {inst.type} {r(inst.lhs)}, {r(inst.rhs)}"
+    elif isinstance(inst, ICmp):
+        body = f"icmp {inst.predicate} {inst.lhs.type} {r(inst.lhs)}, {r(inst.rhs)}"
+    elif isinstance(inst, FCmp):
+        body = f"fcmp {inst.predicate} {inst.lhs.type} {r(inst.lhs)}, {r(inst.rhs)}"
+    elif isinstance(inst, Alloca):
+        body = f"alloca {inst.allocated_type}, align {inst.alignment}"
+    elif isinstance(inst, Load):
+        body = (
+            f"load {inst.type}, {inst.pointer.type} {r(inst.pointer)}, "
+            f"align {inst.alignment}"
+        )
+    elif isinstance(inst, Store):
+        body = (
+            f"store {tr(inst.value)}, {inst.pointer.type} {r(inst.pointer)}, "
+            f"align {inst.alignment}"
+        )
+    elif isinstance(inst, GetElementPtr):
+        idx = ", ".join(tr(i) for i in inst.indices)
+        body = f"gep {inst.pointer.type} {r(inst.pointer)}, {idx}"
+    elif isinstance(inst, Phi):
+        arms = ", ".join(
+            f"[ {r(v)}, %{namer.name_of(b)} ]" for v, b in inst.incoming()
+        )
+        body = f"phi {inst.type} {arms}"
+    elif isinstance(inst, Select):
+        body = (
+            f"select {tr(inst.condition)}, {tr(inst.true_value)}, "
+            f"{tr(inst.false_value)}"
+        )
+    elif isinstance(inst, Cast):
+        body = f"{inst.opcode} {tr(inst.value)} to {inst.type}"
+    elif isinstance(inst, ExtractElement):
+        body = f"extractelement {tr(inst.vector)}, {tr(inst.index)}"
+    elif isinstance(inst, InsertElement):
+        body = (
+            f"insertelement {tr(inst.vector)}, {tr(inst.operand(1))}, "
+            f"{tr(inst.operand(2))}"
+        )
+    elif isinstance(inst, Call):
+        args = ", ".join(tr(a) for a in inst.args)
+        tail = "tail " if inst.tail else ""
+        body = f"{tail}call {inst.type} {r(inst.callee)}({args})"
+    elif isinstance(inst, Branch):
+        if inst.is_conditional:
+            body = (
+                f"br i1 {r(inst.condition)}, label %{namer.name_of(inst.true_target)}, "
+                f"label %{namer.name_of(inst.false_target)}"
+            )
+        else:
+            body = f"br label %{namer.name_of(inst.targets[0])}"
+    elif isinstance(inst, Switch):
+        cases = "  ".join(
+            f"{cv.type} {cv.ref()}, label %{namer.name_of(b)}"
+            for cv, b in inst.cases()
+        )
+        body = (
+            f"switch {tr(inst.value)}, label %{namer.name_of(inst.default)} "
+            f"[ {cases} ]"
+        )
+    elif isinstance(inst, Ret):
+        body = f"ret {tr(inst.value)}" if inst.value is not None else "ret void"
+    elif isinstance(inst, Unreachable):
+        body = "unreachable"
+    else:  # pragma: no cover - all instructions covered above
+        raise TypeError(f"unknown instruction {inst!r}")
+
+    if not inst.type.is_void:
+        return f"%{namer.name_of(inst)} = {body}"
+    return body
+
+
+def print_function(fn: Function) -> str:
+    namer = _Namer()
+    sig_args = ", ".join(f"{a.type} %{namer.name_of(a)}" for a in fn.args)
+    if fn.ftype.vararg:
+        sig_args = f"{sig_args}, ..." if sig_args else "..."
+    attrs = (" " + " ".join(sorted(fn.attributes))) if fn.attributes else ""
+    linkage = " internal" if fn.is_internal else ""
+    if fn.is_declaration:
+        return f"declare{linkage} {fn.return_type} @{fn.name}({sig_args}){attrs}"
+    lines = [f"define{linkage} {fn.return_type} @{fn.name}({sig_args}){attrs} {{"]
+    for block in fn.blocks:
+        lines.append(f"{namer.name_of(block)}:")
+        for inst in block.instructions:
+            lines.append(f"  {format_instruction(inst, namer)}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_global(gv: GlobalVariable) -> str:
+    kind = "constant" if gv.is_constant else "global"
+    linkage = "internal " if gv.is_internal else ""
+    if gv.initializer is None:
+        init = "zeroinitializer"
+    elif gv.initializer.is_zero():
+        init = "zeroinitializer"
+    else:
+        init = gv.initializer.ref()
+    return f"@{gv.name} = {linkage}{kind} {gv.value_type} {init}, align {gv.alignment}"
+
+
+def print_module(module: Module) -> str:
+    parts: List[str] = [f"; module {module.name}"]
+    for gv in module.globals:
+        parts.append(print_global(gv))
+    for fn in module.functions:
+        parts.append("")
+        parts.append(print_function(fn))
+    return "\n".join(parts) + "\n"

@@ -1,0 +1,412 @@
+"""Type system for the miniature SSA IR.
+
+Types are immutable and interned: constructing ``IntType(32)`` twice yields
+the same object, so identity comparison (``is``) works everywhere. Structural
+equality (``==``) is also defined for robustness.
+
+The layout rules (sizes and alignments) are target-independent here and match
+a typical LP64 data layout: ``i1``/``i8`` are one byte, ``ptr`` is eight
+bytes, vectors are naturally aligned to their total size (capped at 16).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+
+class Type:
+    """Base class of all IR types."""
+
+    #: Cache for interned types, keyed by a structural key.
+    _interned: Dict[object, "Type"] = {}
+
+    def __eq__(self, other: object) -> bool:
+        return self is other or (
+            isinstance(other, Type) and self._key() == other._key()
+        )
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def _key(self) -> object:
+        raise NotImplementedError
+
+    # -- classification helpers ------------------------------------------
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    @property
+    def is_int(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_bool(self) -> bool:
+        return isinstance(self, IntType) and self.bits == 1
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+    @property
+    def is_struct(self) -> bool:
+        return isinstance(self, StructType)
+
+    @property
+    def is_vector(self) -> bool:
+        return isinstance(self, VectorType)
+
+    @property
+    def is_function(self) -> bool:
+        return isinstance(self, FunctionType)
+
+    @property
+    def is_aggregate(self) -> bool:
+        return self.is_array or self.is_struct
+
+    @property
+    def is_first_class(self) -> bool:
+        """First-class types can be produced by instructions."""
+        return not self.is_void and not self.is_function
+
+    # -- layout -----------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Size of the type in bytes (store size)."""
+        raise NotImplementedError(f"no size for {self!r}")
+
+    @property
+    def alignment(self) -> int:
+        """Natural alignment of the type in bytes."""
+        return max(1, min(self.size, 16))
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self}>"
+
+
+def _intern(key: object, factory) -> Type:
+    cached = Type._interned.get(key)
+    if cached is None:
+        cached = factory()
+        Type._interned[key] = cached
+    return cached
+
+
+class VoidType(Type):
+    """The type of instructions that produce no value."""
+
+    def __new__(cls) -> "VoidType":
+        return _intern("void", lambda: super(VoidType, cls).__new__(cls))  # type: ignore[return-value]
+
+    def _key(self) -> object:
+        return "void"
+
+    @property
+    def size(self) -> int:
+        return 0
+
+    def __str__(self) -> str:
+        return "void"
+
+
+class LabelType(Type):
+    """The type of basic blocks."""
+
+    def __new__(cls) -> "LabelType":
+        return _intern("label", lambda: super(LabelType, cls).__new__(cls))  # type: ignore[return-value]
+
+    def _key(self) -> object:
+        return "label"
+
+    @property
+    def size(self) -> int:
+        return 0
+
+    def __str__(self) -> str:
+        return "label"
+
+
+class IntType(Type):
+    """An integer type of a fixed bit width (i1, i8, i16, i32, i64)."""
+
+    bits: int
+
+    def __new__(cls, bits: int) -> "IntType":
+        if bits not in (1, 8, 16, 32, 64):
+            raise ValueError(f"unsupported integer width: {bits}")
+
+        def factory() -> "IntType":
+            obj = super(IntType, cls).__new__(cls)
+            obj.bits = bits
+            return obj
+
+        return _intern(("int", bits), factory)  # type: ignore[return-value]
+
+    def _key(self) -> object:
+        return ("int", self.bits)
+
+    @property
+    def size(self) -> int:
+        return max(1, self.bits // 8)
+
+    @property
+    def min_value(self) -> int:
+        return -(1 << (self.bits - 1)) if self.bits > 1 else 0
+
+    @property
+    def max_signed(self) -> int:
+        return (1 << (self.bits - 1)) - 1 if self.bits > 1 else 1
+
+    @property
+    def max_unsigned(self) -> int:
+        return (1 << self.bits) - 1
+
+    def wrap(self, value: int) -> int:
+        """Wrap a Python int to this width, interpreting it as signed."""
+        mask = (1 << self.bits) - 1
+        value &= mask
+        if self.bits > 1 and value > self.max_signed:
+            value -= 1 << self.bits
+        return value
+
+    def wrap_unsigned(self, value: int) -> int:
+        return value & ((1 << self.bits) - 1)
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+
+class FloatType(Type):
+    """A floating point type (f32 or f64)."""
+
+    bits: int
+
+    def __new__(cls, bits: int) -> "FloatType":
+        if bits not in (32, 64):
+            raise ValueError(f"unsupported float width: {bits}")
+
+        def factory() -> "FloatType":
+            obj = super(FloatType, cls).__new__(cls)
+            obj.bits = bits
+            return obj
+
+        return _intern(("float", bits), factory)  # type: ignore[return-value]
+
+    def _key(self) -> object:
+        return ("float", self.bits)
+
+    @property
+    def size(self) -> int:
+        return self.bits // 8
+
+    def __str__(self) -> str:
+        return "float" if self.bits == 32 else "double"
+
+
+class PointerType(Type):
+    """A typed pointer. All pointers are 8 bytes."""
+
+    pointee: Type
+
+    def __new__(cls, pointee: Type) -> "PointerType":
+        def factory() -> "PointerType":
+            obj = super(PointerType, cls).__new__(cls)
+            obj.pointee = pointee
+            return obj
+
+        return _intern(("ptr", pointee._key()), factory)  # type: ignore[return-value]
+
+    def _key(self) -> object:
+        return ("ptr", self.pointee._key())
+
+    @property
+    def size(self) -> int:
+        return 8
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+class ArrayType(Type):
+    """A fixed-length homogeneous array."""
+
+    element: Type
+    count: int
+
+    def __new__(cls, element: Type, count: int) -> "ArrayType":
+        if count < 0:
+            raise ValueError("array count must be non-negative")
+
+        def factory() -> "ArrayType":
+            obj = super(ArrayType, cls).__new__(cls)
+            obj.element = element
+            obj.count = count
+            return obj
+
+        return _intern(("array", element._key(), count), factory)  # type: ignore[return-value]
+
+    def _key(self) -> object:
+        return ("array", self.element._key(), self.count)
+
+    @property
+    def size(self) -> int:
+        return self.element.size * self.count
+
+    @property
+    def alignment(self) -> int:
+        return self.element.alignment
+
+    def __str__(self) -> str:
+        return f"[{self.count} x {self.element}]"
+
+
+class VectorType(Type):
+    """A SIMD vector of a scalar element type."""
+
+    element: Type
+    count: int
+
+    def __new__(cls, element: Type, count: int) -> "VectorType":
+        if not (element.is_int or element.is_float):
+            raise ValueError("vector elements must be scalar int/float")
+        if count < 1:
+            raise ValueError("vector count must be positive")
+
+        def factory() -> "VectorType":
+            obj = super(VectorType, cls).__new__(cls)
+            obj.element = element
+            obj.count = count
+            return obj
+
+        return _intern(("vector", element._key(), count), factory)  # type: ignore[return-value]
+
+    def _key(self) -> object:
+        return ("vector", self.element._key(), self.count)
+
+    @property
+    def size(self) -> int:
+        return self.element.size * self.count
+
+    def __str__(self) -> str:
+        return f"<{self.count} x {self.element}>"
+
+
+class StructType(Type):
+    """A struct with named identity and ordered fields."""
+
+    name: str
+    fields: Tuple[Type, ...]
+
+    def __new__(cls, name: str, fields: Sequence[Type]) -> "StructType":
+        fields_t = tuple(fields)
+
+        def factory() -> "StructType":
+            obj = super(StructType, cls).__new__(cls)
+            obj.name = name
+            obj.fields = fields_t
+            return obj
+
+        return _intern(("struct", name, tuple(f._key() for f in fields_t)), factory)  # type: ignore[return-value]
+
+    def _key(self) -> object:
+        return ("struct", self.name, tuple(f._key() for f in self.fields))
+
+    def field_offset(self, index: int) -> int:
+        """Byte offset of field ``index``, respecting field alignment."""
+        offset = 0
+        for i, field in enumerate(self.fields):
+            align = field.alignment
+            offset = (offset + align - 1) // align * align
+            if i == index:
+                return offset
+            offset += field.size
+        raise IndexError(index)
+
+    @property
+    def size(self) -> int:
+        if not self.fields:
+            return 0
+        last = len(self.fields) - 1
+        raw = self.field_offset(last) + self.fields[last].size
+        align = self.alignment
+        return (raw + align - 1) // align * align
+
+    @property
+    def alignment(self) -> int:
+        return max((f.alignment for f in self.fields), default=1)
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+class FunctionType(Type):
+    """A function signature."""
+
+    ret: Type
+    params: Tuple[Type, ...]
+    vararg: bool
+
+    def __new__(
+        cls, ret: Type, params: Sequence[Type] = (), vararg: bool = False
+    ) -> "FunctionType":
+        params_t = tuple(params)
+
+        def factory() -> "FunctionType":
+            obj = super(FunctionType, cls).__new__(cls)
+            obj.ret = ret
+            obj.params = params_t
+            obj.vararg = vararg
+            return obj
+
+        key = ("func", ret._key(), tuple(p._key() for p in params_t), vararg)
+        return _intern(key, factory)  # type: ignore[return-value]
+
+    def _key(self) -> object:
+        return (
+            "func",
+            self.ret._key(),
+            tuple(p._key() for p in self.params),
+            self.vararg,
+        )
+
+    @property
+    def size(self) -> int:
+        raise TypeError("function types have no size")
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.params)
+        if self.vararg:
+            params = params + ", ..." if params else "..."
+        return f"{self.ret} ({params})"
+
+
+# Convenient singletons -----------------------------------------------------
+VOID = VoidType()
+LABEL = LabelType()
+I1 = IntType(1)
+I8 = IntType(8)
+I16 = IntType(16)
+I32 = IntType(32)
+I64 = IntType(64)
+F32 = FloatType(32)
+F64 = FloatType(64)
+
+
+def ptr(pointee: Type) -> PointerType:
+    """Shorthand for :class:`PointerType`."""
+    return PointerType(pointee)
+
+
+def element_type(ty: Type) -> Optional[Type]:
+    """Element type of arrays and vectors, or ``None``."""
+    if isinstance(ty, (ArrayType, VectorType)):
+        return ty.element
+    return None

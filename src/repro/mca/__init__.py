@@ -1,0 +1,25 @@
+"""MCA-style static throughput estimation (the LLVM-MCA substitute)."""
+
+from .ports import CORTEX_A72, PORT_MODELS, PortModel, SKYLAKE, get_port_model
+from .sched import (
+    BlockReport,
+    FunctionReport,
+    McaSummary,
+    analyze_block,
+    analyze_function,
+    estimate_throughput,
+)
+
+__all__ = [
+    "BlockReport",
+    "CORTEX_A72",
+    "FunctionReport",
+    "McaSummary",
+    "PORT_MODELS",
+    "PortModel",
+    "SKYLAKE",
+    "analyze_block",
+    "analyze_function",
+    "estimate_throughput",
+    "get_port_model",
+]

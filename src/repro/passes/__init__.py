@@ -1,0 +1,38 @@
+"""Optimization pass framework and the full -Oz pass set."""
+
+from .base import (
+    Pass,
+    FunctionPass,
+    ModulePass,
+    PassManager,
+    PASS_REGISTRY,
+    available_passes,
+    create_pass,
+    parse_pass_list,
+    register_pass,
+    run_passes,
+)
+from . import scalar, ipo, loops  # noqa: F401 - registration side effects
+from .pipelines import (
+    OPT_LEVELS,
+    OZ_PASS_SEQUENCE,
+    build_pipeline,
+    optimize,
+)
+
+__all__ = [
+    "FunctionPass",
+    "ModulePass",
+    "OPT_LEVELS",
+    "OZ_PASS_SEQUENCE",
+    "PASS_REGISTRY",
+    "Pass",
+    "PassManager",
+    "available_passes",
+    "build_pipeline",
+    "create_pass",
+    "optimize",
+    "parse_pass_list",
+    "register_pass",
+    "run_passes",
+]

@@ -1,0 +1,152 @@
+"""Pass framework: base classes, registry and the pass manager.
+
+Every optimization pass registers under its LLVM flag name (for example
+``-simplifycfg`` registers as ``"simplifycfg"``), so the Oz sequence from
+the paper's Table I can be executed verbatim:
+
+>>> from repro.passes import run_passes
+>>> run_passes(module, ["simplifycfg", "sroa", "early-cse"])  # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Type, Union
+
+from ..ir.module import Function, Module
+from ..ir.verifier import verify_module
+
+#: flag-name -> pass factory
+PASS_REGISTRY: Dict[str, Callable[[], "Pass"]] = {}
+
+
+def register_pass(cls: Type["Pass"]) -> Type["Pass"]:
+    """Class decorator: register a pass under its ``name`` attribute."""
+    if not getattr(cls, "name", None):
+        raise ValueError(f"{cls.__name__} has no pass name")
+    PASS_REGISTRY[cls.name] = cls
+    return cls
+
+
+def create_pass(name: str) -> "Pass":
+    """Instantiate a registered pass by flag name (leading ``-`` optional)."""
+    key = name.lstrip("-")
+    factory = PASS_REGISTRY.get(key)
+    if factory is None:
+        raise KeyError(f"unknown pass: {name!r}")
+    return factory()
+
+
+def available_passes() -> List[str]:
+    return sorted(PASS_REGISTRY)
+
+
+class Pass:
+    """Base class for all passes."""
+
+    #: LLVM-style flag name, e.g. ``"simplifycfg"``.
+    name: str = ""
+
+    def run_on_module(self, module: Module) -> bool:
+        """Run and return whether anything changed."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<pass -{self.name}>"
+
+
+class ModulePass(Pass):
+    """A pass operating on the whole module at once."""
+
+
+class FunctionPass(Pass):
+    """A pass run independently on every defined function."""
+
+    def run_on_function(self, fn: Function) -> bool:
+        raise NotImplementedError
+
+    def run_on_module(self, module: Module) -> bool:
+        changed = False
+        for fn in list(module.functions):
+            if not fn.is_declaration:
+                changed |= bool(self.run_on_function(fn))
+        return changed
+
+
+class PassManager:
+    """Runs a sequence of passes, optionally verifying after each one.
+
+    ``verify=True`` is used throughout the test-suite so that a pass that
+    breaks an IR invariant is caught at the exact pass that broke it.
+    """
+
+    def __init__(
+        self,
+        passes: Sequence[Union[str, Pass]] = (),
+        verify: bool = False,
+        collect_stats: bool = False,
+    ):
+        self.passes: List[Pass] = [
+            p if isinstance(p, Pass) else create_pass(p) for p in passes
+        ]
+        self.verify = verify
+        self.collect_stats = collect_stats
+        #: names of passes that reported changes during the last run
+        self.changed_passes: List[str] = []
+        #: per-invocation statistics of the last run (collect_stats=True)
+        self.stats = None
+
+    def add(self, pass_or_name: Union[str, Pass]) -> "PassManager":
+        self.passes.append(
+            pass_or_name
+            if isinstance(pass_or_name, Pass)
+            else create_pass(pass_or_name)
+        )
+        return self
+
+    def run(self, module: Module) -> bool:
+        from .stats import PipelineStats, StatsTimer
+
+        changed = False
+        self.changed_passes = []
+        self.stats = PipelineStats() if self.collect_stats else None
+        for p in self.passes:
+            timer = (
+                StatsTimer(self.stats, p.name, module)
+                if self.stats is not None
+                else None
+            )
+            if timer is not None:
+                timer.__enter__()
+            try:
+                this_changed = bool(p.run_on_module(module))
+            except Exception as exc:
+                raise RuntimeError(f"pass -{p.name} failed: {exc}") from exc
+            if timer is not None:
+                timer.finish(this_changed)
+            if this_changed:
+                self.changed_passes.append(p.name)
+                changed = True
+            if self.verify:
+                try:
+                    verify_module(module)
+                except Exception as exc:
+                    raise RuntimeError(
+                        f"IR invalid after pass -{p.name}: {exc}"
+                    ) from exc
+        return changed
+
+
+def parse_pass_list(text: str) -> List[str]:
+    """Split a flag string like ``"-simplifycfg -sroa"`` into pass names."""
+    return [tok.lstrip("-") for tok in text.split() if tok.strip("-")]
+
+
+def run_passes(
+    module: Module,
+    passes: Union[str, Sequence[Union[str, Pass]]],
+    verify: bool = False,
+) -> bool:
+    """One-shot convenience wrapper around :class:`PassManager`."""
+    if isinstance(passes, str):
+        passes = parse_pass_list(passes)
+    return PassManager(passes, verify=verify).run(module)

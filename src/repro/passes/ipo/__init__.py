@@ -1,0 +1,10 @@
+"""Interprocedural (module-level) optimization passes."""
+
+from . import (  # noqa: F401 - importing registers the passes
+    attrs,
+    deadargelim,
+    globals,
+    inline,
+    ipsccp,
+    prune_eh,
+)

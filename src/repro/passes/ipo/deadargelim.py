@@ -1,0 +1,59 @@
+"""-deadargelim: remove unused formal arguments of internal functions.
+
+Every call site is rewritten to drop the corresponding actuals — both an
+instruction-count saving (argument setup) and an enabler for further
+shrinking of the callee.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...analysis.callgraph import CallGraph
+from ...ir.instructions import Call
+from ...ir.module import Function, Module
+from ...ir.types import FunctionType, PointerType
+from ..base import ModulePass, register_pass
+
+
+@register_pass
+class DeadArgElim(ModulePass):
+    """Drop dead arguments from internal, non-address-taken functions."""
+
+    name = "deadargelim"
+
+    def run_on_module(self, module: Module) -> bool:
+        graph = CallGraph(module)
+        changed = False
+        for fn in list(module.functions):
+            if fn.is_declaration or not fn.is_internal:
+                continue
+            if fn.name in graph.address_taken:
+                continue
+            if fn.ftype.vararg:
+                continue
+            dead = [i for i, arg in enumerate(fn.args) if not arg.has_uses]
+            if not dead:
+                continue
+            call_sites = graph.call_sites.get(fn.name, [])
+            if any(cs.parent is None for cs in call_sites):
+                continue
+            dead_set = set(dead)
+
+            # Rewrite the signature.
+            keep_params = [
+                p for i, p in enumerate(fn.ftype.params) if i not in dead_set
+            ]
+            fn.ftype = FunctionType(fn.return_type, keep_params)
+            fn.type = PointerType(fn.ftype)
+            kept_args = [a for i, a in enumerate(fn.args) if i not in dead_set]
+            for new_index, arg in enumerate(kept_args):
+                arg.index = new_index
+            fn.args = kept_args
+
+            # Rewrite every call site (operand 0 is the callee).
+            for call in call_sites:
+                for i in sorted(dead, reverse=True):
+                    call.remove_operand(i + 1)
+            changed = True
+        return changed

@@ -1,0 +1,213 @@
+"""Global-level IPO: -globalopt, -globaldce, -constmerge,
+-called-value-propagation, -elim-avail-extern, -strip-dead-prototypes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ...analysis.callgraph import CallGraph
+from ...ir.instructions import Call, Cast, GetElementPtr, Instruction, Load, Store
+from ...ir.module import Function, Module
+from ...ir.values import (
+    Constant,
+    ConstantArray,
+    ConstantFloat,
+    ConstantInt,
+    GlobalVariable,
+    UndefValue,
+)
+from ..base import ModulePass, register_pass
+
+
+def _direct_accesses(gv: GlobalVariable):
+    """Classify uses of a global: (loads, stores, other-uses)."""
+    loads: List[Load] = []
+    stores: List[Store] = []
+    other: List[Instruction] = []
+    for use in gv.uses:
+        user = use.user
+        if isinstance(user, Load) and user.pointer is gv:
+            loads.append(user)
+        elif isinstance(user, Store) and user.pointer is gv and user.value is not gv:
+            stores.append(user)
+        else:
+            other.append(user)  # geps, casts, calls, stores of the address
+    return loads, stores, other
+
+
+@register_pass
+class GlobalOpt(ModulePass):
+    """Optimize module-level variables.
+
+    * internal globals that are never loaded: delete their stores (and, once
+      unreferenced, globaldce removes the variable);
+    * internal globals that are never stored: mark constant and fold direct
+      loads of a scalar initializer.
+    """
+
+    name = "globalopt"
+
+    def run_on_module(self, module: Module) -> bool:
+        changed = False
+        for gv in list(module.globals):
+            if not gv.is_internal:
+                continue
+            loads, stores, other = _direct_accesses(gv)
+            if other:
+                continue  # address escapes or aggregate accesses: leave it
+            if not loads and stores:
+                for store in stores:
+                    if store.parent is not None:
+                        store.erase_from_parent()
+                        changed = True
+                continue
+            if not stores:
+                if not gv.is_constant:
+                    gv.is_constant = True
+                    changed = True
+                init = gv.initializer
+                if isinstance(init, (ConstantInt, ConstantFloat)):
+                    for load in loads:
+                        if load.parent is not None and load.type == init.type:
+                            load.replace_all_uses_with(init)
+                            load.erase_from_parent()
+                            changed = True
+        return changed
+
+
+@register_pass
+class GlobalDCE(ModulePass):
+    """Delete unreferenced internal globals and functions."""
+
+    name = "globaldce"
+
+    def run_on_module(self, module: Module) -> bool:
+        changed = False
+        progress = True
+        while progress:
+            progress = False
+            for fn in list(module.functions):
+                if not fn.is_internal or fn.has_uses:
+                    continue
+                for block in list(fn.blocks):
+                    for inst in list(block.instructions):
+                        inst.drop_all_operands()
+                    block.erase_from_parent()
+                module.remove_function(fn)
+                progress = True
+                changed = True
+            for gv in list(module.globals):
+                if gv.is_internal and not gv.has_uses:
+                    gv.drop_all_operands()  # release initializer references
+                    module.remove_global(gv)
+                    progress = True
+                    changed = True
+        return changed
+
+
+def _initializer_key(gv: GlobalVariable) -> Optional[str]:
+    init = gv.initializer
+    if init is None:
+        return f"zero:{gv.value_type}"
+    try:
+        return f"{gv.value_type}:{init.ref()}"
+    except NotImplementedError:  # pragma: no cover - all constants have ref
+        return None
+
+
+@register_pass
+class ConstMerge(ModulePass):
+    """Merge duplicate constant globals."""
+
+    name = "constmerge"
+
+    def run_on_module(self, module: Module) -> bool:
+        changed = False
+        canonical: Dict[str, GlobalVariable] = {}
+        for gv in list(module.globals):
+            if not gv.is_constant:
+                continue
+            key = _initializer_key(gv)
+            if key is None:
+                continue
+            leader = canonical.get(key)
+            if leader is None:
+                canonical[key] = gv
+            elif gv.is_internal:
+                gv.replace_all_uses_with(leader)
+                gv.drop_all_operands()
+                module.remove_global(gv)
+                changed = True
+        return changed
+
+
+@register_pass
+class CalledValuePropagation(ModulePass):
+    """Devirtualize indirect calls through never-rewritten function-pointer
+    globals: a load from such a global *is* the initializer function."""
+
+    name = "called-value-propagation"
+
+    def run_on_module(self, module: Module) -> bool:
+        changed = False
+        for gv in list(module.globals):
+            init = gv.initializer
+            if not isinstance(init, Function):
+                continue
+            loads, stores, other = _direct_accesses(gv)
+            if stores or other:
+                continue
+            if not (gv.is_constant or gv.is_internal):
+                continue
+            for load in loads:
+                if load.parent is not None:
+                    load.replace_all_uses_with(init)
+                    load.erase_from_parent()
+                    changed = True
+        return changed
+
+
+@register_pass
+class ElimAvailExtern(ModulePass):
+    """Drop ``available_externally`` bodies: the definitive copy lives in
+    another TU, so carrying the body only costs size once inlining ran."""
+
+    name = "elim-avail-extern"
+
+    def run_on_module(self, module: Module) -> bool:
+        changed = False
+        for fn in module.functions:
+            if fn.linkage == "available_externally" and not fn.is_declaration:
+                for block in list(fn.blocks):
+                    for inst in list(block.instructions):
+                        inst.drop_all_operands()
+                    block.erase_from_parent()
+                fn.linkage = "external"
+                changed = True
+        return changed
+
+
+@register_pass
+class StripDeadPrototypes(ModulePass):
+    """Remove unused function declarations."""
+
+    name = "strip-dead-prototypes"
+
+    def run_on_module(self, module: Module) -> bool:
+        changed = False
+        for fn in list(module.functions):
+            if fn.is_declaration and not fn.has_uses:
+                module.remove_function(fn)
+                changed = True
+        return changed
+
+
+@register_pass
+class Barrier(ModulePass):
+    """-barrier: a pipeline sequencing marker; performs no transformation."""
+
+    name = "barrier"
+
+    def run_on_module(self, module: Module) -> bool:
+        return False

@@ -1,0 +1,172 @@
+"""-inline: bottom-up function inlining.
+
+Call sites are visited callees-before-callers. A call is inlined when the
+callee is defined, non-recursive, and either small (≤ threshold) or
+internal with a single call site (in which case inlining is a pure size
+win because globaldce then deletes the body). These are the same levers
+``-Oz`` pulls, with deliberately size-conscious thresholds.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...analysis.callgraph import CallGraph
+from ...ir.builder import IRBuilder
+from ...ir.clone import clone_blocks_into
+from ...ir.instructions import Branch, Call, Instruction, Phi, Ret
+from ...ir.module import BasicBlock, Function, Module
+from ...ir.values import Value
+from ..base import ModulePass, register_pass
+
+#: Callees at or below this size always inline (Oz-style small threshold).
+INLINE_THRESHOLD = 24
+#: Hard cap so pathological cases cannot blow up the module.
+CALLER_SIZE_LIMIT = 3000
+
+
+def should_inline(call: Call, graph: CallGraph, threshold: int = INLINE_THRESHOLD) -> bool:
+    callee = call.called_function
+    caller = call.function
+    if callee is None or caller is None:
+        return False
+    if callee.is_declaration or callee.is_intrinsic or callee is caller:
+        return False
+    if callee.has_attribute("noinline"):
+        return False
+    if graph.is_recursive(callee):
+        return False
+    if caller.instruction_count > CALLER_SIZE_LIMIT:
+        return False
+    if callee.has_attribute("alwaysinline"):
+        return True
+    if callee.instruction_count <= threshold:
+        return True
+    if (
+        callee.is_internal
+        and len(graph.call_sites.get(callee.name, [])) == 1
+        and callee.name not in graph.address_taken
+    ):
+        return True
+    return False
+
+
+def inline_call(call: Call) -> bool:
+    """Inline one call site. Returns False if the site is not inlinable."""
+    callee = call.called_function
+    caller = call.function
+    block = call.parent
+    if callee is None or caller is None or block is None or callee.is_declaration:
+        return False
+
+    # --- split the caller block at the call -------------------------------
+    insts = block.instructions
+    index = insts.index(call)
+    after = caller.add_block(caller.next_name(block.name + ".split"))
+    caller.blocks.remove(after)
+    caller.blocks.insert(caller.blocks.index(block) + 1, after)
+    for inst in insts[index + 1 :]:
+        inst.parent = after
+        after.instructions.append(inst)
+    del insts[index + 1 :]
+    # Successor phis now see `after` as the predecessor.
+    for succ in after.successors():
+        for phi in succ.phis():
+            for i in range(phi.num_incoming):
+                if phi.incoming_block(i) is block:
+                    phi.set_operand(2 * i + 1, after)
+
+    # --- clone the callee body ---------------------------------------------
+    vmap: Dict[int, Value] = {}
+    for arg, actual in zip(callee.args, call.args):
+        vmap[id(arg)] = actual
+    new_blocks = clone_blocks_into(
+        caller, callee.blocks, vmap, name_suffix=".i"
+    )
+    # Keep layout readable: splice the clones between block and after.
+    for nb in new_blocks:
+        caller.blocks.remove(nb)
+    at = caller.blocks.index(after)
+    caller.blocks[at:at] = new_blocks
+
+    entry_clone = vmap[id(callee.entry)]
+
+    # --- rewire control flow ------------------------------------------------
+    call.erase_from_parent()  # detaches from block (it stayed in `block`)
+    IRBuilder(block).br(entry_clone)  # type: ignore[arg-type]
+
+    returns: List[Tuple[BasicBlock, Optional[Value]]] = []
+    for nb in new_blocks:
+        term = nb.terminator
+        if isinstance(term, Ret):
+            returns.append((nb, term.value))
+            term.erase_from_parent()
+            IRBuilder(nb).br(after)
+
+    if not call.type.is_void:
+        if len(returns) == 1:
+            result: Value = returns[0][1]  # type: ignore[assignment]
+            call.replace_all_uses_with(result)
+        elif returns:
+            phi = Phi(call.type, caller.next_name(call.name or "inl"))
+            after.insert(0, phi)
+            for nb, value in returns:
+                assert value is not None
+                phi.add_incoming(value, nb)
+            call.replace_all_uses_with(phi)
+        else:
+            from ...ir.values import UndefValue
+
+            call.replace_all_uses_with(UndefValue(call.type))
+    return True
+
+
+@register_pass
+class Inliner(ModulePass):
+    """Bottom-up size-aware inliner."""
+
+    name = "inline"
+
+    def __init__(self, threshold: int = INLINE_THRESHOLD):
+        self.threshold = threshold
+
+    def run_on_module(self, module: Module) -> bool:
+        changed = False
+        for _ in range(3):  # inlining exposes more inlining
+            graph = CallGraph(module)
+            round_changed = False
+            for fn in graph.bottom_up_order():
+                for call in list(fn.calls()):
+                    if call.parent is None:
+                        continue
+                    if should_inline(call, graph, self.threshold):
+                        if inline_call(call):
+                            round_changed = True
+                # Recompute per function is overkill; one graph per round.
+            changed |= round_changed
+            if not round_changed:
+                break
+        return changed
+
+
+@register_pass
+class AlwaysInliner(ModulePass):
+    """-always-inline: honour only the ``alwaysinline`` attribute."""
+
+    name = "always-inline"
+
+    def run_on_module(self, module: Module) -> bool:
+        graph = CallGraph(module)
+        changed = False
+        for fn in graph.bottom_up_order():
+            for call in list(fn.calls()):
+                callee = call.called_function
+                if (
+                    callee is not None
+                    and callee.has_attribute("alwaysinline")
+                    and not callee.is_declaration
+                    and callee is not fn
+                    and not graph.is_recursive(callee)
+                ):
+                    changed |= inline_call(call)
+        return changed

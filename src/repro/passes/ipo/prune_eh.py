@@ -1,0 +1,41 @@
+"""-prune-eh: remove unused exception-handling constructs.
+
+This IR has no EH edges, so the pass's surviving responsibilities are the
+ones LLVM's PruneEH also performs on EH-free code: infer ``nounwind``
+bottom-up and delete unreachable blocks that EH removal would have
+stranded.
+"""
+
+from __future__ import annotations
+
+from ...analysis.callgraph import CallGraph
+from ...analysis.cfg import remove_unreachable_blocks
+from ...ir.instructions import Call
+from ...ir.module import Module
+from ..base import ModulePass, register_pass
+
+
+@register_pass
+class PruneEH(ModulePass):
+    """Infer nounwind and prune unreachable blocks."""
+
+    name = "prune-eh"
+
+    def run_on_module(self, module: Module) -> bool:
+        graph = CallGraph(module)
+        changed = False
+        for fn in graph.bottom_up_order():
+            if "nounwind" not in fn.attributes:
+                calls = list(fn.calls())
+                if all(
+                    c.called_function is not None
+                    and (
+                        c.called_function is fn
+                        or "nounwind" in c.called_function.attributes
+                    )
+                    for c in calls
+                ):
+                    fn.attributes.add("nounwind")
+                    changed = True
+            changed |= remove_unreachable_blocks(fn)
+        return changed

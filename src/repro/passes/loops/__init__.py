@@ -1,0 +1,14 @@
+"""Loop optimization passes."""
+
+from . import (  # noqa: F401 - importing registers the passes
+    indvars,
+    licm,
+    loop_deletion,
+    loop_distribute,
+    loop_idiom,
+    loop_rotate,
+    loop_simplify,
+    loop_unroll,
+    loop_unswitch,
+    loop_vectorize,
+)

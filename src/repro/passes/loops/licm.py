@@ -1,0 +1,197 @@
+"""-licm, -loop-sink, -loop-load-elim.
+
+* ``licm``: hoists loop-invariant pure computation to the preheader, plus
+  loads from invariant, dereferenceable locations that no in-loop write can
+  clobber.
+* ``loop-sink``: the size/pressure-motivated inverse — moves preheader
+  instructions used in exactly one loop block down into it.
+* ``loop-load-elim``: forwards values stored before the loop to in-loop
+  loads when the loop itself cannot modify the location.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...analysis.loops import Loop, LoopInfo
+from ...analysis.memdep import may_alias, must_alias, pointer_escapes, underlying_object
+from ...ir.instructions import (
+    Alloca,
+    Call,
+    Instruction,
+    Load,
+    Phi,
+    Store,
+)
+from ...ir.module import BasicBlock, Function
+from ...ir.values import Argument, Constant, GlobalVariable, Value
+from ..base import FunctionPass, register_pass
+
+
+def is_loop_invariant(loop: Loop, value: Value) -> bool:
+    if isinstance(value, (Constant, Argument)):
+        return True
+    if isinstance(value, Instruction):
+        return value.parent is None or not loop.contains(value.parent)
+    return True
+
+
+def _loop_may_write(loop: Loop, pointer: Value) -> bool:
+    for block in loop.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, Store) and may_alias(inst.pointer, pointer):
+                return True
+            if isinstance(inst, Call) and inst.may_write_memory:
+                base = underlying_object(pointer)
+                if isinstance(base, Alloca) and not pointer_escapes(base):
+                    continue
+                return True
+    return False
+
+
+def _is_dereferenceable(pointer: Value) -> bool:
+    """Safe to load speculatively: the object certainly exists."""
+    base = underlying_object(pointer)
+    return isinstance(base, (Alloca, GlobalVariable))
+
+
+@register_pass
+class LICM(FunctionPass):
+    """Loop-invariant code motion."""
+
+    name = "licm"
+
+    def run_on_function(self, fn: Function) -> bool:
+        info = LoopInfo(fn)
+        changed = False
+        for loop in info.innermost_first():
+            preheader = loop.preheader()
+            if preheader is None:
+                continue
+            progress = True
+            while progress:
+                progress = False
+                for block in loop.blocks:
+                    for inst in list(block.instructions):
+                        if inst.parent is None or isinstance(inst, Phi):
+                            continue
+                        if not all(
+                            is_loop_invariant(loop, op) for op in inst.operands
+                        ):
+                            continue
+                        hoistable = False
+                        if inst.is_speculatable and not inst.type.is_void:
+                            hoistable = True
+                        elif (
+                            isinstance(inst, Load)
+                            and _is_dereferenceable(inst.pointer)
+                            and not _loop_may_write(loop, inst.pointer)
+                        ):
+                            hoistable = True
+                        if not hoistable:
+                            continue
+                        block.instructions.remove(inst)
+                        inst.parent = None
+                        preheader.insert_before_terminator(inst)
+                        progress = True
+                        changed = True
+        return changed
+
+
+@register_pass
+class LoopSink(FunctionPass):
+    """Sink preheader-computed values into the single loop block that uses
+    them (reduces live ranges; the -Oz counterweight to LICM)."""
+
+    name = "loop-sink"
+
+    def run_on_function(self, fn: Function) -> bool:
+        info = LoopInfo(fn)
+        changed = False
+        for loop in info.loops:
+            preheader = loop.preheader()
+            if preheader is None:
+                continue
+            for inst in reversed(list(preheader.instructions)):
+                if inst.is_terminator or inst.type.is_void:
+                    continue
+                if not inst.is_speculatable:
+                    continue
+                user_blocks = set()
+                ok = True
+                for use in inst.uses:
+                    user = use.user
+                    if not isinstance(user, Instruction) or user.parent is None:
+                        ok = False
+                        break
+                    if isinstance(user, Phi):
+                        ok = False
+                        break
+                    user_blocks.add(id(user.parent))
+                if not ok or len(user_blocks) != 1:
+                    continue
+                (target_id,) = user_blocks
+                target = next(
+                    (b for b in loop.blocks if id(b) == target_id), None
+                )
+                if target is None or target is loop.header:
+                    # Sinking into the header gains nothing (always runs).
+                    continue
+                # Move before its first user in the target block.
+                first_user = next(
+                    i
+                    for i in target.instructions
+                    if any(u.user is i for u in inst.uses)
+                )
+                preheader.instructions.remove(inst)
+                inst.parent = None
+                inst.insert_before(first_user)
+                changed = True
+        return changed
+
+
+@register_pass
+class LoopLoadElim(FunctionPass):
+    """Forward pre-loop stores to in-loop loads of untouched locations."""
+
+    name = "loop-load-elim"
+
+    def run_on_function(self, fn: Function) -> bool:
+        from ...analysis.memdep import clobbers_between
+
+        info = LoopInfo(fn)
+        changed = False
+        for loop in info.loops:
+            preheader = loop.preheader()
+            if preheader is None:
+                continue
+            # The candidate store: last must-alias store in the preheader.
+            for block in loop.blocks:
+                for inst in list(block.instructions):
+                    if not isinstance(inst, Load) or inst.parent is None:
+                        continue
+                    if not is_loop_invariant(loop, inst.pointer):
+                        continue
+                    if _loop_may_write(loop, inst.pointer):
+                        continue
+                    source: Optional[Store] = None
+                    for prev in reversed(preheader.instructions):
+                        if isinstance(prev, Store):
+                            if must_alias(prev.pointer, inst.pointer):
+                                if prev.value.type == inst.type:
+                                    source = prev
+                                break
+                            if may_alias(prev.pointer, inst.pointer):
+                                break
+                        elif isinstance(prev, Call) and prev.may_write_memory:
+                            base = underlying_object(inst.pointer)
+                            if not (
+                                isinstance(base, Alloca)
+                                and not pointer_escapes(base)
+                            ):
+                                break
+                    if source is not None:
+                        inst.replace_all_uses_with(source.value)
+                        inst.erase_from_parent()
+                        changed = True
+        return changed

@@ -1,0 +1,134 @@
+"""-loop-deletion: remove loops that provably terminate and whose results
+are never observed (no side effects, no values used outside the loop).
+
+After ``-indvars`` rewrites exit values to constants, counting loops whose
+results were only the IV become deletable — the classic pairing in the Oz
+pipeline (sub-sequence 8 of Table II).
+"""
+
+from __future__ import annotations
+
+from ...analysis.loops import Loop, LoopInfo
+from ...ir.instructions import Instruction, Phi
+from ...ir.module import Function
+from ..base import FunctionPass, register_pass
+from ..utils import erase_trivially_dead
+from .iv import analyze_loop
+
+
+def _deletable(loop: Loop) -> bool:
+    preheader = loop.preheader()
+    if preheader is None:
+        return False
+    exits = loop.exit_blocks()
+    if len(exits) != 1:
+        return False
+    exit_block = exits[0]
+    if any(not loop.contains(p) for p in exit_block.predecessors()):
+        return False
+    # Terminates?
+    bounds = analyze_loop(loop)
+    if bounds is None or bounds.trip_count is None:
+        return False
+    # Pure?
+    for block in loop.blocks:
+        for inst in block.instructions:
+            if inst.is_terminator:
+                continue
+            if inst.has_side_effects:
+                return False
+    # Unobserved? No loop-defined value used outside the loop (a use in an
+    # exit-block phi counts as outside).
+    for block in loop.blocks:
+        for inst in block.instructions:
+            if inst.type.is_void:
+                continue
+            for use in inst.uses:
+                user = use.user
+                if not isinstance(user, Instruction) or user.parent is None:
+                    return False
+                location = (
+                    user.incoming_block(use.index // 2)
+                    if isinstance(user, Phi) and use.index % 2 == 0
+                    else user.parent
+                )
+                if isinstance(user, Phi) and user.parent is exit_block:
+                    return False
+                if not loop.contains(location):
+                    return False
+    return True
+
+
+def _delete(fn: Function, loop: Loop) -> None:
+    preheader = loop.preheader()
+    exit_block = loop.exit_blocks()[0]
+    assert preheader is not None
+    term = preheader.terminator
+    assert term is not None
+    # Exit phis: all incoming are from in-loop preds with loop-invariant
+    # values (checked in _deletable); re-route them through the preheader.
+    exiting = [p for p in exit_block.predecessors() if loop.contains(p)]
+    for phi in exit_block.phis():
+        values = {id(phi.incoming_for_block(p)) for p in exiting}
+        keep = phi.incoming_for_block(exiting[0])
+        for p in exiting:
+            phi.remove_incoming(p)
+        assert keep is not None and len(values) == 1
+        phi.add_incoming(keep, preheader)
+    for i, op in enumerate(term.operands):
+        if op is loop.header:
+            term.set_operand(i, exit_block)
+    for block in loop.blocks:
+        for inst in list(block.instructions):
+            inst.drop_all_operands()
+    for block in loop.blocks:
+        block.erase_from_parent()
+
+
+@register_pass
+class LoopDeletion(FunctionPass):
+    """Delete dead, terminating loops."""
+
+    name = "loop-deletion"
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = False
+        for _ in range(4):
+            info = LoopInfo(fn)
+            round_changed = False
+            for loop in info.innermost_first():
+                if _deletable(loop):
+                    # Exit phis with differing incoming values cannot be
+                    # re-routed through the preheader; re-check cheaply.
+                    exit_block = loop.exit_blocks()[0]
+                    exiting = [
+                        p
+                        for p in exit_block.predecessors()
+                        if loop.contains(p)
+                    ]
+                    distinct = {
+                        id(phi.incoming_for_block(p))
+                        for phi in exit_block.phis()
+                        for p in exiting
+                    }
+                    per_phi_ok = all(
+                        len(
+                            {
+                                id(phi.incoming_for_block(p))
+                                for p in exiting
+                            }
+                        )
+                        == 1
+                        for phi in exit_block.phis()
+                    )
+                    if not per_phi_ok:
+                        continue
+                    _delete(fn, loop)
+                    round_changed = True
+                    break
+            changed |= round_changed
+            if not round_changed:
+                break
+        if changed:
+            erase_trivially_dead(fn)
+        return changed

@@ -1,0 +1,156 @@
+"""-loop-distribute: split independent statement groups of a loop into two
+sequential loops.
+
+Fission is what lets ``-loop-vectorize`` handle a loop where only one of
+two store streams is vectorizable — the exact pairing of ODG sub-sequence
+18 (``-loop-rotate -loop-distribute -loop-vectorize``). The implementation
+handles the canonical case: a single-block counting loop with exactly two
+stores to provably distinct objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ...analysis.loops import Loop, LoopInfo
+from ...analysis.memdep import underlying_object
+from ...ir.builder import IRBuilder
+from ...ir.clone import clone_blocks_into
+from ...ir.instructions import (
+    Alloca,
+    Call,
+    Instruction,
+    Load,
+    Phi,
+    Store,
+)
+from ...ir.module import BasicBlock, Function
+from ...ir.values import GlobalVariable, Value
+from ..base import FunctionPass, register_pass
+from ..utils import erase_trivially_dead
+from .iv import analyze_loop
+
+_IDENTIFIED = (Alloca, GlobalVariable)
+
+
+def _slice_of(store: Store, block: BasicBlock) -> Set[int]:
+    """Backward slice of a store within its block (instruction ids)."""
+    result: Set[int] = {id(store)}
+    worklist: List[Instruction] = [store]
+    while worklist:
+        inst = worklist.pop()
+        for op in inst.operands:
+            if (
+                isinstance(op, Instruction)
+                and op.parent is block
+                and id(op) not in result
+            ):
+                result.add(id(op))
+                worklist.append(op)
+    return result
+
+
+def _distinct_objects(a: Value, b: Value) -> bool:
+    oa, ob = underlying_object(a), underlying_object(b)
+    return (
+        isinstance(oa, _IDENTIFIED) and isinstance(ob, _IDENTIFIED) and oa is not ob
+    )
+
+
+def _distribute(fn: Function, loop: Loop) -> bool:
+    if len(loop.blocks) != 1:
+        return False
+    header = loop.header
+    preheader = loop.preheader()
+    if preheader is None:
+        return False
+    exits = loop.exit_blocks()
+    if len(exits) != 1:
+        return False
+    exit_block = exits[0]
+    if any(not loop.contains(p) for p in exit_block.predecessors()):
+        return False
+    if analyze_loop(loop) is None:
+        return False
+
+    stores = [i for i in header.instructions if isinstance(i, Store)]
+    if len(stores) != 2:
+        return False
+    if any(isinstance(i, Call) for i in header.instructions):
+        return False
+    s1, s2 = stores
+    if not _distinct_objects(s1.pointer, s2.pointer):
+        return False
+
+    slice1 = _slice_of(s1, header)
+    slice2 = _slice_of(s2, header)
+    loads = [i for i in header.instructions if isinstance(i, Load)]
+    # Loads in one group must not read memory the other group writes.
+    for load in loads:
+        if id(load) in slice1 and not _distinct_objects(load.pointer, s2.pointer):
+            return False
+        if id(load) in slice2 and not _distinct_objects(load.pointer, s1.pointer):
+            return False
+
+    # No loop-defined value may be observed outside the loop.
+    for inst in header.instructions:
+        if inst.type.is_void:
+            continue
+        for use in inst.uses:
+            user = use.user
+            if not isinstance(user, Instruction) or user.parent is None:
+                return False
+            if user.parent is not header:
+                if not (isinstance(user, Phi) and user.parent is exit_block):
+                    return False
+                # Exit phi: only invariant incoming values survive rewiring.
+                return False
+
+    # --- clone the loop block --------------------------------------------
+    vmap: Dict[int, Value] = {}
+    (clone,) = clone_blocks_into(fn, [header], vmap, name_suffix=".dist")
+
+    # Sequence: preheader -> header(loop1) -> mid -> clone(loop2) -> exit.
+    mid = fn.add_block(fn.next_name("dist.mid"))
+    IRBuilder(mid).br(clone)
+
+    term = header.terminator
+    assert term is not None
+    for i, op in enumerate(term.operands):
+        if op is exit_block:
+            term.set_operand(i, mid)
+
+    # Clone: redirect its phi starts from preheader->mid, exits stay.
+    for phi in clone.phis():
+        for i in range(phi.num_incoming):
+            if phi.incoming_block(i) is preheader:
+                phi.set_operand(2 * i + 1, mid)
+
+    # Exit phis: they referenced header as pred; now the pred is the clone.
+    for phi in exit_block.phis():
+        for i in range(phi.num_incoming):
+            if phi.incoming_block(i) is header:
+                phi.set_operand(2 * i + 1, clone)
+
+    # Drop group-2 work from loop 1 and group-1 work from loop 2.
+    mapped_s1 = vmap[id(s1)]
+    s2.erase_from_parent()
+    mapped_s1.erase_from_parent()  # type: ignore[union-attr]
+    erase_trivially_dead(fn)
+    return True
+
+
+@register_pass
+class LoopDistribute(FunctionPass):
+    """Fission loops with independent store streams."""
+
+    name = "loop-distribute"
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = False
+        info = LoopInfo(fn)
+        for loop in info.innermost_first():
+            if _distribute(fn, loop):
+                changed = True
+                break  # structures invalidated; one fission per run
+        return changed

@@ -1,0 +1,252 @@
+"""-loop-idiom: recognize memset/memcpy loops.
+
+A single-block counting loop that only fills ``base[i]`` with a splat
+constant becomes one ``llvm.memset`` call; one that only copies
+``dst[i] = src[i]`` between provably distinct objects becomes
+``llvm.memcpy``. Both huge code-size wins — this is among the most
+valuable passes the RL agent can schedule for the size reward.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...analysis.loops import Loop, LoopInfo
+from ...analysis.memdep import underlying_object
+from ...ir.instructions import (
+    Alloca,
+    Call,
+    Cast,
+    GetElementPtr,
+    Instruction,
+    Load,
+    Phi,
+    Store,
+)
+from ...ir.module import Function, Module
+from ...ir.types import FunctionType, IntType, PointerType, I8, I64, VOID
+from ...ir.values import ConstantInt, GlobalVariable, Value
+from ..base import FunctionPass, register_pass
+from ..utils import erase_trivially_dead
+from .iv import BasicIV, LoopBounds, analyze_loop
+from .licm import is_loop_invariant
+
+
+def _get_intrinsic(module: Module, name: str, params) -> "Function":
+    from ...ir.module import Function as Fn
+
+    fn = module.get_or_insert_function(name, FunctionType(VOID, params))
+    fn.attributes.add("nounwind")
+    return fn
+
+
+def _splat_byte(value: Value) -> Optional[int]:
+    if not isinstance(value, ConstantInt):
+        return None
+    raw = value.unsigned.to_bytes(value.type.size, "little")
+    return raw[0] if all(b == raw[0] for b in raw) else None
+
+
+def _unit_stride_gep(
+    loop: Loop, pointer: Value, iv: BasicIV
+) -> Optional[Value]:
+    """If ``pointer`` is a unit-stride access ``gep base, iv`` (pointer
+    form) or ``gep base, 0, iv`` (array form) with an invariant base,
+    return the base."""
+    if not isinstance(pointer, GetElementPtr):
+        return None
+    indices = pointer.indices
+    if len(indices) == 1 and indices[0] is iv.phi:
+        pass
+    elif (
+        len(indices) == 2
+        and isinstance(indices[0], ConstantInt)
+        and indices[0].is_zero()
+        and indices[1] is iv.phi
+    ):
+        pass
+    else:
+        return None
+    base = pointer.pointer
+    if not is_loop_invariant(loop, base):
+        return None
+    return base
+
+
+def _replace_loop_with(fn: Function, loop: Loop, replacement_insts) -> None:
+    """Route the preheader straight to the exit, inserting ``replacement``
+    instructions before the preheader terminator, then delete the loop."""
+    preheader = loop.preheader()
+    exit_block = loop.exit_blocks()[0]
+    assert preheader is not None
+    term = preheader.terminator
+    assert term is not None
+    for inst in replacement_insts:
+        inst.insert_before(term)
+    exiting = [p for p in exit_block.predecessors() if loop.contains(p)]
+    for phi in exit_block.phis():
+        keep = phi.incoming_for_block(exiting[0])
+        for p in exiting:
+            phi.remove_incoming(p)
+        assert keep is not None
+        phi.add_incoming(keep, preheader)
+    for i, op in enumerate(term.operands):
+        if op is loop.header:
+            term.set_operand(i, exit_block)
+    for block in loop.blocks:
+        for inst in list(block.instructions):
+            inst.drop_all_operands()
+    for block in loop.blocks:
+        block.erase_from_parent()
+
+
+def _check_structure(fn: Function, loop: Loop) -> Optional[LoopBounds]:
+    if len(loop.blocks) != 1:
+        return None
+    if loop.preheader() is None:
+        return None
+    exits = loop.exit_blocks()
+    if len(exits) != 1:
+        return None
+    if any(not loop.contains(p) for p in exits[0].predecessors()):
+        return None
+    bounds = analyze_loop(loop)
+    if bounds is None or bounds.trip_count is None:
+        return None
+    if bounds.iv.step.value != 1 or not isinstance(bounds.iv.start, ConstantInt):
+        return None
+    # No loop value may be observed outside (exit phis must be invariant),
+    # mirroring loop-deletion's check.
+    exit_block = exits[0]
+    for block in loop.blocks:
+        for inst in block.instructions:
+            if inst.type.is_void:
+                continue
+            for use in inst.uses:
+                user = use.user
+                if not isinstance(user, Instruction) or user.parent is None:
+                    return None
+                if user.parent is exit_block and isinstance(user, Phi):
+                    return None
+                location = (
+                    user.incoming_block(use.index // 2)
+                    if isinstance(user, Phi) and use.index % 2 == 0
+                    else user.parent
+                )
+                if not loop.contains(location):
+                    return None
+    return bounds
+
+
+def _try_idiom(fn: Function, loop: Loop) -> bool:
+    bounds = _check_structure(fn, loop)
+    if bounds is None:
+        return False
+    iv = bounds.iv
+    header = loop.header
+
+    stores = [i for i in header.instructions if isinstance(i, Store)]
+    loads = [i for i in header.instructions if isinstance(i, Load)]
+    impure = [
+        i
+        for i in header.instructions
+        if i.has_side_effects and not i.is_terminator and not isinstance(i, Store)
+    ]
+    if impure or len(stores) != 1:
+        return False
+    store = stores[0]
+    dst_base = _unit_stride_gep(loop, store.pointer, iv)
+    if dst_base is None:
+        return False
+    elem_ty = store.value.type
+    if not isinstance(elem_ty, IntType):
+        return False
+    size = elem_ty.size
+    trip = bounds.trip_count
+    assert trip is not None and isinstance(iv.start, ConstantInt)
+    start = iv.start.value
+    total = trip * size
+    if total < 8:
+        return False
+    module = fn.module
+    assert module is not None
+
+    def dst_pointer(base: Value, insts: List[Instruction]) -> Value:
+        cast = Cast("bitcast", base, PointerType(I8), fn.next_name("li"))
+        insts.append(cast)
+        if start == 0:
+            return cast
+        gep = GetElementPtr(cast, [ConstantInt(I64, start * size)], fn.next_name("li"))
+        insts.append(gep)
+        return gep
+
+    # memset: the stored value is a splat constant.
+    byte = _splat_byte(store.value)
+    if byte is not None and not loads:
+        memset = _get_intrinsic(
+            module, "llvm.memset.p0i8.i64", [PointerType(I8), I8, I64]
+        )
+        insts: List[Instruction] = []
+        dst = dst_pointer(dst_base, insts)
+        insts.append(
+            Call(memset, [dst, ConstantInt(I8, byte), ConstantInt(I64, total)])
+        )
+        _replace_loop_with(fn, loop, insts)
+        return True
+
+    # memcpy: the stored value is a load of src[i] from a distinct object.
+    if len(loads) == 1 and store.value is loads[0]:
+        load = loads[0]
+        src_base = _unit_stride_gep(loop, load.pointer, iv)
+        if src_base is None or load.type != elem_ty:
+            return False
+        a = underlying_object(src_base)
+        b = underlying_object(dst_base)
+        identified = (Alloca, GlobalVariable)
+        if not (
+            isinstance(a, identified) and isinstance(b, identified) and a is not b
+        ):
+            return False
+        memcpy = _get_intrinsic(
+            module,
+            "llvm.memcpy.p0i8.p0i8.i64",
+            [PointerType(I8), PointerType(I8), I64],
+        )
+        insts = []
+        dst = dst_pointer(dst_base, insts)
+        src_cast = Cast("bitcast", src_base, PointerType(I8), fn.next_name("li"))
+        insts.append(src_cast)
+        src: Value = src_cast
+        if start:
+            src_gep = GetElementPtr(
+                src_cast, [ConstantInt(I64, start * size)], fn.next_name("li")
+            )
+            insts.append(src_gep)
+            src = src_gep
+        insts.append(Call(memcpy, [dst, src, ConstantInt(I64, total)]))
+        _replace_loop_with(fn, loop, insts)
+        return True
+    return False
+
+
+@register_pass
+class LoopIdiom(FunctionPass):
+    """Collapse memset/memcpy-shaped loops into intrinsic calls."""
+
+    name = "loop-idiom"
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = False
+        for _ in range(4):
+            info = LoopInfo(fn)
+            round_changed = False
+            for loop in info.innermost_first():
+                if _try_idiom(fn, loop):
+                    round_changed = True
+                    break
+            changed |= round_changed
+            if not round_changed:
+                break
+        if changed:
+            erase_trivially_dead(fn)
+        return changed

@@ -1,0 +1,207 @@
+"""-loop-rotate: turn top-test (while) loops into bottom-test (do-while)
+form guarded by one copy of the test.
+
+Shape required (checked, else the loop is left alone):
+
+* preheader ``P`` (single edge into the header),
+* header ``H`` is the unique exiting block, ending ``br cond, B, E``
+  with ``B`` in the loop and ``E`` the unique, dedicated exit,
+* single latch.
+
+The header body (everything but phis and the terminator) is cloned into
+``P`` — this is the first iteration's execution, moved, not duplicated,
+because ``P`` then branches straight to ``B``/``E`` past ``H``. Values
+defined in ``H`` and used elsewhere are stitched up with phis in ``B`` and
+``E``. Rotation is what lets LICM hoist into a block guarded by the loop
+test — its classic role, and why ``-Oz`` always pairs them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ...analysis.loops import Loop, LoopInfo
+from ...ir.builder import IRBuilder
+from ...ir.instructions import Branch, Instruction, Phi
+from ...ir.module import BasicBlock, Function
+from ...ir.values import Value
+from ..base import FunctionPass, register_pass
+
+#: Do not duplicate header bodies larger than this into the preheader.
+ROTATION_SIZE_LIMIT = 16
+
+
+def _rotate(fn: Function, loop: Loop) -> bool:
+    header = loop.header
+    preheader = loop.preheader()
+    latch = loop.single_latch
+    if preheader is None or latch is None or latch is header:
+        return False  # already bottom-test (or not canonical)
+
+    term = header.terminator
+    if not isinstance(term, Branch) or not term.is_conditional:
+        return False
+    exiting = loop.exiting_blocks()
+    if exiting != [header]:
+        return False
+    exits = loop.exit_blocks()
+    if len(exits) != 1:
+        return False
+    exit_block = exits[0]
+    if any(not loop.contains(p) for p in exit_block.predecessors()):
+        return False  # needs dedicated exit (loop-simplify provides it)
+
+    if loop.contains(term.true_target):
+        body_target, exit_target = term.true_target, term.false_target
+    else:
+        body_target, exit_target = term.false_target, term.true_target
+    if exit_target is not exit_block or body_target is header:
+        return False
+
+    body = [
+        i for i in header.instructions if not isinstance(i, Phi) and i is not term
+    ]
+    if len(body) > ROTATION_SIZE_LIMIT:
+        return False
+
+    # A latch incoming defined in the header itself (loop-carried through
+    # the header's own body, or an inter-dependent phi pair) cannot be
+    # substituted for the phi in straight-line order; bail on those shapes.
+    for phi in header.phis():
+        latch_value = phi.incoming_for_block(latch)
+        if (
+            isinstance(latch_value, Instruction)
+            and latch_value.parent is header
+        ):
+            return False
+
+    # --- clone the header body into the preheader -------------------------
+    vmap: Dict[int, Value] = {}
+    for phi in header.phis():
+        from_pre = phi.incoming_for_block(preheader)
+        assert from_pre is not None
+        vmap[id(phi)] = from_pre
+    pre_term = preheader.terminator
+    assert pre_term is not None
+    for inst in body:
+        clone = inst.clone_impl([vmap.get(id(op), op) for op in inst.operands])
+        clone.meta = dict(inst.meta)
+        if not clone.type.is_void:
+            clone.name = fn.next_name(inst.name or "rot")
+        clone.insert_before(pre_term)
+        vmap[id(inst)] = clone
+
+    # --- retarget the preheader: cond branch to body/exit ------------------
+    cond = term.condition
+    new_cond = vmap.get(id(cond), cond)
+    pre_term.erase_from_parent()
+    pre_builder = IRBuilder(preheader)
+    if loop.contains(term.true_target):
+        pre_builder.cond_br(new_cond, body_target, exit_block)
+    else:
+        pre_builder.cond_br(new_cond, exit_block, body_target)
+
+    # --- stitch values defined in H into B and E ----------------------------
+    # Collect (value-in-H, value-from-P) pairs that need merging.
+    merged: List = []
+    for phi in header.phis():
+        latch_value = phi.incoming_for_block(latch)
+        assert latch_value is not None
+        merged.append((phi, vmap[id(phi)], latch_value))
+    for inst in body:
+        if not inst.type.is_void:
+            merged.append((inst, vmap[id(inst)], inst))
+
+    def stitch(target: BasicBlock) -> Dict[int, Phi]:
+        """Create phis in `target` merging P-path and H-path values."""
+        phis: Dict[int, Phi] = {}
+        other_preds = [
+            p for p in target.predecessors() if p is not preheader and p is not header
+        ]
+        for original, from_pre, in_loop in merged:
+            phi = Phi(original.type, fn.next_name((original.name or "r") + ".rot"))
+            target.insert(0, phi)
+            phi.add_incoming(from_pre, preheader)
+            phi.add_incoming(in_loop, header)
+            for pred in other_preds:
+                # Other in-loop edges into B do not pass H, so the value is
+                # unchanged since B was last entered: the phi itself.
+                phi.add_incoming(phi, pred)
+            phis[id(original)] = phi
+        return phis
+
+    body_phis = stitch(body_target)
+    exit_phis = stitch(exit_block)
+
+    # Existing phis in B/E that had an incoming from H need one from P too.
+    for target in (body_target, exit_block):
+        for phi in target.phis():
+            incoming_h = phi.incoming_for_block(header)
+            if incoming_h is None or phi.incoming_for_block(preheader) is not None:
+                continue
+            mapped = vmap.get(id(incoming_h), incoming_h)
+            phi.add_incoming(mapped, preheader)
+
+    # --- rewrite uses -------------------------------------------------------
+    header_ids = {id(i) for i in header.instructions}
+    for original, from_pre, in_loop in merged:
+        for use in list(original.uses):
+            user = use.user
+            if not isinstance(user, Instruction) or user.parent is None:
+                continue
+            if user.parent is header:
+                continue  # stays on the H path
+            if isinstance(user, Phi):
+                if use.index % 2 == 1:
+                    continue
+                pred = user.incoming_block(use.index // 2)
+                if pred is header:
+                    continue  # the H-path incoming we created/kept
+                location = pred
+            else:
+                location = user.parent
+            if id(user) in {id(p) for p in body_phis.values()} or id(user) in {
+                id(p) for p in exit_phis.values()
+            }:
+                continue
+            # In-loop uses see the B phi; out-of-loop uses see the E phi.
+            if loop.contains(location):
+                user.set_operand(use.index, body_phis[id(original)])
+            else:
+                user.set_operand(use.index, exit_phis[id(original)])
+
+    # --- header phis now have a single pred (the latch) ----------------------
+    for phi in list(header.phis()):
+        phi.remove_incoming(preheader)
+        latch_value = phi.incoming_for_block(latch)
+        assert latch_value is not None
+        phi.replace_all_uses_with(latch_value)
+        phi.erase_from_parent()
+
+    # Drop unused stitch phis.
+    for phis in (body_phis, exit_phis):
+        for phi in phis.values():
+            if phi.parent is not None and not phi.has_uses:
+                phi.erase_from_parent()
+    return True
+
+
+@register_pass
+class LoopRotate(FunctionPass):
+    """Rotate while-loops into guarded do-while form."""
+
+    name = "loop-rotate"
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = False
+        for _ in range(4):
+            info = LoopInfo(fn)
+            round_changed = False
+            for loop in info.innermost_first():
+                if _rotate(fn, loop):
+                    round_changed = True
+                    break  # loop structures invalidated; recompute
+            changed |= round_changed
+            if not round_changed:
+                break
+        return changed

@@ -1,0 +1,157 @@
+"""-loop-unroll: full unrolling of small constant-trip-count loops.
+
+At ``-Oz`` LLVM only unrolls when it will not grow code, so the thresholds
+here are deliberately tight: single-block loops with a known trip count
+whose unrolled size stays under a small budget. The loop body is cloned
+trip-count times straight into the preheader and the loop block deleted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ...analysis.loops import Loop, LoopInfo
+from ...ir.instructions import Instruction, Phi
+from ...ir.module import Function
+from ...ir.values import Value
+from ..base import FunctionPass, register_pass
+from ..utils import erase_trivially_dead
+from .iv import analyze_loop
+
+#: Unrolled body may not exceed this many instructions.
+UNROLL_SIZE_BUDGET = 48
+#: Max trip count considered for full unrolling.
+UNROLL_MAX_TRIP = 16
+
+
+def _full_unroll(
+    fn: Function,
+    loop: Loop,
+    size_budget: int = UNROLL_SIZE_BUDGET,
+    max_trip: int = UNROLL_MAX_TRIP,
+) -> bool:
+    if len(loop.blocks) != 1:
+        return False
+    header = loop.header
+    if loop.single_latch is not header:
+        return False
+    preheader = loop.preheader()
+    if preheader is None:
+        return False
+    exits = loop.exit_blocks()
+    if len(exits) != 1:
+        return False
+    exit_block = exits[0]
+    if any(p is not header for p in exit_block.predecessors()):
+        return False
+
+    bounds = analyze_loop(loop)
+    if bounds is None or bounds.trip_count is None:
+        return False
+    trip = bounds.trip_count
+    if trip < 1 or trip > max_trip:
+        return False
+    body = [
+        i
+        for i in header.instructions
+        if not isinstance(i, Phi) and not i.is_terminator
+    ]
+    if trip * len(body) > size_budget:
+        return False
+
+    phis = header.phis()
+    # current[] maps header values to their value entering iteration k.
+    current: Dict[int, Value] = {}
+    for phi in phis:
+        start = phi.incoming_for_block(preheader)
+        assert start is not None
+        current[id(phi)] = start
+
+    pre_term = preheader.terminator
+    assert pre_term is not None
+
+    latch_values = {
+        id(phi): phi.incoming_for_block(header) for phi in phis
+    }
+
+    iteration_map: Dict[int, Value] = dict(current)
+    for _ in range(trip):
+        iteration_map = dict(current)
+        for inst in body:
+            clone = inst.clone_impl(
+                [iteration_map.get(id(op), op) for op in inst.operands]
+            )
+            clone.meta = dict(inst.meta)
+            if not clone.type.is_void:
+                clone.name = fn.next_name(inst.name or "u")
+            clone.insert_before(pre_term)
+            iteration_map[id(inst)] = clone
+        for phi in phis:
+            next_value = latch_values[id(phi)]
+            assert next_value is not None
+            current[id(phi)] = iteration_map.get(id(next_value), next_value)
+        # Non-phi header values carry their latest clone forward.
+        for inst in body:
+            current[id(inst)] = iteration_map[id(inst)]
+
+    # Values observed at the exit are those of the *final* iteration: a
+    # header phi's exit-visible value is its value on entry to the last
+    # body execution (iteration_map), not the would-be next-iteration value
+    # (current).
+    final_values = iteration_map
+
+    # Retarget the preheader at the exit, bypassing the loop entirely.
+    for i, op in enumerate(pre_term.operands):
+        if op is header:
+            pre_term.set_operand(i, exit_block)
+
+    # Exit-block phis: their header incoming becomes the final unrolled
+    # value, now arriving from the preheader.
+    for phi in exit_block.phis():
+        incoming = phi.incoming_for_block(header)
+        if incoming is None:
+            continue
+        final = final_values.get(id(incoming), incoming)
+        phi.remove_incoming(header)
+        phi.add_incoming(final, preheader)
+
+    # Any other out-of-loop uses of loop-defined values get final values.
+    for inst in list(header.instructions):
+        if inst.type.is_void:
+            continue
+        final = final_values.get(id(inst))
+        if final is not None and inst.has_uses:
+            inst.replace_all_uses_with(final)
+
+    header.erase_from_parent()
+    erase_trivially_dead(fn)
+    return True
+
+
+@register_pass
+class LoopUnroll(FunctionPass):
+    """Fully unroll tiny constant-trip-count loops."""
+
+    name = "loop-unroll"
+
+    def __init__(
+        self,
+        size_budget: int = UNROLL_SIZE_BUDGET,
+        max_trip: int = UNROLL_MAX_TRIP,
+    ):
+        self.size_budget = size_budget
+        self.max_trip = max_trip
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = False
+        for _ in range(4):
+            info = LoopInfo(fn)
+            round_changed = False
+            for loop in info.innermost_first():
+                if _full_unroll(fn, loop, self.size_budget, self.max_trip):
+                    round_changed = True
+                    break
+            changed |= round_changed
+            if not round_changed:
+                break
+        return changed

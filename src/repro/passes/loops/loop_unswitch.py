@@ -1,0 +1,139 @@
+"""-loop-unswitch: hoist loop-invariant conditions out of loops by
+duplicating the loop body.
+
+The loop is cloned; the preheader branches on the invariant condition to
+the original (condition pinned ``true``) or the clone (pinned ``false``).
+Execution gets a branch-free body; code size pays for the copy — the
+sharpest size/speed tradeoff in the pipeline, and a pass the RL agent must
+learn to schedule (or avoid) depending on the reward weights.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ...analysis.loops import Loop, LoopInfo
+from ...ir.builder import IRBuilder
+from ...ir.clone import clone_blocks_into
+from ...ir.instructions import Branch, Instruction, Phi
+from ...ir.module import BasicBlock, Function
+from ...ir.types import I1
+from ...ir.values import ConstantInt, Value
+from ..base import FunctionPass, register_pass
+from .licm import is_loop_invariant
+
+#: Loops larger than this are not duplicated.
+UNSWITCH_SIZE_LIMIT = 40
+
+
+def _find_invariant_branch(loop: Loop) -> Optional[Branch]:
+    for block in loop.blocks:
+        term = block.terminator
+        if (
+            isinstance(term, Branch)
+            and term.is_conditional
+            and not isinstance(term.condition, ConstantInt)
+            and is_loop_invariant(loop, term.condition)
+            # Both sides must stay in the loop: unswitching exit conditions
+            # changes trip semantics and is not attempted.
+            and loop.contains(term.true_target)
+            and loop.contains(term.false_target)
+            and term.true_target is not term.false_target
+        ):
+            return term
+    return None
+
+
+def _loop_values_used_outside(loop: Loop) -> bool:
+    exit_ids = {id(b) for b in loop.exit_blocks()}
+    for block in loop.blocks:
+        for inst in block.instructions:
+            if inst.type.is_void:
+                continue
+            for use in inst.uses:
+                user = use.user
+                if not isinstance(user, Instruction) or user.parent is None:
+                    return True
+                if isinstance(user, Phi) and id(user.parent) in exit_ids:
+                    continue  # LCSSA phi: fixable during cloning
+                location = (
+                    user.incoming_block(use.index // 2)
+                    if isinstance(user, Phi) and use.index % 2 == 0
+                    else user.parent
+                )
+                if not loop.contains(location):
+                    return True
+    return False
+
+
+def _unswitch(fn: Function, loop: Loop) -> bool:
+    preheader = loop.preheader()
+    if preheader is None:
+        return False
+    if sum(len(b.instructions) for b in loop.blocks) > UNSWITCH_SIZE_LIMIT:
+        return False
+    branch = _find_invariant_branch(loop)
+    if branch is None:
+        return False
+    exits = loop.exit_blocks()
+    if any(
+        any(not loop.contains(p) for p in e.predecessors()) for e in exits
+    ):
+        return False  # need dedicated exits for phi fix-up
+    if _loop_values_used_outside(loop):
+        return False  # out-of-loop uses must go through exit phis
+
+    cond = branch.condition
+
+    # Clone the loop body. Values defined outside map to themselves.
+    vmap: Dict[int, Value] = {}
+    blocks = list(loop.blocks)
+    clone_blocks_into(fn, blocks, vmap, name_suffix=".us")
+
+    # Exit phis gain incoming edges from the cloned exiting blocks.
+    for exit_block in exits:
+        for phi in exit_block.phis():
+            for i in range(phi.num_incoming):
+                pred = phi.incoming_block(i)
+                mapped_pred = vmap.get(id(pred))
+                if mapped_pred is None:
+                    continue
+                value = phi.incoming_value(i)
+                phi.add_incoming(
+                    vmap.get(id(value), value), mapped_pred  # type: ignore[arg-type]
+                )
+
+    # Preheader now dispatches on the invariant condition.
+    term = preheader.terminator
+    assert term is not None
+    cloned_header = vmap[id(loop.header)]
+    term.erase_from_parent()
+    IRBuilder(preheader).cond_br(cond, loop.header, cloned_header)  # type: ignore[arg-type]
+
+    # Cloned header phis: their preheader incoming survives the clone (it
+    # mapped to itself); nothing further needed. Pin the condition.
+    branch.set_operand(0, ConstantInt(I1, 1))
+    cloned_branch = vmap[id(branch)]
+    cloned_branch.set_operand(0, ConstantInt(I1, 0))  # type: ignore[union-attr]
+    return True
+
+
+@register_pass
+class LoopUnswitch(FunctionPass):
+    """Duplicate loops to remove invariant in-loop branches."""
+
+    name = "loop-unswitch"
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = False
+        for _ in range(2):
+            info = LoopInfo(fn)
+            round_changed = False
+            for loop in info.innermost_first():
+                if _unswitch(fn, loop):
+                    round_changed = True
+                    break
+            changed |= round_changed
+            if not round_changed:
+                break
+        return changed

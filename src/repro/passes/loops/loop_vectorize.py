@@ -1,0 +1,283 @@
+"""-loop-vectorize: innermost-loop auto-vectorization (VF = 4).
+
+Handles the canonical profile produced by ``-loop-rotate`` +
+``-loop-distribute``: a single-block counting loop with unit-stride
+``gep(base, i)`` accesses and elementwise arithmetic. The trip count must
+be a known constant divisible by the vector factor, so no scalar epilogue
+is needed and the transformation is exactly semantics-preserving.
+
+Vectorization usually *grows* code slightly (splat setup) while cutting
+cycles ~VF-fold — the mirror image of the unswitch tradeoff, giving the RL
+agent a genuine scheduling decision under the combined reward.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ...analysis.loops import Loop, LoopInfo
+from ...ir.builder import IRBuilder
+from ...ir.instructions import (
+    BinaryOp,
+    Branch,
+    Cast,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Store,
+)
+from ...ir.module import BasicBlock, Function
+from ...ir.types import IntType, PointerType, VectorType
+from ...ir.values import Constant, ConstantInt, ConstantVector, Value
+from ..base import FunctionPass, register_pass
+from ..utils import erase_trivially_dead
+from .iv import analyze_loop
+from .licm import is_loop_invariant
+
+VF = 4  # vector factor
+
+
+def _vectorize(fn: Function, loop: Loop) -> bool:
+    if len(loop.blocks) != 1:
+        return False
+    header = loop.header
+    preheader = loop.preheader()
+    if preheader is None:
+        return False
+    exits = loop.exit_blocks()
+    if len(exits) != 1:
+        return False
+    exit_block = exits[0]
+    if any(not loop.contains(p) for p in exit_block.predecessors()):
+        return False
+    bounds = analyze_loop(loop)
+    if (
+        bounds is None
+        or bounds.trip_count is None
+        or bounds.trip_count < VF * 2
+        or bounds.trip_count % VF != 0
+        or bounds.iv.step.value != 1
+        or not isinstance(bounds.iv.start, ConstantInt)
+    ):
+        return False
+    iv = bounds.iv
+
+    # No loop value observed outside.
+    for inst in header.instructions:
+        if inst.type.is_void:
+            continue
+        for use in inst.uses:
+            user = use.user
+            if not isinstance(user, Instruction) or user.parent is not header:
+                return False
+
+    # Classify the body. Every instruction must fit a known role.
+    geps: List[GetElementPtr] = []
+    body: List[Instruction] = []
+    for inst in header.instructions:
+        if inst is iv.phi or inst is iv.increment or inst is bounds.compare:
+            continue
+        if inst.is_terminator:
+            continue
+        if isinstance(inst, Phi):
+            return False  # reductions/recurrences not handled
+        if isinstance(inst, GetElementPtr):
+            indices = inst.indices
+            unit_stride = (
+                len(indices) == 1 and indices[0] is iv.phi
+            ) or (
+                len(indices) == 2
+                and isinstance(indices[0], ConstantInt)
+                and indices[0].is_zero()
+                and indices[1] is iv.phi
+            )
+            if unit_stride and is_loop_invariant(loop, inst.pointer):
+                geps.append(inst)
+                continue
+            return False
+        if isinstance(inst, Load):
+            if not isinstance(inst.pointer, GetElementPtr):
+                return False
+            body.append(inst)
+            continue
+        if isinstance(inst, Store):
+            if not isinstance(inst.pointer, GetElementPtr):
+                return False
+            body.append(inst)
+            continue
+        if isinstance(inst, BinaryOp) and not inst.is_division:
+            if not (isinstance(inst.type, IntType) or inst.type.is_float):
+                return False
+            body.append(inst)
+            continue
+        return False
+    gep_ids = {id(g) for g in geps}
+    body_ids = {id(b) for b in body}
+
+    def defined_value_ok(value: Value) -> bool:
+        if isinstance(value, Constant) or is_loop_invariant(loop, value):
+            return True
+        return id(value) in body_ids or value is iv.phi
+
+    for inst in body:
+        pointer = inst.pointer if isinstance(inst, (Load, Store)) else None
+        if pointer is not None and id(pointer) not in gep_ids:
+            return False
+        for op in inst.operands:
+            if op is pointer:
+                continue  # the unit-stride gep, handled structurally
+            if isinstance(op, GetElementPtr) and id(op) in gep_ids:
+                return False  # loop geps may only be memory addresses
+            if not defined_value_ok(op):
+                return False
+
+    # Same-index accesses mean no cross-lane dependences; distinct lanes of
+    # the same vector iteration touch distinct addresses.
+
+    # --- emit the vector loop ---------------------------------------------
+    start = iv.start
+    trip = bounds.trip_count
+    elem_splats: Dict[int, Value] = {}
+
+    vheader = fn.add_block(fn.next_name("vec.body"))
+    vb = IRBuilder(vheader)
+
+    def splat(value: Value, ty: VectorType) -> Value:
+        from ...ir.values import ConstantFloat, UndefValue
+        from ...ir.instructions import InsertElement
+
+        if isinstance(value, (ConstantInt, ConstantFloat)):
+            return ConstantVector.splat(ty, value)
+        key = (id(value), ty._key())
+        cached = elem_splats.get(key)  # type: ignore[arg-type]
+        if cached is not None:
+            return cached
+        # Build the splat in the preheader with insertelements.
+        pre_term = preheader.terminator
+        vec: Value = UndefValue(ty)
+        for lane in range(ty.count):
+            node = InsertElement(vec, value, ConstantInt(IntType(32), lane))
+            node.name = fn.next_name("splat")
+            node.insert_before(pre_term)
+            vec = node
+        elem_splats[key] = vec  # type: ignore[index]
+        return vec
+
+    viv = Phi(iv.phi.type, fn.next_name("viv"))
+    vheader.append(viv)
+    vmap: Dict[int, Value] = {}
+
+    for inst in header.instructions:
+        if inst is iv.phi or inst is iv.increment or inst is bounds.compare:
+            continue
+        if inst.is_terminator or isinstance(inst, GetElementPtr):
+            continue
+        if isinstance(inst, Load):
+            gep = inst.pointer
+            assert isinstance(gep, GetElementPtr)
+            vty = VectorType(inst.type, VF)
+            addr = vb.gep(gep.pointer, _vec_indices(gep, iv, viv), fn.next_name("vg"))
+            vptr = vb.bitcast(addr, PointerType(vty), fn.next_name("vp"))
+            vmap[id(inst)] = vb.load(vptr, fn.next_name("vl"))
+        elif isinstance(inst, Store):
+            gep = inst.pointer
+            assert isinstance(gep, GetElementPtr)
+            elem_ty = inst.value.type
+            vty = VectorType(elem_ty, VF)
+            value = vmap.get(id(inst.value))
+            if value is None:
+                if inst.value is iv.phi:
+                    value = _iv_vector(vb, fn, viv, vty)
+                else:
+                    value = splat(inst.value, vty)
+            addr = vb.gep(gep.pointer, _vec_indices(gep, iv, viv), fn.next_name("vg"))
+            vptr = vb.bitcast(addr, PointerType(vty), fn.next_name("vp"))
+            vb.store(value, vptr)
+        elif isinstance(inst, BinaryOp):
+            vty = VectorType(inst.type, VF)  # type: ignore[arg-type]
+
+            def vec_operand(op: Value) -> Value:
+                mapped = vmap.get(id(op))
+                if mapped is not None:
+                    return mapped
+                if op is iv.phi:
+                    return _iv_vector(vb, fn, viv, vty)
+                return splat(op, vty)
+
+            vmap[id(inst)] = vb.binary(
+                inst.opcode,
+                vec_operand(inst.lhs),
+                vec_operand(inst.rhs),
+                fn.next_name("vo"),
+            )
+
+    next_viv = vb.add(viv, ConstantInt(iv.phi.type, VF), fn.next_name("viv.next"))  # type: ignore[arg-type]
+    end = ConstantInt(iv.phi.type, start.value + trip)  # type: ignore[arg-type]
+    vcond = vb.icmp("ne", next_viv, end, fn.next_name("vc"))
+    vb.cond_br(vcond, vheader, exit_block)
+    viv.add_incoming(start, preheader)
+    viv.add_incoming(next_viv, vheader)
+
+    # Rewire preheader to the vector loop and retire the scalar loop.
+    pre_term = preheader.terminator
+    assert pre_term is not None
+    for i, op in enumerate(pre_term.operands):
+        if op is header:
+            pre_term.set_operand(i, vheader)
+    for phi in exit_block.phis():
+        for i in range(phi.num_incoming):
+            if phi.incoming_block(i) is header:
+                phi.set_operand(2 * i + 1, vheader)
+    for inst in list(header.instructions):
+        inst.drop_all_operands()
+    header.erase_from_parent()
+    erase_trivially_dead(fn)
+    return True
+
+
+def _vec_indices(gep: GetElementPtr, iv, viv: Value):
+    """The original gep's indices with the IV replaced by the vector IV."""
+    return [viv if idx is iv.phi else idx for idx in gep.indices]
+
+
+def _iv_vector(vb: IRBuilder, fn: Function, viv: Value, vty: VectorType) -> Value:
+    """<viv, viv+1, viv+2, viv+3> built as splat(viv) + <0,1,2,3> once per
+    vector-loop iteration (cheap: one splat chain + one vector add)."""
+    from ...ir.values import UndefValue
+    from ...ir.instructions import InsertElement
+
+    cached = getattr(vb, "_iv_vector_cache", None)
+    if cached is not None and cached[0] is viv and cached[1] == vty:
+        return cached[2]
+    vec: Value = UndefValue(vty)
+    for lane in range(vty.count):
+        node = InsertElement(vec, viv, ConstantInt(IntType(32), lane))
+        node.name = fn.next_name("ivv")
+        vb.block.append(node)
+        vec = node
+    steps = ConstantVector(
+        vty, [ConstantInt(vty.element, lane) for lane in range(vty.count)]  # type: ignore[arg-type]
+    )
+    out = BinaryOp("add", vec, steps)
+    out.name = fn.next_name("ivv")
+    vb.block.append(out)
+    vb._iv_vector_cache = (viv, vty, out)  # type: ignore[attr-defined]
+    return out
+
+
+@register_pass
+class LoopVectorize(FunctionPass):
+    """Vectorize canonical unit-stride innermost loops (VF=4)."""
+
+    name = "loop-vectorize"
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = False
+        info = LoopInfo(fn)
+        for loop in info.innermost_first():
+            if _vectorize(fn, loop):
+                changed = True
+                break
+        return changed

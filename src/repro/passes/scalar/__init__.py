@@ -1,0 +1,21 @@
+"""Scalar (function-level) optimization passes."""
+
+from . import (  # noqa: F401 - importing registers the passes
+    correlated_propagation,
+    dce,
+    dse,
+    early_cse,
+    gvn,
+    instcombine,
+    instsimplify,
+    jump_threading,
+    mem2reg,
+    memopt,
+    misc,
+    reassociate,
+    sccp,
+    simplifycfg,
+    speculative_execution,
+    sroa,
+    tailcallelim,
+)

@@ -1,0 +1,90 @@
+"""-correlated-propagation: exploit dominating branch conditions.
+
+Inside the region dominated by a branch side that is entered only through
+that branch, the branch condition is a known boolean, and an ``icmp eq x, C``
+condition additionally pins ``x`` to ``C``. Both facts are propagated into
+dominated uses — LLVM's CorrelatedValuePropagation, minus the range
+analysis.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ...analysis.dominators import DominatorTree
+from ...ir.instructions import Branch, ICmp, Instruction, Phi
+from ...ir.module import BasicBlock, Function
+from ...ir.types import I1
+from ...ir.values import Constant, ConstantInt, Value
+from ..base import FunctionPass, register_pass
+from ..utils import erase_trivially_dead
+
+
+def _replace_dominated_uses(
+    dom: DominatorTree, value: Value, replacement: Value, region_root: BasicBlock
+) -> bool:
+    """Replace uses of ``value`` whose use-point lies in blocks dominated by
+    ``region_root`` (phi uses count at the incoming block)."""
+    changed = False
+    for use in list(value.uses):
+        user = use.user
+        if not isinstance(user, Instruction) or user.parent is None:
+            continue
+        if isinstance(user, Phi):
+            if use.index % 2 != 0:
+                continue  # a block operand, never replaced here
+            pred = user.operand(use.index + 1)
+            location = pred
+        else:
+            location = user.parent
+        if location is None:
+            continue
+        if dom.dominates_block(region_root, location):  # type: ignore[arg-type]
+            user.set_operand(use.index, replacement)
+            changed = True
+    return changed
+
+
+@register_pass
+class CorrelatedPropagation(FunctionPass):
+    """Propagate branch-implied equalities into dominated code."""
+
+    name = "correlated-propagation"
+
+    def run_on_function(self, fn: Function) -> bool:
+        dom = DominatorTree(fn)
+        changed = False
+        for block in list(fn.blocks):
+            term = block.terminator
+            if not isinstance(term, Branch) or not term.is_conditional:
+                continue
+            cond = term.condition
+            if isinstance(cond, Constant):
+                continue
+            for taken, edge_value in ((term.true_target, 1), (term.false_target, 0)):
+                other = term.false_target if edge_value else term.true_target
+                if taken is other:
+                    continue
+                # The fact only holds if `taken` is entered exclusively via
+                # this edge.
+                if taken.predecessors() != [block]:
+                    continue
+                if not dom.is_reachable(taken):
+                    continue
+                # Fact 1: the condition itself is a known boolean.
+                changed |= _replace_dominated_uses(
+                    dom, cond, ConstantInt(I1, edge_value), taken
+                )
+                # Fact 2: `icmp eq x, C` pins x to C on the true side
+                # (and `icmp ne x, C` pins it on the false side).
+                if isinstance(cond, ICmp) and isinstance(cond.rhs, Constant):
+                    pins = (cond.predicate == "eq" and edge_value == 1) or (
+                        cond.predicate == "ne" and edge_value == 0
+                    )
+                    if pins and not isinstance(cond.lhs, Constant):
+                        changed |= _replace_dominated_uses(
+                            dom, cond.lhs, cond.rhs, taken
+                        )
+        if changed:
+            erase_trivially_dead(fn)
+        return changed

@@ -1,0 +1,214 @@
+"""Dead-code elimination family: -dce, -adce, -bdce.
+
+* ``dce``: sweep trivially dead instructions (no uses, no side effects).
+* ``adce``: aggressive DCE — liveness is seeded from side-effecting roots
+  and propagated through operands, so mutually-referential dead phi webs
+  die too.
+* ``bdce``: bit-tracking DCE — computes demanded bits per integer value and
+  deletes computations none of whose bits are demanded (plus everything
+  plain DCE removes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from ...ir.instructions import (
+    BinaryOp,
+    Cast,
+    Instruction,
+    Phi,
+)
+from ...ir.module import Function
+from ...ir.types import IntType
+from ...ir.values import ConstantInt, Value
+from ..base import FunctionPass, register_pass
+from ..utils import erase_trivially_dead
+
+
+@register_pass
+class DCE(FunctionPass):
+    """Remove trivially dead instructions."""
+
+    name = "dce"
+
+    def run_on_function(self, fn: Function) -> bool:
+        return erase_trivially_dead(fn)
+
+
+@register_pass
+class ADCE(FunctionPass):
+    """Aggressive DCE via root-set liveness propagation."""
+
+    name = "adce"
+
+    def run_on_function(self, fn: Function) -> bool:
+        live: Set[int] = set()
+        worklist: List[Instruction] = []
+
+        for inst in fn.instructions():
+            if inst.has_side_effects or inst.is_terminator:
+                live.add(id(inst))
+                worklist.append(inst)
+
+        while worklist:
+            inst = worklist.pop()
+            for op in inst.operands:
+                if isinstance(op, Instruction) and id(op) not in live:
+                    live.add(id(op))
+                    worklist.append(op)
+
+        changed = False
+        for block in fn.blocks:
+            for inst in reversed(list(block.instructions)):
+                if id(inst) not in live:
+                    from ...ir.values import UndefValue
+
+                    if inst.has_uses:  # uses are all dead too; break cycles
+                        inst.replace_all_uses_with(UndefValue(inst.type))
+                    inst.erase_from_parent()
+                    changed = True
+        return changed
+
+
+_ALL_BITS = (1 << 64) - 1
+
+
+def _demanded_through(user: Instruction, operand_index: int, demanded_of_user: int) -> int:
+    """Bits of the operand demanded, given the bits demanded of the user."""
+    if isinstance(user, BinaryOp):
+        op = user.opcode
+        if op in ("and", "or", "xor", "add", "sub"):
+            # add/sub: bit i of an input affects only bits >= i of the output.
+            if op in ("add", "sub"):
+                if demanded_of_user == 0:
+                    return 0
+                high = demanded_of_user.bit_length()
+                return (1 << high) - 1
+            return demanded_of_user
+        if op == "shl" and operand_index == 0:
+            if isinstance(user.rhs, ConstantInt):
+                return demanded_of_user >> user.rhs.value if user.rhs.value >= 0 else _ALL_BITS
+        if op in ("lshr", "ashr") and operand_index == 0:
+            if isinstance(user.rhs, ConstantInt) and user.rhs.value >= 0:
+                return (demanded_of_user << user.rhs.value) & _ALL_BITS
+        return _ALL_BITS
+    if isinstance(user, Cast):
+        if user.opcode == "trunc" and isinstance(user.type, IntType):
+            return demanded_of_user & user.type.max_unsigned
+        if user.opcode in ("zext", "sext"):
+            return demanded_of_user
+        return _ALL_BITS
+    if isinstance(user, Phi):
+        return demanded_of_user
+    return _ALL_BITS
+
+
+def _known_zero_bits(inst: Instruction, known: Dict[int, int]) -> int:
+    """Forward known-zero mask for integer instructions (constants and
+    earlier instructions consulted through ``known``)."""
+
+    def zeros_of(value) -> int:
+        if isinstance(value, ConstantInt):
+            return ~value.unsigned & _ALL_BITS
+        if isinstance(value, Instruction):
+            return known.get(id(value), 0)
+        return 0
+
+    if not isinstance(inst.type, IntType):
+        return 0
+    width_mask = inst.type.max_unsigned
+    high_zero = _ALL_BITS & ~width_mask  # bits above the type width
+
+    if isinstance(inst, BinaryOp):
+        op = inst.opcode
+        lz, rz = zeros_of(inst.lhs), zeros_of(inst.rhs)
+        if op == "and":
+            return (lz | rz) | high_zero
+        if op in ("or", "xor"):
+            return (lz & rz) | high_zero
+        if op == "shl" and isinstance(inst.rhs, ConstantInt):
+            shift = inst.rhs.value % inst.type.bits
+            return (((lz << shift) | ((1 << shift) - 1)) & width_mask) | high_zero
+        if op == "lshr" and isinstance(inst.rhs, ConstantInt):
+            shift = inst.rhs.value % inst.type.bits
+            shifted = (lz & width_mask) >> shift
+            top = width_mask & ~(width_mask >> shift)
+            return shifted | top | high_zero
+        return high_zero
+    if isinstance(inst, Cast):
+        vz = zeros_of(inst.value)
+        if inst.opcode == "zext":
+            src_mask = inst.value.type.max_unsigned  # type: ignore[union-attr]
+            return (vz & src_mask) | (width_mask & ~src_mask) | high_zero
+        if inst.opcode == "trunc":
+            return (vz & width_mask) | high_zero
+        return high_zero
+    return 0
+
+
+@register_pass
+class BDCE(FunctionPass):
+    """Bit-tracking DCE."""
+
+    name = "bdce"
+
+    def run_on_function(self, fn: Function) -> bool:
+        # Backwards propagation of demanded bits to a fixpoint.
+        demanded: Dict[int, int] = {}
+        insts = [
+            i
+            for i in fn.instructions()
+            if isinstance(i.type, IntType) and not i.has_side_effects
+        ]
+        int_insts = {id(i) for i in insts}
+
+        def demanded_of(inst: Instruction) -> int:
+            mask = inst.type.max_unsigned if isinstance(inst.type, IntType) else _ALL_BITS
+            total = 0
+            for use in inst.uses:
+                user = use.user
+                if not isinstance(user, Instruction):
+                    return mask
+                if id(user) in int_insts:
+                    user_demand = demanded.get(id(user), mask)
+                else:
+                    user_demand = _ALL_BITS
+                total |= _demanded_through(user, use.index, user_demand)
+                if total == mask:
+                    break
+            return total & mask
+
+        changed_fixpoint = True
+        iterations = 0
+        while changed_fixpoint and iterations < 16:
+            changed_fixpoint = False
+            iterations += 1
+            for inst in insts:
+                new = demanded_of(inst)
+                if demanded.get(id(inst)) != new:
+                    demanded[id(inst)] = new
+                    changed_fixpoint = True
+
+        # Forward known-zero bits, in program order (defs precede uses
+        # except via phis, which we leave unknown).
+        known_zero: Dict[int, int] = {}
+        for block in fn.blocks:
+            for inst in block.instructions:
+                if id(inst) in int_insts:
+                    known_zero[id(inst)] = _known_zero_bits(inst, known_zero)
+
+        changed = False
+        for inst in insts:
+            if inst.parent is None or not inst.has_uses:
+                continue
+            if not isinstance(inst.type, IntType):
+                continue
+            mask = inst.type.max_unsigned
+            wanted = demanded.get(id(inst), mask) & mask
+            provably_zero = known_zero.get(id(inst), 0)
+            if wanted == 0 or wanted & ~provably_zero == 0:
+                inst.replace_all_uses_with(ConstantInt(inst.type, 0))
+                changed = True
+        changed |= erase_trivially_dead(fn)
+        return changed

@@ -1,0 +1,99 @@
+"""-dse: dead store elimination.
+
+Two forms:
+* overwritten stores — a store followed (in the same block) by another
+  store to the same location with no intervening may-read of it;
+* dead-object stores — stores to a non-escaping alloca that is never
+  loaded at all.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ...analysis.memdep import may_alias, must_alias, pointer_escapes, underlying_object
+from ...ir.instructions import Alloca, Call, Instruction, Load, Store
+from ...ir.module import BasicBlock, Function
+from ..base import FunctionPass, register_pass
+
+
+def _may_read(inst: Instruction, pointer) -> bool:
+    if isinstance(inst, Load):
+        return may_alias(inst.pointer, pointer)
+    if isinstance(inst, Call) and inst.may_read_memory:
+        base = underlying_object(pointer)
+        if isinstance(base, Alloca) and not pointer_escapes(base):
+            return False
+        return True
+    return False
+
+
+def _eliminate_overwritten(block: BasicBlock) -> bool:
+    changed = False
+    stores: List[Store] = [
+        i for i in block.instructions if isinstance(i, Store)
+    ]
+    for store in stores:
+        if store.parent is None:
+            continue
+        insts = block.instructions
+        start = insts.index(store) + 1
+        for later in insts[start:]:
+            if isinstance(later, Store) and must_alias(later.pointer, store.pointer):
+                if later.value.type.size >= store.value.type.size:
+                    store.erase_from_parent()
+                    changed = True
+                break
+            if _may_read(later, store.pointer):
+                break
+            if isinstance(later, Store) and may_alias(later.pointer, store.pointer):
+                break
+    return changed
+
+
+def _eliminate_dead_object_stores(fn: Function) -> bool:
+    changed = False
+    for inst in list(fn.instructions()):
+        if not isinstance(inst, Alloca) or inst.parent is None:
+            continue
+        if pointer_escapes(inst):
+            continue
+        users = [use.user for use in inst.uses]
+        # Chase derived pointers to find any load.
+        worklist = list(inst.uses)
+        has_load = False
+        stores: List[Store] = []
+        derived_ok = True
+        while worklist:
+            use = worklist.pop()
+            user = use.user
+            if isinstance(user, Load):
+                has_load = True
+                break
+            if isinstance(user, Store):
+                stores.append(user)
+            elif isinstance(user, Instruction) and user.opcode in ("gep", "bitcast"):
+                worklist.extend(user.uses)
+            else:
+                derived_ok = False
+                break
+        if derived_ok and not has_load and stores:
+            for store in stores:
+                if store.parent is not None:
+                    store.erase_from_parent()
+                    changed = True
+    return changed
+
+
+@register_pass
+class DSE(FunctionPass):
+    """Remove provably dead stores."""
+
+    name = "dse"
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = False
+        for block in fn.blocks:
+            changed |= _eliminate_overwritten(block)
+        changed |= _eliminate_dead_object_stores(fn)
+        return changed

@@ -1,0 +1,213 @@
+"""-early-cse / -early-cse-memssa: dominator-scoped common subexpression
+elimination with store-to-load forwarding.
+
+Pure expressions are hashed in a scoped table along a dominator-tree walk.
+Memory values are tracked with a generation counter bumped at every
+may-write instruction: the plain variant only forwards within a basic
+block, while the ``-memssa`` variant keeps memory facts across dominated
+blocks (mirroring LLVM's MemorySSA-backed EarlyCSE).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...analysis.dominators import DominatorTree
+from ...ir.instructions import (
+    BinaryOp,
+    Call,
+    Cast,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Select,
+    Store,
+    COMMUTATIVE_OPS,
+)
+from ...ir.module import BasicBlock, Function
+from ...ir.values import Value
+from ..base import FunctionPass, register_pass
+from .instsimplify import simplify_instruction
+from ..utils import erase_trivially_dead, replace_and_erase
+
+
+def _operand_key(value: Value):
+    """Identity for SSA values; by-value identity for scalar constants
+    (constants are not interned, so two ``i32 5`` objects must key equal)."""
+    from ...ir.values import ConstantFloat, ConstantInt, ConstantNull, UndefValue
+
+    if isinstance(value, ConstantInt):
+        return ("ci", value.type, value.value)
+    if isinstance(value, ConstantFloat):
+        return ("cf", value.type, value.value)
+    if isinstance(value, ConstantNull):
+        return ("cn", value.type)
+    if isinstance(value, UndefValue):
+        return ("cu", id(value))  # undefs never CSE with each other
+    return id(value)
+
+
+def expression_key(inst: Instruction) -> Optional[Tuple]:
+    """Hashable structural key for pure, CSE-able instructions."""
+    k = _operand_key
+    if isinstance(inst, BinaryOp):
+        ops = (k(inst.lhs), k(inst.rhs))
+        if inst.opcode in COMMUTATIVE_OPS:
+            ops = tuple(sorted(ops, key=repr))
+        return ("bin", inst.opcode, inst.type, ops)
+    if isinstance(inst, ICmp):
+        return ("icmp", inst.predicate, k(inst.lhs), k(inst.rhs))
+    if isinstance(inst, FCmp):
+        return ("fcmp", inst.predicate, k(inst.lhs), k(inst.rhs))
+    if isinstance(inst, Cast):
+        return ("cast", inst.opcode, inst.type, k(inst.value))
+    if isinstance(inst, GetElementPtr):
+        return ("gep", inst.type, tuple(k(op) for op in inst.operands))
+    if isinstance(inst, Select):
+        return ("select", tuple(k(op) for op in inst.operands))
+    if isinstance(inst, Call):
+        fn = inst.called_function
+        if fn is not None and "readnone" in fn.attributes and "willreturn" in fn.attributes:
+            return ("call", fn.name, tuple(k(a) for a in inst.args))
+    return None
+
+
+class _ScopedTable:
+    """A stack of dicts giving dominator-scoped name lookup."""
+
+    def __init__(self) -> None:
+        self.scopes: List[Dict] = [{}]
+
+    def push(self) -> None:
+        self.scopes.append({})
+
+    def pop(self) -> None:
+        self.scopes.pop()
+
+    def lookup(self, key):
+        for scope in reversed(self.scopes):
+            if key in scope:
+                return scope[key]
+        return None
+
+    def insert(self, key, value) -> None:
+        self.scopes[-1][key] = value
+
+
+class _EarlyCSE:
+    def __init__(self, fn: Function, cross_block_memory: bool):
+        self.fn = fn
+        self.cross_block_memory = cross_block_memory
+        self.changed = False
+
+    def run(self) -> bool:
+        dom = DominatorTree(self.fn)
+        expressions = _ScopedTable()
+        memory = _ScopedTable()  # id(pointer) -> (value, generation)
+        generation = [0]
+
+        def process_block(block: BasicBlock) -> None:
+            if not self.cross_block_memory:
+                generation[0] += 1  # forget all memory facts between blocks
+                local_gen_floor = generation[0]
+            elif block is not self.fn.entry and block.single_predecessor is None:
+                # Memory facts only flow along single-pred chains: a merge
+                # point may be reached via a path (a dominator-tree sibling)
+                # whose stores have not been seen yet on this DFS walk.
+                generation[0] += 1
+            for inst in list(block.instructions):
+                if inst.parent is None:
+                    continue
+                simplified = simplify_instruction(inst)
+                if simplified is not None and simplified is not inst:
+                    replace_and_erase(inst, simplified)
+                    self.changed = True
+                    continue
+
+                if isinstance(inst, Load):
+                    fact = memory.lookup(id(inst.pointer))
+                    if fact is not None:
+                        value, gen = fact
+                        valid = gen == generation[0]
+                        if not self.cross_block_memory:
+                            valid = valid and gen >= local_gen_floor
+                        if valid and value.type == inst.type:
+                            replace_and_erase(inst, value)
+                            self.changed = True
+                            continue
+                    memory.insert(id(inst.pointer), (inst, generation[0]))
+                    continue
+
+                if isinstance(inst, Store):
+                    # Idempotent store elimination: storing back the value
+                    # that is already known to be in the location.
+                    fact = memory.lookup(id(inst.pointer))
+                    if (
+                        fact is not None
+                        and fact[0] is inst.value
+                        and fact[1] == generation[0]
+                    ):
+                        inst.erase_from_parent()
+                        self.changed = True
+                        continue
+                    generation[0] += 1
+                    memory.insert(id(inst.pointer), (inst.value, generation[0]))
+                    continue
+
+                if inst.may_write_memory:
+                    generation[0] += 1
+                    continue
+
+                key = expression_key(inst)
+                if key is None:
+                    continue
+                if isinstance(inst, Call):
+                    pass  # readnone+willreturn calls are safe to CSE
+                available = expressions.lookup(key)
+                if available is not None and available.type == inst.type:
+                    replace_and_erase(inst, available)
+                    self.changed = True
+                else:
+                    expressions.insert(key, inst)
+
+        def walk(block: BasicBlock) -> None:
+            expressions.push()
+            memory.push()
+            process_block(block)
+            for child in dom.children(block):
+                walk(child)
+            expressions.pop()
+            memory.pop()
+
+        import sys
+
+        old = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(old, 4 * len(self.fn.blocks) + 1000))
+        try:
+            walk(self.fn.entry)
+        finally:
+            sys.setrecursionlimit(old)
+        self.changed |= erase_trivially_dead(self.fn)
+        return self.changed
+
+
+@register_pass
+class EarlyCSE(FunctionPass):
+    """Fast dominator-scoped CSE; memory facts are block-local."""
+
+    name = "early-cse"
+
+    def run_on_function(self, fn: Function) -> bool:
+        return _EarlyCSE(fn, cross_block_memory=False).run()
+
+
+@register_pass
+class EarlyCSEMemSSA(FunctionPass):
+    """EarlyCSE with cross-block (dominator-scoped) memory forwarding."""
+
+    name = "early-cse-memssa"
+
+    def run_on_function(self, fn: Function) -> bool:
+        return _EarlyCSE(fn, cross_block_memory=True).run()

@@ -1,0 +1,227 @@
+"""-gvn: global value numbering.
+
+Two cooperating engines:
+
+* *Value numbering*: expressions are numbered over the value numbers of
+  their operands (iterated over RPO until stable), so congruences that
+  plain CSE misses — equivalent phis, chains through distinct-but-equal
+  intermediates — are found. Instructions whose number already has a
+  dominating leader are replaced.
+* *Load elimination*: backwards walk from each load along the single-pred
+  chain, forwarding must-alias stores and CSE-ing must-alias loads, with a
+  conservative clobber scan in between.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...analysis.cfg import reverse_postorder
+from ...analysis.dominators import DominatorTree
+from ...analysis.memdep import may_alias, must_alias, pointer_escapes, underlying_object
+from ...ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Call,
+    Cast,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Select,
+    Store,
+    COMMUTATIVE_OPS,
+)
+from ...ir.module import BasicBlock, Function
+from ...ir.values import Constant, ConstantFloat, ConstantInt, Value
+from ..base import FunctionPass, register_pass
+from ..utils import erase_trivially_dead, replace_and_erase
+
+#: How many single-predecessor blocks a load may look through.
+LOAD_WALK_LIMIT = 8
+
+
+class _ValueNumbering:
+    def __init__(self) -> None:
+        self.vn: Dict[int, int] = {}
+        self.expr: Dict[Tuple, int] = {}
+        self.next = 0
+
+    def fresh(self) -> int:
+        self.next += 1
+        return self.next
+
+    def of(self, value: Value) -> int:
+        key = id(value)
+        number = self.vn.get(key)
+        if number is not None:
+            return number
+        if isinstance(value, ConstantInt):
+            ekey = ("cint", value.type, value.value)
+        elif isinstance(value, ConstantFloat):
+            ekey = ("cfloat", value.type, value.value)
+        elif isinstance(value, Constant):
+            ekey = ("const", id(value))
+        else:
+            ekey = ("leader", id(value))
+        number = self.expr.get(ekey)
+        if number is None:
+            number = self.fresh()
+            self.expr[ekey] = number
+        self.vn[key] = number
+        return number
+
+    def expression_key(self, inst: Instruction) -> Optional[Tuple]:
+        if isinstance(inst, BinaryOp):
+            ops = (self.of(inst.lhs), self.of(inst.rhs))
+            if inst.opcode in COMMUTATIVE_OPS:
+                ops = tuple(sorted(ops))
+            return ("bin", inst.opcode, inst.type, ops)
+        if isinstance(inst, ICmp):
+            return ("icmp", inst.predicate, self.of(inst.lhs), self.of(inst.rhs))
+        if isinstance(inst, FCmp):
+            return ("fcmp", inst.predicate, self.of(inst.lhs), self.of(inst.rhs))
+        if isinstance(inst, Cast):
+            return ("cast", inst.opcode, inst.type, self.of(inst.value))
+        if isinstance(inst, GetElementPtr):
+            return ("gep", inst.type, tuple(self.of(op) for op in inst.operands))
+        if isinstance(inst, Select):
+            return ("select", tuple(self.of(op) for op in inst.operands))
+        if isinstance(inst, Phi):
+            arms = tuple(
+                sorted(
+                    (id(inst.incoming_block(i)), self.of(inst.incoming_value(i)))
+                    for i in range(inst.num_incoming)
+                )
+            )
+            return ("phi", id(inst.parent), arms)
+        return None
+
+    def number(self, inst: Instruction) -> int:
+        key = self.expression_key(inst)
+        if key is None:
+            number = self.vn.get(id(inst))
+            if number is None:
+                number = self.fresh()
+                self.vn[id(inst)] = number
+            return number
+        number = self.expr.get(key)
+        if number is None:
+            number = self.fresh()
+            self.expr[key] = number
+        old = self.vn.get(id(inst))
+        self.vn[id(inst)] = number
+        return number
+
+
+def _clobbered_in_range(
+    insts: List[Instruction], pointer: Value
+) -> bool:
+    for inst in insts:
+        if isinstance(inst, Store) and may_alias(inst.pointer, pointer):
+            return True
+        if isinstance(inst, Call) and inst.may_write_memory:
+            base = underlying_object(pointer)
+            if isinstance(base, Alloca) and not pointer_escapes(base):
+                continue
+            return True
+    return False
+
+
+def _find_available_load_value(load: Load) -> Optional[Value]:
+    """Walk backwards from ``load`` looking for the value in memory."""
+    pointer = load.pointer
+    block = load.parent
+    assert block is not None
+    index = block.instructions.index(load)
+    scanned: List[Instruction] = []
+    current = block
+    position = index
+    for _ in range(LOAD_WALK_LIMIT):
+        insts = current.instructions[:position]
+        for inst in reversed(insts):
+            if isinstance(inst, Store):
+                if must_alias(inst.pointer, pointer):
+                    if inst.value.type == load.type:
+                        return inst.value
+                    return None
+                if may_alias(inst.pointer, pointer):
+                    return None
+            elif isinstance(inst, Load):
+                if must_alias(inst.pointer, pointer) and inst.type == load.type:
+                    return inst
+            elif isinstance(inst, Call) and inst.may_write_memory:
+                base = underlying_object(pointer)
+                if not (isinstance(base, Alloca) and not pointer_escapes(base)):
+                    return None
+        pred = current.single_predecessor
+        if pred is None or pred is current:
+            return None
+        current = pred
+        position = len(current.instructions)
+    return None
+
+
+@register_pass
+class GVN(FunctionPass):
+    """Global value numbering with load elimination."""
+
+    name = "gvn"
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = False
+
+        # --- load elimination first (exposes more congruences) -----------
+        for block in fn.blocks:
+            for inst in list(block.instructions):
+                if isinstance(inst, Load) and inst.parent is not None:
+                    available = _find_available_load_value(inst)
+                    if available is not None and available is not inst:
+                        replace_and_erase(inst, available)
+                        changed = True
+
+        # --- value numbering to fixpoint ----------------------------------
+        order = reverse_postorder(fn)
+        numbering = _ValueNumbering()
+        for _ in range(4):
+            stable = True
+            snapshot = dict(numbering.vn)
+            numbering.expr = {
+                k: v for k, v in numbering.expr.items() if k[0] in ("cint", "cfloat", "const", "leader")
+            }
+            for block in order:
+                for inst in block.instructions:
+                    numbering.number(inst)
+            if numbering.vn == snapshot:
+                break
+
+        # --- replace dominated congruent instructions ---------------------
+        dom = DominatorTree(fn)
+        leaders: Dict[int, Instruction] = {}
+        for block in order:
+            for inst in list(block.instructions):
+                if inst.parent is None or inst.type.is_void:
+                    continue
+                if inst.has_side_effects or isinstance(inst, (Load, Call, Alloca)):
+                    continue
+                number = numbering.vn.get(id(inst))
+                if number is None:
+                    continue
+                leader = leaders.get(number)
+                if leader is None or leader.parent is None:
+                    leaders[number] = inst
+                    continue
+                if leader.type != inst.type:
+                    continue
+                if leader.parent is inst.parent:
+                    insts = leader.parent.instructions
+                    if insts.index(leader) < insts.index(inst):
+                        replace_and_erase(inst, leader)
+                        changed = True
+                elif dom.dominates_block(leader.parent, inst.parent):
+                    replace_and_erase(inst, leader)
+                    changed = True
+        changed |= erase_trivially_dead(fn)
+        return changed

@@ -1,0 +1,263 @@
+"""-instcombine: peephole combining.
+
+Runs :func:`~repro.passes.scalar.instsimplify.simplify_instruction` plus a
+library of combines that are allowed to *create* instructions:
+canonicalization (constants to the RHS), constant reassociation,
+strength reduction, cast and GEP chain collapsing, not-of-compare
+inversion, and branch-on-not target swapping. Everything is semantics
+preserving for all inputs (no poison/nsw-style assumptions).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ...ir.instructions import (
+    BinaryOp,
+    Branch,
+    Cast,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Select,
+    INVERTED_PREDICATE,
+    SWAPPED_PREDICATE,
+)
+from ...ir.module import BasicBlock, Function
+from ...ir.types import IntType
+from ...ir.values import ConstantInt, Value
+from ..base import FunctionPass, register_pass
+from ..fold import fold_binary
+from .instsimplify import simplify_instruction
+from ..utils import erase_trivially_dead, replace_and_erase
+
+
+def _is_not(value: Value) -> Optional[Value]:
+    """Match ``xor x, -1``; returns x."""
+    if (
+        isinstance(value, BinaryOp)
+        and value.opcode == "xor"
+        and isinstance(value.rhs, ConstantInt)
+        and value.rhs.is_all_ones()
+    ):
+        return value.lhs
+    return None
+
+
+class _Combiner:
+    def __init__(self, fn: Function):
+        self.fn = fn
+        self.changed = False
+
+    def _replace(self, inst: Instruction, value: Value) -> None:
+        replace_and_erase(inst, value)
+        self.changed = True
+
+    def _insert_new(self, new: Instruction, at: Instruction) -> Instruction:
+        new.name = self.fn.next_name(at.name or "c")
+        new.insert_before(at)
+        return new
+
+    def _replace_with_new(self, inst: Instruction, new: Instruction) -> None:
+        self._insert_new(new, inst)
+        self._replace(inst, new)
+
+    # -- per-instruction dispatch -----------------------------------------
+    def combine(self, inst: Instruction) -> None:
+        simplified = simplify_instruction(inst)
+        if simplified is not None and simplified is not inst:
+            self._replace(inst, simplified)
+            return
+        if isinstance(inst, BinaryOp):
+            self._combine_binary(inst)
+        elif isinstance(inst, ICmp):
+            self._combine_icmp(inst)
+        elif isinstance(inst, Cast):
+            self._combine_cast(inst)
+        elif isinstance(inst, GetElementPtr):
+            self._combine_gep(inst)
+        elif isinstance(inst, Select):
+            self._combine_select(inst)
+        elif isinstance(inst, Branch):
+            self._combine_branch(inst)
+
+    def _combine_binary(self, inst: BinaryOp) -> None:
+        # Canonicalize: constant operand to the right for commutative ops.
+        if (
+            inst.is_commutative
+            and isinstance(inst.lhs, ConstantInt)
+            and not isinstance(inst.rhs, ConstantInt)
+        ):
+            lhs, rhs = inst.lhs, inst.rhs
+            inst.set_operand(0, rhs)
+            inst.set_operand(1, lhs)
+            self.changed = True
+
+        op = inst.opcode
+        lhs, rhs = inst.lhs, inst.rhs
+
+        # sub x, C  ->  add x, -C  (canonical form feeds reassociation)
+        if op == "sub" and isinstance(rhs, ConstantInt) and isinstance(inst.type, IntType):
+            self._replace_with_new(
+                inst, BinaryOp("add", lhs, ConstantInt(inst.type, -rhs.value))
+            )
+            return
+
+        # (x op C1) op C2 -> x op (C1 op C2) for associative ops.
+        if (
+            op in ("add", "mul", "and", "or", "xor")
+            and isinstance(rhs, ConstantInt)
+            and isinstance(lhs, BinaryOp)
+            and lhs.opcode == op
+            and isinstance(lhs.rhs, ConstantInt)
+        ):
+            folded = fold_binary(op, lhs.rhs, rhs)
+            if folded is not None:
+                self._replace_with_new(inst, BinaryOp(op, lhs.lhs, folded))
+                return
+
+        # add x, x -> shl x, 1
+        if op == "add" and lhs is rhs and isinstance(inst.type, IntType):
+            self._replace_with_new(
+                inst, BinaryOp("shl", lhs, ConstantInt(inst.type, 1))
+            )
+            return
+
+        # Strength reduction by powers of two (exact transformations only).
+        if isinstance(rhs, ConstantInt) and rhs.is_power_of_two():
+            shift = ConstantInt(inst.type, rhs.log2())  # type: ignore[arg-type]
+            if op == "mul":
+                self._replace_with_new(inst, BinaryOp("shl", lhs, shift))
+                return
+            if op == "udiv":
+                self._replace_with_new(inst, BinaryOp("lshr", lhs, shift))
+                return
+            if op == "urem":
+                mask = ConstantInt(inst.type, rhs.value - 1)  # type: ignore[arg-type]
+                self._replace_with_new(inst, BinaryOp("and", lhs, mask))
+                return
+
+        # not(not x) -> x
+        if op == "xor":
+            inner = _is_not(inst)
+            if inner is not None:
+                inner2 = _is_not(inner)
+                if inner2 is not None:
+                    self._replace(inst, inner2)
+                    return
+                # not(icmp) -> inverted icmp when that is the only use.
+                if (
+                    isinstance(inner, ICmp)
+                    and inner.num_uses == 1
+                    and inner.parent is not None
+                ):
+                    inverted = ICmp(
+                        INVERTED_PREDICATE[inner.predicate], inner.lhs, inner.rhs
+                    )
+                    self._replace_with_new(inst, inverted)
+                    return
+
+    def _combine_icmp(self, inst: ICmp) -> None:
+        # Constant to the RHS.
+        if isinstance(inst.lhs, ConstantInt) and not isinstance(inst.rhs, ConstantInt):
+            lhs, rhs = inst.lhs, inst.rhs
+            inst.predicate = SWAPPED_PREDICATE[inst.predicate]
+            inst.set_operand(0, rhs)
+            inst.set_operand(1, lhs)
+            self.changed = True
+
+        # icmp eq/ne (add x, C1), C2  ->  icmp eq/ne x, C2-C1 (wrap-safe).
+        if (
+            inst.predicate in ("eq", "ne")
+            and isinstance(inst.rhs, ConstantInt)
+            and isinstance(inst.lhs, BinaryOp)
+            and inst.lhs.opcode == "add"
+            and isinstance(inst.lhs.rhs, ConstantInt)
+        ):
+            add = inst.lhs
+            new_rhs = fold_binary("sub", inst.rhs, add.rhs)
+            if new_rhs is not None:
+                self._replace_with_new(
+                    inst, ICmp(inst.predicate, add.lhs, new_rhs)
+                )
+
+    def _combine_cast(self, inst: Cast) -> None:
+        value = inst.value
+        if not isinstance(value, Cast):
+            return
+        # zext(zext x) -> zext x ; sext(sext x) -> sext x
+        if inst.opcode == value.opcode and inst.opcode in ("zext", "sext"):
+            self._replace_with_new(inst, Cast(inst.opcode, value.value, inst.type))
+            return
+        # trunc(zext/sext x) where sizes round-trip.
+        if inst.opcode == "trunc" and value.opcode in ("zext", "sext"):
+            src_ty = value.value.type
+            if src_ty == inst.type:
+                self._replace(inst, value.value)
+                return
+            if (
+                isinstance(src_ty, IntType)
+                and isinstance(inst.type, IntType)
+                and inst.type.bits < src_ty.bits
+            ):
+                self._replace_with_new(inst, Cast("trunc", value.value, inst.type))
+                return
+
+    def _combine_gep(self, inst: GetElementPtr) -> None:
+        base = inst.pointer
+        # gep(gep p, C1), C2 -> gep p, C1+C2 for single-index chains of the
+        # same element type.
+        if (
+            isinstance(base, GetElementPtr)
+            and len(inst.indices) == 1
+            and len(base.indices) == 1
+            and base.pointer.type == inst.pointer.type
+            and inst.type == inst.pointer.type
+        ):
+            a, b = base.indices[0], inst.indices[0]
+            if isinstance(a, ConstantInt) and isinstance(b, ConstantInt) and a.type == b.type:
+                merged = ConstantInt(a.int_type, a.value + b.value)
+                self._replace_with_new(inst, GetElementPtr(base.pointer, [merged]))
+
+    def _combine_select(self, inst: Select) -> None:
+        inner = _is_not(inst.condition)
+        if inner is not None:
+            self._replace_with_new(
+                inst, Select(inner, inst.false_value, inst.true_value)
+            )
+
+    def _combine_branch(self, inst: Branch) -> None:
+        if not inst.is_conditional:
+            return
+        inner = _is_not(inst.condition)
+        if inner is not None:
+            then, els = inst.true_target, inst.false_target
+            inst.set_operand(0, inner)
+            inst.set_operand(1, els)
+            inst.set_operand(2, then)
+            self.changed = True
+
+
+@register_pass
+class InstCombine(FunctionPass):
+    """Peephole instruction combining to a fixpoint (bounded)."""
+
+    name = "instcombine"
+
+    MAX_ITERATIONS = 8
+
+    def run_on_function(self, fn: Function) -> bool:
+        combiner = _Combiner(fn)
+        total_changed = False
+        for _ in range(self.MAX_ITERATIONS):
+            combiner.changed = False
+            for block in fn.blocks:
+                for inst in list(block.instructions):
+                    if inst.parent is not None:
+                        combiner.combine(inst)
+            if erase_trivially_dead(fn):
+                combiner.changed = True
+            if not combiner.changed:
+                break
+            total_changed = True
+        return total_changed

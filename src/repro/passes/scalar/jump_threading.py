@@ -1,0 +1,172 @@
+"""-jump-threading: thread edges through blocks whose branch outcome is
+known per-predecessor.
+
+The implemented (sound, restricted) form: a block consisting of phis plus
+an optional comparison feeding its conditional branch can be bypassed by
+any predecessor whose incoming values decide the branch — the predecessor
+is retargeted straight at the taken successor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ...ir.instructions import Branch, ICmp, Instruction, Phi
+from ...ir.module import BasicBlock, Function
+from ...ir.values import ConstantInt, Value
+from ..base import FunctionPass, register_pass
+from ..fold import fold_icmp
+from ..utils import erase_trivially_dead, simplify_single_incoming_phis
+
+
+class _NotThreadable(Exception):
+    pass
+
+
+def _threadable_shape(block: BasicBlock) -> Optional[ICmp]:
+    """Check block is phis + [icmp] + cond-br. Returns the icmp, or None
+    when the branch condition is itself a phi of the block; raises
+    :class:`_NotThreadable` for any other shape."""
+    term = block.terminator
+    if not isinstance(term, Branch) or not term.is_conditional:
+        raise _NotThreadable
+    body = [i for i in block.instructions if not isinstance(i, Phi)][:-1]
+    cond = term.condition
+    if len(body) == 0:
+        if isinstance(cond, Phi) and cond.parent is block:
+            return None  # condition is a phi of this block
+        raise _NotThreadable
+    if len(body) == 1 and body[0] is cond and isinstance(cond, ICmp):
+        return cond
+    raise _NotThreadable
+
+
+def _known_condition_for_pred(
+    block: BasicBlock, pred: BasicBlock, cond: Value, icmp: Optional[ICmp]
+) -> Optional[int]:
+    """Value of the branch condition when entered from ``pred``, if known."""
+
+    def incoming(value: Value) -> Value:
+        if isinstance(value, Phi) and value.parent is block:
+            got = value.incoming_for_block(pred)
+            return got if got is not None else value
+        return value
+
+    if icmp is None:
+        value = incoming(cond)
+        return value.value if isinstance(value, ConstantInt) else None
+    lhs = incoming(icmp.lhs)
+    rhs = incoming(icmp.rhs)
+    folded = fold_icmp(icmp.predicate, lhs, rhs)
+    return folded.value if folded is not None else None
+
+
+def _values_escape(block: BasicBlock) -> bool:
+    """True if a phi (or the compare) of ``block`` is used anywhere beyond
+    the block itself or as a phi incoming in a direct successor — in which
+    case bypassing the block would leave those uses undominated."""
+    successors = {id(s) for s in block.successors()}
+    for inst in block.instructions:
+        if inst.type.is_void:
+            continue
+        for use in inst.uses:
+            user = use.user
+            if not isinstance(user, Instruction) or user.parent is None:
+                return True
+            if user.parent is block:
+                continue
+            if (
+                isinstance(user, Phi)
+                and id(user.parent) in successors
+                and use.index % 2 == 0
+                and user.incoming_block(use.index // 2) is block
+            ):
+                continue
+            return True
+    return False
+
+
+def _thread_one(block: BasicBlock) -> bool:
+    try:
+        icmp = _threadable_shape(block)
+    except _NotThreadable:
+        return False
+    if _values_escape(block):
+        return False
+    term = block.terminator
+    assert isinstance(term, Branch)
+    cond = term.condition
+
+    changed = False
+    for pred in list(block.predecessors()):
+        # Threading through a self-loop or a switch-pred is not handled.
+        pterm = pred.terminator
+        if not isinstance(pterm, Branch) or pred is block:
+            continue
+        # Both edge slots pointing here (degenerate cond br) — skip.
+        if sum(1 for t in pterm.targets if t is block) != 1:
+            continue
+        known = _known_condition_for_pred(block, pred, cond, icmp)
+        if known is None:
+            continue
+        target = term.true_target if known else term.false_target
+        if target is block:
+            continue
+        # If pred already branches to target, phi entries would conflict.
+        if any(s is target for s in pred.successors()):
+            continue
+
+        # Map values that flow from `block` into `target`'s phis. Values
+        # defined above `block` dominate `pred` too (every path to `pred`
+        # extends to one reaching `block`), so only block-local producers
+        # (its phis and the icmp) need translation.
+        mapping = []
+        feasible = True
+        for phi in target.phis():
+            via_block = phi.incoming_for_block(block)
+            if via_block is None:
+                continue
+            value: Value = via_block
+            if isinstance(value, Phi) and value.parent is block:
+                mapped = value.incoming_for_block(pred)
+                if mapped is None:
+                    feasible = False
+                    break
+                value = mapped
+            elif isinstance(value, Instruction) and value.parent is block:
+                if icmp is not None and value is icmp:
+                    value = ConstantInt(value.type, known)  # type: ignore[arg-type]
+                else:
+                    feasible = False
+                    break
+            mapping.append((phi, value))
+        if not feasible:
+            continue
+        for phi, value in mapping:
+            phi.add_incoming(value, pred)
+        for i, op in enumerate(pterm.operands):
+            if op is block:
+                pterm.set_operand(i, target)
+        block.remove_phi_incoming_for(pred)
+        changed = True
+    return changed
+
+
+@register_pass
+class JumpThreading(FunctionPass):
+    """Thread provably-taken edges around phi-driven branches."""
+
+    name = "jump-threading"
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = False
+        for block in list(fn.blocks):
+            if block.parent is None:
+                continue
+            if _thread_one(block):
+                changed = True
+        if changed:
+            for block in fn.blocks:
+                simplify_single_incoming_phis(block)
+            erase_trivially_dead(fn)
+        return changed

@@ -1,0 +1,158 @@
+"""-mem2reg: promote memory to SSA registers.
+
+The classic Cytron et al. algorithm: place phis at the iterated dominance
+frontier of each promotable alloca's stores, then rename along a dominator-
+tree walk. ``promote_allocas`` is exported for reuse by SROA.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ...analysis.dominators import DominatorTree
+from ...ir.instructions import Alloca, Instruction, Load, Phi, Store
+from ...ir.module import BasicBlock, Function
+from ...ir.values import UndefValue, Value
+from ..base import FunctionPass, register_pass
+
+
+def is_promotable(alloca: Alloca) -> bool:
+    """Only whole-object loads and stores of the value (no GEP, no escape,
+    no volatile/aggregate trickery) allow promotion."""
+    if alloca.allocated_type.is_aggregate:
+        return False
+    for use in alloca.uses:
+        user = use.user
+        if isinstance(user, Load):
+            continue
+        if isinstance(user, Store) and user.pointer is alloca and user.value is not alloca:
+            continue
+        return False
+    return True
+
+
+def promote_allocas(fn: Function, allocas: List[Alloca]) -> bool:
+    """Promote the given (verified-promotable) allocas of ``fn``."""
+    if not allocas:
+        return False
+    dom = DominatorTree(fn)
+    frontiers = dom.dominance_frontiers()
+    blocks_by_id = {id(b): b for b in fn.blocks}
+
+    phi_for: Dict[int, Dict[int, Phi]] = {id(a): {} for a in allocas}
+    alloca_of_phi: Dict[int, Alloca] = {}
+
+    for alloca in allocas:
+        def_blocks: List[BasicBlock] = []
+        seen: Set[int] = set()
+        for use in alloca.uses:
+            user = use.user
+            if isinstance(user, Store) and user.parent is not None:
+                if id(user.parent) not in seen:
+                    seen.add(id(user.parent))
+                    def_blocks.append(user.parent)
+        # Iterated dominance frontier.
+        worklist = list(def_blocks)
+        placed: Set[int] = set()
+        while worklist:
+            block = worklist.pop()
+            for fid in frontiers.get(id(block), ()):
+                if fid in placed:
+                    continue
+                placed.add(fid)
+                target = blocks_by_id[fid]
+                phi = Phi(alloca.allocated_type, fn.next_name(alloca.name or "mem"))
+                target.insert(0, phi)
+                phi_for[id(alloca)][fid] = phi
+                alloca_of_phi[id(phi)] = alloca
+                worklist.append(target)
+
+    # Rename along the dominator tree.
+    stacks: Dict[int, List[Value]] = {id(a): [] for a in allocas}
+    alloca_ids = set(stacks)
+
+    def current(alloca: Alloca) -> Value:
+        stack = stacks[id(alloca)]
+        return stack[-1] if stack else UndefValue(alloca.allocated_type)
+
+    def rename(block: BasicBlock) -> None:
+        pushes: Dict[int, int] = {}
+        for inst in list(block.instructions):
+            if isinstance(inst, Phi):
+                alloca = alloca_of_phi.get(id(inst))
+                if alloca is not None:
+                    stacks[id(alloca)].append(inst)
+                    pushes[id(alloca)] = pushes.get(id(alloca), 0) + 1
+                continue
+            if isinstance(inst, Load) and id(inst.pointer) in alloca_ids:
+                alloca = inst.pointer
+                inst.replace_all_uses_with(current(alloca))  # type: ignore[arg-type]
+                inst.erase_from_parent()
+            elif isinstance(inst, Store) and id(inst.pointer) in alloca_ids:
+                alloca = inst.pointer
+                stacks[id(alloca)].append(inst.value)
+                pushes[id(alloca)] = pushes.get(id(alloca), 0) + 1
+                inst.erase_from_parent()
+        for succ in block.successors():
+            for alloca in allocas:
+                phi = phi_for[id(alloca)].get(id(succ))
+                if phi is not None and phi.incoming_for_block(block) is None:
+                    phi.add_incoming(current(alloca), block)
+        for child in dom.children(block):
+            rename(child)
+        for aid, count in pushes.items():
+            del stacks[aid][len(stacks[aid]) - count :]
+
+    import sys
+
+    old_limit = sys.getrecursionlimit()
+    sys.setrecursionlimit(max(old_limit, 4 * len(fn.blocks) + 1000))
+    try:
+        rename(fn.entry)
+    finally:
+        sys.setrecursionlimit(old_limit)
+
+    # Phis in unreachable blocks never got incoming values; and the allocas
+    # themselves are now dead.
+    for alloca in allocas:
+        for use in list(alloca.uses):
+            user = use.user
+            if isinstance(user, (Load, Store)):
+                # Unreachable-code stragglers.
+                if isinstance(user, Load):
+                    user.replace_all_uses_with(UndefValue(user.type))
+                user.erase_from_parent()
+        alloca.erase_from_parent()
+
+    # Prune phis that ended up trivial (single unique incoming).
+    progress = True
+    while progress:
+        progress = False
+        for phis in phi_for.values():
+            for phi in list(phis.values()):
+                if phi.parent is None:
+                    continue
+                unique = phi.unique_value()
+                if unique is not None and not phi.has_uses:
+                    phi.erase_from_parent()
+                    progress = True
+                elif unique is not None:
+                    phi.replace_all_uses_with(unique)
+                    phi.erase_from_parent()
+                    progress = True
+    return True
+
+
+@register_pass
+class Mem2Reg(FunctionPass):
+    """Promote promotable allocas to SSA values."""
+
+    name = "mem2reg"
+
+    def run_on_function(self, fn: Function) -> bool:
+        allocas = [
+            inst
+            for inst in fn.instructions()
+            if isinstance(inst, Alloca) and is_promotable(inst)
+        ]
+        return promote_allocas(fn, allocas)

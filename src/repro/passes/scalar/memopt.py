@@ -1,0 +1,253 @@
+"""Memory-motion passes: -memcpyopt and -mldst-motion.
+
+* ``memcpyopt``: recognizes runs of adjacent byte-splat constant stores
+  (typically zero-initialization emitted element-by-element) and replaces
+  them with a single ``llvm.memset`` call — a large code-size win.
+* ``mldst-motion``: merges loads/stores duplicated on both sides of a
+  diamond — identical leading loads are hoisted into the predecessor, and
+  trailing stores to the same location are sunk into the merge block with
+  a phi of the stored values.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...ir.builder import IRBuilder
+from ...ir.instructions import (
+    Branch,
+    Call,
+    Cast,
+    GetElementPtr,
+    Instruction,
+    Load,
+    Phi,
+    Store,
+)
+from ...ir.module import BasicBlock, Function, Module
+from ...ir.types import FunctionType, IntType, PointerType, I8, I64, VOID
+from ...ir.values import ConstantInt, Value
+from ..base import FunctionPass, register_pass
+from ...analysis.memdep import must_alias
+
+#: Minimum bytes covered by a store run before memset pays for itself.
+MEMSET_MIN_BYTES = 16
+
+
+def _splat_byte(value: Value) -> Optional[int]:
+    """The single repeated byte of a constant, if any."""
+    if not isinstance(value, ConstantInt):
+        return None
+    size = value.type.size
+    raw = value.unsigned.to_bytes(size, "little")
+    if all(b == raw[0] for b in raw):
+        return raw[0]
+    return None
+
+
+def _store_target(store: Store) -> Optional[Tuple[Value, int, int]]:
+    """Decompose a store into (base pointer, byte offset, byte size)."""
+    pointer = store.pointer
+    size = store.value.type.size
+    if isinstance(pointer, GetElementPtr):
+        offset = pointer.constant_offset()
+        if offset is None:
+            return None
+        return (pointer.pointer, offset, size)
+    return (pointer, 0, size)
+
+
+def _get_memset(module: Module) -> "Function":
+    from ...ir.module import Function
+
+    ftype = FunctionType(VOID, [PointerType(I8), I8, I64])
+    fn = module.get_or_insert_function("llvm.memset.p0i8.i64", ftype)
+    fn.attributes.add("nounwind")
+    return fn
+
+
+def _try_memset_run(block: BasicBlock, start_index: int) -> int:
+    """Try to convert a run of stores starting at ``start_index`` into a
+    memset; returns the number of instructions consumed."""
+    insts = block.instructions
+    first = insts[start_index]
+    assert isinstance(first, Store)
+    byte = _splat_byte(first.value)
+    if byte is None:
+        return 1
+    target = _store_target(first)
+    if target is None:
+        return 1
+    base, start_off, size = target
+
+    run: List[Store] = [first]
+    covered = [(start_off, start_off + size)]
+    for inst in insts[start_index + 1 :]:
+        if isinstance(inst, Store):
+            t = _store_target(inst)
+            if t is None or t[0] is not base or _splat_byte(inst.value) != byte:
+                break
+            run.append(inst)
+            covered.append((t[1], t[1] + t[2]))
+            continue
+        if isinstance(inst, (GetElementPtr, Cast)) or (
+            not inst.may_read_memory
+            and not inst.has_side_effects
+            and not inst.is_terminator
+        ):
+            continue  # address computation between the stores
+        break  # reads, calls and control flow end the run
+
+    if len(run) < 2:
+        return 1
+    pairs = sorted(zip(covered, run), key=lambda p: p[0])
+    lo = pairs[0][0][0]
+    hi = pairs[0][0][1]
+    contiguous = [pairs[0][1]]
+    for span, store in pairs[1:]:
+        if span[0] <= hi:
+            hi = max(hi, span[1])
+            contiguous.append(store)
+        else:
+            break
+    if hi - lo < MEMSET_MIN_BYTES or len(contiguous) < 4:
+        return 1
+
+    fn = block.parent
+    assert fn is not None and fn.module is not None
+    memset = _get_memset(fn.module)
+    # Build: bitcast base to i8*, gep to lo, call memset. Insert before the
+    # program-order start of the run (all run stores are consecutive and
+    # non-contiguous ones touch disjoint bytes, so ordering is preserved).
+    insert_at = run[0]
+    i8p = PointerType(I8)
+    cast = Cast("bitcast", base, i8p, fn.next_name("ms"))
+    cast.insert_before(insert_at)
+    dst: Value = cast
+    if lo:
+        gep = GetElementPtr(cast, [ConstantInt(I64, lo)], fn.next_name("ms"))
+        gep.insert_before(insert_at)
+        dst = gep
+    call = Call(memset, [dst, ConstantInt(I8, byte), ConstantInt(I64, hi - lo)])
+    call.insert_before(insert_at)
+    for store in contiguous:
+        store.erase_from_parent()
+    return 3  # cast [+ gep] + call
+
+
+@register_pass
+class MemCpyOpt(FunctionPass):
+    """Form memset calls from adjacent splat-constant store runs."""
+
+    name = "memcpyopt"
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = False
+        for block in fn.blocks:
+            i = 0
+            while i < len(block.instructions):
+                inst = block.instructions[i]
+                if isinstance(inst, Store):
+                    before = len(block.instructions)
+                    consumed = _try_memset_run(block, i)
+                    if len(block.instructions) != before:
+                        changed = True
+                    i += consumed
+                else:
+                    i += 1
+        return changed
+
+
+def _diamond(block: BasicBlock) -> Optional[Tuple[BasicBlock, BasicBlock, BasicBlock]]:
+    term = block.terminator
+    if not isinstance(term, Branch) or not term.is_conditional:
+        return None
+    t, f = term.true_target, term.false_target
+    if t is f:
+        return None
+    if t.single_predecessor is not block or f.single_predecessor is not block:
+        return None
+    ts, fs = t.successors(), f.successors()
+    if len(ts) != 1 or len(fs) != 1 or ts[0] is not fs[0]:
+        return None
+    return (t, f, ts[0])
+
+
+@register_pass
+class MergedLoadStoreMotion(FunctionPass):
+    """Hoist duplicated loads / sink duplicated stores across diamonds."""
+
+    name = "mldst-motion"
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = False
+        for block in list(fn.blocks):
+            if block.parent is None:
+                continue
+            shape = _diamond(block)
+            if shape is None:
+                continue
+            then_b, else_b, merge = shape
+            changed |= self._hoist_loads(block, then_b, else_b)
+            changed |= self._sink_stores(then_b, else_b, merge)
+        return changed
+
+    def _hoist_loads(
+        self, pred: BasicBlock, then_b: BasicBlock, else_b: BasicBlock
+    ) -> bool:
+        t0 = then_b.first_non_phi
+        e0 = else_b.first_non_phi
+        if (
+            isinstance(t0, Load)
+            and isinstance(e0, Load)
+            and t0 is then_b.instructions[0]
+            and e0 is else_b.instructions[0]
+            and must_alias(t0.pointer, e0.pointer)
+            and t0.type == e0.type
+        ):
+            then_b.instructions.remove(t0)
+            t0.parent = None
+            pred.insert_before_terminator(t0)
+            e0.replace_all_uses_with(t0)
+            e0.erase_from_parent()
+            return True
+        return False
+
+    def _sink_stores(
+        self, then_b: BasicBlock, else_b: BasicBlock, merge: BasicBlock
+    ) -> bool:
+        ts = then_b.instructions[-2] if len(then_b.instructions) >= 2 else None
+        es = else_b.instructions[-2] if len(else_b.instructions) >= 2 else None
+        if not (isinstance(ts, Store) and isinstance(es, Store)):
+            return False
+        if not must_alias(ts.pointer, es.pointer):
+            return False
+        if ts.value.type != es.value.type:
+            return False
+        # The pointer must dominate the merge block: reuse the then-side
+        # pointer only if it is defined outside both arms.
+        if (
+            isinstance(ts.pointer, Instruction)
+            and ts.pointer.parent in (then_b, else_b)
+        ):
+            return False
+        if merge.predecessors() != [then_b, else_b] and merge.predecessors() != [
+            else_b,
+            then_b,
+        ]:
+            return False
+        fn = then_b.parent
+        assert fn is not None
+        phi = Phi(ts.value.type, fn.next_name("sink"))
+        merge.insert(0, phi)
+        phi.add_incoming(ts.value, then_b)
+        phi.add_incoming(es.value, else_b)
+        store = Store(phi, ts.pointer, ts.alignment)
+        first = merge.first_non_phi
+        if first is None:
+            merge.append(store)
+        else:
+            store.insert_before(first)
+        ts.erase_from_parent()
+        es.erase_from_parent()
+        return True

@@ -1,0 +1,290 @@
+"""Small Oz-pipeline passes: -div-rem-pairs, -lower-expect,
+-lower-constant-intrinsics, -float2int, -alignment-from-assumptions,
+-ee-instrument.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...analysis.dominators import DominatorTree
+from ...ir.instructions import (
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    ICmp,
+    Instruction,
+    Load,
+    Store,
+)
+from ...ir.module import Function, Module
+from ...ir.types import FloatType, FunctionType, IntType, PointerType, VOID, F64
+from ...ir.values import Argument, ConstantInt, GlobalVariable, Value
+from ..base import FunctionPass, register_pass
+from ..utils import erase_trivially_dead, replace_and_erase
+from ...analysis.memdep import underlying_object
+
+
+@register_pass
+class DivRemPairs(FunctionPass):
+    """Rewrite a remainder whose matching division is available as
+    ``a - (a / b) * b`` (profitable on targets without a fused div+rem)."""
+
+    name = "div-rem-pairs"
+
+    _PAIRS = {"srem": "sdiv", "urem": "udiv"}
+
+    @staticmethod
+    def _same_operand(a, b) -> bool:
+        if a is b:
+            return True
+        return (
+            isinstance(a, ConstantInt)
+            and isinstance(b, ConstantInt)
+            and a.type == b.type
+            and a.value == b.value
+        )
+
+    def run_on_function(self, fn: Function) -> bool:
+        dom = DominatorTree(fn)
+        divs: List[BinaryOp] = [
+            i
+            for i in fn.instructions()
+            if isinstance(i, BinaryOp) and i.opcode in ("sdiv", "udiv")
+        ]
+        changed = False
+        for block in fn.blocks:
+            for inst in list(block.instructions):
+                if not isinstance(inst, BinaryOp) or inst.opcode not in self._PAIRS:
+                    continue
+                want = self._PAIRS[inst.opcode]
+                match = None
+                for div in divs:
+                    if (
+                        div.parent is not None
+                        and div.opcode == want
+                        and self._same_operand(div.lhs, inst.lhs)
+                        and self._same_operand(div.rhs, inst.rhs)
+                        and dom.dominates(div, inst)
+                    ):
+                        match = div
+                        break
+                if match is None:
+                    continue
+                mul = BinaryOp("mul", match, inst.rhs)
+                mul.name = fn.next_name("drp")
+                mul.insert_before(inst)
+                sub = BinaryOp("sub", inst.lhs, mul)
+                sub.name = fn.next_name("drp")
+                sub.insert_before(inst)
+                replace_and_erase(inst, sub)
+                changed = True
+        return changed
+
+
+@register_pass
+class LowerExpect(FunctionPass):
+    """Strip ``llvm.expect`` calls, recording branch-weight metadata on the
+    branches their results steer."""
+
+    name = "lower-expect"
+
+    LIKELY = (2000, 1)
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = False
+        for block in fn.blocks:
+            for inst in list(block.instructions):
+                if not isinstance(inst, Call):
+                    continue
+                name = inst.intrinsic_name
+                if name is None or not name.startswith("llvm.expect"):
+                    continue
+                value, expected = inst.arg(0), inst.arg(1)
+                # Annotate conditional branches fed (possibly via an icmp)
+                # by this expect.
+                for use in list(inst.uses):
+                    user = use.user
+                    targets: List[Instruction] = []
+                    if isinstance(user, Branch):
+                        targets.append(user)
+                    elif isinstance(user, ICmp):
+                        targets.extend(
+                            u for u in user.users() if isinstance(u, Branch)
+                        )
+                    for br in targets:
+                        if isinstance(expected, ConstantInt) and expected.value:
+                            br.meta["branch_weights"] = list(self.LIKELY)
+                        else:
+                            br.meta["branch_weights"] = list(reversed(self.LIKELY))
+                replace_and_erase(inst, value)
+                changed = True
+        return changed
+
+
+@register_pass
+class LowerConstantIntrinsics(FunctionPass):
+    """Fold ``llvm.is.constant`` / ``llvm.objectsize`` to constants."""
+
+    name = "lower-constant-intrinsics"
+
+    def run_on_function(self, fn: Function) -> bool:
+        from ...ir.values import Constant
+
+        changed = False
+        for block in fn.blocks:
+            for inst in list(block.instructions):
+                if not isinstance(inst, Call):
+                    continue
+                name = inst.intrinsic_name
+                if name is None:
+                    continue
+                if name.startswith("llvm.is.constant"):
+                    known = isinstance(inst.arg(0), Constant)
+                    replace_and_erase(
+                        inst, ConstantInt(inst.type, 1 if known else 0)  # type: ignore[arg-type]
+                    )
+                    changed = True
+                elif name.startswith("llvm.objectsize"):
+                    base = underlying_object(inst.arg(0))
+                    size = -1
+                    from ...ir.instructions import Alloca
+
+                    if isinstance(base, Alloca):
+                        size = base.allocated_type.size
+                    elif isinstance(base, GlobalVariable):
+                        size = base.value_type.size
+                    replace_and_erase(inst, ConstantInt(inst.type, size))  # type: ignore[arg-type]
+                    changed = True
+        changed |= erase_trivially_dead(fn)
+        return changed
+
+
+@register_pass
+class Float2Int(FunctionPass):
+    """Demote float add/sub chains whose leaves are ``sitofp`` of integers
+    and whose only consumers are ``fptosi`` back to integer arithmetic.
+
+    Restricted to f64 with i32/i64 sources, where the float computation is
+    exact and the round-trip matches wrapping integer arithmetic.
+    """
+
+    name = "float2int"
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = False
+        for block in fn.blocks:
+            for inst in list(block.instructions):
+                if inst.parent is None or not isinstance(inst, Cast):
+                    continue
+                if inst.opcode != "fptosi" or not isinstance(inst.type, IntType):
+                    continue
+                replacement = self._demote(fn, inst.value, inst.type, depth=0)
+                if replacement is not None:
+                    new = replacement
+                    if new.type != inst.type:
+                        cast = Cast(
+                            "trunc"
+                            if new.type.size > inst.type.size
+                            else "sext",
+                            new,
+                            inst.type,
+                        )
+                        cast.name = fn.next_name("f2i")
+                        cast.insert_before(inst)
+                        new = cast
+                    replace_and_erase(inst, new)
+                    changed = True
+        if changed:
+            erase_trivially_dead(fn)
+        return changed
+
+    def _demote(
+        self, fn: Function, value: Value, int_ty: IntType, depth: int
+    ) -> Optional[Value]:
+        """Return an integer equivalent of the f64 ``value``, or None."""
+        if depth > 4:
+            return None
+        if isinstance(value, Cast) and value.opcode == "sitofp":
+            src = value.value
+            if isinstance(src.type, IntType) and src.type.bits <= int_ty.bits:
+                if src.type == int_ty:
+                    return src
+                cast = Cast("sext", src, int_ty)
+                cast.name = fn.next_name("f2i")
+                cast.insert_before(value)
+                return cast
+            return None
+        if (
+            isinstance(value, BinaryOp)
+            and value.opcode in ("fadd", "fsub")
+            and value.type == F64
+            and value.num_uses == 1
+        ):
+            lhs = self._demote(fn, value.lhs, int_ty, depth + 1)
+            if lhs is None:
+                return None
+            rhs = self._demote(fn, value.rhs, int_ty, depth + 1)
+            if rhs is None:
+                return None
+            op = "add" if value.opcode == "fadd" else "sub"
+            out = BinaryOp(op, lhs, rhs)
+            out.name = fn.next_name("f2i")
+            out.insert_before(value)
+            return out
+        return None
+
+
+@register_pass
+class AlignmentFromAssumptions(FunctionPass):
+    """Raise recorded load/store alignments to the alignment of the
+    underlying object when it is statically known (allocas and globals)."""
+
+    name = "alignment-from-assumptions"
+
+    def run_on_function(self, fn: Function) -> bool:
+        from ...ir.instructions import Alloca
+
+        changed = False
+        for inst in fn.instructions():
+            pointer = None
+            if isinstance(inst, Load):
+                pointer = inst.pointer
+            elif isinstance(inst, Store):
+                pointer = inst.pointer
+            if pointer is None or not (pointer is underlying_object(pointer)):
+                continue
+            base = pointer
+            base_align = 0
+            if isinstance(base, Alloca):
+                base_align = base.alignment
+            elif isinstance(base, GlobalVariable):
+                base_align = base.alignment
+            if base_align > inst.alignment:  # type: ignore[union-attr]
+                inst.alignment = base_align  # type: ignore[union-attr]
+                changed = True
+        return changed
+
+
+@register_pass
+class EntryExitInstrument(FunctionPass):
+    """-ee-instrument: insert ``mcount``-style entry instrumentation for
+    functions that request it; a no-op otherwise (as in ``-Oz``)."""
+
+    name = "ee-instrument"
+
+    ATTRIBUTE = "instrument-function-entry-inlined"
+
+    def run_on_function(self, fn: Function) -> bool:
+        if self.ATTRIBUTE not in fn.attributes:
+            return False
+        module = fn.module
+        assert module is not None
+        hook = module.get_or_insert_function(
+            "__cyg_profile_func_enter", FunctionType(VOID, [])
+        )
+        call = Call(hook, [])
+        fn.entry.insert(0, call)
+        fn.attributes.discard(self.ATTRIBUTE)
+        return True

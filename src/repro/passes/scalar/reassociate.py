@@ -1,0 +1,124 @@
+"""-reassociate: canonicalize associative expression trees.
+
+Linearizes chains of a single associative/commutative opcode, ranks the
+leaves (constants last, then by definition order), folds the constants
+together, and rebuilds a left-leaning chain. The canonical form is what
+exposes folds to instcombine/CSE — exactly its role inside ``-Oz``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ...ir.instructions import BinaryOp, Instruction
+from ...ir.module import BasicBlock, Function
+from ...ir.types import IntType
+from ...ir.values import Argument, ConstantInt, Value
+from ..base import FunctionPass, register_pass
+from ..fold import fold_binary
+from ..utils import erase_trivially_dead, replace_and_erase
+
+_REASSOC_OPS = ("add", "mul", "and", "or", "xor")
+
+
+def _collect_leaves(root: BinaryOp) -> Optional[List[Value]]:
+    """Flatten a single-use tree of ``root.opcode`` into its leaves."""
+    leaves: List[Value] = []
+    op = root.opcode
+    stack: List[Value] = [root.lhs, root.rhs]
+    count = 0
+    while stack:
+        value = stack.pop()
+        count += 1
+        if count > 32:
+            return None
+        if (
+            isinstance(value, BinaryOp)
+            and value.opcode == op
+            and value.num_uses == 1
+            and value.parent is root.parent
+        ):
+            stack.append(value.lhs)
+            stack.append(value.rhs)
+        else:
+            leaves.append(value)
+    return leaves
+
+
+def _rank(fn: Function, value: Value) -> Tuple[int, int]:
+    """Ranking: arguments first, then instructions in program order,
+    constants last (so they cluster and fold)."""
+    if isinstance(value, ConstantInt):
+        return (2, 0)
+    if isinstance(value, Argument):
+        return (0, value.index)
+    if isinstance(value, Instruction) and value.parent is not None:
+        block_index = value.parent.parent.blocks.index(value.parent)
+        return (1, block_index * 10_000 + value.parent.instructions.index(value))
+    return (1, 0)
+
+
+@register_pass
+class Reassociate(FunctionPass):
+    """Reassociate commutative expressions into canonical ranked form."""
+
+    name = "reassociate"
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = False
+        for block in fn.blocks:
+            for inst in list(block.instructions):
+                if inst.parent is None or not isinstance(inst, BinaryOp):
+                    continue
+                if inst.opcode not in _REASSOC_OPS or not isinstance(
+                    inst.type, IntType
+                ):
+                    continue
+                # Only rewrite tree roots (users are not the same opcode).
+                if any(
+                    isinstance(u, BinaryOp)
+                    and u.opcode == inst.opcode
+                    and u.parent is block
+                    for u in inst.users()
+                ):
+                    continue
+                leaves = _collect_leaves(inst)
+                if leaves is None or len(leaves) < 3:
+                    continue
+
+                constants = [l for l in leaves if isinstance(l, ConstantInt)]
+                others = [l for l in leaves if not isinstance(l, ConstantInt)]
+                if len(constants) < 2 and len(others) == len(leaves):
+                    continue  # nothing to gain
+
+                folded: Optional[Value] = None
+                if constants:
+                    acc = constants[0]
+                    for c in constants[1:]:
+                        result = fold_binary(inst.opcode, acc, c)
+                        assert result is not None
+                        acc = result  # type: ignore[assignment]
+                    folded = acc
+
+                others.sort(key=lambda v: _rank(fn, v))
+                ordered = others + ([folded] if folded is not None else [])
+                if len(ordered) == len(leaves):
+                    # Skip no-op rebuilds that match the existing shape.
+                    if constants and len(constants) < 2:
+                        continue
+
+                # Rebuild a left-leaning chain before `inst`.
+                if len(ordered) == 1:
+                    replace_and_erase(inst, ordered[0])
+                    changed = True
+                    continue
+                current = ordered[0]
+                for value in ordered[1:]:
+                    node = BinaryOp(inst.opcode, current, value)
+                    node.name = fn.next_name("ra")
+                    node.insert_before(inst)
+                    current = node
+                replace_and_erase(inst, current)
+                changed = True
+        changed |= erase_trivially_dead(fn)
+        return changed

@@ -1,0 +1,255 @@
+"""-sccp: sparse conditional constant propagation.
+
+Classic Wegman–Zadeck three-level lattice (top / constant / overdefined)
+with executable-edge tracking, so constants are propagated *through*
+branches that are themselves decided by constants. The solver core is
+shared with the interprocedural ``-ipsccp`` pass.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+from ...analysis.cfg import remove_unreachable_blocks
+from ...ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    FCmp,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Switch,
+)
+from ...ir.module import BasicBlock, Function
+from ...ir.values import (
+    Argument,
+    Constant,
+    ConstantFloat,
+    ConstantInt,
+    UndefValue,
+    Value,
+)
+from ..base import FunctionPass, register_pass
+from ..fold import fold_binary, fold_cast, fold_fcmp, fold_icmp
+from ..utils import constant_fold_terminator, erase_trivially_dead
+
+TOP = "top"
+BOTTOM = "bottom"
+LatticeValue = Union[str, Constant]
+
+
+def _meet(a: LatticeValue, b: LatticeValue) -> LatticeValue:
+    if a == TOP:
+        return b
+    if b == TOP:
+        return a
+    if a == BOTTOM or b == BOTTOM:
+        return BOTTOM
+    assert isinstance(a, Constant) and isinstance(b, Constant)
+    if _same_constant(a, b):
+        return a
+    return BOTTOM
+
+
+def _same_constant(a: Constant, b: Constant) -> bool:
+    if isinstance(a, ConstantInt) and isinstance(b, ConstantInt):
+        return a.type == b.type and a.value == b.value
+    if isinstance(a, ConstantFloat) and isinstance(b, ConstantFloat):
+        return a.type == b.type and a.value == b.value
+    return a is b
+
+
+class SCCPSolver:
+    """The dataflow engine; usable per-function or interprocedurally."""
+
+    def __init__(self, fn: Function, arg_values: Optional[Dict[int, LatticeValue]] = None):
+        self.fn = fn
+        self.lattice: Dict[int, LatticeValue] = {}
+        self.executable_edges: Set[Tuple[int, int]] = set()
+        self.executable_blocks: Set[int] = set()
+        self.ssa_worklist: List[Instruction] = []
+        self.block_worklist: List[BasicBlock] = []
+        for arg in fn.args:
+            self.lattice[id(arg)] = (
+                arg_values.get(id(arg), BOTTOM) if arg_values else BOTTOM
+            )
+        #: meet of all returned values, for interprocedural use
+        self.return_value: LatticeValue = TOP
+
+    # -- lattice access ------------------------------------------------------
+    def value_of(self, value: Value) -> LatticeValue:
+        if isinstance(value, Constant) and not isinstance(value, UndefValue):
+            return value
+        if isinstance(value, UndefValue):
+            return BOTTOM  # do not exploit undef (keeps interp-equivalence)
+        return self.lattice.get(id(value), TOP)
+
+    def _set(self, inst: Instruction, value: LatticeValue) -> None:
+        old = self.lattice.get(id(inst), TOP)
+        new = _meet(old, value) if old != TOP else value
+        # Monotonic: once bottom, stays bottom.
+        if old == BOTTOM:
+            return
+        if old == TOP and new == TOP:
+            return
+        if old != TOP and isinstance(old, Constant) and isinstance(new, Constant):
+            if _same_constant(old, new):
+                return
+            new = BOTTOM
+        self.lattice[id(inst)] = new
+        for use in inst.uses:
+            user = use.user
+            if isinstance(user, Instruction) and user.parent is not None:
+                if id(user.parent) in self.executable_blocks:
+                    self.ssa_worklist.append(user)
+
+    def _mark_edge(self, src: BasicBlock, dst: BasicBlock) -> None:
+        edge = (id(src), id(dst))
+        if edge in self.executable_edges:
+            return
+        self.executable_edges.add(edge)
+        if id(dst) not in self.executable_blocks:
+            self.executable_blocks.add(id(dst))
+            self.block_worklist.append(dst)
+        else:
+            # Only the phis need revisiting for a newly executable edge.
+            for phi in dst.phis():
+                self.ssa_worklist.append(phi)
+
+    # -- transfer functions -----------------------------------------------------
+    def _visit(self, inst: Instruction) -> None:
+        if isinstance(inst, Phi):
+            result: LatticeValue = TOP
+            for value, pred in inst.incoming():
+                if (id(pred), id(inst.parent)) in self.executable_edges:
+                    result = _meet(result, self.value_of(value))
+            self._set(inst, result)
+            return
+
+        if isinstance(inst, (Branch, Switch)):
+            self._visit_terminator(inst)
+            return
+
+        if isinstance(inst, Ret):
+            if inst.value is not None:
+                self.return_value = _meet(self.return_value, self.value_of(inst.value))
+            else:
+                self.return_value = BOTTOM
+            return
+
+        if isinstance(inst, Call):
+            if not inst.type.is_void:
+                self._set(inst, self._call_value(inst))
+            return
+        if not inst.type.is_void and isinstance(inst, (Load, Alloca)):
+            # Memory contents and addresses are not modelled: overdefined.
+            self._set(inst, BOTTOM)
+            return
+        if inst.type.is_void:
+            return
+
+        operand_values = [self.value_of(op) for op in inst.operands]
+        if any(v == BOTTOM for v in operand_values):
+            self._set(inst, BOTTOM)
+            return
+        if any(v == TOP for v in operand_values):
+            return  # wait for more information
+
+        consts: List[Constant] = operand_values  # type: ignore[assignment]
+        folded: Optional[Constant] = None
+        if isinstance(inst, BinaryOp):
+            folded = fold_binary(inst.opcode, consts[0], consts[1])
+        elif isinstance(inst, ICmp):
+            folded = fold_icmp(inst.predicate, consts[0], consts[1])
+        elif isinstance(inst, FCmp):
+            folded = fold_fcmp(inst.predicate, consts[0], consts[1])
+        elif isinstance(inst, Cast):
+            folded = fold_cast(inst.opcode, consts[0], inst.type)
+        elif isinstance(inst, Select):
+            cond = consts[0]
+            if isinstance(cond, ConstantInt):
+                folded = consts[1] if cond.value else consts[2]
+        self._set(inst, folded if folded is not None else BOTTOM)
+
+    def _call_value(self, inst: Call) -> LatticeValue:
+        """Overridden by ipsccp to consult callee summaries."""
+        return BOTTOM
+
+    def _visit_terminator(self, inst: Instruction) -> None:
+        block = inst.parent
+        assert block is not None
+        if isinstance(inst, Branch):
+            if not inst.is_conditional:
+                self._mark_edge(block, inst.targets[0])
+                return
+            cond = self.value_of(inst.condition)
+            if isinstance(cond, ConstantInt):
+                target = inst.true_target if cond.value else inst.false_target
+                self._mark_edge(block, target)
+            elif cond == BOTTOM:
+                self._mark_edge(block, inst.true_target)
+                self._mark_edge(block, inst.false_target)
+            return
+        if isinstance(inst, Switch):
+            value = self.value_of(inst.value)
+            if isinstance(value, ConstantInt):
+                taken = inst.default
+                for cv, target in inst.cases():
+                    if cv.value == value.value:
+                        taken = target
+                        break
+                self._mark_edge(block, taken)
+            elif value == BOTTOM:
+                for target in inst.targets:
+                    self._mark_edge(block, target)
+
+    # -- driver -------------------------------------------------------------------
+    def solve(self) -> None:
+        entry = self.fn.entry
+        self.executable_blocks.add(id(entry))
+        self.block_worklist.append(entry)
+        while self.block_worklist or self.ssa_worklist:
+            while self.ssa_worklist:
+                inst = self.ssa_worklist.pop()
+                if inst.parent is not None and id(inst.parent) in self.executable_blocks:
+                    self._visit(inst)
+            while self.block_worklist:
+                block = self.block_worklist.pop()
+                for inst in block.instructions:
+                    self._visit(inst)
+
+    # -- applying the solution ----------------------------------------------------
+    def apply(self) -> bool:
+        changed = False
+        for block in list(self.fn.blocks):
+            if id(block) not in self.executable_blocks:
+                continue
+            for inst in list(block.instructions):
+                if inst.type.is_void or inst.parent is None:
+                    continue
+                value = self.lattice.get(id(inst))
+                if isinstance(value, Constant) and inst.has_uses:
+                    inst.replace_all_uses_with(value)
+                    changed = True
+            changed |= constant_fold_terminator(block)
+        changed |= remove_unreachable_blocks(self.fn)
+        changed |= erase_trivially_dead(self.fn)
+        return changed
+
+
+@register_pass
+class SCCP(FunctionPass):
+    """Sparse conditional constant propagation."""
+
+    name = "sccp"
+
+    def run_on_function(self, fn: Function) -> bool:
+        solver = SCCPSolver(fn)
+        solver.solve()
+        return solver.apply()

@@ -1,0 +1,223 @@
+"""-simplifycfg: CFG cleanup.
+
+Iterates to a fixpoint over: unreachable-block removal, constant-branch
+folding, straight-line block merging, empty-block forwarding, phi
+simplification, and if-conversion of small diamonds/triangles into
+``select`` (the speculation part of LLVM's SimplifyCFG).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ...ir.builder import IRBuilder
+from ...ir.instructions import Branch, Instruction, Phi, Select
+from ...ir.module import BasicBlock, Function
+from ..base import FunctionPass, register_pass
+from ...analysis.cfg import remove_unreachable_blocks
+from ..utils import (
+    constant_fold_terminator,
+    merge_block_into_predecessor,
+    simplify_single_incoming_phis,
+)
+
+#: Max speculatable instructions hoisted out of one side of a diamond.
+SPECULATION_BUDGET = 3
+
+
+def _is_empty_forwarder(block: BasicBlock) -> bool:
+    """Only an unconditional branch, no phis, not the entry block."""
+    term = block.terminator
+    return (
+        len(block.instructions) == 1
+        and isinstance(term, Branch)
+        and not term.is_conditional
+        and block.parent is not None
+        and block is not block.parent.entry
+    )
+
+
+def _forward_empty_block(block: BasicBlock) -> bool:
+    """Redirect predecessors of an empty block straight to its successor."""
+    succ = block.successors()[0]
+    if succ is block:
+        return False
+    preds = block.predecessors()
+    if not preds:
+        return False
+    # If the successor has phis we must be able to attribute a value to each
+    # redirected predecessor; bail out if a pred already reaches succ with a
+    # conflicting value.
+    for phi in succ.phis():
+        via_block = phi.incoming_for_block(block)
+        for pred in preds:
+            existing = phi.incoming_for_block(pred)
+            if existing is not None and existing is not via_block:
+                return False
+    changed = False
+    for pred in preds:
+        term = pred.terminator
+        assert term is not None
+        already_pred_of_succ = any(s is succ for s in pred.successors())
+        for i, op in enumerate(term.operands):
+            if op is block:
+                term.set_operand(i, succ)
+        for phi in succ.phis():
+            via_block = phi.incoming_for_block(block)
+            assert via_block is not None
+            if phi.incoming_for_block(pred) is None:
+                phi.add_incoming(via_block, pred)
+        changed = True
+        del already_pred_of_succ
+    for phi in succ.phis():
+        phi.remove_incoming(block)
+    block.erase_from_parent()
+    return changed
+
+
+def _hoistable_body(block: BasicBlock, merge: BasicBlock) -> Optional[List[Instruction]]:
+    """Instructions of a side block if the whole body is speculatable."""
+    term = block.terminator
+    if not isinstance(term, Branch) or term.is_conditional:
+        return None
+    if term.targets[0] is not merge:
+        return None
+    if block.phis():
+        return None
+    body = block.instructions[:-1]
+    if len(body) > SPECULATION_BUDGET:
+        return None
+    if not all(inst.is_speculatable for inst in body):
+        return None
+    return body
+
+
+def _try_if_conversion(block: BasicBlock) -> bool:
+    """Convert diamonds/triangles hanging off ``block`` into selects."""
+    term = block.terminator
+    if not isinstance(term, Branch) or not term.is_conditional:
+        return False
+    then_b, else_b = term.true_target, term.false_target
+    if then_b is else_b:
+        return False
+
+    # Diamond: block -> {then, else} -> merge
+    then_body = _diamond_side(block, then_b)
+    else_body = _diamond_side(block, else_b)
+
+    merge: Optional[BasicBlock] = None
+    if then_body is not None and else_body is not None:
+        m1 = then_b.successors()[0]
+        m2 = else_b.successors()[0]
+        if m1 is m2:
+            merge = m1
+            sides = [(then_b, then_body), (else_b, else_body)]
+        else:
+            return False
+    elif then_body is not None and then_b.successors()[0] is else_b:
+        merge = else_b  # triangle: block -> then -> else, block -> else
+        sides = [(then_b, then_body)]
+    elif else_body is not None and else_b.successors()[0] is then_b:
+        merge = then_b
+        sides = [(else_b, else_body)]
+    else:
+        return False
+
+    if merge is block:
+        return False
+    # Each side must be used only on this path.
+    for side, _ in sides:
+        if side.predecessors() != [block]:
+            return False
+
+    cond = term.condition
+
+    # Hoist side bodies before the terminator.
+    for side, body in sides:
+        for inst in body:
+            side.instructions.remove(inst)
+            inst.parent = None
+            block.insert_before_terminator(inst)
+
+    # Rewrite merge phis into selects.
+    for phi in list(merge.phis()):
+        # Determine per-path values.
+        if len(sides) == 2:
+            then_value = phi.incoming_for_block(then_b)
+            else_value = phi.incoming_for_block(else_b)
+        else:
+            side_block = sides[0][0]
+            side_value = phi.incoming_for_block(side_block)
+            direct_value = phi.incoming_for_block(block)
+            if side_block is then_b:
+                then_value, else_value = side_value, direct_value
+            else:
+                then_value, else_value = direct_value, side_value
+        if then_value is None or else_value is None:
+            continue
+        if then_value is else_value:
+            replacement = then_value
+        else:
+            select = Select(cond, then_value, else_value, phi.name)
+            select.name = block.parent.next_name(phi.name or "sel")
+            block.insert_before_terminator(select)
+            replacement = select
+        # Remove the collapsed incomings and add the one from `block`.
+        for side_block, _ in sides:
+            phi.remove_incoming(side_block)
+        phi.remove_incoming(block)
+        if phi.num_incoming == 0:
+            phi.replace_all_uses_with(replacement)
+            phi.erase_from_parent()
+        else:
+            phi.add_incoming(replacement, block)
+
+    # Retarget block directly at merge.
+    term.erase_from_parent()
+    IRBuilder(block).br(merge)
+    for side, _ in sides:
+        side.erase_from_parent()
+    return True
+
+
+def _diamond_side(block: BasicBlock, side: BasicBlock) -> Optional[List[Instruction]]:
+    if side.single_predecessor is not block:
+        return None
+    succs = side.successors()
+    if len(succs) != 1:
+        return None
+    return _hoistable_body(side, succs[0])
+
+
+@register_pass
+class SimplifyCFG(FunctionPass):
+    """Canonicalize and shrink the control-flow graph."""
+
+    name = "simplifycfg"
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = False
+        progress = True
+        while progress:
+            progress = False
+            progress |= remove_unreachable_blocks(fn)
+            for block in list(fn.blocks):
+                if block.parent is None:
+                    continue
+                progress |= constant_fold_terminator(block)
+                progress |= simplify_single_incoming_phis(block)
+            for block in list(fn.blocks):
+                if block.parent is None:
+                    continue
+                if _is_empty_forwarder(block):
+                    progress |= _forward_empty_block(block)
+            for block in list(fn.blocks):
+                if block.parent is None:
+                    continue
+                progress |= merge_block_into_predecessor(block)
+            for block in list(fn.blocks):
+                if block.parent is None:
+                    continue
+                progress |= _try_if_conversion(block)
+            changed |= progress
+        return changed

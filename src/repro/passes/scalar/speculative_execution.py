@@ -1,0 +1,61 @@
+"""-speculative-execution: hoist cheap speculatable instructions from a
+conditionally-executed block into its predecessor.
+
+This exposes them to CSE across both branch directions; it is the
+straight-code part of if-conversion (no CFG change).
+"""
+
+from __future__ import annotations
+
+from ...ir.instructions import Branch, Instruction, Phi
+from ...ir.module import BasicBlock, Function
+from ..base import FunctionPass, register_pass
+
+#: Maximum instructions hoisted from one target block.
+HOIST_BUDGET = 4
+
+
+def _hoist_from(target: BasicBlock, pred: BasicBlock) -> bool:
+    """Hoist leading speculatable instructions of ``target`` into ``pred``."""
+    if target.single_predecessor is not pred:
+        return False
+    if target.phis():
+        return False
+    changed = False
+    hoisted = 0
+    for inst in list(target.instructions):
+        if inst.is_terminator or hoisted >= HOIST_BUDGET:
+            break
+        if not inst.is_speculatable:
+            break
+        # Operands must be visible in pred (they are unless defined in
+        # `target` by an earlier, unhoisted instruction — but we hoist in
+        # order, so anything defined earlier in `target` has been hoisted).
+        if any(
+            isinstance(op, Instruction) and op.parent is target
+            for op in inst.operands
+        ):
+            break
+        target.instructions.remove(inst)
+        inst.parent = None
+        pred.insert_before_terminator(inst)
+        hoisted += 1
+        changed = True
+    return changed
+
+
+@register_pass
+class SpeculativeExecution(FunctionPass):
+    """Speculatively hoist instructions above conditional branches."""
+
+    name = "speculative-execution"
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = False
+        for block in list(fn.blocks):
+            term = block.terminator
+            if not isinstance(term, Branch) or not term.is_conditional:
+                continue
+            for target in (term.true_target, term.false_target):
+                changed |= _hoist_from(target, block)
+        return changed

@@ -1,0 +1,118 @@
+"""-sroa: scalar replacement of aggregates.
+
+Aggregate allocas whose every access goes through constant-index GEPs are
+split into one scalar alloca per element; the resulting scalars (plus any
+directly-promotable scalars) are immediately promoted to SSA with the
+mem2reg machinery — matching LLVM's SROA, which subsumes mem2reg.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ...ir.instructions import Alloca, GetElementPtr, Instruction, Load, Store
+from ...ir.module import Function
+from ...ir.types import ArrayType, StructType, Type
+from ...ir.values import ConstantInt
+from ..base import FunctionPass, register_pass
+from .mem2reg import is_promotable, promote_allocas
+
+
+def _element_slot(alloca: Alloca, gep: GetElementPtr) -> Optional[Tuple[int, Type]]:
+    """Map a GEP off an aggregate alloca to a flat element index."""
+    if gep.pointer is not alloca or not gep.has_all_constant_indices:
+        return None
+    indices = [i.value for i in gep.indices]  # type: ignore[union-attr]
+    if not indices or indices[0] != 0:
+        return None
+    ty: Type = alloca.allocated_type
+    flat = 0
+    for idx in indices[1:]:
+        if isinstance(ty, ArrayType):
+            if not (0 <= idx < ty.count):
+                return None
+            stride = _flat_count(ty.element)
+            flat += idx * stride
+            ty = ty.element
+        elif isinstance(ty, StructType):
+            if not (0 <= idx < len(ty.fields)):
+                return None
+            flat += sum(_flat_count(f) for f in ty.fields[:idx])
+            ty = ty.fields[idx]
+        else:
+            return None
+    if ty.is_aggregate:
+        return None  # partial indexing; not scalar
+    return (flat, ty)
+
+
+def _flat_count(ty: Type) -> int:
+    if isinstance(ty, ArrayType):
+        return ty.count * _flat_count(ty.element)
+    if isinstance(ty, StructType):
+        return sum(_flat_count(f) for f in ty.fields)
+    return 1
+
+
+def _splittable(alloca: Alloca) -> Optional[Dict[int, Tuple[List[GetElementPtr], Type]]]:
+    """All uses must be constant GEPs whose uses are scalar loads/stores."""
+    slots: Dict[int, Tuple[List[GetElementPtr], Type]] = {}
+    for use in alloca.uses:
+        user = use.user
+        if not isinstance(user, GetElementPtr):
+            return None
+        slot = _element_slot(alloca, user)
+        if slot is None:
+            return None
+        index, ty = slot
+        for gep_use in user.uses:
+            gep_user = gep_use.user
+            if isinstance(gep_user, Load):
+                continue
+            if isinstance(gep_user, Store) and gep_user.pointer is user:
+                continue
+            return None
+        existing = slots.get(index)
+        if existing is None:
+            slots[index] = ([user], ty)
+        else:
+            if existing[1] != ty:
+                return None
+            existing[0].append(user)
+    return slots
+
+
+@register_pass
+class SROA(FunctionPass):
+    """Split aggregate allocas and promote the scalars to SSA."""
+
+    name = "sroa"
+
+    def run_on_function(self, fn: Function) -> bool:
+        changed = False
+        to_promote: List[Alloca] = []
+
+        for inst in list(fn.instructions()):
+            if not isinstance(inst, Alloca) or inst.parent is None:
+                continue
+            if inst.allocated_type.is_aggregate:
+                slots = _splittable(inst)
+                if slots is None:
+                    continue
+                entry = fn.entry
+                for index, (geps, ty) in sorted(slots.items()):
+                    scalar = Alloca(ty, fn.next_name(f"{inst.name or 'agg'}.{index}"))
+                    entry.insert(0, scalar)
+                    for gep in geps:
+                        gep.replace_all_uses_with(scalar)
+                        gep.erase_from_parent()
+                    if is_promotable(scalar):
+                        to_promote.append(scalar)
+                inst.erase_from_parent()
+                changed = True
+            elif is_promotable(inst):
+                to_promote.append(inst)
+
+        if to_promote:
+            changed |= promote_allocas(fn, to_promote)
+        return changed

@@ -1,0 +1,81 @@
+"""-tailcallelim: turn self-recursive tail calls into loops.
+
+``ret f(...)`` at the end of ``f`` becomes a back edge to the entry block
+with the arguments rewritten through phis. Only applied when the function
+has no allocas (so reusing the frame is trivially safe).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ...ir.builder import IRBuilder
+from ...ir.instructions import Alloca, Branch, Call, Instruction, Phi, Ret
+from ...ir.module import BasicBlock, Function
+from ..base import FunctionPass, register_pass
+
+
+def _find_tail_recursions(fn: Function) -> List[Tuple[Call, Ret]]:
+    sites: List[Tuple[Call, Ret]] = []
+    for block in fn.blocks:
+        term = block.terminator
+        if not isinstance(term, Ret):
+            continue
+        insts = block.instructions
+        if len(insts) < 2:
+            continue
+        call = insts[-2]
+        if not isinstance(call, Call) or call.called_function is not fn:
+            continue
+        if term.value is None:
+            if not call.type.is_void:
+                continue
+        elif term.value is not call:
+            continue
+        # The call result must have no other users.
+        if not call.type.is_void and call.num_uses > 1:
+            continue
+        sites.append((call, term))
+    return sites
+
+
+@register_pass
+class TailCallElim(FunctionPass):
+    """Eliminate self-recursive tail calls."""
+
+    name = "tailcallelim"
+
+    def run_on_function(self, fn: Function) -> bool:
+        if any(isinstance(i, Alloca) for i in fn.instructions()):
+            return False
+        sites = _find_tail_recursions(fn)
+        if not sites:
+            return False
+
+        old_entry = fn.entry
+        # Fresh entry block that jumps to the old entry; old entry becomes
+        # the loop header.
+        new_entry = BasicBlock(fn.next_name("tailentry"), fn)
+        fn.blocks.insert(0, new_entry)
+        IRBuilder(new_entry).br(old_entry)
+
+        # One phi per argument in the loop header.
+        phis: List[Phi] = []
+        for arg in fn.args:
+            phi = Phi(arg.type, fn.next_name(arg.name or "targ"))
+            old_entry.insert(0, phi)
+            # Replace argument uses *except* the incoming we are about to add.
+            arg.replace_all_uses_with(phi)
+            phi.add_incoming(arg, new_entry)
+            phis.append(phi)
+
+        for call, ret in sites:
+            block = call.parent
+            assert block is not None
+            args = call.args
+            ret.erase_from_parent()
+            call.erase_from_parent()
+            for phi, value in zip(phis, args):
+                phi.add_incoming(value, block)
+            IRBuilder(block).br(old_entry)
+        return True

@@ -1,0 +1,105 @@
+"""Pass-execution statistics.
+
+``PassManager(..., collect_stats=True)`` records, per pass invocation, the
+wall time, whether the module changed, and the instruction-count delta —
+the data an engineer reaches for when a pipeline misbehaves, and the raw
+material for the repo's pipeline-composition analyses.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class PassRecord:
+    """One pass invocation."""
+
+    name: str
+    changed: bool
+    seconds: float
+    instructions_before: int
+    instructions_after: int
+
+    @property
+    def instruction_delta(self) -> int:
+        return self.instructions_after - self.instructions_before
+
+
+@dataclass
+class PipelineStats:
+    """All invocations of one pipeline run."""
+
+    records: List[PassRecord] = field(default_factory=list)
+
+    def add(self, record: PassRecord) -> None:
+        self.records.append(record)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.seconds for r in self.records)
+
+    @property
+    def changed_passes(self) -> List[str]:
+        return [r.name for r in self.records if r.changed]
+
+    def by_pass(self) -> Dict[str, Dict[str, float]]:
+        """Aggregate time/changes/instruction-delta per pass name."""
+        out: Dict[str, Dict[str, float]] = {}
+        for r in self.records:
+            agg = out.setdefault(
+                r.name,
+                {"runs": 0, "changed": 0, "seconds": 0.0, "delta": 0},
+            )
+            agg["runs"] += 1
+            agg["changed"] += int(r.changed)
+            agg["seconds"] += r.seconds
+            agg["delta"] += r.instruction_delta
+        return out
+
+    def report(self) -> str:
+        """Human-readable summary, hottest passes first."""
+        rows = sorted(
+            self.by_pass().items(), key=lambda kv: -kv[1]["seconds"]
+        )
+        lines = [
+            f"{'pass':<28} {'runs':>5} {'changed':>8} {'Δinsts':>8} {'time':>9}"
+        ]
+        for name, agg in rows:
+            lines.append(
+                f"{name:<28} {agg['runs']:>5.0f} {agg['changed']:>8.0f} "
+                f"{agg['delta']:>8.0f} {agg['seconds']:>8.3f}s"
+            )
+        lines.append(f"{'TOTAL':<28} {'':>5} {'':>8} {'':>8} "
+                     f"{self.total_seconds:>8.3f}s")
+        return "\n".join(lines)
+
+
+class StatsTimer:
+    """Context manager measuring one pass invocation."""
+
+    def __init__(self, stats: PipelineStats, name: str, module):
+        self.stats = stats
+        self.name = name
+        self.module = module
+
+    def __enter__(self) -> "StatsTimer":
+        self.before = self.module.instruction_count
+        self.start = time.perf_counter()
+        return self
+
+    def finish(self, changed: bool) -> None:
+        self.stats.add(
+            PassRecord(
+                name=self.name,
+                changed=changed,
+                seconds=time.perf_counter() - self.start,
+                instructions_before=self.before,
+                instructions_after=self.module.instruction_count,
+            )
+        )
+
+    def __exit__(self, *exc) -> None:
+        pass

@@ -1,0 +1,19 @@
+"""Reinforcement-learning machinery: Q-networks, replay, DQN agents."""
+
+from .dqn import AgentConfig, DQNAgent, DoubleDQNAgent
+from .network import DenseLayer, QNetwork
+from .replay import ReplayMemory, Transition
+from .schedule import ExponentialSchedule, LinearSchedule, paper_epsilon_schedule
+
+__all__ = [
+    "AgentConfig",
+    "DQNAgent",
+    "DenseLayer",
+    "DoubleDQNAgent",
+    "ExponentialSchedule",
+    "LinearSchedule",
+    "QNetwork",
+    "ReplayMemory",
+    "Transition",
+    "paper_epsilon_schedule",
+]

@@ -1,0 +1,137 @@
+"""DQN and Double DQN agents.
+
+The paper uses Double DQN (Section II-B): the online network selects the
+best next action, the target network evaluates it — curbing the Q-value
+overestimation of vanilla DQN. Plain DQN is also provided for the
+ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from .network import QNetwork
+from .replay import ReplayMemory
+from .schedule import LinearSchedule, paper_epsilon_schedule
+
+
+@dataclass
+class AgentConfig:
+    """Hyper-parameters (defaults follow the paper where it states them:
+    lr 1e-4, ε 1.0→0.01 over 20k steps; the rest are standard choices)."""
+
+    state_dim: int = 300
+    num_actions: int = 34
+    hidden: Sequence[int] = (128, 64)
+    learning_rate: float = 1e-4
+    gamma: float = 0.99
+    batch_size: int = 32
+    replay_capacity: int = 10_000
+    min_replay: int = 64
+    train_every: int = 4      # the paper's µ: train every µ steps
+    target_sync_every: int = 256
+    epsilon_start: float = 1.0
+    epsilon_end: float = 0.01
+    epsilon_steps: int = 20_000
+    #: Rewards are scaled by this factor before entering the TD target —
+    #: raw POSET-RL rewards reach ±10 (α=10 on size fractions), which would
+    #: keep the Huber loss in its linear (slow) regime.
+    reward_scale: float = 0.1
+    seed: int = 0
+
+
+class DQNAgent:
+    """Vanilla DQN: the target network both selects and evaluates."""
+
+    double = False
+
+    def __init__(self, config: Optional[AgentConfig] = None):
+        self.config = config or AgentConfig()
+        c = self.config
+        self.online = QNetwork(
+            c.state_dim, c.num_actions, c.hidden, c.learning_rate, seed=c.seed
+        )
+        self.target = QNetwork(
+            c.state_dim, c.num_actions, c.hidden, c.learning_rate, seed=c.seed + 1
+        )
+        self.target.copy_from(self.online)
+        self.memory = ReplayMemory(c.replay_capacity, seed=c.seed)
+        self.epsilon_schedule = LinearSchedule(
+            c.epsilon_start, c.epsilon_end, c.epsilon_steps
+        )
+        self.steps = 0
+        self.train_steps = 0
+        self.last_loss: Optional[float] = None
+        self._rng = np.random.RandomState(c.seed + 7)
+
+    # -- acting ---------------------------------------------------------------
+    @property
+    def epsilon(self) -> float:
+        return self.epsilon_schedule.value(self.steps)
+
+    def act(self, state: np.ndarray, greedy: bool = False) -> int:
+        """ε-greedy action (or pure greedy for evaluation)."""
+        if not greedy and self._rng.random_sample() < self.epsilon:
+            return int(self._rng.randint(self.config.num_actions))
+        q = self.online.predict(np.asarray(state, dtype=np.float64))
+        return int(np.argmax(q))
+
+    def q_values(self, state: np.ndarray) -> np.ndarray:
+        return self.online.predict(np.asarray(state, dtype=np.float64))
+
+    # -- learning ----------------------------------------------------------------
+    def remember(
+        self,
+        state: np.ndarray,
+        action: int,
+        reward: float,
+        next_state: np.ndarray,
+        done: bool,
+    ) -> None:
+        self.memory.push(
+            state, action, reward * self.config.reward_scale, next_state, done
+        )
+        self.steps += 1
+        c = self.config
+        if len(self.memory) >= c.min_replay and self.steps % c.train_every == 0:
+            self.last_loss = self._train_step()
+        if self.steps % c.target_sync_every == 0:
+            self.target.copy_from(self.online)
+
+    def _next_q(self, next_states: np.ndarray) -> np.ndarray:
+        target_q = self.target.predict(next_states)
+        return target_q.max(axis=1)
+
+    def _train_step(self) -> float:
+        c = self.config
+        states, actions, rewards, next_states, dones = self.memory.sample(
+            c.batch_size
+        )
+        next_value = self._next_q(next_states)
+        targets = rewards + c.gamma * next_value * (~dones)
+        self.train_steps += 1
+        return self.online.train_batch(states, actions, targets)
+
+    # -- persistence ------------------------------------------------------------
+    def save(self, path: str) -> None:
+        self.online.save(path)
+
+    def load(self, path: str) -> None:
+        net = QNetwork.load(path, self.config.hidden)
+        self.online.copy_from(net)
+        self.target.copy_from(net)
+
+
+class DoubleDQNAgent(DQNAgent):
+    """Double DQN: online net picks argmax, target net scores it."""
+
+    double = True
+
+    def _next_q(self, next_states: np.ndarray) -> np.ndarray:
+        online_q = self.online.predict(next_states)
+        best = online_q.argmax(axis=1)
+        target_q = self.target.predict(next_states)
+        return target_q[np.arange(len(best)), best]

@@ -1,0 +1,173 @@
+"""A small fully-connected Q-network in pure numpy.
+
+Architecture: configurable hidden layers with ReLU, linear output head
+(one Q-value per action). Training uses Adam and Huber loss on the
+selected action's Q-value — the standard DQN regression setup. Weights
+can be copied wholesale (online → target network synchronization) and
+serialized to ``.npz`` for checkpointing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class DenseLayer:
+    """One affine layer with optional ReLU."""
+
+    def __init__(self, rng: np.random.RandomState, fan_in: int, fan_out: int,
+                 relu: bool):
+        scale = np.sqrt(2.0 / fan_in)
+        self.weight = rng.standard_normal((fan_in, fan_out)) * scale
+        self.bias = np.zeros(fan_out)
+        self.relu = relu
+        # Adam state
+        self.m_w = np.zeros_like(self.weight)
+        self.v_w = np.zeros_like(self.weight)
+        self.m_b = np.zeros_like(self.bias)
+        self.v_b = np.zeros_like(self.bias)
+
+    def forward(self, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        pre = x @ self.weight + self.bias
+        out = np.maximum(pre, 0.0) if self.relu else pre
+        return pre, out
+
+    def backward(
+        self, x: np.ndarray, pre: np.ndarray, grad_out: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if self.relu:
+            grad_out = grad_out * (pre > 0.0)
+        grad_w = x.T @ grad_out
+        grad_b = grad_out.sum(axis=0)
+        grad_x = grad_out @ self.weight.T
+        return grad_x, grad_w, grad_b
+
+
+class QNetwork:
+    """MLP mapping state vectors to per-action Q-values."""
+
+    def __init__(
+        self,
+        state_dim: int,
+        num_actions: int,
+        hidden: Sequence[int] = (128, 64),
+        learning_rate: float = 1e-4,
+        seed: int = 0,
+    ):
+        self.state_dim = state_dim
+        self.num_actions = num_actions
+        self.learning_rate = learning_rate
+        rng = np.random.RandomState(seed)
+        dims = [state_dim, *hidden, num_actions]
+        self.layers: List[DenseLayer] = [
+            DenseLayer(rng, dims[i], dims[i + 1], relu=(i + 1 < len(dims) - 1))
+            for i in range(len(dims) - 1)
+        ]
+        self._adam_t = 0
+
+    # -- inference ----------------------------------------------------------
+    def predict(self, states: np.ndarray) -> np.ndarray:
+        """Q-values for a batch (or single) state."""
+        squeeze = states.ndim == 1
+        x = np.atleast_2d(states).astype(np.float64)
+        for layer in self.layers:
+            _, x = layer.forward(x)
+        return x[0] if squeeze else x
+
+    # -- training -------------------------------------------------------------
+    def train_batch(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        targets: np.ndarray,
+        huber_delta: float = 1.0,
+    ) -> float:
+        """One Adam step fitting Q(s, a) toward ``targets``; returns loss."""
+        x = np.atleast_2d(states).astype(np.float64)
+        batch = x.shape[0]
+        activations: List[np.ndarray] = [x]
+        pres: List[np.ndarray] = []
+        h = x
+        for layer in self.layers:
+            pre, h = layer.forward(h)
+            pres.append(pre)
+            activations.append(h)
+        q = activations[-1]
+
+        picked = q[np.arange(batch), actions]
+        error = picked - targets
+        # Huber loss gradient (clipped error).
+        grad_picked = np.clip(error, -huber_delta, huber_delta) / batch
+        loss = float(
+            np.mean(
+                np.where(
+                    np.abs(error) <= huber_delta,
+                    0.5 * error**2,
+                    huber_delta * (np.abs(error) - 0.5 * huber_delta),
+                )
+            )
+        )
+
+        grad_q = np.zeros_like(q)
+        grad_q[np.arange(batch), actions] = grad_picked
+
+        self._adam_t += 1
+        grad = grad_q
+        for i in range(len(self.layers) - 1, -1, -1):
+            layer = self.layers[i]
+            grad, grad_w, grad_b = layer.backward(activations[i], pres[i], grad)
+            self._adam_step(layer, grad_w, grad_b)
+        return loss
+
+    def _adam_step(
+        self, layer: DenseLayer, grad_w: np.ndarray, grad_b: np.ndarray,
+        beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8,
+    ) -> None:
+        t = self._adam_t
+        lr = self.learning_rate
+        for grad, m, v, param in (
+            (grad_w, layer.m_w, layer.v_w, layer.weight),
+            (grad_b, layer.m_b, layer.v_b, layer.bias),
+        ):
+            m *= beta1
+            m += (1 - beta1) * grad
+            v *= beta2
+            v += (1 - beta2) * grad**2
+            m_hat = m / (1 - beta1**t)
+            v_hat = v / (1 - beta2**t)
+            param -= lr * m_hat / (np.sqrt(v_hat) + eps)
+
+    # -- weight management ------------------------------------------------------
+    def get_weights(self) -> List[np.ndarray]:
+        out: List[np.ndarray] = []
+        for layer in self.layers:
+            out.append(layer.weight.copy())
+            out.append(layer.bias.copy())
+        return out
+
+    def set_weights(self, weights: Sequence[np.ndarray]) -> None:
+        assert len(weights) == 2 * len(self.layers)
+        for i, layer in enumerate(self.layers):
+            layer.weight[...] = weights[2 * i]
+            layer.bias[...] = weights[2 * i + 1]
+
+    def copy_from(self, other: "QNetwork") -> None:
+        self.set_weights(other.get_weights())
+
+    def save(self, path: str) -> None:
+        arrays = {f"p{i}": w for i, w in enumerate(self.get_weights())}
+        arrays["meta"] = np.array(
+            [self.state_dim, self.num_actions, self.learning_rate]
+        )
+        np.savez(path, **arrays)
+
+    @classmethod
+    def load(cls, path: str, hidden: Sequence[int] = (128, 64)) -> "QNetwork":
+        data = np.load(path)
+        meta = data["meta"]
+        net = cls(int(meta[0]), int(meta[1]), hidden, float(meta[2]))
+        weights = [data[f"p{i}"] for i in range(2 * len(net.layers))]
+        net.set_weights(weights)
+        return net

@@ -1,0 +1,66 @@
+"""Experience replay memory."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class Transition:
+    state: np.ndarray
+    action: int
+    reward: float
+    next_state: np.ndarray
+    done: bool
+
+
+class ReplayMemory:
+    """Fixed-capacity ring buffer of transitions with uniform sampling."""
+
+    def __init__(self, capacity: int = 10_000, seed: int = 0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._items: List[Optional[Transition]] = [None] * capacity
+        self._write = 0
+        self._size = 0
+        self._rng = np.random.RandomState(seed)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def push(
+        self,
+        state: np.ndarray,
+        action: int,
+        reward: float,
+        next_state: np.ndarray,
+        done: bool,
+    ) -> None:
+        self._items[self._write] = Transition(
+            np.asarray(state, dtype=np.float32),
+            int(action),
+            float(reward),
+            np.asarray(next_state, dtype=np.float32),
+            bool(done),
+        )
+        self._write = (self._write + 1) % self.capacity
+        self._size = min(self._size + 1, self.capacity)
+
+    def sample(
+        self, batch_size: int
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Uniform batch as stacked arrays (s, a, r, s', done)."""
+        if batch_size > self._size:
+            raise ValueError("not enough transitions to sample")
+        indices = self._rng.randint(0, self._size, size=batch_size)
+        batch = [self._items[i] for i in indices]
+        states = np.stack([t.state for t in batch])  # type: ignore[union-attr]
+        actions = np.array([t.action for t in batch], dtype=np.int64)  # type: ignore[union-attr]
+        rewards = np.array([t.reward for t in batch], dtype=np.float64)  # type: ignore[union-attr]
+        next_states = np.stack([t.next_state for t in batch])  # type: ignore[union-attr]
+        dones = np.array([t.done for t in batch], dtype=bool)  # type: ignore[union-attr]
+        return states, actions, rewards, next_states, dones

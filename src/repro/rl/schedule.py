@@ -1,0 +1,45 @@
+"""Exploration schedules.
+
+The paper anneals epsilon from 1.0 to 0.01 over 20 000 timesteps
+(Section V-A); :data:`PAPER_EPSILON` is that schedule.
+"""
+
+from __future__ import annotations
+
+
+class LinearSchedule:
+    """Linearly interpolate from ``start`` to ``end`` over ``steps``."""
+
+    def __init__(self, start: float, end: float, steps: int):
+        if steps <= 0:
+            raise ValueError("steps must be positive")
+        self.start = start
+        self.end = end
+        self.steps = steps
+
+    def value(self, step: int) -> float:
+        if step <= 0:
+            return self.start
+        if step >= self.steps:
+            return self.end
+        frac = step / self.steps
+        return self.start + frac * (self.end - self.start)
+
+
+class ExponentialSchedule:
+    """Multiplicative decay with a floor."""
+
+    def __init__(self, start: float, end: float, decay: float):
+        if not (0.0 < decay < 1.0):
+            raise ValueError("decay must be in (0, 1)")
+        self.start = start
+        self.end = end
+        self.decay = decay
+
+    def value(self, step: int) -> float:
+        return max(self.end, self.start * (self.decay ** max(step, 0)))
+
+
+def paper_epsilon_schedule() -> LinearSchedule:
+    """ε: 1.0 → 0.01 over 20 000 timesteps, as in the paper."""
+    return LinearSchedule(1.0, 0.01, 20_000)

@@ -1,0 +1,9 @@
+"""Command-line tools mirroring the LLVM binaries the paper drives.
+
+* ``python -m repro.tools.opt``    — the `opt` analogue: run pipelines or
+  explicit pass lists over textual IR.
+* ``python -m repro.tools.sizeit`` — the `llvm-size` analogue: object-size
+  breakdown per target.
+* ``python -m repro.tools.mca``    — the `llvm-mca` analogue: static
+  throughput report.
+"""

@@ -1,0 +1,29 @@
+"""Synthetic benchmark workloads (SPEC/MiBench/llvm-test-suite stand-ins)."""
+
+from .generator import ProgramGenerator, ProgramProfile, generate_program
+from .suites import (
+    MIBENCH_PROFILES,
+    SPEC2006_PROFILES,
+    SPEC2017_PROFILES,
+    SUITES,
+    llvm_test_suite,
+    load_suite,
+    mibench,
+    spec2006,
+    spec2017,
+)
+
+__all__ = [
+    "MIBENCH_PROFILES",
+    "ProgramGenerator",
+    "ProgramProfile",
+    "SPEC2006_PROFILES",
+    "SPEC2017_PROFILES",
+    "SUITES",
+    "generate_program",
+    "llvm_test_suite",
+    "load_suite",
+    "mibench",
+    "spec2006",
+    "spec2017",
+]

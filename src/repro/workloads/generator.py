@@ -1,0 +1,548 @@
+"""Deterministic synthetic-program generator.
+
+Stands in for the paper's benchmark sources (SPEC CPU 2017/2006, MiBench,
+llvm-test-suite). Each :class:`ProgramProfile` controls the *mix of
+optimization opportunities* a program exposes — redundant expressions for
+CSE/GVN, dead code for DCE, promotable locals and aggregates for
+mem2reg/SROA, zeroing/copy loops for loop-idiom, invariant work and
+invariant branches for LICM/unswitch, unit-stride arithmetic loops for the
+vectorizer, short constant-trip loops for the unroller, small pure helpers
+(some with dead parameters, some never called) for the IPO passes, and
+constant-foldable branch webs for SCCP/jump-threading.
+
+Programs are fully deterministic given a seed, interpreter-executable (no
+undefined behaviour: every alloca is initialized before use, divisors are
+guarded), and sized so episodes stay fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ir.builder import IRBuilder
+from ..ir.instructions import Phi
+from ..ir.module import BasicBlock, Function, Module
+from ..ir.types import ArrayType, F64, FunctionType, I1, I32, I64, PointerType
+from ..ir.values import ConstantFloat, ConstantInt, GlobalVariable, Value
+
+
+@dataclass(frozen=True)
+class ProgramProfile:
+    """Knobs controlling the construct mix of one generated program."""
+
+    name: str = "prog"
+    seed: int = 0
+    #: number of top-level construct segments in the root function
+    segments: int = 8
+    #: number of small helper callees (inliner food)
+    helpers: int = 3
+    #: helpers get an extra never-used parameter (deadargelim food)
+    dead_args: bool = True
+    #: emit an internal never-called helper (globaldce food)
+    dead_helper: bool = True
+    #: emit a self-recursive accumulator helper (tailcallelim food)
+    recursive_helper: bool = False
+    #: construct weights (relative)
+    w_arith: float = 2.0
+    w_branch: float = 1.5
+    w_zero_loop: float = 1.0
+    w_copy_loop: float = 0.6
+    w_compute_loop: float = 1.5
+    w_small_loop: float = 0.8
+    w_invariant_loop: float = 1.0
+    w_switch: float = 0.5
+    w_call: float = 1.5
+    w_fp: float = 0.7
+    #: array length used by the loops (kept multiple of 4 for the
+    #: vectorizer; bounded for interpreter speed)
+    array_len: int = 32
+    #: fraction of extra dead/redundant instructions in arithmetic blocks
+    redundancy: float = 0.5
+    #: duplicate constant globals (constmerge food)
+    duplicate_globals: int = 2
+
+
+class _Builder:
+    """Stateful construction of one function's body along a block chain."""
+
+    def __init__(self, generator: "ProgramGenerator", fn: Function,
+                 rng: np.random.RandomState):
+        self.gen = generator
+        self.fn = fn
+        self.rng = rng
+        self.b = IRBuilder(fn.add_block("entry"))
+        #: i32 values valid at the current insertion point
+        self.pool: List[Value] = []
+        #: f64 values valid at the current insertion point
+        self.fpool: List[Value] = []
+        #: (pointer, element count) int arrays usable by loops
+        self.arrays: List[Tuple[Value, int]] = []
+
+    # -- small utilities ----------------------------------------------------
+    def _c(self, value: int) -> ConstantInt:
+        return ConstantInt(I32, value)
+
+    def pick(self) -> Value:
+        if not self.pool or self.rng.random_sample() < 0.15:
+            return self._c(int(self.rng.randint(-40, 41)))
+        return self.pool[int(self.rng.randint(len(self.pool)))]
+
+    def pick_fp(self) -> Value:
+        if not self.fpool or self.rng.random_sample() < 0.25:
+            return ConstantFloat(F64, float(self.rng.randint(1, 9)))
+        return self.fpool[int(self.rng.randint(len(self.fpool)))]
+
+    def fresh_block(self, hint: str) -> BasicBlock:
+        return self.fn.add_block(self.fn.next_name(hint))
+
+    def continue_in(self, block: BasicBlock) -> None:
+        self.b.set_insert_point(block)
+
+    # -- constructs ------------------------------------------------------------
+    def emit_arith(self) -> None:
+        """Straight-line arithmetic with deliberate redundancy/dead code."""
+        rng = self.rng
+        ops = ["add", "sub", "mul", "and", "or", "xor", "shl"]
+        produced: List[Value] = []
+        for _ in range(int(rng.randint(3, 7))):
+            op = ops[int(rng.randint(len(ops)))]
+            lhs, rhs = self.pick(), self.pick()
+            if op == "shl":
+                rhs = self._c(int(rng.randint(0, 5)))
+            value = self.b.binary(op, lhs, rhs)
+            produced.append(value)
+            if rng.random_sample() < self.gen.profile.redundancy:
+                # An exact duplicate (CSE food) ...
+                dup = self.b.binary(op, lhs, rhs)
+                keep = self.b.add(dup, self._c(0))
+                produced.append(keep)
+            if rng.random_sample() < self.gen.profile.redundancy * 0.6:
+                # ... and a dead computation (DCE food).
+                self.b.mul(self.pick(), self.pick())
+        # Guarded division (sdiv strength-reduction / div-rem-pairs food).
+        if rng.random_sample() < 0.6 and produced:
+            num = produced[-1]
+            den_raw = self.pick()
+            den = self.b.or_(den_raw, self._c(1))  # never zero
+            q = self.b.sdiv(num, den)
+            r = self.b.srem(num, den)
+            produced.append(self.b.add(q, r))
+        self.pool.extend(produced)
+
+    def emit_fp(self) -> None:
+        """Float chain ending in an int conversion (float2int food)."""
+        rng = self.rng
+        a = self.b.sitofp(self.pick(), F64)
+        bb = self.b.sitofp(self.pick(), F64)
+        acc = self.b.fadd(a, bb)
+        for _ in range(int(rng.randint(1, 3))):
+            nxt = self.b.sitofp(self.pick(), F64)
+            acc = self.b.fsub(acc, nxt) if rng.random_sample() < 0.5 else self.b.fadd(acc, nxt)
+        self.fpool.append(acc)
+        self.pool.append(self.b.fptosi(acc, I32))
+        if rng.random_sample() < 0.5:
+            x = self.b.fmul(self.pick_fp(), ConstantFloat(F64, 1.5))
+            self.fpool.append(x)
+
+    def emit_branch(self) -> None:
+        """A diamond with small speculatable sides (select-conversion food)."""
+        cond = self.b.icmp("slt", self.pick(), self.pick())
+        then_b = self.fresh_block("then")
+        else_b = self.fresh_block("else")
+        merge = self.fresh_block("merge")
+        self.b.cond_br(cond, then_b, else_b)
+
+        self.continue_in(then_b)
+        tval = self.b.add(self.pick(), self.pick())
+        self.b.br(merge)
+        then_end = self.b.block
+
+        self.continue_in(else_b)
+        fval = self.b.xor(self.pick(), self._c(int(self.rng.randint(1, 16))))
+        self.b.br(merge)
+        else_end = self.b.block
+
+        self.continue_in(merge)
+        phi = self.b.phi(I32)
+        phi.add_incoming(tval, then_end)
+        phi.add_incoming(fval, else_end)
+        self.pool.append(phi)
+
+    def emit_switch(self) -> None:
+        """A small switch over a value (simplifycfg/sccp food)."""
+        value = self.b.and_(self.pick(), self._c(3))
+        cases = []
+        blocks = []
+        merge = self.fresh_block("swmerge")
+        default = self.fresh_block("swdef")
+        for i in range(2):
+            blocks.append(self.fresh_block(f"case{i}"))
+            cases.append((self._c(i), blocks[-1]))
+        self.b.switch(value, default, cases)
+        incomings = []
+        for i, block in enumerate(blocks):
+            self.continue_in(block)
+            v = self.b.mul(self.pick(), self._c(i + 2))
+            self.b.br(merge)
+            incomings.append((v, self.b.block))
+        self.continue_in(default)
+        dv = self.b.sub(self.pick(), self._c(7))
+        self.b.br(merge)
+        incomings.append((dv, self.b.block))
+        self.continue_in(merge)
+        phi = self.b.phi(I32)
+        for v, blk in incomings:
+            phi.add_incoming(v, blk)
+        self.pool.append(phi)
+
+    def _make_array(self, initialize: bool) -> Tuple[Value, int]:
+        """A stack array; optionally scalar-initialized (so reads are
+        defined even before any zeroing loop runs)."""
+        n = self.gen.profile.array_len
+        arr = self.b.alloca(ArrayType(I32, n))
+        if initialize:
+            # Element-by-element zero of a prefix: memcpyopt food when the
+            # stores are adjacent; keeps everything initialized.
+            for i in range(n):
+                p = self.b.gep(arr, [self._c(0), self._c(i)])
+                self.b.store(self._c(0), p)
+        self.arrays.append((arr, n))
+        return arr, n
+
+    def _counting_loop(
+        self, trip: Value, hint: str
+    ) -> Tuple[BasicBlock, Phi, Value, BasicBlock]:
+        """Open a bottom-test counting loop. Returns (header, iv, iv_next,
+        exit_block); caller must emit the body in the header (single-block
+        loop) before :meth:`_close_loop` seals it."""
+        pre = self.b.block
+        header = self.fresh_block(hint)
+        exit_block = self.fresh_block(hint + ".exit")
+        self.b.br(header)
+        self.continue_in(header)
+        iv = self.b.phi(I32)
+        iv_next = None  # created at close
+        return header, iv, trip, exit_block
+
+    def _close_loop(
+        self,
+        header: BasicBlock,
+        iv: Phi,
+        trip: Value,
+        exit_block: BasicBlock,
+        preheader: BasicBlock,
+    ) -> None:
+        iv_next = self.b.add(iv, self._c(1))
+        cond = self.b.icmp("slt", iv_next, trip)
+        self.b.cond_br(cond, header, exit_block)
+        iv.add_incoming(self._c(0), preheader)
+        iv.add_incoming(iv_next, header)
+        self.continue_in(exit_block)
+
+    def emit_zero_loop(self) -> None:
+        """for i in 0..n: a[i] = 0   (loop-idiom memset food)."""
+        arr, n = self._make_array(initialize=False)
+        pre = self.b.block
+        header, iv, trip, exit_block = self._counting_loop(self._c(n), "zloop")
+        p = self.b.gep(arr, [self._c(0), iv])
+        self.b.store(self._c(0), p)
+        self._close_loop(header, iv, self._c(n), exit_block, pre)
+
+    def emit_copy_loop(self) -> None:
+        """dst[i] = src[i]  (loop-idiom memcpy food)."""
+        if not self.arrays:
+            self.emit_zero_loop()
+        src, n = self.arrays[int(self.rng.randint(len(self.arrays)))]
+        dst, _ = self._make_array(initialize=False)
+        pre = self.b.block
+        header, iv, _, exit_block = self._counting_loop(self._c(n), "cploop")
+        sp = self.b.gep(src, [self._c(0), iv])
+        value = self.b.load(sp)
+        dp = self.b.gep(dst, [self._c(0), iv])
+        self.b.store(value, dp)
+        self._close_loop(header, iv, self._c(n), exit_block, pre)
+
+    def emit_compute_loop(self) -> None:
+        """a[i] = b[i] * k + i  (vectorizer/distribute food) followed by a
+        reduction read-back so the stores stay live."""
+        if not self.arrays:
+            self.emit_zero_loop()
+        src, n = self.arrays[int(self.rng.randint(len(self.arrays)))]
+        dst, _ = self._make_array(initialize=False)
+        k = self.pick()
+        pre = self.b.block
+        header, iv, _, exit_block = self._counting_loop(self._c(n), "vloop")
+        sp = self.b.gep(src, [self._c(0), iv])
+        value = self.b.load(sp)
+        scaled = self.b.mul(value, k)
+        total = self.b.add(scaled, iv)
+        dp = self.b.gep(dst, [self._c(0), iv])
+        self.b.store(total, dp)
+        self._close_loop(header, iv, self._c(n), exit_block, pre)
+        self._reduce_array(dst, n)
+
+    def _reduce_array(self, arr: Value, n: int) -> None:
+        """acc = sum(arr[0..n))  — makes prior stores observable."""
+        pre = self.b.block
+        header = self.fresh_block("red")
+        exit_block = self.fresh_block("red.exit")
+        self.b.br(header)
+        self.continue_in(header)
+        iv = self.b.phi(I32)
+        acc = self.b.phi(I32)
+        p = self.b.gep(arr, [self._c(0), iv])
+        value = self.b.load(p)
+        acc_next = self.b.add(acc, value)
+        iv_next = self.b.add(iv, self._c(1))
+        cond = self.b.icmp("slt", iv_next, self._c(n))
+        self.b.cond_br(cond, header, exit_block)
+        iv.add_incoming(self._c(0), pre)
+        iv.add_incoming(iv_next, header)
+        acc.add_incoming(self._c(0), pre)
+        acc.add_incoming(acc_next, header)
+        self.continue_in(exit_block)
+        self.pool.append(acc_next)
+
+    def emit_small_loop(self) -> None:
+        """A constant-trip-4..6 accumulation loop (full-unroll food)."""
+        trip = int(self.rng.randint(4, 7))
+        start = self.pick()
+        pre = self.b.block
+        header = self.fresh_block("sloop")
+        exit_block = self.fresh_block("sloop.exit")
+        self.b.br(header)
+        self.continue_in(header)
+        iv = self.b.phi(I32)
+        acc = self.b.phi(I32)
+        term = self.b.mul(iv, self._c(3))
+        acc_next = self.b.add(acc, term)
+        iv_next = self.b.add(iv, self._c(1))
+        cond = self.b.icmp("slt", iv_next, self._c(trip))
+        self.b.cond_br(cond, header, exit_block)
+        iv.add_incoming(self._c(0), pre)
+        iv.add_incoming(iv_next, header)
+        acc.add_incoming(start, pre)
+        acc.add_incoming(acc_next, header)
+        self.continue_in(exit_block)
+        self.pool.append(acc_next)
+
+    def emit_invariant_loop(self) -> None:
+        """A while-shaped loop with hoistable work and an invariant branch
+        (rotate + LICM + unswitch food)."""
+        bound = self.b.and_(self.pick(), self._c(15))  # 0..15 iterations
+        inv_a, inv_b = self.pick(), self.pick()
+        flag = self.b.icmp("sgt", inv_a, inv_b)
+        pre = self.b.block
+        header = self.fresh_block("wloop")
+        body = self.fresh_block("wbody")
+        then_b = self.fresh_block("wthen")
+        else_b = self.fresh_block("welse")
+        latch = self.fresh_block("wlatch")
+        exit_block = self.fresh_block("wexit")
+
+        self.b.br(header)
+        self.continue_in(header)
+        iv = self.b.phi(I32)
+        acc = self.b.phi(I32)
+        enter = self.b.icmp("slt", iv, bound)  # top-test: rotate food
+        self.b.cond_br(enter, body, exit_block)
+
+        self.continue_in(body)
+        invariant = self.b.mul(inv_a, self._c(5))  # LICM food
+        hoistable = self.b.add(invariant, inv_b)
+        self.b.cond_br(flag, then_b, else_b)  # unswitch food
+
+        self.continue_in(then_b)
+        tv = self.b.add(acc, hoistable)
+        self.b.br(latch)
+        self.continue_in(else_b)
+        ev = self.b.sub(acc, iv)
+        self.b.br(latch)
+
+        self.continue_in(latch)
+        acc_next = self.b.phi(I32)
+        acc_next.add_incoming(tv, then_b)
+        acc_next.add_incoming(ev, else_b)
+        iv_next = self.b.add(iv, self._c(1))
+        self.b.br(header)
+
+        iv.add_incoming(self._c(0), pre)
+        iv.add_incoming(iv_next, latch)
+        acc.add_incoming(self.pick(), pre)
+        acc.add_incoming(acc_next, latch)
+
+        self.continue_in(exit_block)
+        self.pool.append(acc)
+
+    def emit_call(self) -> None:
+        """Call a helper (inliner food)."""
+        helper = self.gen.helpers[int(self.rng.randint(len(self.gen.helpers)))]
+        args: List[Value] = []
+        for i, param in enumerate(helper.ftype.params):
+            value = self.pick()
+            if i == 0 and helper.name == "sum_to":
+                # Bound the recursion depth of the recursive helper.
+                value = self.b.and_(value, self._c(31))
+            args.append(value)
+        result = self.b.call(helper, args)
+        self.pool.append(result)
+
+    def finish(self) -> None:
+        """Combine the pool into the return value."""
+        acc = self.pool[0] if self.pool else self._c(0)
+        for value in self.pool[1:]:
+            acc = self.b.add(acc, value)
+        # Fold everything through a final mask so results stay bounded.
+        out = self.b.and_(acc, self._c(0xFFFF))
+        self.b.ret(out)
+
+
+_CONSTRUCTS = [
+    ("w_arith", "emit_arith"),
+    ("w_branch", "emit_branch"),
+    ("w_zero_loop", "emit_zero_loop"),
+    ("w_copy_loop", "emit_copy_loop"),
+    ("w_compute_loop", "emit_compute_loop"),
+    ("w_small_loop", "emit_small_loop"),
+    ("w_invariant_loop", "emit_invariant_loop"),
+    ("w_switch", "emit_switch"),
+    ("w_call", "emit_call"),
+    ("w_fp", "emit_fp"),
+]
+
+
+class ProgramGenerator:
+    """Generates one module per :class:`ProgramProfile`."""
+
+    def __init__(self, profile: ProgramProfile):
+        self.profile = profile
+        self.rng = np.random.RandomState(profile.seed)
+        self.module = Module(profile.name)
+        self.helpers: List[Function] = []
+
+    def generate(self) -> Module:
+        self._emit_globals()
+        self._emit_helpers()
+        self._emit_root()
+        return self.module
+
+    # -- pieces ------------------------------------------------------------
+    def _emit_globals(self) -> None:
+        p = self.profile
+        for i in range(p.duplicate_globals):
+            # Identical internal constants: constmerge food.
+            self.module.add_global(
+                GlobalVariable(
+                    I32, f"kconst{i}", ConstantInt(I32, 12345), True, "internal"
+                )
+            )
+        self.module.add_global(
+            GlobalVariable(
+                ArrayType(I32, p.array_len),
+                "gtable",
+                None,
+                False,
+                "internal",
+            )
+        )
+        # An unused internal global: globaldce food.
+        self.module.add_global(
+            GlobalVariable(I32, "unused_g", ConstantInt(I32, 7), False, "internal")
+        )
+
+    def _helper_body(self, fn: Function, flavor: int) -> None:
+        b = IRBuilder(fn.add_block("entry"))
+        x = fn.args[0]
+        y = fn.args[1] if len(fn.args) > 1 else x
+        if flavor % 3 == 0:
+            t = b.mul(x, ConstantInt(I32, 2))
+            u = b.add(t, ConstantInt(I32, 1))
+            b.ret(u)
+        elif flavor % 3 == 1:
+            c = b.icmp("slt", x, y)
+            s = b.select(c, x, y)
+            t = b.shl(s, ConstantInt(I32, 1))
+            b.ret(t)
+        else:
+            t = b.xor(x, y)
+            u = b.and_(t, ConstantInt(I32, 255))
+            v = b.add(u, x)
+            b.ret(v)
+
+    def _emit_helpers(self) -> None:
+        p = self.profile
+        for i in range(p.helpers):
+            params = [I32, I32]
+            if p.dead_args:
+                params.append(I32)  # never read: deadargelim food
+            fn = Function(
+                self.module,
+                f"helper{i}",
+                FunctionType(I32, params),
+                linkage="internal",
+                arg_names=["x", "y", "dead"][: len(params)],
+            )
+            self._helper_body(fn, i)
+            self.helpers.append(fn)
+        if p.dead_helper:
+            fn = Function(
+                self.module,
+                "never_called",
+                FunctionType(I32, [I32]),
+                linkage="internal",
+                arg_names=["x"],
+            )
+            self._helper_body(fn, 0)
+        if p.recursive_helper:
+            self._emit_recursive_helper()
+
+    def _emit_recursive_helper(self) -> None:
+        fn = Function(
+            self.module,
+            "sum_to",
+            FunctionType(I32, [I32, I32]),
+            linkage="internal",
+            arg_names=["n", "acc"],
+        )
+        entry = fn.add_block("entry")
+        recurse = fn.add_block("recurse")
+        base = fn.add_block("base")
+        b = IRBuilder(entry)
+        n, acc = fn.args
+        cond = b.icmp("sgt", n, ConstantInt(I32, 0))
+        b.cond_br(cond, recurse, base)
+        b.set_insert_point(recurse)
+        n1 = b.sub(n, ConstantInt(I32, 1))
+        a1 = b.add(acc, n)
+        result = b.call(fn, [n1, a1], tail=True)
+        b.ret(result)
+        b.set_insert_point(base)
+        b.ret(acc)
+        self.helpers.append(fn)
+
+    def _emit_root(self) -> None:
+        p = self.profile
+        fn = Function(
+            self.module,
+            "entry",
+            FunctionType(I32, [I32]),
+            linkage="external",
+            arg_names=["n"],
+        )
+        builder = _Builder(self, fn, self.rng)
+        builder.pool.append(fn.args[0])
+
+        weights = np.array([getattr(p, w) for w, _ in _CONSTRUCTS], dtype=float)
+        weights = weights / weights.sum()
+        for _ in range(p.segments):
+            index = int(self.rng.choice(len(_CONSTRUCTS), p=weights))
+            getattr(builder, _CONSTRUCTS[index][1])()
+        builder.finish()
+
+
+def generate_program(profile: ProgramProfile) -> Module:
+    """Generate one deterministic module for ``profile``."""
+    return ProgramGenerator(profile).generate()

@@ -1,0 +1,305 @@
+"""Named benchmark suites.
+
+Synthetic stand-ins for the paper's evaluation corpora, with per-benchmark
+profiles chosen to echo the real programs' character:
+
+* **MiBench** — small embedded kernels (tight loops, little call depth);
+* **SPEC CPU 2006** — mid-sized mixed int workloads;
+* **SPEC CPU 2017** — larger, call- and branch-heavy programs (e.g.
+  ``541.leela``/``520.omnetpp`` are branchy object-oriented code — modeled
+  with heavy call/branch weights, which is also where the paper sees its
+  biggest runtime wins);
+* **llvm-test-suite** — the 130 single-source training programs.
+
+All programs are deterministic in their suite-level seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, List, Tuple
+
+from ..ir.module import Module
+from .generator import ProgramProfile, generate_program
+
+Corpus = List[Tuple[str, Module]]
+
+
+MIBENCH_PROFILES: Dict[str, ProgramProfile] = {
+    name: profile
+    for name, profile in [
+        (
+            "susan",
+            ProgramProfile(
+                name="susan", seed=101, segments=6, helpers=2,
+                w_compute_loop=2.5, w_zero_loop=1.5, w_call=0.8, array_len=32,
+            ),
+        ),
+        (
+            "qsort",
+            ProgramProfile(
+                name="qsort", seed=102, segments=5, helpers=2,
+                w_branch=2.5, w_call=1.5, w_compute_loop=1.0,
+                recursive_helper=True,
+            ),
+        ),
+        (
+            "dijkstra",
+            ProgramProfile(
+                name="dijkstra", seed=103, segments=6, helpers=2,
+                w_invariant_loop=2.0, w_branch=2.0, w_zero_loop=1.0,
+            ),
+        ),
+        (
+            "crc32",
+            ProgramProfile(
+                name="crc32", seed=104, segments=5, helpers=1,
+                w_arith=3.0, w_small_loop=2.0, w_fp=0.0,
+            ),
+        ),
+        (
+            "fft",
+            ProgramProfile(
+                name="fft", seed=105, segments=6, helpers=2,
+                w_fp=2.5, w_compute_loop=2.0, w_arith=1.5,
+            ),
+        ),
+        (
+            "stringsearch",
+            ProgramProfile(
+                name="stringsearch", seed=106, segments=5, helpers=2,
+                w_branch=2.5, w_switch=1.5, w_copy_loop=1.2,
+            ),
+        ),
+        (
+            "bitcount",
+            ProgramProfile(
+                name="bitcount", seed=107, segments=5, helpers=1,
+                w_arith=3.5, w_small_loop=1.5, w_fp=0.0,
+            ),
+        ),
+        (
+            "basicmath",
+            ProgramProfile(
+                name="basicmath", seed=108, segments=5, helpers=2,
+                w_fp=2.0, w_arith=2.0,
+            ),
+        ),
+    ]
+}
+
+
+SPEC2006_PROFILES: Dict[str, ProgramProfile] = {
+    name: profile
+    for name, profile in [
+        (
+            "401.bzip2",
+            ProgramProfile(
+                name="401.bzip2", seed=201, segments=12, helpers=4,
+                w_branch=2.0, w_compute_loop=2.0, w_switch=1.0,
+            ),
+        ),
+        (
+            "429.mcf",
+            ProgramProfile(
+                name="429.mcf", seed=202, segments=10, helpers=3,
+                w_invariant_loop=2.0, w_branch=2.0,
+            ),
+        ),
+        (
+            "445.gobmk",
+            ProgramProfile(
+                name="445.gobmk", seed=203, segments=14, helpers=5,
+                w_call=2.5, w_branch=2.5, w_switch=1.5,
+            ),
+        ),
+        (
+            "456.hmmer",
+            ProgramProfile(
+                name="456.hmmer", seed=204, segments=12, helpers=3,
+                w_compute_loop=2.5, w_zero_loop=1.5,
+            ),
+        ),
+        (
+            "458.sjeng",
+            ProgramProfile(
+                name="458.sjeng", seed=205, segments=12, helpers=4,
+                w_branch=3.0, w_switch=2.0, w_call=1.5,
+            ),
+        ),
+        (
+            "462.libquantum",
+            ProgramProfile(
+                name="462.libquantum", seed=206, segments=10, helpers=3,
+                w_compute_loop=2.5, w_arith=2.0,
+            ),
+        ),
+        (
+            "464.h264ref",
+            ProgramProfile(
+                name="464.h264ref", seed=207, segments=14, helpers=5,
+                w_compute_loop=2.5, w_copy_loop=2.0, w_zero_loop=1.5,
+            ),
+        ),
+        (
+            "473.astar",
+            ProgramProfile(
+                name="473.astar", seed=208, segments=10, helpers=3,
+                w_branch=2.5, w_invariant_loop=1.5,
+            ),
+        ),
+        (
+            "470.lbm",
+            ProgramProfile(
+                name="470.lbm", seed=209, segments=10, helpers=2,
+                w_fp=3.0, w_compute_loop=2.5, w_call=0.5,
+            ),
+        ),
+        (
+            "483.xalancbmk",
+            ProgramProfile(
+                name="483.xalancbmk", seed=210, segments=16, helpers=6,
+                w_call=3.0, w_branch=2.0, w_switch=1.5,
+            ),
+        ),
+    ]
+}
+
+
+SPEC2017_PROFILES: Dict[str, ProgramProfile] = {
+    name: profile
+    for name, profile in [
+        (
+            "505.mcf_r",
+            ProgramProfile(
+                name="505.mcf_r", seed=301, segments=12, helpers=4,
+                w_invariant_loop=2.5, w_branch=2.0,
+            ),
+        ),
+        (
+            "508.namd_r",
+            ProgramProfile(
+                name="508.namd_r", seed=302, segments=14, helpers=4,
+                w_fp=3.0, w_compute_loop=2.5,
+            ),
+        ),
+        (
+            "511.povray_r",
+            ProgramProfile(
+                name="511.povray_r", seed=303, segments=14, helpers=5,
+                w_fp=2.5, w_call=2.5, w_branch=2.0,
+            ),
+        ),
+        (
+            "519.lbm_r",
+            ProgramProfile(
+                name="519.lbm_r", seed=304, segments=12, helpers=2,
+                w_fp=3.0, w_compute_loop=3.0, w_call=0.5,
+            ),
+        ),
+        (
+            "520.omnetpp_r",
+            ProgramProfile(
+                name="520.omnetpp_r", seed=305, segments=16, helpers=6,
+                w_call=3.5, w_branch=2.5, w_switch=1.5,
+            ),
+        ),
+        (
+            "523.xalancbmk_r",
+            ProgramProfile(
+                name="523.xalancbmk_r", seed=306, segments=16, helpers=6,
+                w_call=3.0, w_switch=2.0,
+            ),
+        ),
+        (
+            "525.x264_r",
+            ProgramProfile(
+                name="525.x264_r", seed=307, segments=14, helpers=5,
+                w_compute_loop=3.0, w_copy_loop=2.0, w_zero_loop=1.5,
+            ),
+        ),
+        (
+            "531.deepsjeng_r",
+            ProgramProfile(
+                name="531.deepsjeng_r", seed=308, segments=12, helpers=4,
+                w_branch=3.0, w_switch=2.0,
+            ),
+        ),
+        (
+            "541.leela_r",
+            ProgramProfile(
+                name="541.leela_r", seed=309, segments=16, helpers=6,
+                w_call=3.5, w_branch=3.0, w_invariant_loop=1.5,
+            ),
+        ),
+        (
+            "557.xz_r",
+            ProgramProfile(
+                name="557.xz_r", seed=310, segments=12, helpers=4,
+                w_arith=2.5, w_branch=2.0, w_copy_loop=1.5,
+            ),
+        ),
+    ]
+}
+
+
+def _build(profiles: Dict[str, ProgramProfile]) -> Corpus:
+    return [(name, generate_program(p)) for name, p in profiles.items()]
+
+
+def mibench() -> Corpus:
+    """The MiBench-like validation suite (8 programs)."""
+    return _build(MIBENCH_PROFILES)
+
+
+def spec2006() -> Corpus:
+    """The SPEC CPU 2006-like validation suite (10 programs)."""
+    return _build(SPEC2006_PROFILES)
+
+
+def spec2017() -> Corpus:
+    """The SPEC CPU 2017-like validation suite (10 programs)."""
+    return _build(SPEC2017_PROFILES)
+
+
+def llvm_test_suite(count: int = 130, seed: int = 9000) -> Corpus:
+    """Training corpus: ``count`` small single-source programs (the paper
+    trains on 130 files from llvm-test-suite/SingleSource)."""
+    corpus: Corpus = []
+    for i in range(count):
+        profile = ProgramProfile(
+            name=f"single-source-{i:03d}",
+            seed=seed + i,
+            segments=4 + (i % 5),
+            helpers=1 + (i % 3),
+            w_arith=1.0 + (i % 4) * 0.7,
+            w_branch=0.8 + (i % 3) * 0.8,
+            w_zero_loop=0.5 + (i % 2) * 1.2,
+            w_copy_loop=0.4 + ((i // 2) % 2) * 0.8,
+            w_compute_loop=0.8 + (i % 5) * 0.5,
+            w_small_loop=0.5 + ((i // 3) % 2),
+            w_invariant_loop=0.6 + ((i // 4) % 2),
+            w_switch=0.3 + ((i // 5) % 2) * 0.6,
+            w_call=0.8 + (i % 4) * 0.5,
+            w_fp=((i // 6) % 2) * 1.2,
+            recursive_helper=(i % 7 == 0),
+            array_len=16 + 8 * (i % 3),
+        )
+        corpus.append((profile.name, generate_program(profile)))
+    return corpus
+
+
+SUITES = {
+    "mibench": mibench,
+    "spec2006": spec2006,
+    "spec2017": spec2017,
+    "llvm_test_suite": llvm_test_suite,
+}
+
+
+def load_suite(name: str) -> Corpus:
+    try:
+        factory = SUITES[name]
+    except KeyError:
+        raise KeyError(f"unknown suite {name!r}; available: {sorted(SUITES)}") from None
+    return factory()

@@ -1,0 +1,90 @@
+"""CFG traversal and unreachable-block removal."""
+
+from repro.analysis import (
+    postorder,
+    predecessors_map,
+    reachable_blocks,
+    remove_unreachable_blocks,
+    reverse_postorder,
+)
+from repro.ir import ConstantInt, IRBuilder, I32, run_module, verify_module
+from tests.conftest import LOOP_MODULE, build_module, make_simple_function
+
+
+def test_reverse_postorder_starts_at_entry(loop_module):
+    fn = loop_module.get_function("entry")
+    order = reverse_postorder(fn)
+    assert order[0] is fn.entry
+    assert len(order) == len(fn.blocks)
+
+
+def test_rpo_visits_defs_before_uses_in_acyclic(diamond_module):
+    fn = diamond_module.get_function("entry")
+    order = [b.name for b in reverse_postorder(fn)]
+    assert order.index("entry") < order.index("then")
+    assert order.index("then") < order.index("merge")
+    assert order.index("els") < order.index("merge")
+
+
+def test_postorder_is_reverse_of_rpo(loop_module):
+    fn = loop_module.get_function("entry")
+    assert postorder(fn) == list(reversed(reverse_postorder(fn)))
+
+
+def test_reachable_excludes_orphans():
+    module, fn, b = make_simple_function()
+    b.ret(fn.args[0])
+    dead = fn.add_block("dead")
+    IRBuilder(dead).ret(ConstantInt(I32, 0))
+    ids = reachable_blocks(fn)
+    assert id(fn.entry) in ids
+    assert id(dead) not in ids
+
+
+def test_predecessors_map(loop_module):
+    fn = loop_module.get_function("entry")
+    preds = predecessors_map(fn)
+    by_name = {b.name: b for b in fn.blocks}
+    header_preds = {p.name for p in preds[id(by_name["header"])]}
+    assert header_preds == {"entry", "latch"}
+    assert preds[id(fn.entry)] == []
+
+
+def test_remove_unreachable_blocks_fixes_phis():
+    module = build_module(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  br label %merge
+dead:
+  %d = add i32 %n, 1
+  br label %merge
+merge:
+  %p = phi i32 [ %n, %entry ], [ %d, %dead ]
+  ret i32 %p
+}
+"""
+    )
+    fn = module.get_function("entry")
+    assert remove_unreachable_blocks(fn)
+    verify_module(module)
+    assert len(fn.blocks) == 2
+    result, _ = run_module(module, "entry", [3])
+    assert result == 3
+
+
+def test_remove_unreachable_noop_when_all_reachable(loop_module):
+    fn = loop_module.get_function("entry")
+    assert not remove_unreachable_blocks(fn)
+
+
+def test_remove_unreachable_cycle():
+    """A dead cycle (blocks referencing each other) is fully removed."""
+    module, fn, b = make_simple_function()
+    b.ret(fn.args[0])
+    d1, d2 = fn.add_block("d1"), fn.add_block("d2")
+    IRBuilder(d1).br(d2)
+    IRBuilder(d2).br(d1)
+    assert remove_unreachable_blocks(fn)
+    assert len(fn.blocks) == 1
+    verify_module(module)

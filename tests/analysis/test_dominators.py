@@ -1,0 +1,135 @@
+"""Dominator tree and dominance frontiers."""
+
+from repro.analysis import DominatorTree
+from tests.conftest import LOOP_MODULE, build_module
+
+
+NESTED = """
+define i32 @entry(i32 %n) {
+entry:
+  %c0 = icmp sgt i32 %n, 0
+  br i1 %c0, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  %p = phi i32 [ 1, %a ], [ 2, %b ]
+  br label %tail
+tail:
+  ret i32 %p
+}
+"""
+
+
+def blocks_of(module, fn_name="entry"):
+    fn = module.get_function(fn_name)
+    return fn, {b.name: b for b in fn.blocks}
+
+
+class TestIdom:
+    def test_entry_has_no_idom(self):
+        fn, blocks = blocks_of(build_module(NESTED))
+        dom = DominatorTree(fn)
+        assert dom.immediate_dominator(blocks["entry"]) is None
+
+    def test_diamond_idoms(self):
+        fn, blocks = blocks_of(build_module(NESTED))
+        dom = DominatorTree(fn)
+        assert dom.immediate_dominator(blocks["a"]) is blocks["entry"]
+        assert dom.immediate_dominator(blocks["b"]) is blocks["entry"]
+        assert dom.immediate_dominator(blocks["join"]) is blocks["entry"]
+        assert dom.immediate_dominator(blocks["tail"]) is blocks["join"]
+
+    def test_loop_idoms(self):
+        fn, blocks = blocks_of(build_module(LOOP_MODULE))
+        dom = DominatorTree(fn)
+        assert dom.immediate_dominator(blocks["header"]) is blocks["entry"]
+        assert dom.immediate_dominator(blocks["body"]) is blocks["header"]
+        assert dom.immediate_dominator(blocks["latch"]) is blocks["body"]
+        assert dom.immediate_dominator(blocks["exit"]) is blocks["header"]
+
+    def test_dominates_block_reflexive_transitive(self):
+        fn, blocks = blocks_of(build_module(LOOP_MODULE))
+        dom = DominatorTree(fn)
+        assert dom.dominates_block(blocks["header"], blocks["header"])
+        assert dom.dominates_block(blocks["entry"], blocks["latch"])
+        assert dom.dominates_block(blocks["header"], blocks["exit"])
+        assert not dom.dominates_block(blocks["body"], blocks["exit"])
+        assert dom.strictly_dominates_block(blocks["entry"], blocks["exit"])
+        assert not dom.strictly_dominates_block(blocks["exit"], blocks["exit"])
+
+    def test_children_partition(self):
+        fn, blocks = blocks_of(build_module(NESTED))
+        dom = DominatorTree(fn)
+        child_names = {b.name for b in dom.children(blocks["entry"])}
+        assert child_names == {"a", "b", "join"}
+
+
+class TestValueDominance:
+    def test_instruction_dominates_later_use(self):
+        fn, blocks = blocks_of(build_module(LOOP_MODULE))
+        dom = DominatorTree(fn)
+        inv = blocks["entry"].instructions[0]
+        use = blocks["body"].instructions[0]
+        assert dom.dominates(inv, use)
+        assert not dom.dominates(use, inv)
+
+    def test_same_block_ordering(self):
+        fn, blocks = blocks_of(build_module(NESTED))
+        dom = DominatorTree(fn)
+        first = blocks["entry"].instructions[0]
+        second = blocks["entry"].instructions[1]
+        assert dom.dominates(first, second)
+        assert not dom.dominates(second, first)
+
+    def test_arguments_dominate_everything(self):
+        fn, blocks = blocks_of(build_module(LOOP_MODULE))
+        dom = DominatorTree(fn)
+        use = blocks["exit"].terminator
+        assert dom.dominates(fn.args[0], use)
+
+
+class TestFrontiers:
+    def test_diamond_frontier_is_join(self):
+        fn, blocks = blocks_of(build_module(NESTED))
+        dom = DominatorTree(fn)
+        frontiers = dom.dominance_frontiers()
+        assert frontiers[id(blocks["a"])] == {id(blocks["join"])}
+        assert frontiers[id(blocks["b"])] == {id(blocks["join"])}
+        assert frontiers[id(blocks["join"])] == set()
+
+    def test_loop_header_in_own_frontier(self):
+        fn, blocks = blocks_of(build_module(LOOP_MODULE))
+        dom = DominatorTree(fn)
+        frontiers = dom.dominance_frontiers()
+        # header has a back edge from latch: header ∈ DF(header-subtree).
+        assert id(blocks["header"]) in frontiers[id(blocks["header"])]
+
+    def test_dfs_preorder_parents_first(self):
+        fn, blocks = blocks_of(build_module(LOOP_MODULE))
+        dom = DominatorTree(fn)
+        order = dom.dfs_preorder()
+        position = {id(b): i for i, b in enumerate(order)}
+        for block in order:
+            parent = dom.immediate_dominator(block)
+            if parent is not None:
+                assert position[id(parent)] < position[id(block)]
+
+
+def test_unreachable_blocks_absent():
+    module = build_module(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  ret i32 %n
+dead:
+  ret i32 0
+}
+"""
+    )
+    fn = module.get_function("entry")
+    dom = DominatorTree(fn)
+    dead = next(b for b in fn.blocks if b.name == "dead")
+    assert not dom.is_reachable(dead)
+    assert dom.is_reachable(fn.entry)

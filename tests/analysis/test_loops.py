@@ -1,0 +1,142 @@
+"""Natural-loop detection and loop shape queries."""
+
+from repro.analysis import LoopInfo
+from tests.conftest import LOOP_MODULE, build_module
+
+
+NESTED_LOOPS = """
+define i32 @entry(i32 %n) {
+entry:
+  br label %outer
+outer:
+  %i = phi i32 [ 0, %entry ], [ %i2, %outer.latch ]
+  br label %inner
+inner:
+  %j = phi i32 [ 0, %outer ], [ %j2, %inner ]
+  %j2 = add i32 %j, 1
+  %jc = icmp slt i32 %j2, 4
+  br i1 %jc, label %inner, label %outer.latch
+outer.latch:
+  %i2 = add i32 %i, 1
+  %ic = icmp slt i32 %i2, %n
+  br i1 %ic, label %outer, label %exit
+exit:
+  ret i32 %i2
+}
+"""
+
+
+def test_single_loop_shape(loop_module):
+    fn = loop_module.get_function("entry")
+    info = LoopInfo(fn)
+    assert len(info.loops) == 1
+    (loop,) = info.loops
+    assert loop.header.name == "header"
+    assert {b.name for b in loop.blocks} == {"header", "body", "latch"}
+    assert [l.name for l in loop.latches] == ["latch"]
+    assert loop.single_latch.name == "latch"
+    assert loop.depth == 1
+
+
+def test_preheader_and_exits(loop_module):
+    fn = loop_module.get_function("entry")
+    (loop,) = LoopInfo(fn).loops
+    assert loop.preheader().name == "entry"
+    assert [b.name for b in loop.exiting_blocks()] == ["header"]
+    assert [b.name for b in loop.exit_blocks()] == ["exit"]
+    assert loop.has_dedicated_exits()
+
+
+def test_nested_loops():
+    module = build_module(NESTED_LOOPS)
+    fn = module.get_function("entry")
+    info = LoopInfo(fn)
+    assert len(info.loops) == 2
+    by_header = {l.header.name: l for l in info.loops}
+    outer, inner = by_header["outer"], by_header["inner"]
+    assert inner.parent is outer
+    assert inner in outer.children
+    assert outer.depth == 1 and inner.depth == 2
+    assert inner.contains(inner.header)
+    assert outer.contains(inner.header)
+
+
+def test_loop_for_innermost():
+    module = build_module(NESTED_LOOPS)
+    fn = module.get_function("entry")
+    info = LoopInfo(fn)
+    blocks = {b.name: b for b in fn.blocks}
+    assert info.loop_for(blocks["inner"]).header.name == "inner"
+    assert info.loop_for(blocks["outer.latch"]).header.name == "outer"
+    assert info.loop_for(blocks["exit"]) is None
+    assert info.depth_of(blocks["inner"]) == 2
+    assert info.depth_of(blocks["entry"]) == 0
+
+
+def test_innermost_first_ordering():
+    module = build_module(NESTED_LOOPS)
+    fn = module.get_function("entry")
+    info = LoopInfo(fn)
+    order = info.innermost_first()
+    assert order[0].header.name == "inner"
+    assert order[1].header.name == "outer"
+    assert [l.header.name for l in info.top_level()] == ["outer"]
+
+
+def test_no_loops_in_acyclic(diamond_module):
+    fn = diamond_module.get_function("entry")
+    assert LoopInfo(fn).loops == []
+
+
+def test_self_loop_single_block():
+    module = build_module(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  br label %spin
+spin:
+  %i = phi i32 [ 0, %entry ], [ %i2, %spin ]
+  %i2 = add i32 %i, 1
+  %c = icmp slt i32 %i2, %n
+  br i1 %c, label %spin, label %out
+out:
+  ret i32 %i2
+}
+"""
+    )
+    fn = module.get_function("entry")
+    (loop,) = LoopInfo(fn).loops
+    assert loop.header.name == "spin"
+    assert loop.single_latch is loop.header
+    assert len(loop.blocks) == 1
+
+
+def test_multi_latch_loop():
+    module = build_module(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  br label %h
+h:
+  %i = phi i32 [ 0, %entry ], [ %a2, %l1 ], [ %b2, %l2 ]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %even = and i32 %i, 1
+  %isodd = icmp ne i32 %even, 0
+  br i1 %isodd, label %l1, label %l2
+l1:
+  %a2 = add i32 %i, 1
+  br label %h
+l2:
+  %b2 = add i32 %i, 2
+  br label %h
+exit:
+  ret i32 %i
+}
+"""
+    )
+    fn = module.get_function("entry")
+    (loop,) = LoopInfo(fn).loops
+    assert len(loop.latches) == 2
+    assert loop.single_latch is None

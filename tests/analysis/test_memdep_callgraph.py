@@ -1,0 +1,215 @@
+"""Alias analysis, escape analysis, and the call graph."""
+
+from repro.analysis import (
+    CallGraph,
+    clobbers_between,
+    may_alias,
+    must_alias,
+    pointer_escapes,
+    underlying_object,
+)
+from repro.ir import (
+    Alloca,
+    ConstantInt,
+    Function,
+    FunctionType,
+    GetElementPtr,
+    GlobalVariable,
+    IRBuilder,
+    I32,
+    I64,
+    ArrayType,
+    Module,
+    Store,
+)
+from tests.conftest import build_module, make_simple_function
+
+
+class TestAlias:
+    def test_distinct_allocas_never_alias(self):
+        a, b = Alloca(I32), Alloca(I32)
+        assert not may_alias(a, b)
+        assert may_alias(a, a)
+        assert must_alias(a, a)
+
+    def test_distinct_globals_never_alias(self):
+        g1 = GlobalVariable(I32, "g1")
+        g2 = GlobalVariable(I32, "g2")
+        assert not may_alias(g1, g2)
+
+    def test_gep_same_base_disjoint_offsets(self):
+        arr = Alloca(ArrayType(I32, 8))
+        p0 = GetElementPtr(arr, [ConstantInt(I64, 0), ConstantInt(I64, 0)])
+        p1 = GetElementPtr(arr, [ConstantInt(I64, 0), ConstantInt(I64, 1)])
+        assert not may_alias(p0, p1)
+        assert may_alias(p0, p0)
+
+    def test_gep_same_offset_must_alias(self):
+        arr = Alloca(ArrayType(I32, 8))
+        p_a = GetElementPtr(arr, [ConstantInt(I64, 0), ConstantInt(I64, 2)])
+        p_b = GetElementPtr(arr, [ConstantInt(I64, 0), ConstantInt(I64, 2)])
+        assert must_alias(p_a, p_b)
+
+    def test_dynamic_gep_may_alias(self):
+        from repro.ir import Argument
+
+        arr = Alloca(ArrayType(I32, 8))
+        i = Argument(I64, "i")
+        pd = GetElementPtr(arr, [ConstantInt(I64, 0), i])
+        p1 = GetElementPtr(arr, [ConstantInt(I64, 0), ConstantInt(I64, 1)])
+        assert may_alias(pd, p1)
+        assert not must_alias(pd, p1)
+
+    def test_unknown_pointers_conservative(self):
+        from repro.ir import Argument, PointerType
+
+        p = Argument(PointerType(I32), "p")
+        q = Argument(PointerType(I32), "q")
+        assert may_alias(p, q)
+        a = Alloca(I32)
+        assert may_alias(p, a)  # arg may point anywhere... except? stays conservative
+
+    def test_underlying_object_strips_geps(self):
+        arr = Alloca(ArrayType(I32, 8))
+        p = GetElementPtr(arr, [ConstantInt(I64, 0), ConstantInt(I64, 3)])
+        assert underlying_object(p) is arr
+
+
+class TestEscape:
+    def test_local_loads_stores_do_not_escape(self):
+        module, fn, b = make_simple_function()
+        a = b.alloca(I32)
+        b.store(fn.args[0], a)
+        v = b.load(a)
+        b.ret(v)
+        assert not pointer_escapes(a)
+
+    def test_call_escapes(self):
+        module, fn, b = make_simple_function()
+        from repro.ir import PointerType
+
+        ext = Function(module, "ext", FunctionType(I32, [PointerType(I32)]))
+        a = b.alloca(I32)
+        b.store(fn.args[0], a)
+        call = b.call(ext, [a])
+        b.ret(call)
+        assert pointer_escapes(a)
+
+    def test_storing_the_address_escapes(self):
+        module, fn, b = make_simple_function()
+        from repro.ir import PointerType
+
+        a = b.alloca(I32)
+        slot = b.alloca(PointerType(I32))
+        b.store(a, slot)
+        b.ret(fn.args[0])
+        assert pointer_escapes(a)
+        assert not pointer_escapes(slot)
+
+    def test_gep_derived_use_does_not_escape(self):
+        module, fn, b = make_simple_function()
+        arr = b.alloca(ArrayType(I32, 4))
+        p = b.gep(arr, [ConstantInt(I64, 0), ConstantInt(I64, 1)])
+        b.store(fn.args[0], p)
+        b.ret(fn.args[0])
+        assert not pointer_escapes(arr)
+
+
+class TestClobbers:
+    def test_intervening_store_clobbers(self):
+        module, fn, b = make_simple_function()
+        a = b.alloca(I32)
+        s1 = b.store(fn.args[0], a)
+        s2 = b.store(ConstantInt(I32, 0), a)
+        load = b.load(a)
+        b.ret(load)
+        assert clobbers_between(s1, load, a)
+        assert not clobbers_between(s2, load, a)
+
+    def test_unrelated_store_does_not_clobber(self):
+        module, fn, b = make_simple_function()
+        a = b.alloca(I32)
+        other = b.alloca(I32)
+        s1 = b.store(fn.args[0], a)
+        b.store(ConstantInt(I32, 0), other)
+        load = b.load(a)
+        b.ret(load)
+        assert not clobbers_between(s1, load, a)
+
+
+CG_MODULE = """
+define internal i32 @leaf(i32 %x) {
+entry:
+  %r = add i32 %x, 1
+  ret i32 %r
+}
+define internal i32 @mid(i32 %x) {
+entry:
+  %a = call i32 @leaf(i32 %x)
+  %b = call i32 @leaf(i32 %a)
+  ret i32 %b
+}
+define internal i32 @selfrec(i32 %x) {
+entry:
+  %c = icmp sgt i32 %x, 0
+  br i1 %c, label %r, label %b
+r:
+  %x1 = sub i32 %x, 1
+  %v = call i32 @selfrec(i32 %x1)
+  ret i32 %v
+b:
+  ret i32 0
+}
+define internal i32 @orphan(i32 %x) {
+entry:
+  ret i32 %x
+}
+define i32 @entry(i32 %n) {
+entry:
+  %a = call i32 @mid(i32 %n)
+  %b = call i32 @selfrec(i32 3)
+  %r = add i32 %a, %b
+  ret i32 %r
+}
+"""
+
+
+class TestCallGraph:
+    def test_call_sites(self):
+        module = build_module(CG_MODULE)
+        graph = CallGraph(module)
+        assert len(graph.call_sites["leaf"]) == 2
+        assert len(graph.call_sites["mid"]) == 1
+        assert graph.call_sites["orphan"] == []
+
+    def test_dead_detection(self):
+        module = build_module(CG_MODULE)
+        graph = CallGraph(module)
+        assert graph.is_dead(module.get_function("orphan"))
+        assert not graph.is_dead(module.get_function("leaf"))
+        assert not graph.is_dead(module.get_function("entry"))  # external
+
+    def test_recursion_detection(self):
+        module = build_module(CG_MODULE)
+        graph = CallGraph(module)
+        assert graph.is_recursive(module.get_function("selfrec"))
+        assert not graph.is_recursive(module.get_function("leaf"))
+
+    def test_bottom_up_order(self):
+        module = build_module(CG_MODULE)
+        graph = CallGraph(module)
+        order = [f.name for f in graph.bottom_up_order()]
+        assert order.index("leaf") < order.index("mid")
+        assert order.index("mid") < order.index("entry")
+
+    def test_address_taken(self):
+        from repro.ir import PointerType
+
+        module = build_module(CG_MODULE)
+        leaf = module.get_function("leaf")
+        module.add_global(
+            GlobalVariable(PointerType(leaf.ftype), "fp", leaf, True, "internal")
+        )
+        graph = CallGraph(module)
+        assert "leaf" in graph.address_taken
+        assert "mid" not in graph.address_taken

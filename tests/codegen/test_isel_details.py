@@ -1,0 +1,148 @@
+"""Lowering details not covered by the main codegen tests."""
+
+from repro.codegen import AARCH64, X86_64, lower_instruction
+from repro.ir import Call, Cast, Select, Store, Switch
+from tests.conftest import build_module
+
+
+def _inst(src, cls):
+    module = build_module(src)
+    return next(
+        i for i in module.get_function("entry").instructions()
+        if isinstance(i, cls)
+    )
+
+
+def test_memset_call_lowering():
+    call = _inst(
+        """
+declare void @llvm.memset.p0i8.i64(i8* %d, i8 %v, i64 %l)
+define i32 @entry(i32 %n) {
+entry:
+  %a = alloca [16 x i8], align 1
+  %p = gep [16 x i8]* %a, i32 0, i32 0
+  call void @llvm.memset.p0i8.i64(i8* %p, i8 0, i64 16)
+  ret i32 %n
+}
+""",
+        Call,
+    )
+    ops = lower_instruction(call, X86_64)
+    assert ops == ["mov", "mov", "mov", "call"]
+
+
+def test_residual_intrinsic_is_cheap():
+    call = _inst(
+        """
+declare i32 @llvm.expect.i32(i32 %v, i32 %e)
+define i32 @entry(i32 %n) {
+entry:
+  %e = call i32 @llvm.expect.i32(i32 %n, i32 1)
+  ret i32 %e
+}
+""",
+        Call,
+    )
+    assert lower_instruction(call, X86_64) == ["alu"]
+
+
+def test_stack_args_beyond_six():
+    call = _inst(
+        """
+declare i32 @many(i32, i32, i32, i32, i32, i32, i32, i32)
+define i32 @entry(i32 %n) {
+entry:
+  %r = call i32 @many(i32 %n, i32 %n, i32 %n, i32 %n, i32 %n, i32 %n, i32 %n, i32 %n)
+  ret i32 %r
+}
+""",
+        Call,
+    )
+    ops = lower_instruction(call, X86_64)
+    assert ops.count("mov") == 6
+    assert ops.count("store") == 2  # stack-passed args
+
+
+def test_select_is_cmov():
+    sel = _inst(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  %c = icmp sgt i32 %n, 0
+  %s = select i1 %c, i32 1, i32 2
+  ret i32 %s
+}
+""",
+        Select,
+    )
+    assert lower_instruction(sel, X86_64) == ["cmov"]
+    assert lower_instruction(sel, AARCH64) == ["cmov"]
+
+
+def test_free_casts():
+    for op in ("bitcast", "trunc"):
+        cast = _inst(
+            f"""
+define i32 @entry(i32 %n) {{
+entry:
+  %w = sext i32 %n to i64
+  %x = {op} i64 %w to i32
+  ret i32 %x
+}}
+""",
+            Cast,
+        ) if op == "bitcast" else None
+    # trunc directly:
+    module = build_module(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  %w = sext i32 %n to i64
+  %x = trunc i64 %w to i32
+  ret i32 %x
+}
+"""
+    )
+    insts = list(module.get_function("entry").instructions())
+    sext, trunc = insts[0], insts[1]
+    assert lower_instruction(sext, X86_64) == ["alu"]
+    assert lower_instruction(trunc, X86_64) == []
+
+
+def test_switch_cost_scales_with_cases():
+    sw = _inst(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  switch i32 %n, label %d [ i32 0, label %a  i32 1, label %b ]
+a:
+  ret i32 1
+b:
+  ret i32 2
+d:
+  ret i32 3
+}
+""",
+        Switch,
+    )
+    ops = lower_instruction(sw, X86_64)
+    assert ops.count("branch") == 3  # one per case + default
+    assert ops.count("alu") == 2
+
+
+def test_store_of_large_immediate():
+    store = _inst(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  %p = alloca i32, align 4
+  store i32 9999999, i32* %p, align 4
+  %v = load i32, i32* %p, align 4
+  ret i32 %v
+}
+""",
+        Store,
+    )
+    assert "movimm" in lower_instruction(store, X86_64)
+    # AArch64 tolerates a wider immediate range but 9999999 > 4095 too.
+    assert "movimm" in lower_instruction(store, AARCH64)

@@ -1,0 +1,120 @@
+"""Shared fixtures and IR-construction helpers for the test-suite."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import pytest
+
+from repro.ir import (
+    Function,
+    FunctionType,
+    IRBuilder,
+    Module,
+    ConstantInt,
+    I32,
+    parse_module,
+    run_module,
+    verify_module,
+)
+from repro.workloads import ProgramProfile, generate_program
+
+
+def build_module(text: str) -> Module:
+    """Parse and verify a textual IR module."""
+    module = parse_module(text)
+    verify_module(module)
+    return module
+
+
+def run_entry(module: Module, arg: int = 5, fn: str = "entry"):
+    result, _ = run_module(module, fn, [arg])
+    return result
+
+
+def make_simple_function(
+    module_name: str = "m", fn_name: str = "f"
+) -> Tuple[Module, Function, IRBuilder]:
+    """A module with one i32(i32) function and an open entry block."""
+    module = Module(module_name)
+    fn = Function(module, fn_name, FunctionType(I32, [I32]), arg_names=["x"])
+    builder = IRBuilder(fn.add_block("entry"))
+    return module, fn, builder
+
+
+#: A loop-rich module reused by many pass tests: while-loop with invariant
+#: work, a redundant pair, and dead code.
+LOOP_MODULE = """
+define i32 @entry(i32 %n) {
+entry:
+  %inv = mul i32 %n, 7
+  br label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %i2, %latch ]
+  %acc = phi i32 [ 0, %entry ], [ %acc2, %latch ]
+  %cond = icmp slt i32 %i, %n
+  br i1 %cond, label %body, label %exit
+body:
+  %hoist = mul i32 %inv, 3
+  %dead = add i32 %hoist, 5
+  %acc2 = add i32 %acc, %hoist
+  br label %latch
+latch:
+  %i2 = add i32 %i, 1
+  br label %header
+exit:
+  ret i32 %acc
+}
+"""
+
+#: Diamond with redundancy: CSE / if-conversion / phi folding targets.
+DIAMOND_MODULE = """
+define i32 @entry(i32 %n) {
+entry:
+  %a = add i32 %n, 10
+  %c = icmp sgt i32 %n, 0
+  br i1 %c, label %then, label %els
+then:
+  %t = add i32 %n, 10
+  br label %merge
+els:
+  %e = sub i32 %n, 4
+  br label %merge
+merge:
+  %phi = phi i32 [ %t, %then ], [ %e, %els ]
+  %r = add i32 %phi, %a
+  ret i32 %r
+}
+"""
+
+
+@pytest.fixture
+def loop_module() -> Module:
+    return build_module(LOOP_MODULE)
+
+
+@pytest.fixture
+def diamond_module() -> Module:
+    return build_module(DIAMOND_MODULE)
+
+
+@pytest.fixture(scope="session")
+def generated_programs() -> List[Tuple[str, Module]]:
+    """A small deterministic corpus of generated programs."""
+    out = []
+    for seed in range(6):
+        profile = ProgramProfile(
+            name=f"gen{seed}", seed=seed, segments=5,
+            recursive_helper=(seed % 2 == 0),
+        )
+        out.append((profile.name, generate_program(profile)))
+    return out
+
+
+def assert_semantics_preserved(module: Module, transform, args=(3, 7, 12)) -> None:
+    """Run ``entry`` before/after ``transform(module)`` and compare."""
+    baselines = {a: run_entry(module, a) for a in args}
+    transform(module)
+    verify_module(module)
+    for a in args:
+        assert run_entry(module, a) == baselines[a], f"mismatch for arg {a}"

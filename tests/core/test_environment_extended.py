@@ -1,0 +1,90 @@
+"""Environment edge behaviours not covered by the main core tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ActionSpace,
+    PhaseOrderingEnv,
+    RewardWeights,
+    make_action_space,
+)
+from repro.workloads import ProgramProfile, generate_program
+
+
+@pytest.fixture(scope="module")
+def module():
+    return generate_program(ProgramProfile(name="envx", seed=41, segments=5))
+
+
+def test_cumulative_reward_telescopes(module):
+    """Σ size-rewards over an episode equals the total normalized size
+    drop — Eqn (2) is a telescoping sum."""
+    env = PhaseOrderingEnv(module, episode_length=6)
+    env.reset()
+    total_size_reward = 0.0
+    for action in (23, 7, 8, 0, 30, 19):
+        _, _, _, info = env.step(action)
+        total_size_reward += info.size_reward
+    expected = (env.base_size - env.last_size) / env.base_size
+    assert total_size_reward == pytest.approx(expected)
+
+
+def test_history_records_every_step(module):
+    env = PhaseOrderingEnv(module, episode_length=3)
+    env.reset()
+    for action in (1, 2, 3):
+        env.step(action)
+    assert [i.action for i in env.history] == [1, 2, 3]
+    env.reset()
+    assert env.history == []
+
+
+def test_target_changes_measurements(module):
+    x86 = PhaseOrderingEnv(module, target="x86-64")
+    arm = PhaseOrderingEnv(module, target="aarch64")
+    assert x86.base_size != arm.base_size or (
+        x86.base_throughput != arm.base_throughput
+    )
+
+
+def test_states_differ_between_programs():
+    a = generate_program(ProgramProfile(name="pa", seed=50, segments=4))
+    b = generate_program(ProgramProfile(name="pb", seed=51, segments=8))
+    ea = PhaseOrderingEnv(a).reset()
+    eb = PhaseOrderingEnv(b).reset()
+    assert not np.allclose(ea, eb)
+
+
+def test_custom_weights_scale_reward(module):
+    heavy = PhaseOrderingEnv(
+        module, weights=RewardWeights(alpha=20.0, beta=10.0)
+    )
+    light = PhaseOrderingEnv(
+        module, weights=RewardWeights(alpha=10.0, beta=5.0)
+    )
+    heavy.reset()
+    light.reset()
+    _, r_heavy, _, _ = heavy.step(23)
+    _, r_light, _, _ = light.step(23)
+    assert r_heavy == pytest.approx(2.0 * r_light)
+
+
+def test_single_action_space(module):
+    env = PhaseOrderingEnv(module, ActionSpace([["simplifycfg", "dce"]]))
+    env.reset()
+    assert env.num_actions == 1
+    _, _, done, info = env.step(0)
+    assert info.passes == ["simplifycfg", "dce"]
+
+
+def test_original_module_never_mutates(module):
+    text_before = None
+    from repro.ir import print_module
+
+    text_before = print_module(module)
+    env = PhaseOrderingEnv(module, episode_length=4)
+    env.reset()
+    for action in (23, 7, 18, 8):
+        env.step(action)
+    assert print_module(module) == text_before

@@ -1,0 +1,90 @@
+"""Evaluation plumbing: BenchmarkResult / SuiteSummary arithmetic."""
+
+import pytest
+
+from repro.core.evaluate import (
+    BenchmarkResult,
+    SuiteSummary,
+    evaluate_benchmark,
+    measure,
+    optimize_with_oz,
+)
+from repro.core import make_action_space
+from repro.workloads import ProgramProfile, generate_program
+
+
+def result(name, oz_size, agent_size, oz_cycles=100.0, agent_cycles=100.0):
+    return BenchmarkResult(
+        name=name,
+        oz_size=oz_size,
+        agent_size=agent_size,
+        oz_cycles=oz_cycles,
+        agent_cycles=agent_cycles,
+    )
+
+
+class TestBenchmarkResult:
+    def test_size_reduction_sign_convention(self):
+        # Positive = agent smaller than Oz (paper's Table IV convention).
+        assert result("x", 1000, 900).size_reduction_pct == pytest.approx(10.0)
+        assert result("x", 1000, 1100).size_reduction_pct == pytest.approx(-10.0)
+
+    def test_runtime_improvement_sign_convention(self):
+        r = result("x", 1, 1, oz_cycles=200.0, agent_cycles=150.0)
+        assert r.runtime_improvement_pct == pytest.approx(25.0)
+
+    def test_zero_guards(self):
+        r = BenchmarkResult("x", 0, 0, 0.0, 0.0)
+        assert r.size_reduction_pct == 0.0
+        assert r.runtime_improvement_pct == 0.0
+
+
+class TestSuiteSummary:
+    def test_min_avg_max(self):
+        summary = SuiteSummary(
+            suite="s",
+            target="x86-64",
+            results=[
+                result("a", 100, 90),   # +10%
+                result("b", 100, 105),  # -5%
+                result("c", 100, 80),   # +20%
+            ],
+        )
+        assert summary.min_size_reduction == pytest.approx(-5.0)
+        assert summary.max_size_reduction == pytest.approx(20.0)
+        assert summary.avg_size_reduction == pytest.approx(25.0 / 3)
+        row = summary.row()
+        assert row["min"] == -5.0 and row["max"] == 20.0
+
+    def test_empty_suite(self):
+        summary = SuiteSummary(suite="s", target="x86-64", results=[])
+        assert summary.avg_size_reduction == 0.0
+        assert summary.min_size_reduction == 0.0
+
+
+def test_evaluate_benchmark_with_fixed_policy():
+    module = generate_program(ProgramProfile(name="ev", seed=2, segments=5))
+    space = make_action_space("odg")
+
+    def predict(m):
+        return [23, 7, 0]
+
+    def apply_actions(m, actions):
+        copy = m.clone()
+        for a in actions:
+            space.apply(a, copy)
+        return copy
+
+    r = evaluate_benchmark("ev", module, predict, apply_actions)
+    assert r.actions == [23, 7, 0]
+    assert r.oz_size > 0 and r.agent_size > 0
+    # measure() agrees with the recorded numbers.
+    again = measure(apply_actions(module, r.actions), "x86-64")
+    assert again["size"] == r.agent_size
+
+
+def test_optimize_with_oz_does_not_mutate_input():
+    module = generate_program(ProgramProfile(name="oz", seed=3, segments=5))
+    before = module.instruction_count
+    optimize_with_oz(module, "x86-64")
+    assert module.instruction_count == before

@@ -1,0 +1,102 @@
+"""Parameterized action spaces (the paper's future-work extension)."""
+
+import pytest
+
+from repro.core import PAPER_ODG_SUBSEQUENCES, PhaseOrderingEnv
+from repro.core.extensions import (
+    PARAMETERIZED_VARIANTS,
+    make_parameterized_action_space,
+)
+from repro.ir import run_module, verify_module
+from repro.workloads import ProgramProfile, generate_program
+
+
+@pytest.fixture(scope="module")
+def space():
+    return make_parameterized_action_space()
+
+
+def test_expansion_counts(space):
+    unroll_seqs = sum(
+        1 for s in PAPER_ODG_SUBSEQUENCES if "loop-unroll" in s
+    )
+    inline_seqs = sum(
+        1
+        for s in PAPER_ODG_SUBSEQUENCES
+        if "inline" in s and "loop-unroll" not in s
+    )
+    plain = len(PAPER_ODG_SUBSEQUENCES) - unroll_seqs - inline_seqs
+    expected = (
+        plain
+        + unroll_seqs * len(PARAMETERIZED_VARIANTS["loop-unroll"])
+        + inline_seqs * len(PARAMETERIZED_VARIANTS["inline"])
+    )
+    assert len(space) == expected
+    assert len(space) > len(PAPER_ODG_SUBSEQUENCES)
+
+
+def test_labels_name_parameters(space):
+    assert any("[unroll=wide]" in l for l in space.labels)
+    assert any("[inline=speed]" in l for l in space.labels)
+    assert len(space.labels) == len(space)
+
+
+def test_parameter_changes_outcome(space):
+    """Wide vs tiny unroll on the same program must differ in size."""
+    module = generate_program(
+        ProgramProfile(name="param", seed=6, segments=6, w_compute_loop=3.0)
+    )
+    by_label = {l: i for i, l in enumerate(space.labels)}
+    # Find a pair of sibling actions differing only in unroll budget.
+    tiny = next(i for l, i in by_label.items() if l.endswith("[unroll=tiny]"))
+    wide = by_label[space.labels[tiny].replace("tiny", "wide")]
+
+    from repro.codegen import object_size
+
+    a = module.clone()
+    space.apply(tiny, a)
+    b = module.clone()
+    space.apply(wide, b)
+    verify_module(a)
+    verify_module(b)
+    assert object_size(b, "x86-64").total_bytes >= object_size(
+        a, "x86-64"
+    ).total_bytes
+    # Semantics identical either way.
+    r0, _ = run_module(module, "entry", [5])
+    assert run_module(a, "entry", [5])[0] == r0
+    assert run_module(b, "entry", [5])[0] == r0
+
+
+def test_env_works_with_parameterized_space(space):
+    module = generate_program(ProgramProfile(name="penv", seed=7, segments=5))
+    env = PhaseOrderingEnv(module, space, episode_length=4)
+    state = env.reset()
+    assert env.num_actions == len(space)
+    total = 0.0
+    for action in (0, len(space) // 2, len(space) - 1, 1):
+        state, reward, done, info = env.step(action)
+        total += reward
+    verify_module(env.current)
+
+
+def test_agent_trains_on_parameterized_space():
+    from repro.core.agent_api import PosetRL
+    from repro.core.presets import quick_config
+    from repro.workloads import load_suite
+
+    agent = PosetRL(action_space="odg", seed=0, agent_config=quick_config())
+    # Swap in the parameterized space (num_actions must match).
+    space = make_parameterized_action_space()
+    from dataclasses import replace
+
+    agent.actions = space
+    agent.agent.config = replace(agent.agent.config, num_actions=len(space))
+    from repro.rl import DoubleDQNAgent
+
+    agent.agent = DoubleDQNAgent(agent.agent.config)
+    stats = agent.train(load_suite("llvm_test_suite")[:3], episodes=4)
+    assert len(stats) == 4
+    module = load_suite("mibench")[0][1]
+    actions = agent.predict(module)
+    assert all(0 <= a < len(space) for a in actions)

@@ -1,0 +1,67 @@
+"""Property-based checks of ODG construction over arbitrary sequences."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import OzDependenceGraph
+
+PASS_NAMES = [f"p{i}" for i in range(12)]
+
+
+@given(
+    sequence=st.lists(st.sampled_from(PASS_NAMES), min_size=2, max_size=60),
+    k=st.integers(1, 10),
+)
+@settings(max_examples=60, deadline=None)
+def test_walks_always_follow_edges(sequence, k):
+    odg = OzDependenceGraph(sequence, critical_degree=k)
+    for walk in odg.generate_subsequences(max_walks=200):
+        for a, b in zip(walk, walk[1:]):
+            assert odg.graph.has_edge(a, b)
+
+
+@given(
+    sequence=st.lists(st.sampled_from(PASS_NAMES), min_size=2, max_size=60),
+    k=st.integers(1, 10),
+)
+@settings(max_examples=60, deadline=None)
+def test_walks_start_at_critical_nodes(sequence, k):
+    odg = OzDependenceGraph(sequence, critical_degree=k)
+    critical = set(odg.critical_nodes())
+    for walk in odg.generate_subsequences(max_walks=200):
+        assert walk[0] in critical
+
+
+@given(sequence=st.lists(st.sampled_from(PASS_NAMES), min_size=2, max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_nodes_are_unique_sequence_elements(sequence):
+    odg = OzDependenceGraph(sequence)
+    assert set(odg.graph.nodes) == set(sequence)
+    # Deduplicated edges: every edge corresponds to some adjacency.
+    adjacent = {
+        (a, b) for a, b in zip(sequence, sequence[1:]) if a != b
+    }
+    assert set(odg.graph.edges) == adjacent
+
+
+@given(
+    sequence=st.lists(st.sampled_from(PASS_NAMES), min_size=2, max_size=40),
+    k=st.integers(1, 8),
+)
+@settings(max_examples=40, deadline=None)
+def test_interior_nodes_are_not_critical(sequence, k):
+    """A walk only passes *through* non-critical nodes."""
+    odg = OzDependenceGraph(sequence, critical_degree=k)
+    critical = set(odg.critical_nodes())
+    for walk in odg.generate_subsequences(max_walks=100):
+        for node in walk[1:]:
+            assert node not in critical
+
+
+@given(
+    sequence=st.lists(st.sampled_from(PASS_NAMES), min_size=2, max_size=40),
+)
+@settings(max_examples=40, deadline=None)
+def test_generation_is_deterministic(sequence):
+    a = OzDependenceGraph(sequence).generate_subsequences(max_walks=100)
+    b = OzDependenceGraph(sequence).generate_subsequences(max_walks=100)
+    assert a == b

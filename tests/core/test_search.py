@@ -1,0 +1,79 @@
+"""Search/baseline policies."""
+
+import pytest
+
+from repro.core import make_action_space
+from repro.core.search import (
+    greedy_reward_policy,
+    greedy_size_policy,
+    greedy_throughput_policy,
+    oz_decomposition_policy,
+    random_policy,
+    rollout_policy,
+)
+from repro.workloads import ProgramProfile, generate_program
+from repro.ir import run_module, verify_module
+
+
+@pytest.fixture(scope="module")
+def module():
+    return generate_program(ProgramProfile(name="srch", seed=8, segments=6))
+
+
+def test_greedy_size_policy_shrinks(module):
+    result = greedy_size_policy(module, steps=6)
+    assert result.final_size < result.base_size
+    assert result.size_reduction_from_base_pct > 0
+    assert len(result.actions) == 6
+
+
+def test_greedy_throughput_beats_size_on_cycles(module):
+    tp = greedy_throughput_policy(module, steps=6)
+    size = greedy_size_policy(module, steps=6)
+    assert tp.final_cycles <= size.final_cycles
+    assert size.final_size <= tp.final_size
+
+
+def test_greedy_reward_policy_between_extremes(module):
+    combined = greedy_reward_policy(module, steps=6)
+    size_only = greedy_size_policy(module, steps=6)
+    tp_only = greedy_throughput_policy(module, steps=6)
+    # The combined optimum cannot beat either specialist on its own axis.
+    assert combined.final_size >= size_only.final_size
+    assert combined.final_cycles >= tp_only.final_cycles - 1e-9
+
+
+def test_random_policy_deterministic_per_seed(module):
+    a = random_policy(module, steps=5, seed=3)
+    b = random_policy(module, steps=5, seed=3)
+    assert a.actions == b.actions
+    c = random_policy(module, steps=5, seed=4)
+    assert a.actions != c.actions or a.final_size == c.final_size
+
+
+def test_oz_decomposition_applies_every_action(module):
+    space = make_action_space("manual")
+    result = oz_decomposition_policy(module, space)
+    assert result.actions == list(range(15))
+    assert result.final_size < result.base_size
+
+
+def test_policies_preserve_semantics(module):
+    baseline, _ = run_module(module, "entry", [5])
+    for policy in (greedy_size_policy, random_policy):
+        result = policy(module, steps=4)
+        verify_module(result.module)
+        out, _ = run_module(result.module, "entry", [5])
+        assert out == baseline
+
+
+def test_rollout_policy_custom_chooser(module):
+    calls = []
+
+    def chooser(env):
+        calls.append(env.steps)
+        return 23
+
+    result = rollout_policy(module, chooser, steps=3)
+    assert result.actions == [23, 23, 23]
+    assert calls == [0, 1, 2]

@@ -1,0 +1,144 @@
+"""End-to-end integration: PosetRL train → predict → evaluate, plus the
+whole-stack invariants (env metrics match codegen/mca, predicted sequences
+preserve semantics)."""
+
+import numpy as np
+import pytest
+
+from repro import PosetRL, load_suite
+from repro.codegen import object_size
+from repro.core.evaluate import optimize_with_oz
+from repro.core.presets import quick_config, scaled_config, paper_config
+from repro.ir import run_module, verify_module
+from repro.mca import estimate_throughput
+from repro.workloads import ProgramProfile, generate_program
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return load_suite("llvm_test_suite")[:8]
+
+
+@pytest.fixture(scope="module")
+def trained_agent(corpus):
+    agent = PosetRL(
+        action_space="odg", target="x86-64", seed=0,
+        agent_config=quick_config(),
+    )
+    agent.train(corpus, episodes=30)
+    return agent
+
+
+class TestTrainingLoop:
+    def test_training_produces_stats(self, trained_agent):
+        stats = trained_agent.train_history
+        assert len(stats) == 30
+        assert all(len(s.actions) == 15 for s in stats)
+        assert all(np.isfinite(s.total_reward) for s in stats)
+
+    def test_epsilon_annealed(self, trained_agent):
+        assert trained_agent.agent.epsilon < 1.0
+        assert trained_agent.agent.steps == 30 * 15
+
+    def test_agent_trained(self, trained_agent):
+        assert trained_agent.agent.train_steps > 0
+
+    def test_empty_corpus_rejected(self):
+        agent = PosetRL(agent_config=quick_config())
+        with pytest.raises(ValueError):
+            agent.train([], episodes=1)
+
+
+class TestPrediction:
+    def test_predict_returns_table6_shaped_sequence(self, trained_agent, corpus):
+        _, module = corpus[0]
+        actions = trained_agent.predict(module)
+        assert len(actions) == 15  # Table VI: 15-action sequences
+        assert all(0 <= a < 34 for a in actions)
+
+    def test_predicted_sequence_preserves_semantics(self, trained_agent, corpus):
+        name, module = corpus[0]
+        baseline, _ = run_module(module, "entry", [6])
+        actions = trained_agent.predict(module)
+        optimized = trained_agent.apply_actions(module, actions)
+        verify_module(optimized)
+        result, _ = run_module(optimized, "entry", [6])
+        assert result == baseline
+
+    def test_predict_is_deterministic(self, trained_agent, corpus):
+        _, module = corpus[1]
+        assert trained_agent.predict(module) == trained_agent.predict(module)
+
+    def test_pass_sequence_expansion(self, trained_agent):
+        passes = trained_agent.predicted_pass_sequence([5, 21])
+        assert passes == ["instcombine", "loop-simplify", "loop-load-elim"]
+
+
+class TestEvaluation:
+    def test_suite_summary_structure(self, trained_agent, corpus):
+        summary = trained_agent.evaluate_suite("train", corpus[:3])
+        assert len(summary.results) == 3
+        row = summary.row()
+        assert set(row) == {"min", "avg", "max", "runtime"}
+        assert row["min"] <= row["avg"] <= row["max"]
+
+    def test_env_metrics_match_direct_measurement(self, trained_agent, corpus):
+        name, module = corpus[0]
+        env = trained_agent.make_env(module)
+        env.reset()
+        env.step(23)
+        assert env.last_size == object_size(env.current, "x86-64").total_bytes
+        assert env.last_throughput == pytest.approx(
+            estimate_throughput(env.current, "x86-64").throughput
+        )
+
+    def test_oz_baseline_helper(self, corpus):
+        _, module = corpus[0]
+        oz = optimize_with_oz(module, "x86-64")
+        assert oz["size"] < object_size(module, "x86-64").total_bytes
+
+    def test_save_load_roundtrip(self, trained_agent, corpus, tmp_path):
+        path = str(tmp_path / "posetrl.npz")
+        trained_agent.save(path)
+        fresh = PosetRL(
+            action_space="odg", seed=5, agent_config=quick_config()
+        )
+        fresh.load(path)
+        _, module = corpus[0]
+        assert fresh.predict(module) == trained_agent.predict(module)
+
+
+class TestPresets:
+    def test_paper_config_values(self):
+        cfg = paper_config()
+        assert cfg.learning_rate == 1e-4  # Section V-A
+        assert cfg.epsilon_steps == 20_000
+        assert cfg.epsilon_end == 0.01
+
+    def test_scaled_config_trains_fast(self):
+        cfg = scaled_config()
+        assert cfg.replay_capacity <= 5_000  # near-on-policy
+
+    def test_aarch64_agent(self, corpus):
+        agent = PosetRL(
+            action_space="manual", target="aarch64", seed=0,
+            agent_config=quick_config(),
+        )
+        agent.train(corpus[:2], episodes=4)
+        _, module = corpus[0]
+        actions = agent.predict(module)
+        assert len(actions) == 15
+        assert agent.actions is not None and len(agent.actions) == 15
+
+
+def test_generated_suite_evaluation_shapes():
+    """A tiny full pipeline: train on 4 programs, evaluate on 2 others."""
+    train = load_suite("llvm_test_suite")[:4]
+    test = load_suite("mibench")[:2]
+    agent = PosetRL(action_space="odg", seed=3, agent_config=quick_config())
+    agent.train(train, episodes=10)
+    summary = agent.evaluate_suite("mini", test)
+    for result in summary.results:
+        assert result.oz_size > 0 and result.agent_size > 0
+        assert result.oz_cycles > 0 and result.agent_cycles > 0
+        assert len(result.actions) == 15

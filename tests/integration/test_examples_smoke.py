@@ -1,0 +1,54 @@
+"""Every example script must run to completion (scaled-down where the
+script supports it)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=420):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+@pytest.mark.slow
+def test_quickstart_runs():
+    out = run_example("quickstart.py")
+    assert "size vs -Oz" in out
+    assert "predicted action sequence" in out
+
+
+def test_odg_explorer_runs():
+    out = run_example("odg_explorer.py")
+    assert "28/34 match" in out
+    assert "ordering sensitivity" in out
+
+
+def test_compare_opt_levels_runs():
+    out = run_example("compare_opt_levels.py", "mibench")
+    assert "Oz vs O3" in out
+    assert "aarch64" in out
+
+
+def test_pipeline_anatomy_runs():
+    out = run_example("pipeline_anatomy.py", "3")
+    assert "-Oz pipeline statistics" in out
+    assert "sub-sequences" in out
+
+
+def test_train_posetrl_minimal():
+    out = run_example(
+        "train_posetrl.py", "--episodes", "8", "--corpus-size", "3"
+    )
+    assert "training done" in out
+    assert "mibench" in out

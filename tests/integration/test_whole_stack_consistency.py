@@ -1,0 +1,84 @@
+"""Cross-cutting consistency checks between subsystems."""
+
+import pytest
+
+from repro.codegen import object_size
+from repro.core import OZ_PASS_SEQUENCE, PAPER_ODG_SUBSEQUENCES, MANUAL_SUBSEQUENCES
+from repro.core.evaluate import optimize_with_oz
+from repro.ir import run_module, verify_module
+from repro.mca import estimate_throughput
+from repro.passes import build_pipeline, run_passes
+from repro.workloads import ProgramProfile, generate_program
+
+
+@pytest.fixture(scope="module")
+def module():
+    return generate_program(ProgramProfile(name="whole", seed=71, segments=7))
+
+
+def test_manual_space_in_order_equals_oz_pipeline_semantics(module):
+    """Applying Table II's groups in order covers the same passes as -Oz;
+    outcomes may differ slightly (parameter tiers) but semantics and the
+    ballpark size must agree."""
+    via_groups = module.clone()
+    for seq in MANUAL_SUBSEQUENCES:
+        run_passes(via_groups, list(seq))
+    verify_module(via_groups)
+    via_oz = module.clone()
+    build_pipeline("Oz").run(via_oz)
+
+    base, _ = run_module(module, "entry", [6])
+    assert run_module(via_groups, "entry", [6])[0] == base
+    assert run_module(via_oz, "entry", [6])[0] == base
+
+    g = object_size(via_groups, "x86-64").total_bytes
+    o = object_size(via_oz, "x86-64").total_bytes
+    raw = object_size(module, "x86-64").total_bytes
+    assert g < raw and o < raw
+    assert abs(g - o) / o < 0.35  # same ballpark
+
+
+def test_flat_oz_sequence_equals_pipeline_closely(module):
+    """Running the 90 Table I names through the registry (all-default
+    parameters) must shrink the program about as much as the tiered
+    pipeline."""
+    flat = module.clone()
+    run_passes(flat, list(OZ_PASS_SEQUENCE))
+    verify_module(flat)
+    tiered = module.clone()
+    build_pipeline("Oz").run(tiered)
+    f = object_size(flat, "x86-64").total_bytes
+    t = object_size(tiered, "x86-64").total_bytes
+    assert f <= object_size(module, "x86-64").total_bytes
+    assert abs(f - t) / t < 0.5
+
+
+def test_odg_actions_union_reaches_oz_quality(module):
+    """All 34 ODG groups applied twice should roughly match -Oz size —
+    the action space is expressive enough to reconstruct the pipeline."""
+    via_actions = module.clone()
+    for _ in range(2):
+        for seq in PAPER_ODG_SUBSEQUENCES:
+            run_passes(via_actions, list(seq))
+    verify_module(via_actions)
+    oz = optimize_with_oz(module, "x86-64")
+    a = object_size(via_actions, "x86-64").total_bytes
+    assert a <= oz["size"] * 1.25
+
+    base, _ = run_module(module, "entry", [4])
+    assert run_module(via_actions, "entry", [4])[0] == base
+
+
+def test_size_and_cycles_move_together_under_oz(module):
+    """On generated programs, Oz should improve both axes vs O0 (dead code
+    dominates both costs)."""
+    optimized = module.clone()
+    build_pipeline("Oz").run(optimized)
+    assert (
+        object_size(optimized, "x86-64").total_bytes
+        < object_size(module, "x86-64").total_bytes
+    )
+    assert (
+        estimate_throughput(optimized, "x86-64").total_cycles
+        < estimate_throughput(module, "x86-64").total_cycles
+    )

@@ -1,0 +1,131 @@
+"""IRBuilder conveniences."""
+
+import pytest
+
+from repro.ir import (
+    ArrayType,
+    ConstantInt,
+    F64,
+    Function,
+    FunctionType,
+    IRBuilder,
+    I1,
+    I32,
+    I64,
+    Module,
+    Phi,
+    VectorType,
+    run_module,
+    verify_module,
+)
+from tests.conftest import make_simple_function
+
+
+def test_auto_naming_is_unique():
+    module, fn, b = make_simple_function()
+    values = [b.add(fn.args[0], ConstantInt(I32, i)) for i in range(20)]
+    b.ret(values[-1])
+    names = [v.name for v in values]
+    assert len(set(names)) == len(names)
+
+
+def test_every_binary_helper():
+    module, fn, b = make_simple_function()
+    x = fn.args[0]
+    ops = [
+        b.add(x, x), b.sub(x, x), b.mul(x, x),
+        b.and_(x, x), b.or_(x, x), b.xor(x, x),
+        b.shl(x, ConstantInt(I32, 1)), b.lshr(x, ConstantInt(I32, 1)),
+        b.ashr(x, ConstantInt(I32, 1)),
+        b.sdiv(x, ConstantInt(I32, 3)), b.udiv(x, ConstantInt(I32, 3)),
+        b.srem(x, ConstantInt(I32, 3)),
+    ]
+    acc = ops[0]
+    for v in ops[1:]:
+        acc = b.add(acc, v)
+    b.ret(acc)
+    verify_module(module)
+    expected_opcodes = {
+        "add", "sub", "mul", "and", "or", "xor",
+        "shl", "lshr", "ashr", "sdiv", "udiv", "srem",
+    }
+    assert expected_opcodes <= {i.opcode for i in fn.instructions()}
+
+
+def test_float_helpers():
+    module = Module()
+    fn = Function(module, "f", FunctionType(F64, [F64]), arg_names=["x"])
+    b = IRBuilder(fn.add_block("entry"))
+    x = fn.args[0]
+    v = b.fadd(x, b.fmul(x, b.fsub(x, b.fdiv(x, b.const_float(F64, 2.0)))))
+    b.ret(v)
+    verify_module(module)
+
+
+def test_phi_inserted_before_non_phis():
+    module, fn, b = make_simple_function()
+    loop = fn.add_block("loop")
+    b.br(loop)
+    b.set_insert_point(loop)
+    add = b.add(fn.args[0], ConstantInt(I32, 1))
+    phi = b.phi(I32)  # must land before the add
+    phi.add_incoming(fn.args[0], fn.entry)
+    phi.add_incoming(add, loop)
+    b.cond_br(b.icmp("slt", add, ConstantInt(I32, 10)), loop, loop)
+    assert loop.instructions[0] is phi
+
+
+def test_cast_helpers_roundtrip_semantics():
+    module, fn, b = make_simple_function()
+    x = fn.args[0]
+    wide = b.sext(x, I64)
+    narrow = b.trunc(wide, I32)
+    as_fp = b.sitofp(narrow, F64)
+    back = b.fptosi(as_fp, I32)
+    b.ret(back)
+    verify_module(module)
+    assert run_module(module, "f", [-42])[0] == -42
+
+
+def test_vector_helpers():
+    module, fn, b = make_simple_function()
+    vty = VectorType(I32, 4)
+    arr = b.alloca(ArrayType(I32, 4))
+    p = b.gep(arr, [ConstantInt(I64, 0), ConstantInt(I64, 0)])
+    for i in range(4):
+        q = b.gep(arr, [ConstantInt(I64, 0), ConstantInt(I64, i)])
+        b.store(ConstantInt(I32, i * 10), q)
+    vp = b.bitcast(p, __import__("repro.ir", fromlist=["ptr"]).ptr(vty))
+    vec = b.load(vp)
+    doubled = b.add(vec, vec)
+    lane = b.extractelement(doubled, ConstantInt(I32, 3))
+    b.ret(lane)
+    verify_module(module)
+    assert run_module(module, "f", [0])[0] == 60
+
+
+def test_switch_builder():
+    module, fn, b = make_simple_function()
+    a, d = fn.add_block("a"), fn.add_block("d")
+    b.switch(fn.args[0], d, [(ConstantInt(I32, 1), a)])
+    IRBuilder(a).ret(ConstantInt(I32, 10))
+    IRBuilder(d).ret(ConstantInt(I32, 20))
+    verify_module(module)
+    assert run_module(module, "f", [1])[0] == 10
+    assert run_module(module, "f", [2])[0] == 20
+
+
+def test_select_and_unreachable():
+    module, fn, b = make_simple_function()
+    c = b.icmp("sgt", fn.args[0], ConstantInt(I32, 0))
+    v = b.select(c, ConstantInt(I32, 1), ConstantInt(I32, -1))
+    b.ret(v)
+    verify_module(module)
+    assert run_module(module, "f", [9])[0] == 1
+    assert run_module(module, "f", [-9])[0] == -1
+
+
+def test_emit_requires_insert_point():
+    b = IRBuilder()
+    with pytest.raises(AssertionError):
+        b.add(ConstantInt(I32, 1), ConstantInt(I32, 2))

@@ -1,0 +1,309 @@
+"""Instruction construction, typing rules and classification."""
+
+import pytest
+
+from repro.ir import (
+    Alloca,
+    Argument,
+    ArrayType,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    ConstantInt,
+    ExtractElement,
+    FCmp,
+    Function,
+    FunctionType,
+    GetElementPtr,
+    ICmp,
+    InsertElement,
+    I1,
+    I32,
+    I64,
+    F64,
+    Load,
+    Module,
+    Phi,
+    PointerType,
+    Ret,
+    Select,
+    Store,
+    StructType,
+    Switch,
+    Unreachable,
+    VectorType,
+    INVERTED_PREDICATE,
+    SWAPPED_PREDICATE,
+)
+from repro.ir.module import BasicBlock
+
+
+def arg(name="x", ty=I32):
+    return Argument(ty, name)
+
+
+class TestBinaryOps:
+    def test_result_type(self):
+        add = BinaryOp("add", arg(), arg("y"))
+        assert add.type == I32
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(TypeError):
+            BinaryOp("add", arg(ty=I32), arg(ty=I64))
+
+    def test_bad_opcode(self):
+        with pytest.raises(ValueError):
+            BinaryOp("frobnicate", arg(), arg())
+
+    def test_commutativity(self):
+        assert BinaryOp("add", arg(), arg()).is_commutative
+        assert BinaryOp("mul", arg(), arg()).is_commutative
+        assert not BinaryOp("sub", arg(), arg()).is_commutative
+        assert not BinaryOp("shl", arg(), arg()).is_commutative
+
+    def test_division_speculation(self):
+        div_by_var = BinaryOp("sdiv", arg(), arg("d"))
+        assert not div_by_var.is_speculatable
+        div_by_const = BinaryOp("sdiv", arg(), ConstantInt(I32, 4))
+        assert div_by_const.is_speculatable
+        div_by_zero = BinaryOp("sdiv", arg(), ConstantInt(I32, 0))
+        assert not div_by_zero.is_speculatable
+        assert BinaryOp("add", arg(), arg()).is_speculatable
+
+    def test_vector_binary(self):
+        vty = VectorType(I32, 4)
+        v = BinaryOp("add", arg(ty=vty), arg("y", vty))
+        assert v.type == vty
+
+
+class TestComparisons:
+    def test_icmp_result_is_i1(self):
+        assert ICmp("slt", arg(), arg()).type == I1
+
+    def test_vector_icmp(self):
+        vty = VectorType(I32, 4)
+        cmp = ICmp("eq", arg(ty=vty), arg("y", vty))
+        assert cmp.type == VectorType(I1, 4)
+
+    def test_bad_predicate(self):
+        with pytest.raises(ValueError):
+            ICmp("lt", arg(), arg())
+        with pytest.raises(ValueError):
+            FCmp("slt", arg(ty=F64), arg("y", F64))
+
+    def test_predicate_tables_consistent(self):
+        for pred, inv in INVERTED_PREDICATE.items():
+            assert INVERTED_PREDICATE[inv] == pred
+        for pred, swp in SWAPPED_PREDICATE.items():
+            assert SWAPPED_PREDICATE[swp] == pred
+
+
+class TestMemory:
+    def test_alloca_type(self):
+        a = Alloca(I32)
+        assert a.type == PointerType(I32)
+        assert a.alignment == 4
+
+    def test_load_store_typing(self):
+        a = Alloca(I32)
+        load = Load(a)
+        assert load.type == I32
+        Store(ConstantInt(I32, 1), a)  # ok
+        with pytest.raises(TypeError):
+            Store(ConstantInt(I64, 1), a)
+        with pytest.raises(TypeError):
+            Load(arg())  # not a pointer
+
+    def test_effects(self):
+        a = Alloca(I32)
+        assert Load(a).may_read_memory
+        assert not Load(a).may_write_memory
+        store = Store(ConstantInt(I32, 0), a)
+        assert store.may_write_memory and store.has_side_effects
+        assert not Load(a).has_side_effects
+
+    def test_gep_typing_array(self):
+        a = Alloca(ArrayType(I32, 8))
+        g = GetElementPtr(a, [ConstantInt(I64, 0), ConstantInt(I64, 3)])
+        assert g.type == PointerType(I32)
+        assert g.constant_offset() == 12
+
+    def test_gep_struct(self):
+        s = StructType("s", [I32, I64])
+        a = Alloca(s)
+        g = GetElementPtr(a, [ConstantInt(I64, 0), ConstantInt(I32, 1)])
+        assert g.type == PointerType(I64)
+        assert g.constant_offset() == 8
+
+    def test_gep_struct_requires_constant(self):
+        s = StructType("s", [I32, I64])
+        a = Alloca(s)
+        with pytest.raises(TypeError):
+            GetElementPtr(a, [ConstantInt(I64, 0), arg("i")])
+
+    def test_gep_scaled_first_index(self):
+        p = arg(ty=PointerType(I64))
+        g = GetElementPtr(p, [ConstantInt(I64, 3)])
+        assert g.constant_offset() == 24
+
+    def test_gep_dynamic_offset_unknown(self):
+        a = Alloca(ArrayType(I32, 8))
+        g = GetElementPtr(a, [ConstantInt(I64, 0), arg("i", I64)])
+        assert g.constant_offset() is None
+        assert not g.has_all_constant_indices
+
+
+class TestPhi:
+    def test_incoming_management(self):
+        phi = Phi(I32)
+        b1, b2 = BasicBlock("a"), BasicBlock("b")
+        phi.add_incoming(ConstantInt(I32, 1), b1)
+        phi.add_incoming(ConstantInt(I32, 2), b2)
+        assert phi.num_incoming == 2
+        assert phi.incoming_for_block(b1).value == 1
+        assert phi.incoming_for_block(BasicBlock("c")) is None
+
+    def test_unique_value(self):
+        phi = Phi(I32)
+        b1, b2 = BasicBlock("a"), BasicBlock("b")
+        c = ConstantInt(I32, 1)
+        phi.add_incoming(c, b1)
+        phi.add_incoming(c, b2)
+        assert phi.unique_value() is c
+
+    def test_unique_value_ignores_self(self):
+        phi = Phi(I32)
+        b1, b2 = BasicBlock("a"), BasicBlock("b")
+        c = ConstantInt(I32, 1)
+        phi.add_incoming(c, b1)
+        phi.add_incoming(phi, b2)
+        assert phi.unique_value() is c
+
+    def test_unique_value_rejects_same_block_instruction(self):
+        # A loop-carried single-entry phi must not fold (dominance).
+        block = BasicBlock("h")
+        phi = Phi(I32)
+        block.append(phi)
+        add = BinaryOp("add", phi, ConstantInt(I32, 1))
+        block.append(add)
+        phi.add_incoming(add, block)
+        assert phi.unique_value() is None
+
+    def test_type_mismatch(self):
+        phi = Phi(I32)
+        with pytest.raises(TypeError):
+            phi.add_incoming(ConstantInt(I64, 1), BasicBlock("a"))
+
+
+class TestControlFlow:
+    def test_unconditional_branch(self):
+        b = BasicBlock("t")
+        br = Branch(b)
+        assert not br.is_conditional
+        assert br.targets == [b]
+        assert br.is_terminator
+
+    def test_conditional_branch(self):
+        t, f = BasicBlock("t"), BasicBlock("f")
+        cond = ICmp("eq", arg(), arg())
+        br = Branch(cond, t, f)
+        assert br.is_conditional
+        assert br.true_target is t and br.false_target is f
+
+    def test_branch_condition_must_be_i1(self):
+        with pytest.raises(TypeError):
+            Branch(arg(), BasicBlock("t"), BasicBlock("f"))
+
+    def test_branch_arity(self):
+        with pytest.raises(ValueError):
+            Branch()
+
+    def test_switch(self):
+        d, c1 = BasicBlock("d"), BasicBlock("c1")
+        sw = Switch(arg(), d, [(ConstantInt(I32, 1), c1)])
+        assert sw.num_cases == 1
+        assert sw.targets == [d, c1]
+        assert sw.default is d
+
+    def test_ret(self):
+        assert Ret().value is None
+        assert Ret(arg()).value is not None
+        assert Ret().targets == []
+        assert Unreachable().is_terminator
+
+
+class TestCalls:
+    def _callee(self, attrs=()):
+        m = Module()
+        fn = Function(m, "callee", FunctionType(I32, [I32]))
+        fn.attributes.update(attrs)
+        return fn
+
+    def test_direct_call(self):
+        fn = self._callee()
+        call = Call(fn, [arg()])
+        assert call.type == I32
+        assert call.called_function is fn
+        assert call.args[0].name == "x"
+
+    def test_call_effects_follow_attributes(self):
+        pure = Call(self._callee({"readnone", "willreturn"}), [arg()])
+        assert not pure.may_read_memory
+        assert not pure.has_side_effects
+        ro = Call(self._callee({"readonly", "willreturn"}), [arg()])
+        assert ro.may_read_memory and not ro.may_write_memory
+        assert not ro.has_side_effects
+        unknown = Call(self._callee(), [arg()])
+        assert unknown.has_side_effects and unknown.may_write_memory
+
+    def test_call_non_function_rejected(self):
+        with pytest.raises(TypeError):
+            Call(arg(), [])
+
+    def test_intrinsic_name(self):
+        m = Module()
+        fn = Function(m, "llvm.expect.i32", FunctionType(I32, [I32, I32]))
+        call = Call(fn, [arg(), ConstantInt(I32, 1)])
+        assert call.intrinsic_name == "llvm.expect.i32"
+
+
+class TestMisc:
+    def test_select(self):
+        s = Select(ICmp("eq", arg(), arg()), arg("a"), arg("b"))
+        assert s.type == I32
+        with pytest.raises(TypeError):
+            Select(ICmp("eq", arg(), arg()), arg(ty=I32), arg(ty=I64))
+
+    def test_cast(self):
+        c = Cast("zext", arg(), I64)
+        assert c.type == I64
+        with pytest.raises(ValueError):
+            Cast("bogus", arg(), I64)
+
+    def test_vector_lane_ops(self):
+        vty = VectorType(I32, 4)
+        v = arg(ty=vty)
+        e = ExtractElement(v, ConstantInt(I32, 0))
+        assert e.type == I32
+        ins = InsertElement(v, arg("s"), ConstantInt(I32, 1))
+        assert ins.type == vty
+        with pytest.raises(TypeError):
+            ExtractElement(arg(), ConstantInt(I32, 0))
+        with pytest.raises(TypeError):
+            InsertElement(v, arg("s", I64), ConstantInt(I32, 0))
+
+    def test_trivially_dead(self):
+        add = BinaryOp("add", arg(), arg())
+        assert add.is_trivially_dead
+        a = Alloca(I32)
+        store = Store(ConstantInt(I32, 0), a)
+        assert not store.is_trivially_dead
+
+    def test_clone_impl(self):
+        a, b = arg("a"), arg("b")
+        add = BinaryOp("add", a, b)
+        clone = add.clone_impl([b, a])
+        assert clone.opcode == "add"
+        assert clone.lhs is b and clone.rhs is a
+        assert clone is not add

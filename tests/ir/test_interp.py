@@ -1,0 +1,413 @@
+"""Reference interpreter semantics."""
+
+import pytest
+
+from repro.ir import (
+    InterpError,
+    Interpreter,
+    OutOfFuel,
+    parse_module,
+    run_module,
+)
+from tests.conftest import build_module
+
+
+def run(src: str, arg: int, fn: str = "entry"):
+    module = build_module(src)
+    result, trace = run_module(module, fn, [arg])
+    return result
+
+
+class TestArithmetic:
+    def test_wrapping_add(self):
+        src = """
+define i32 @entry(i32 %n) {
+entry:
+  %r = add i32 %n, 2147483647
+  ret i32 %r
+}
+"""
+        assert run(src, 1) == -(2**31)
+
+    def test_signed_division_truncates(self):
+        src = """
+define i32 @entry(i32 %n) {
+entry:
+  %r = sdiv i32 %n, 2
+  ret i32 %r
+}
+"""
+        assert run(src, 7) == 3
+        assert run(src, -7) == -3  # trunc toward zero, not floor
+
+    def test_srem_sign(self):
+        src = """
+define i32 @entry(i32 %n) {
+entry:
+  %r = srem i32 %n, 3
+  ret i32 %r
+}
+"""
+        assert run(src, 7) == 1
+        assert run(src, -7) == -1
+
+    def test_division_by_zero_traps(self):
+        src = """
+define i32 @entry(i32 %n) {
+entry:
+  %r = sdiv i32 1, %n
+  ret i32 %r
+}
+"""
+        with pytest.raises(InterpError, match="zero"):
+            run(src, 0)
+
+    def test_shifts(self):
+        src = """
+define i32 @entry(i32 %n) {
+entry:
+  %a = shl i32 %n, 4
+  %b = lshr i32 %a, 2
+  %c = ashr i32 %n, 1
+  %r = add i32 %b, %c
+  ret i32 %r
+}
+"""
+        # shl wraps mod 2^32, lshr is unsigned, ashr keeps the sign.
+        a = (-8 << 4) & 0xFFFFFFFF
+        b = a >> 2
+        c = -8 >> 1
+        expected = (b + c) & 0xFFFFFFFF
+        if expected > 2**31 - 1:
+            expected -= 2**32
+        assert run(src, -8) == expected
+
+    def test_unsigned_compare(self):
+        src = """
+define i32 @entry(i32 %n) {
+entry:
+  %c = icmp ult i32 %n, 10
+  %r = zext i1 %c to i32
+  ret i32 %r
+}
+"""
+        assert run(src, 5) == 1
+        assert run(src, -1) == 0  # -1 is huge unsigned
+
+    def test_float_ops_and_conversion(self):
+        src = """
+define i32 @entry(i32 %n) {
+entry:
+  %f = sitofp i32 %n to double
+  %g = fmul double %f, 2.5
+  %r = fptosi double %g to i32
+  ret i32 %r
+}
+"""
+        assert run(src, 4) == 10
+        assert run(src, -4) == -10
+
+
+class TestMemory:
+    def test_alloca_store_load(self):
+        src = """
+define i32 @entry(i32 %n) {
+entry:
+  %p = alloca i32, align 4
+  store i32 %n, i32* %p, align 4
+  %v = load i32, i32* %p, align 4
+  ret i32 %v
+}
+"""
+        assert run(src, 42) == 42
+
+    def test_array_gep(self):
+        src = """
+define i32 @entry(i32 %n) {
+entry:
+  %a = alloca [4 x i32], align 4
+  %p0 = gep [4 x i32]* %a, i32 0, i32 0
+  %p3 = gep [4 x i32]* %a, i32 0, i32 3
+  store i32 11, i32* %p0, align 4
+  store i32 %n, i32* %p3, align 4
+  %v0 = load i32, i32* %p0, align 4
+  %v3 = load i32, i32* %p3, align 4
+  %r = add i32 %v0, %v3
+  ret i32 %r
+}
+"""
+        assert run(src, 5) == 16
+
+    def test_narrow_types_in_memory(self):
+        src = """
+define i32 @entry(i32 %n) {
+entry:
+  %p = alloca i8, align 1
+  %t = trunc i32 %n to i8
+  store i8 %t, i8* %p, align 1
+  %v = load i8, i8* %p, align 1
+  %r = sext i8 %v to i32
+  ret i32 %r
+}
+"""
+        assert run(src, 200) == 200 - 256  # i8 wraps
+
+    def test_global_initializer(self):
+        src = """
+@g = internal global i32 17, align 4
+define i32 @entry(i32 %n) {
+entry:
+  %v = load i32, i32* @g, align 4
+  %r = add i32 %v, %n
+  ret i32 %r
+}
+"""
+        assert run(src, 3) == 20
+
+    def test_global_string_bytes(self):
+        src = """
+@s = internal constant [3 x i8] c"AB\\00", align 1
+define i32 @entry(i32 %n) {
+entry:
+  %p = gep [3 x i8]* @s, i32 0, i32 1
+  %v = load i8, i8* %p, align 1
+  %r = zext i8 %v to i32
+  ret i32 %r
+}
+"""
+        assert run(src, 0) == ord("B")
+
+    def test_memset_intrinsic(self):
+        src = """
+declare void @llvm.memset.p0i8.i64(i8* %d, i8 %v, i64 %l)
+define i32 @entry(i32 %n) {
+entry:
+  %a = alloca [8 x i8], align 1
+  %p = gep [8 x i8]* %a, i32 0, i32 0
+  call void @llvm.memset.p0i8.i64(i8* %p, i8 7, i64 8)
+  %q = gep [8 x i8]* %a, i32 0, i32 5
+  %v = load i8, i8* %q, align 1
+  %r = zext i8 %v to i32
+  ret i32 %r
+}
+"""
+        assert run(src, 0) == 7
+
+    def test_memcpy_intrinsic(self):
+        src = """
+declare void @llvm.memcpy.p0i8.p0i8.i64(i8* %d, i8* %s, i64 %l)
+@src = internal constant [4 x i8] c"wxyz", align 1
+define i32 @entry(i32 %n) {
+entry:
+  %a = alloca [4 x i8], align 1
+  %d = gep [4 x i8]* %a, i32 0, i32 0
+  %s = gep [4 x i8]* @src, i32 0, i32 0
+  call void @llvm.memcpy.p0i8.p0i8.i64(i8* %d, i8* %s, i64 4)
+  %q = gep [4 x i8]* %a, i32 0, i32 2
+  %v = load i8, i8* %q, align 1
+  %r = zext i8 %v to i32
+  ret i32 %r
+}
+"""
+        assert run(src, 0) == ord("y")
+
+
+class TestControl:
+    def test_loop_and_phi(self):
+        src = """
+define i32 @entry(i32 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i32 [ 0, %entry ], [ %i2, %loop ]
+  %acc = phi i32 [ 0, %entry ], [ %acc2, %loop ]
+  %acc2 = add i32 %acc, %i
+  %i2 = add i32 %i, 1
+  %c = icmp slt i32 %i2, %n
+  br i1 %c, label %loop, label %out
+out:
+  ret i32 %acc2
+}
+"""
+        assert run(src, 5) == 0 + 1 + 2 + 3 + 4
+
+    def test_parallel_phi_swap(self):
+        src = """
+define i32 @entry(i32 %n) {
+entry:
+  br label %loop
+loop:
+  %a = phi i32 [ 1, %entry ], [ %b, %loop ]
+  %b = phi i32 [ 2, %entry ], [ %a, %loop ]
+  %i = phi i32 [ 0, %entry ], [ %i2, %loop ]
+  %i2 = add i32 %i, 1
+  %c = icmp slt i32 %i2, %n
+  br i1 %c, label %loop, label %out
+out:
+  %r = mul i32 %a, 10
+  %s = add i32 %r, %b
+  ret i32 %s
+}
+"""
+        # phis evaluate in parallel: (a,b) swaps each iteration.
+        assert run(src, 1) == 12
+        assert run(src, 2) == 21
+
+    def test_switch_dispatch(self):
+        src = """
+define i32 @entry(i32 %n) {
+entry:
+  switch i32 %n, label %d [ i32 0, label %a  i32 1, label %b ]
+a:
+  ret i32 100
+b:
+  ret i32 200
+d:
+  ret i32 300
+}
+"""
+        assert run(src, 0) == 100
+        assert run(src, 1) == 200
+        assert run(src, 9) == 300
+
+    def test_unreachable_traps(self):
+        src = """
+define i32 @entry(i32 %n) {
+entry:
+  unreachable
+}
+"""
+        with pytest.raises(InterpError, match="unreachable"):
+            run(src, 0)
+
+    def test_out_of_fuel(self):
+        src = """
+define i32 @entry(i32 %n) {
+entry:
+  br label %spin
+spin:
+  br label %spin
+}
+"""
+        module = build_module(src)
+        with pytest.raises(OutOfFuel):
+            run_module(module, "entry", [0], fuel=1000)
+
+
+class TestCalls:
+    def test_internal_call(self):
+        src = """
+define internal i32 @double(i32 %x) {
+entry:
+  %r = shl i32 %x, 1
+  ret i32 %r
+}
+define i32 @entry(i32 %n) {
+entry:
+  %r = call i32 @double(i32 %n)
+  ret i32 %r
+}
+"""
+        assert run(src, 21) == 42
+
+    def test_recursion(self):
+        src = """
+define internal i32 @fact(i32 %n) {
+entry:
+  %c = icmp sle i32 %n, 1
+  br i1 %c, label %base, label %rec
+base:
+  ret i32 1
+rec:
+  %n1 = sub i32 %n, 1
+  %f = call i32 @fact(i32 %n1)
+  %r = mul i32 %n, %f
+  ret i32 %r
+}
+define i32 @entry(i32 %n) {
+entry:
+  %r = call i32 @fact(i32 %n)
+  ret i32 %r
+}
+"""
+        assert run(src, 5) == 120
+
+    def test_external_call_traced_and_stubbed(self):
+        src = """
+declare i32 @ext(i32 %x)
+define i32 @entry(i32 %n) {
+entry:
+  %r = call i32 @ext(i32 %n)
+  ret i32 %r
+}
+"""
+        module = build_module(src)
+        result, trace = run_module(module, "entry", [9])
+        assert result == 0  # default stub returns zero
+        assert trace == [("ext", (9,))]
+
+    def test_external_call_custom_handler(self):
+        src = """
+declare i32 @ext(i32 %x)
+define i32 @entry(i32 %n) {
+entry:
+  %r = call i32 @ext(i32 %n)
+  ret i32 %r
+}
+"""
+        module = build_module(src)
+        result, trace = run_module(
+            module, "entry", [9], externals={"ext": lambda x: x * 3}
+        )
+        assert result == 27
+
+    def test_indirect_call_through_global(self):
+        src = """
+define internal i32 @target(i32 %x) {
+entry:
+  %r = add i32 %x, 5
+  ret i32 %r
+}
+@fp = internal global i32 (i32)* @target, align 8
+define i32 @entry(i32 %n) {
+entry:
+  %f = load i32 (i32)*, i32 (i32)** @fp, align 8
+  %r = call i32 %f(i32 %n)
+  ret i32 %r
+}
+"""
+        # Function-pointer globals cannot round-trip the parser; build
+        # directly instead.
+        from repro.ir import (
+            Call,
+            ConstantInt,
+            Function,
+            FunctionType,
+            GlobalVariable,
+            IRBuilder,
+            I32,
+            Module,
+            PointerType,
+        )
+
+        m = Module()
+        target = Function(m, "target", FunctionType(I32, [I32]), "internal", ["x"])
+        tb = IRBuilder(target.add_block("entry"))
+        tb.ret(tb.add(target.args[0], ConstantInt(I32, 5)))
+        fp = m.add_global(
+            GlobalVariable(
+                PointerType(target.ftype), "fp", target, False, "internal"
+            )
+        )
+        entry = Function(m, "entry", FunctionType(I32, [I32]), arg_names=["n"])
+        eb = IRBuilder(entry.add_block("entry"))
+        loaded = eb.load(fp)
+        call = eb.call(loaded, [entry.args[0]])
+        eb.ret(call)
+        result, _ = run_module(m, "entry", [7])
+        assert result == 12
+
+    def test_missing_function(self):
+        module = build_module("define i32 @entry(i32 %n) {\nentry:\n  ret i32 %n\n}")
+        with pytest.raises(InterpError, match="no such function"):
+            run_module(module, "ghost", [1])

@@ -1,0 +1,178 @@
+"""Interpreter coverage for the long tail of operations."""
+
+import math
+
+import pytest
+
+from repro.ir import run_module
+from tests.conftest import build_module
+
+
+def run(src, arg=0, fn="entry"):
+    return run_module(build_module(src), fn, [arg])[0]
+
+
+def test_frem():
+    src = """
+define i32 @entry(i32 %n) {
+entry:
+  %f = sitofp i32 %n to double
+  %r = frem double %f, 3.0
+  %i = fptosi double %r to i32
+  ret i32 %i
+}
+"""
+    assert run(src, 7) == 1
+    assert run(src, -7) == -1  # fmod keeps dividend sign
+
+
+def test_uitofp():
+    src = """
+define i32 @entry(i32 %n) {
+entry:
+  %t = trunc i32 %n to i8
+  %f = uitofp i8 %t to double
+  %i = fptosi double %f to i32
+  ret i32 %i
+}
+"""
+    assert run(src, 255) == 255  # unsigned interpretation of 0xff
+
+
+def test_fptrunc_rounds_to_binary32():
+    src = """
+define i32 @entry(i32 %n) {
+entry:
+  %d = sitofp i32 16777217 to double
+  %s = fptrunc double %d to float
+  %b = fpext float %s to double
+  %i = fptosi double %b to i32
+  ret i32 %i
+}
+"""
+    # 2^24+1 is not representable in binary32: rounds to 2^24.
+    assert run(src) == 16777216
+
+
+def test_ptrtoint_inttoptr_roundtrip():
+    src = """
+define i32 @entry(i32 %n) {
+entry:
+  %p = alloca i32, align 4
+  store i32 %n, i32* %p, align 4
+  %a = ptrtoint i32* %p to i64
+  %q = inttoptr i64 %a to i32*
+  %v = load i32, i32* %q, align 4
+  ret i32 %v
+}
+"""
+    assert run(src, 77) == 77
+
+
+def test_vector_division_per_lane():
+    src = """
+define i32 @entry(i32 %n) {
+entry:
+  %a = alloca [4 x i32], align 16
+  %p0 = gep [4 x i32]* %a, i32 0, i32 0
+  store i32 10, i32* %p0, align 4
+  %p1 = gep [4 x i32]* %a, i32 0, i32 1
+  store i32 21, i32* %p1, align 4
+  %p2 = gep [4 x i32]* %a, i32 0, i32 2
+  store i32 32, i32* %p2, align 4
+  %p3 = gep [4 x i32]* %a, i32 0, i32 3
+  store i32 43, i32* %p3, align 4
+  %vp = bitcast i32* %p0 to <4 x i32>*
+  %v = load <4 x i32>, <4 x i32>* %vp, align 16
+  %d = sdiv <4 x i32> %v, <i32 10, i32 10, i32 10, i32 10>
+  %l = extractelement <4 x i32> %d, i32 3
+  ret i32 %l
+}
+"""
+    assert run(src) == 4
+
+
+def test_vector_compare_lanes():
+    src = """
+define i32 @entry(i32 %n) {
+entry:
+  %c = icmp slt <4 x i32> <i32 1, i32 5, i32 2, i32 9>, <i32 3, i32 3, i32 3, i32 3>
+  %e = extractelement <4 x i1> %c, i32 0
+  %z = zext i1 %e to i32
+  ret i32 %z
+}
+"""
+    assert run(src) == 1
+
+
+def test_llvm_abs_intrinsic():
+    src = """
+declare i32 @llvm.abs.i32(i32 %v)
+define i32 @entry(i32 %n) {
+entry:
+  %a = call i32 @llvm.abs.i32(i32 %n)
+  ret i32 %a
+}
+"""
+    assert run(src, -9) == 9
+
+
+def test_void_function_call():
+    src = """
+@g = global i32 0, align 4
+define internal void @poke(i32 %v) {
+entry:
+  store i32 %v, i32* @g, align 4
+  ret void
+}
+define i32 @entry(i32 %n) {
+entry:
+  call void @poke(i32 %n)
+  %r = load i32, i32* @g, align 4
+  ret i32 %r
+}
+"""
+    assert run(src, 31) == 31
+
+
+def test_deep_but_bounded_recursion():
+    src = """
+define internal i32 @down(i32 %k) {
+entry:
+  %c = icmp sle i32 %k, 0
+  br i1 %c, label %base, label %rec
+base:
+  ret i32 0
+rec:
+  %k1 = sub i32 %k, 1
+  %r = call i32 @down(i32 %k1)
+  %s = add i32 %r, 1
+  ret i32 %s
+}
+define i32 @entry(i32 %n) {
+entry:
+  %r = call i32 @down(i32 200)
+  ret i32 %r
+}
+"""
+    assert run(src) == 200
+
+
+def test_trace_ordering_of_external_calls():
+    src = """
+declare void @mark(i32)
+define i32 @entry(i32 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i32 [ 0, %entry ], [ %i2, %loop ]
+  call void @mark(i32 %i)
+  %i2 = add i32 %i, 1
+  %c = icmp slt i32 %i2, 3
+  br i1 %c, label %loop, label %out
+out:
+  ret i32 0
+}
+"""
+    _, trace = run_module(build_module(src), "entry", [0])
+    assert trace == [("mark", (0,)), ("mark", (1,)), ("mark", (2,))]

@@ -1,0 +1,150 @@
+"""Modules, functions, blocks, cloning."""
+
+import pytest
+
+from repro.ir import (
+    ConstantInt,
+    Function,
+    FunctionType,
+    GlobalVariable,
+    IRBuilder,
+    I32,
+    Module,
+    run_module,
+    verify_module,
+)
+from tests.conftest import LOOP_MODULE, build_module
+
+
+class TestModuleSymbols:
+    def test_add_and_lookup(self):
+        m = Module("m")
+        fn = Function(m, "f", FunctionType(I32, []))
+        g = m.add_global(GlobalVariable(I32, "g", ConstantInt(I32, 1)))
+        assert m.get_function("f") is fn
+        assert m.get_global("g") is g
+        assert m.get_function("g") is None
+        assert m.get_global("f") is None
+
+    def test_duplicate_symbol_rejected(self):
+        m = Module("m")
+        Function(m, "f", FunctionType(I32, []))
+        with pytest.raises(ValueError):
+            Function(m, "f", FunctionType(I32, []))
+
+    def test_remove(self):
+        m = Module("m")
+        fn = Function(m, "f", FunctionType(I32, []))
+        m.remove_function(fn)
+        assert m.get_function("f") is None
+        assert fn.module is None
+
+    def test_rename(self):
+        m = Module("m")
+        fn = Function(m, "f", FunctionType(I32, []))
+        m.rename_symbol(fn, "h")
+        assert m.get_function("h") is fn
+        assert m.get_function("f") is None
+
+    def test_unique_symbol_name(self):
+        m = Module("m")
+        Function(m, "f", FunctionType(I32, []))
+        assert m.unique_symbol_name("f") == "f.1"
+        assert m.unique_symbol_name("other") == "other"
+
+    def test_get_or_insert(self):
+        m = Module("m")
+        a = m.get_or_insert_function("memset", FunctionType(I32, []))
+        b = m.get_or_insert_function("memset", FunctionType(I32, []))
+        assert a is b
+
+
+class TestFunction:
+    def test_args_from_signature(self):
+        m = Module("m")
+        fn = Function(m, "f", FunctionType(I32, [I32, I32]), arg_names=["a", "b"])
+        assert [a.name for a in fn.args] == ["a", "b"]
+        assert fn.args[0].type == I32
+        assert fn.args[1].index == 1
+
+    def test_declaration(self):
+        m = Module("m")
+        fn = Function(m, "ext", FunctionType(I32, [I32]))
+        assert fn.is_declaration
+        assert fn not in m.defined_functions()
+
+    def test_intrinsic_detection(self):
+        m = Module("m")
+        assert Function(m, "llvm.memset.p0i8.i64", FunctionType(I32, [])).is_intrinsic
+        assert not Function(m, "memset", FunctionType(I32, [])).is_intrinsic
+
+    def test_instruction_count(self, loop_module):
+        fn = loop_module.get_function("entry")
+        assert fn.instruction_count == sum(
+            len(b.instructions) for b in fn.blocks
+        )
+
+    def test_next_name_unique(self):
+        m = Module("m")
+        fn = Function(m, "f", FunctionType(I32, []))
+        names = {fn.next_name() for _ in range(100)}
+        assert len(names) == 100
+
+
+class TestBasicBlock:
+    def test_cfg_queries(self, loop_module):
+        fn = loop_module.get_function("entry")
+        by_name = {b.name: b for b in fn.blocks}
+        header = by_name["header"]
+        assert sorted(b.name for b in header.successors()) == ["body", "exit"]
+        assert sorted(b.name for b in header.predecessors()) == ["entry", "latch"]
+        assert by_name["body"].single_predecessor is header
+        assert by_name["latch"].single_successor is header
+
+    def test_phis_and_first_non_phi(self, loop_module):
+        fn = loop_module.get_function("entry")
+        header = next(b for b in fn.blocks if b.name == "header")
+        assert len(header.phis()) == 2
+        assert header.first_non_phi.opcode == "icmp"
+
+    def test_terminator(self, loop_module):
+        fn = loop_module.get_function("entry")
+        for block in fn.blocks:
+            assert block.is_terminated
+
+
+class TestClone:
+    def test_clone_is_deep_and_equivalent(self, loop_module):
+        clone = loop_module.clone()
+        verify_module(clone)
+        # No shared functions/blocks/instructions.
+        orig_ids = {id(i) for f in loop_module.functions for i in f.instructions()}
+        clone_ids = {id(i) for f in clone.functions for i in f.instructions()}
+        assert not (orig_ids & clone_ids)
+        for n in (0, 1, 5, 9):
+            r1, _ = run_module(loop_module, "entry", [n])
+            r2, _ = run_module(clone, "entry", [n])
+            assert r1 == r2
+
+    def test_clone_preserves_globals_and_attrs(self):
+        m = build_module(LOOP_MODULE)
+        m.add_global(GlobalVariable(I32, "g", ConstantInt(I32, 9), True, "internal"))
+        m.get_function("entry").attributes.add("optsize")
+        c = m.clone()
+        g = c.get_global("g")
+        assert g is not None and g.is_constant and g.is_internal
+        assert "optsize" in c.get_function("entry").attributes
+
+    def test_mutating_clone_leaves_original(self, loop_module):
+        before, _ = run_module(loop_module, "entry", [6])
+        clone = loop_module.clone()
+        fn = clone.get_function("entry")
+        # Nuke the clone's body.
+        for block in list(fn.blocks):
+            for inst in list(block.instructions):
+                inst.drop_all_operands()
+            block.erase_from_parent()
+        b = IRBuilder(fn.add_block("entry"))
+        b.ret(ConstantInt(I32, 0))
+        after, _ = run_module(loop_module, "entry", [6])
+        assert before == after

@@ -1,0 +1,265 @@
+"""Textual IR round-trips and parse diagnostics."""
+
+import pytest
+
+from repro.ir import (
+    ParseError,
+    parse_module,
+    print_module,
+    run_module,
+    verify_module,
+)
+from tests.conftest import DIAMOND_MODULE, LOOP_MODULE, build_module
+
+
+ROUNDTRIP_SOURCES = {
+    "loop": LOOP_MODULE,
+    "diamond": DIAMOND_MODULE,
+    "globals": """
+@g = internal global i32 42, align 4
+@arr = global [4 x i32] zeroinitializer, align 4
+@msg = internal constant [3 x i8] c"ok\\00", align 1
+
+define i32 @entry(i32 %n) {
+entry:
+  %p = load i32, i32* @g, align 4
+  %q = gep [4 x i32]* @arr, i64 0, i64 2
+  %v = load i32, i32* %q, align 4
+  %r = add i32 %p, %v
+  ret i32 %r
+}
+""",
+    "calls": """
+declare i32 @ext(i32)
+
+define internal i32 @helper(i32 %x, i32 %y) {
+entry:
+  %s = add i32 %x, %y
+  ret i32 %s
+}
+
+define i32 @entry(i32 %n) {
+entry:
+  %a = call i32 @helper(i32 %n, i32 3)
+  %b = call i32 @ext(i32 %a)
+  %c = tail call i32 @helper(i32 %b, i32 %b)
+  ret i32 %c
+}
+""",
+    "switch_select": """
+define i32 @entry(i32 %n) {
+entry:
+  switch i32 %n, label %def [ i32 0, label %zero  i32 1, label %one ]
+zero:
+  br label %join
+one:
+  br label %join
+def:
+  br label %join
+join:
+  %x = phi i32 [ 10, %zero ], [ 20, %one ], [ 30, %def ]
+  %c = icmp sgt i32 %x, 15
+  %s = select i1 %c, i32 %x, i32 0
+  ret i32 %s
+}
+""",
+    "vectors": """
+define i32 @entry(i32 %n) {
+entry:
+  %buf = alloca [8 x i32], align 16
+  %p0 = gep [8 x i32]* %buf, i32 0, i32 0
+  store i32 %n, i32* %p0, align 4
+  %vp = bitcast i32* %p0 to <4 x i32>*
+  %v = load <4 x i32>, <4 x i32>* %vp, align 16
+  %w = add <4 x i32> %v, %v
+  %e = extractelement <4 x i32> %w, i32 0
+  ret i32 %e
+}
+""",
+    "casts_fp": """
+define i32 @entry(i32 %n) {
+entry:
+  %w = sext i32 %n to i64
+  %t = trunc i64 %w to i32
+  %f = sitofp i32 %t to double
+  %g = fadd double %f, 2.5
+  %h = fptosi double %g to i32
+  %z = zext i32 %h to i64
+  %u = trunc i64 %z to i32
+  ret i32 %u
+}
+""",
+}
+
+
+@pytest.mark.parametrize("name", sorted(ROUNDTRIP_SOURCES))
+def test_roundtrip_preserves_semantics(name):
+    module = build_module(ROUNDTRIP_SOURCES[name])
+    text = print_module(module)
+    reparsed = parse_module(text)
+    verify_module(reparsed)
+    text2 = print_module(reparsed)
+    assert text == text2, "printer output must be a fixpoint"
+    for n in (0, 1, 7):
+        r1, _ = run_module(module, "entry", [n])
+        r2, _ = run_module(reparsed, "entry", [n])
+        assert r1 == r2
+
+
+def test_forward_phi_references_resolve():
+    m = build_module(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i32 [ 0, %entry ], [ %next, %loop ]
+  %next = add i32 %i, 1
+  %c = icmp slt i32 %next, %n
+  br i1 %c, label %loop, label %out
+out:
+  ret i32 %i
+}
+"""
+    )
+    r, _ = run_module(m, "entry", [5])
+    assert r == 4
+
+
+def test_parse_error_reports_bad_token():
+    with pytest.raises(ParseError):
+        parse_module("define i32 @f() { entry: ret i32 $bad }")
+
+
+def test_parse_error_undefined_local():
+    with pytest.raises(ParseError, match="undefined locals"):
+        parse_module(
+            """
+define i32 @f() {
+entry:
+  %a = add i32 %missing, 1
+  ret i32 %a
+}
+"""
+        )
+
+
+def test_parse_error_unknown_symbol():
+    with pytest.raises(ParseError, match="unknown symbol"):
+        parse_module(
+            """
+define i32 @f() {
+entry:
+  %v = load i32, i32* @nope, align 4
+  ret i32 %v
+}
+"""
+        )
+
+
+def test_parse_error_unknown_opcode():
+    with pytest.raises(ParseError, match="unknown instruction"):
+        parse_module(
+            """
+define i32 @f() {
+entry:
+  %v = launder i32 1, 2
+  ret i32 %v
+}
+"""
+        )
+
+
+def test_redefinition_rejected():
+    with pytest.raises(ParseError, match="redefinition"):
+        parse_module(
+            """
+define i32 @f(i32 %x) {
+entry:
+  %a = add i32 %x, 1
+  %a = add i32 %x, 2
+  ret i32 %a
+}
+"""
+        )
+
+
+def test_comments_and_whitespace_ignored():
+    m = parse_module(
+        """
+; leading comment
+define i32 @entry(i32 %n) { ; trailing
+entry:
+  ; interior
+  ret i32 %n
+}
+"""
+    )
+    r, _ = run_module(m, "entry", [3])
+    assert r == 3
+
+
+def test_printer_uniquifies_colliding_names():
+    from repro.ir import Function, FunctionType, IRBuilder, I32, Module, ConstantInt
+
+    m = Module()
+    fn = Function(m, "f", FunctionType(I32, [I32]), arg_names=["x"])
+    b = IRBuilder(fn.add_block("entry"))
+    v1 = b.add(fn.args[0], ConstantInt(I32, 1), "v")
+    v2 = b.add(v1, ConstantInt(I32, 2), "v")  # same name on purpose
+    b.ret(v2)
+    text = print_module(m)
+    reparsed = parse_module(text)
+    r, _ = run_module(reparsed, "f", [1])
+    assert r == 4
+
+
+def test_vararg_declaration_roundtrip():
+    m = build_module("declare i32 @printf(i8* %fmt, ...)\n")
+    text = print_module(m)
+    m2 = parse_module(text)
+    fn = m2.get_function("printf")
+    assert fn is not None and fn.ftype.vararg
+
+
+def test_vectorized_module_roundtrips():
+    """Modules produced by -loop-vectorize (vector constants, splats)
+    must survive the text round-trip."""
+    from repro.passes import run_passes
+
+    module = build_module(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  %a = alloca [16 x i32], align 16
+  br label %init
+init:
+  %j = phi i32 [ 0, %entry ], [ %j2, %init ]
+  %jp = gep [16 x i32]* %a, i32 0, i32 %j
+  store i32 %j, i32* %jp, align 4
+  %j2 = add i32 %j, 1
+  %jc = icmp slt i32 %j2, 16
+  br i1 %jc, label %init, label %exit
+exit:
+  %q = gep [16 x i32]* %a, i32 0, i32 9
+  %v = load i32, i32* %q, align 4
+  %w = add i32 %v, %n
+  ret i32 %w
+}
+"""
+    )
+    run_passes(module, ["loop-vectorize"])
+    from repro.ir import VectorType
+
+    assert any(
+        isinstance(i.type, VectorType)
+        for i in module.get_function("entry").instructions()
+        if not i.type.is_void
+    )
+    text = print_module(module)
+    reparsed = parse_module(text)
+    verify_module(reparsed)
+    for arg in (0, 4):
+        a, _ = run_module(module, "entry", [arg])
+        b, _ = run_module(reparsed, "entry", [arg])
+        assert a == b

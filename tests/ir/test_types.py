@@ -1,0 +1,152 @@
+"""Type system: interning, layout, wrapping."""
+
+import pytest
+
+from repro.ir import (
+    ArrayType,
+    F32,
+    F64,
+    FunctionType,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    IntType,
+    PointerType,
+    StructType,
+    VectorType,
+    VOID,
+    ptr,
+)
+
+
+class TestInterning:
+    def test_int_types_are_interned(self):
+        assert IntType(32) is IntType(32)
+        assert IntType(32) is I32
+
+    def test_distinct_widths_differ(self):
+        assert IntType(32) is not IntType(64)
+        assert I32 != I64
+
+    def test_pointer_interning(self):
+        assert PointerType(I32) is PointerType(I32)
+        assert ptr(I32) is PointerType(I32)
+        assert PointerType(I32) is not PointerType(I64)
+
+    def test_array_interning(self):
+        assert ArrayType(I32, 4) is ArrayType(I32, 4)
+        assert ArrayType(I32, 4) is not ArrayType(I32, 5)
+
+    def test_vector_interning(self):
+        assert VectorType(F32, 4) is VectorType(F32, 4)
+
+    def test_function_type_interning(self):
+        a = FunctionType(I32, [I32, I64])
+        b = FunctionType(I32, [I32, I64])
+        assert a is b
+        assert a is not FunctionType(I32, [I32])
+
+    def test_nested_structural_equality(self):
+        assert ptr(ArrayType(I32, 8)) is ptr(ArrayType(I32, 8))
+
+    def test_invalid_int_width_rejected(self):
+        with pytest.raises(ValueError):
+            IntType(13)
+
+    def test_invalid_float_width_rejected(self):
+        from repro.ir import FloatType
+
+        with pytest.raises(ValueError):
+            FloatType(16)
+
+
+class TestLayout:
+    def test_scalar_sizes(self):
+        assert I1.size == 1
+        assert I8.size == 1
+        assert I16.size == 2
+        assert I32.size == 4
+        assert I64.size == 8
+        assert F32.size == 4
+        assert F64.size == 8
+        assert ptr(I8).size == 8
+        assert VOID.size == 0
+
+    def test_array_size(self):
+        assert ArrayType(I32, 10).size == 40
+        assert ArrayType(ArrayType(I16, 3), 2).size == 12
+
+    def test_vector_size(self):
+        assert VectorType(I32, 4).size == 16
+        assert VectorType(F64, 2).size == 16
+
+    def test_struct_layout_with_padding(self):
+        s = StructType("s", [I8, I32, I8])
+        assert s.field_offset(0) == 0
+        assert s.field_offset(1) == 4  # padded to i32 alignment
+        assert s.field_offset(2) == 8
+        assert s.size == 12  # rounded up to alignment 4
+
+    def test_struct_empty(self):
+        assert StructType("e", []).size == 0
+
+    def test_alignment(self):
+        assert I32.alignment == 4
+        assert I64.alignment == 8
+        assert VectorType(I32, 4).alignment == 16
+        assert ArrayType(I64, 3).alignment == 8
+
+    def test_function_type_has_no_size(self):
+        with pytest.raises(TypeError):
+            FunctionType(VOID, []).size
+
+
+class TestClassification:
+    def test_predicates(self):
+        assert I1.is_bool and I1.is_int
+        assert not I32.is_bool and I32.is_int
+        assert F64.is_float
+        assert ptr(I32).is_pointer
+        assert ArrayType(I8, 2).is_aggregate
+        assert StructType("x", [I8]).is_aggregate
+        assert not VectorType(I32, 4).is_aggregate
+        assert VOID.is_void and not VOID.is_first_class
+        assert I32.is_first_class
+
+    def test_vector_element_constraint(self):
+        with pytest.raises(ValueError):
+            VectorType(ptr(I8), 4)
+
+
+class TestWrapping:
+    def test_wrap_signed(self):
+        assert I8.wrap(127) == 127
+        assert I8.wrap(128) == -128
+        assert I8.wrap(255) == -1
+        assert I8.wrap(256) == 0
+        assert I8.wrap(-129) == 127
+
+    def test_wrap_unsigned(self):
+        assert I8.wrap_unsigned(-1) == 255
+        assert I8.wrap_unsigned(256) == 0
+
+    def test_i1_wrap(self):
+        assert I1.wrap(1) == 1
+        assert I1.wrap(2) == 0
+        assert I1.min_value == 0
+        assert I1.max_signed == 1
+
+    def test_bounds(self):
+        assert I32.max_signed == 2**31 - 1
+        assert I32.min_value == -(2**31)
+        assert I32.max_unsigned == 2**32 - 1
+
+    def test_str_forms(self):
+        assert str(I32) == "i32"
+        assert str(F32) == "float"
+        assert str(F64) == "double"
+        assert str(ptr(I32)) == "i32*"
+        assert str(ArrayType(I32, 3)) == "[3 x i32]"
+        assert str(VectorType(I32, 4)) == "<4 x i32>"

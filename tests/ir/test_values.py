@@ -1,0 +1,165 @@
+"""Value graph: uses, RAUW, constants, globals."""
+
+import pytest
+
+from repro.ir import (
+    Argument,
+    BinaryOp,
+    ConstantArray,
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    ConstantString,
+    ConstantVector,
+    ArrayType,
+    GlobalVariable,
+    I1,
+    I8,
+    I32,
+    F64,
+    PointerType,
+    UndefValue,
+    VectorType,
+    make_constant,
+    zero,
+)
+
+
+class TestUseLists:
+    def test_operands_register_uses(self):
+        a = Argument(I32, "a")
+        b = Argument(I32, "b")
+        add = BinaryOp("add", a, b)
+        assert a.num_uses == 1
+        assert b.num_uses == 1
+        assert add.operands == [a, b]
+
+    def test_same_operand_twice(self):
+        a = Argument(I32, "a")
+        add = BinaryOp("add", a, a)
+        assert a.num_uses == 2
+        assert len(list(a.users())) == 1
+
+    def test_set_operand_updates_uses(self):
+        a, b, c = (Argument(I32, n) for n in "abc")
+        add = BinaryOp("add", a, b)
+        add.set_operand(1, c)
+        assert b.num_uses == 0
+        assert c.num_uses == 1
+        assert add.rhs is c
+
+    def test_replace_all_uses_with(self):
+        a, b, c = (Argument(I32, n) for n in "abc")
+        add1 = BinaryOp("add", a, b)
+        add2 = BinaryOp("add", a, a)
+        a.replace_all_uses_with(c)
+        assert a.num_uses == 0
+        assert c.num_uses == 3
+        assert add1.lhs is c and add2.lhs is c and add2.rhs is c
+
+    def test_rauw_self_is_noop(self):
+        a = Argument(I32, "a")
+        add = BinaryOp("add", a, a)
+        a.replace_all_uses_with(a)
+        assert a.num_uses == 2
+
+    def test_drop_all_operands(self):
+        a, b = Argument(I32, "a"), Argument(I32, "b")
+        add = BinaryOp("add", a, b)
+        add.drop_all_operands()
+        assert a.num_uses == 0 and b.num_uses == 0
+        assert add.num_operands == 0
+
+    def test_remove_operand_reindexes(self):
+        from repro.ir import Phi
+        from repro.ir.module import BasicBlock
+
+        phi = Phi(I32)
+        b1, b2 = BasicBlock("b1"), BasicBlock("b2")
+        phi.add_incoming(ConstantInt(I32, 1), b1)
+        phi.add_incoming(ConstantInt(I32, 2), b2)
+        phi.remove_incoming(b1)
+        assert phi.num_incoming == 1
+        assert phi.incoming_block(0) is b2
+        # Use indices are consistent after removal.
+        for use in b2.uses:
+            assert use.user.operand(use.index) is b2
+
+
+class TestConstants:
+    def test_int_canonical_signed(self):
+        c = ConstantInt(I8, 255)
+        assert c.value == -1
+        assert c.unsigned == 255
+        assert c.is_all_ones()
+
+    def test_predicates(self):
+        assert ConstantInt(I32, 0).is_zero()
+        assert ConstantInt(I32, 1).is_one()
+        assert ConstantInt(I32, 8).is_power_of_two()
+        assert ConstantInt(I32, 8).log2() == 3
+        assert not ConstantInt(I32, 6).is_power_of_two()
+        assert not ConstantInt(I32, 0).is_power_of_two()
+
+    def test_bool_refs(self):
+        assert ConstantInt(I1, 1).ref() == "true"
+        assert ConstantInt(I1, 0).ref() == "false"
+        assert ConstantInt(I32, -5).ref() == "-5"
+
+    def test_float(self):
+        c = ConstantFloat(F64, 1.5)
+        assert c.is_one() is False
+        assert ConstantFloat(F64, 1.0).is_one()
+        assert ConstantFloat(F64, 0.0).is_zero()
+
+    def test_null_undef(self):
+        n = ConstantNull(PointerType(I32))
+        assert n.is_zero()
+        assert n.ref() == "null"
+        assert UndefValue(I32).ref() == "undef"
+
+    def test_array_and_string(self):
+        arr = ConstantArray(ArrayType(I8, 2), [ConstantInt(I8, 0), ConstantInt(I8, 0)])
+        assert arr.is_zero()
+        s = ConstantString(b"hi\x00")
+        assert s.type == ArrayType(I8, 3)
+        assert not s.is_zero()
+        assert 'c"hi\\00"' == s.ref()
+
+    def test_array_count_mismatch(self):
+        with pytest.raises(ValueError):
+            ConstantArray(ArrayType(I8, 3), [ConstantInt(I8, 1)])
+
+    def test_vector_splat(self):
+        v = ConstantVector.splat(VectorType(I32, 4), ConstantInt(I32, 3))
+        assert v.is_splat()
+        assert len(v.elements) == 4
+
+    def test_make_constant(self):
+        assert isinstance(make_constant(I32, 5), ConstantInt)
+        assert isinstance(make_constant(F64, 5), ConstantFloat)
+        assert isinstance(make_constant(PointerType(I8), 0), ConstantNull)
+        v = make_constant(VectorType(I32, 4), 2)
+        assert isinstance(v, ConstantVector)
+
+    def test_zero_builder(self):
+        z = zero(ArrayType(I32, 3))
+        assert z.is_zero()
+        assert zero(I32).is_zero()
+
+
+class TestGlobals:
+    def test_global_variable_type(self):
+        g = GlobalVariable(I32, "g", ConstantInt(I32, 3))
+        assert g.type == PointerType(I32)
+        assert g.value_type == I32
+        assert g.ref() == "@g"
+        assert not g.is_internal
+
+    def test_internal_linkage(self):
+        g = GlobalVariable(I32, "g", None, linkage="internal")
+        assert g.is_internal
+
+    def test_alignment_default(self):
+        g = GlobalVariable(ArrayType(I32, 4), "g")
+        assert g.alignment == 4

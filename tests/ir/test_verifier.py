@@ -1,0 +1,150 @@
+"""The verifier must catch each class of broken IR."""
+
+import pytest
+
+from repro.ir import (
+    BinaryOp,
+    Branch,
+    Call,
+    ConstantInt,
+    Function,
+    FunctionType,
+    IRBuilder,
+    I32,
+    Module,
+    Phi,
+    Ret,
+    VerificationError,
+    verify_module,
+)
+from tests.conftest import LOOP_MODULE, build_module, make_simple_function
+
+
+def test_valid_module_passes(loop_module):
+    verify_module(loop_module)  # no exception
+
+
+def test_missing_terminator():
+    module, fn, b = make_simple_function()
+    b.add(fn.args[0], ConstantInt(I32, 1))
+    with pytest.raises(VerificationError, match="missing terminator"):
+        verify_module(module)
+
+
+def test_empty_block():
+    module, fn, b = make_simple_function()
+    b.ret(fn.args[0])
+    fn.add_block("empty")
+    with pytest.raises(VerificationError, match="empty block"):
+        verify_module(module)
+
+
+def test_terminator_in_middle():
+    module, fn, b = make_simple_function()
+    b.ret(fn.args[0])
+    fn.entry.append(Ret(fn.args[0]))
+    with pytest.raises(VerificationError, match="terminator"):
+        verify_module(module)
+
+
+def test_phi_pred_mismatch():
+    module, fn, b = make_simple_function()
+    other = fn.add_block("other")
+    phi = Phi(I32, "p")
+    other.insert(0, phi)
+    phi.add_incoming(fn.args[0], other)  # claims a non-existent pred edge
+    b.br(other)
+    IRBuilder(other).ret(phi)
+    with pytest.raises(VerificationError, match="phi"):
+        verify_module(module)
+
+
+def test_phi_after_non_phi():
+    module, fn, b = make_simple_function()
+    other = fn.add_block("other")
+    b.br(other)
+    ob = IRBuilder(other)
+    v = ob.add(fn.args[0], ConstantInt(I32, 1))
+    phi = Phi(I32, "p")
+    other.append(phi)
+    phi.add_incoming(fn.args[0], fn.entry)
+    ob.ret(v)
+    with pytest.raises(VerificationError, match="phi after non-phi"):
+        verify_module(module)
+
+
+def test_use_before_def_same_block():
+    module, fn, b = make_simple_function()
+    a1 = b.add(fn.args[0], ConstantInt(I32, 1))
+    a2 = b.add(fn.args[0], ConstantInt(I32, 2))
+    b.ret(a1)
+    # Swap so a1 uses a2's result before it exists.
+    a1.set_operand(0, a2)
+    fn.entry.instructions.remove(a2)
+    fn.entry.insert(1, a2)
+    with pytest.raises(VerificationError, match="used before def"):
+        verify_module(module)
+
+
+def test_def_does_not_dominate_use():
+    module = build_module(LOOP_MODULE)
+    fn = module.get_function("entry")
+    blocks = {b.name: b for b in fn.blocks}
+    body_inst = blocks["body"].instructions[0]
+    ret = blocks["exit"].terminator
+    ret.set_operand(0, body_inst)  # body does not dominate exit
+    with pytest.raises(VerificationError, match="does not dominate"):
+        verify_module(module)
+
+
+def test_ret_type_mismatch():
+    module, fn, b = make_simple_function()
+    b.ret()  # void ret in i32 function
+    with pytest.raises(VerificationError, match="ret void in non-void"):
+        verify_module(module)
+
+
+def test_call_arity_mismatch():
+    module = Module()
+    callee = Function(module, "callee", FunctionType(I32, [I32, I32]))
+    fn = Function(module, "f", FunctionType(I32, [I32]), arg_names=["x"])
+    b = IRBuilder(fn.add_block("entry"))
+    call = b.call(callee, [fn.args[0]])
+    b.ret(call)
+    with pytest.raises(VerificationError, match="call"):
+        verify_module(module)
+
+
+def test_call_arg_type_mismatch():
+    from repro.ir import I64
+
+    module = Module()
+    callee = Function(module, "callee", FunctionType(I32, [I64]))
+    fn = Function(module, "f", FunctionType(I32, [I32]), arg_names=["x"])
+    b = IRBuilder(fn.add_block("entry"))
+    call = b.call(callee, [fn.args[0]])
+    b.ret(call)
+    with pytest.raises(VerificationError, match="arg 0"):
+        verify_module(module)
+
+
+def test_unreachable_blocks_are_not_ssa_checked():
+    """Dead blocks may contain undominated uses (passes create these
+    transiently); only reachable code is checked."""
+    module, fn, b = make_simple_function()
+    b.ret(fn.args[0])
+    dead = fn.add_block("dead")
+    db = IRBuilder(dead)
+    v = db.add(fn.args[0], ConstantInt(I32, 1))
+    db.ret(v)
+    verify_module(module)  # fine: dead block is structurally valid
+
+
+def test_successor_outside_function():
+    module, fn, b = make_simple_function()
+    other_module, other_fn, ob = make_simple_function("m2", "g")
+    foreign = other_fn.entry
+    ob.ret(other_fn.args[0])
+    b.br(foreign)
+    with pytest.raises(VerificationError, match="not in function"):
+        verify_module(module)

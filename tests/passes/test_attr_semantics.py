@@ -1,0 +1,108 @@
+"""Attribute inference must never enable an unsound downstream transform:
+functions flagged readnone/willreturn really are removable/CSE-able."""
+
+from repro.ir import Call, run_module, verify_module
+from repro.passes import run_passes
+from repro.workloads import ProgramProfile, generate_program
+from tests.conftest import build_module
+
+
+def test_readnone_inference_plus_dce_preserves_semantics():
+    """The combination the attributes exist for: infer purity, then remove
+    an unused pure call — behaviour unchanged."""
+    module = build_module(
+        """
+define internal i32 @pure(i32 %x) {
+entry:
+  %a = mul i32 %x, 3
+  %b = add i32 %a, 1
+  ret i32 %b
+}
+define i32 @entry(i32 %n) {
+entry:
+  %unused = call i32 @pure(i32 %n)
+  %r = add i32 %n, 1
+  ret i32 %r
+}
+"""
+    )
+    baseline, _ = run_module(module, "entry", [4])
+    run_passes(module, ["functionattrs", "dce"])
+    verify_module(module)
+    assert run_module(module, "entry", [4])[0] == baseline
+    assert not any(
+        isinstance(i, Call)
+        for i in module.get_function("entry").instructions()
+    )
+
+
+def test_impure_call_never_removed():
+    module = build_module(
+        """
+@g = global i32 0, align 4
+define internal i32 @impure(i32 %x) {
+entry:
+  store i32 %x, i32* @g, align 4
+  ret i32 %x
+}
+define i32 @entry(i32 %n) {
+entry:
+  %unused = call i32 @impure(i32 %n)
+  %r = load i32, i32* @g, align 4
+  ret i32 %r
+}
+"""
+    )
+    run_passes(module, ["functionattrs", "dce", "adce"])
+    verify_module(module)
+    assert run_module(module, "entry", [9])[0] == 9
+
+
+def test_recursive_function_not_willreturn_so_call_kept():
+    """A potentially non-terminating call must survive DCE even when its
+    result is unused (removing it would change termination)."""
+    module = build_module(
+        """
+define internal i32 @maybe_spin(i32 %x) {
+entry:
+  %c = icmp sgt i32 %x, 0
+  br i1 %c, label %rec, label %done
+rec:
+  %v = call i32 @maybe_spin(i32 %x)
+  ret i32 %v
+done:
+  ret i32 0
+}
+define i32 @entry(i32 %n) {
+entry:
+  %unused = call i32 @maybe_spin(i32 0)
+  ret i32 %n
+}
+"""
+    )
+    run_passes(module, ["functionattrs", "dce", "adce"])
+    fn = module.get_function("maybe_spin")
+    assert "willreturn" not in fn.attributes
+    assert any(
+        isinstance(i, Call)
+        for i in module.get_function("entry").instructions()
+    )
+
+
+def test_attr_inference_on_generated_programs_is_sound():
+    """Attribute passes + the full cleanup battery never change results."""
+    for seed in (31, 32, 33):
+        module = generate_program(
+            ProgramProfile(name=f"attr{seed}", seed=seed, segments=6)
+        )
+        baseline, _ = run_module(module, "entry", [seed % 7])
+        run_passes(
+            module,
+            [
+                "inferattrs", "functionattrs", "attributor",
+                "rpo-functionattrs", "prune-eh",
+                "early-cse", "gvn", "dce", "adce", "globaldce",
+            ],
+        )
+        verify_module(module)
+        assert run_module(module, "entry", [seed % 7])[0] == baseline

@@ -1,0 +1,223 @@
+"""-instsimplify and -instcombine."""
+
+import pytest
+
+from repro.ir import BinaryOp, ConstantInt, ICmp, run_module, verify_module
+from repro.passes import run_passes
+from tests.conftest import assert_semantics_preserved, build_module
+
+
+def entry_ops(module):
+    return [i.opcode for i in module.get_function("entry").instructions()]
+
+
+def simplify_expr(body: str, ret: str = "%r") -> str:
+    return f"""
+define i32 @entry(i32 %n) {{
+entry:
+{body}
+  ret i32 {ret}
+}}
+"""
+
+
+@pytest.mark.parametrize(
+    "body,expected_result",
+    [
+        ("  %r = add i32 %n, 0", "n"),
+        ("  %r = mul i32 %n, 1", "n"),
+        ("  %r = mul i32 %n, 0", 0),
+        ("  %r = sub i32 %n, %n", 0),
+        ("  %r = and i32 %n, %n", "n"),
+        ("  %r = and i32 %n, 0", 0),
+        ("  %r = and i32 %n, -1", "n"),
+        ("  %r = or i32 %n, 0", "n"),
+        ("  %r = or i32 %n, -1", -1),
+        ("  %r = xor i32 %n, %n", 0),
+        ("  %r = xor i32 %n, 0", "n"),
+        ("  %r = sdiv i32 %n, 1", "n"),
+        ("  %r = srem i32 %n, 1", 0),
+        ("  %r = shl i32 %n, 0", "n"),
+        ("  %r = add i32 2, 3\n  %r2 = mul i32 %r, %n", None),
+    ],
+)
+def test_instsimplify_identities(body, expected_result):
+    ret = "%r2" if "%r2" in body else "%r"
+    module = build_module(simplify_expr(body, ret))
+    for arg in (0, 5, -9):
+        before = run_module(module.clone(), "entry", [arg])[0]
+        m = module.clone()
+        run_passes(m, ["instsimplify"])
+        verify_module(m)
+        assert run_module(m, "entry", [arg])[0] == before
+
+
+def test_instsimplify_folds_to_no_instructions():
+    module = build_module(simplify_expr("  %r = sub i32 %n, %n"))
+    run_passes(module, ["instsimplify"])
+    assert entry_ops(module) == ["ret"]
+
+
+def test_icmp_self_comparison():
+    module = build_module(
+        simplify_expr(
+            "  %c = icmp slt i32 %n, %n\n  %r = zext i1 %c to i32"
+        )
+    )
+    run_passes(module, ["instsimplify", "instsimplify"])
+    assert run_module(module, "entry", [5])[0] == 0
+
+
+def test_constant_folding():
+    module = build_module(simplify_expr("  %a = add i32 10, 20\n  %r = mul i32 %a, 2"))
+    run_passes(module, ["instsimplify"])
+    assert entry_ops(module) == ["ret"]
+    assert run_module(module, "entry", [0])[0] == 60
+
+
+class TestInstCombine:
+    def test_canonicalizes_constant_to_rhs(self):
+        module = build_module(simplify_expr("  %r = add i32 7, %n"))
+        run_passes(module, ["instcombine"])
+        add = next(
+            i for i in module.get_function("entry").instructions()
+            if isinstance(i, BinaryOp)
+        )
+        assert isinstance(add.rhs, ConstantInt)
+
+    def test_reassociates_constants(self):
+        module = build_module(
+            simplify_expr("  %a = add i32 %n, 10\n  %r = add i32 %a, 20")
+        )
+        assert_semantics_preserved(module, lambda m: run_passes(m, ["instcombine"]))
+        fn = module.get_function("entry")
+        adds = [i for i in fn.instructions() if isinstance(i, BinaryOp)]
+        assert len(adds) == 1
+        assert adds[0].rhs.value == 30
+
+    def test_sub_const_becomes_add(self):
+        module = build_module(simplify_expr("  %r = sub i32 %n, 5"))
+        assert_semantics_preserved(module, lambda m: run_passes(m, ["instcombine"]))
+        ops = entry_ops(module)
+        assert "sub" not in ops and "add" in ops
+
+    def test_mul_pow2_becomes_shl(self):
+        module = build_module(simplify_expr("  %r = mul i32 %n, 8"))
+        assert_semantics_preserved(module, lambda m: run_passes(m, ["instcombine"]))
+        assert "shl" in entry_ops(module)
+        assert "mul" not in entry_ops(module)
+
+    def test_udiv_pow2_becomes_lshr(self):
+        module = build_module(simplify_expr("  %r = udiv i32 %n, 4"))
+        assert_semantics_preserved(module, lambda m: run_passes(m, ["instcombine"]))
+        assert "lshr" in entry_ops(module)
+
+    def test_urem_pow2_becomes_and(self):
+        module = build_module(simplify_expr("  %r = urem i32 %n, 16"))
+        assert_semantics_preserved(module, lambda m: run_passes(m, ["instcombine"]))
+        assert "and" in entry_ops(module)
+
+    def test_sdiv_not_strength_reduced_blindly(self):
+        """sdiv by a power of two is NOT plain ashr for negatives."""
+        module = build_module(simplify_expr("  %r = sdiv i32 %n, 4"))
+        run_passes(module, ["instcombine"])
+        assert run_module(module, "entry", [-7])[0] == -1  # trunc toward 0
+
+    def test_add_self_becomes_shl(self):
+        module = build_module(simplify_expr("  %r = add i32 %n, %n"))
+        assert_semantics_preserved(module, lambda m: run_passes(m, ["instcombine"]))
+        assert "shl" in entry_ops(module)
+
+    def test_double_not_cancels(self):
+        module = build_module(
+            simplify_expr("  %a = xor i32 %n, -1\n  %r = xor i32 %a, -1")
+        )
+        run_passes(module, ["instcombine"])
+        assert entry_ops(module) == ["ret"]
+
+    def test_not_of_icmp_inverts(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  %c = icmp slt i32 %n, 10
+  %w = zext i1 %c to i32
+  %nc = xor i32 %w, -1
+  ret i32 %nc
+}
+"""
+        )
+        assert_semantics_preserved(module, lambda m: run_passes(m, ["instcombine"]))
+
+    def test_icmp_eq_add_const(self):
+        module = build_module(
+            simplify_expr(
+                "  %a = add i32 %n, 5\n  %c = icmp eq i32 %a, 12\n  %r = zext i1 %c to i32"
+            )
+        )
+        assert_semantics_preserved(module, lambda m: run_passes(m, ["instcombine"]))
+        cmp = next(
+            i for i in module.get_function("entry").instructions()
+            if isinstance(i, ICmp)
+        )
+        assert isinstance(cmp.rhs, ConstantInt) and cmp.rhs.value == 7
+
+    def test_cast_chain_collapse(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  %a = zext i32 %n to i64
+  %b = trunc i64 %a to i32
+  ret i32 %b
+}
+"""
+        )
+        run_passes(module, ["instcombine"])
+        assert entry_ops(module) == ["ret"]
+
+    def test_gep_chain_merge(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  %a = alloca [16 x i32], align 4
+  %base = gep [16 x i32]* %a, i32 0, i32 0
+  %p1 = gep i32* %base, i32 2
+  %p2 = gep i32* %p1, i32 3
+  store i32 %n, i32* %p2, align 4
+  %direct = gep i32* %base, i32 5
+  %v = load i32, i32* %direct, align 4
+  ret i32 %v
+}
+"""
+        )
+        assert_semantics_preserved(module, lambda m: run_passes(m, ["instcombine"]))
+
+    def test_branch_on_not_swaps_targets(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  %c = icmp slt i32 %n, 0
+  %w = zext i1 %c to i32
+  %x = xor i32 %w, -1
+  %t = trunc i32 %x to i1
+  br i1 %t, label %a, label %b
+a:
+  ret i32 1
+b:
+  ret i32 2
+}
+"""
+        )
+        for arg in (-3, 3):
+            before = run_module(module.clone(), "entry", [arg])[0]
+            m = module.clone()
+            run_passes(m, ["instcombine"])
+            verify_module(m)
+            assert run_module(m, "entry", [arg])[0] == before
+
+    def test_idempotent(self, diamond_module):
+        run_passes(diamond_module, ["instcombine"])
+        assert not run_passes(diamond_module, ["instcombine"])

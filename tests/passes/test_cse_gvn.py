@@ -1,0 +1,311 @@
+"""-early-cse, -early-cse-memssa and -gvn."""
+
+from repro.ir import BinaryOp, Load, run_module, verify_module
+from repro.passes import run_passes
+from tests.conftest import assert_semantics_preserved, build_module
+
+
+def ops(module, cls, fn="entry"):
+    return [i for i in module.get_function(fn).instructions() if isinstance(i, cls)]
+
+
+REDUNDANT = """
+define i32 @entry(i32 %n) {
+entry:
+  %a = add i32 %n, 5
+  %b = add i32 %n, 5
+  %r = mul i32 %a, %b
+  ret i32 %r
+}
+"""
+
+
+def test_early_cse_dedupes_expression():
+    module = build_module(REDUNDANT)
+    assert_semantics_preserved(module, lambda m: run_passes(m, ["early-cse"]))
+    assert len(ops(module, BinaryOp)) == 2  # one add + the mul
+
+
+def test_early_cse_commutative_operands():
+    module = build_module(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  %x = add i32 %n, 1
+  %a = mul i32 %n, %x
+  %b = mul i32 %x, %n
+  %r = sub i32 %a, %b
+  ret i32 %r
+}
+"""
+    )
+    run_passes(module, ["early-cse", "instsimplify"])
+    assert run_module(module, "entry", [6])[0] == 0
+    # sub x,x folded away entirely.
+    assert module.get_function("entry").instruction_count == 1
+
+
+def test_early_cse_scoped_by_dominance():
+    module = build_module(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  %c = icmp sgt i32 %n, 0
+  br i1 %c, label %a, label %b
+a:
+  %x = add i32 %n, 3
+  br label %m
+b:
+  %y = add i32 %n, 3
+  br label %m
+m:
+  %p = phi i32 [ %x, %a ], [ %y, %b ]
+  ret i32 %p
+}
+"""
+    )
+    run_passes(module, ["early-cse"])
+    verify_module(module)
+    # Neither side dominates the other: both adds must remain.
+    assert len(ops(module, BinaryOp)) == 2
+
+
+def test_early_cse_store_to_load_forwarding_in_block():
+    module = build_module(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  %p = alloca i32, align 4
+  store i32 %n, i32* %p, align 4
+  %v = load i32, i32* %p, align 4
+  ret i32 %v
+}
+"""
+    )
+    assert_semantics_preserved(module, lambda m: run_passes(m, ["early-cse"]))
+    assert len(ops(module, Load)) == 0
+
+
+def test_early_cse_invalidated_by_clobber():
+    module = build_module(
+        """
+declare void @ext()
+define i32 @entry(i32 %n) {
+entry:
+  %p = alloca i32, align 4
+  store i32 %n, i32* %p, align 4
+  call void @ext()
+  %v = load i32, i32* %p, align 4
+  ret i32 %v
+}
+"""
+    )
+    run_passes(module, ["early-cse"])
+    # The alloca does not escape, so the call cannot clobber it... but our
+    # EarlyCSE uses a global generation bump for any may-write call, which
+    # conservatively keeps the load. Either way semantics hold:
+    verify_module(module)
+    assert run_module(module, "entry", [5])[0] == 5
+
+
+def test_memssa_variant_forwards_across_blocks():
+    module = build_module(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  %p = alloca i32, align 4
+  store i32 %n, i32* %p, align 4
+  br label %next
+next:
+  %v = load i32, i32* %p, align 4
+  ret i32 %v
+}
+"""
+    )
+    plain = module.clone()
+    run_passes(plain, ["early-cse"])
+    assert len(ops(plain, Load)) == 1  # block-local variant keeps it
+
+    run_passes(module, ["early-cse-memssa"])
+    verify_module(module)
+    assert len(ops(module, Load)) == 0
+    assert run_module(module, "entry", [3])[0] == 3
+
+
+def test_memssa_does_not_forward_across_merge_with_store():
+    module = build_module(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  %p = alloca i32, align 4
+  store i32 1, i32* %p, align 4
+  %c = icmp sgt i32 %n, 0
+  br i1 %c, label %w, label %m
+w:
+  store i32 2, i32* %p, align 4
+  br label %m
+m:
+  %v = load i32, i32* %p, align 4
+  ret i32 %v
+}
+"""
+    )
+    assert_semantics_preserved(
+        module, lambda m: run_passes(m, ["early-cse-memssa"]), args=(1, -1)
+    )
+    assert run_module(module, "entry", [1])[0] == 2
+    assert run_module(module, "entry", [-1])[0] == 1
+
+
+def test_cse_of_readnone_calls():
+    module = build_module(
+        """
+declare i32 @pure(i32) readnone willreturn
+define i32 @entry(i32 %n) {
+entry:
+  %a = call i32 @pure(i32 %n)
+  %b = call i32 @pure(i32 %n)
+  %r = add i32 %a, %b
+  ret i32 %r
+}
+"""
+    )
+    run_passes(module, ["early-cse"])
+    from repro.ir import Call
+
+    assert len(ops(module, Call)) == 1
+
+
+def test_idempotent_store_elimination():
+    module = build_module(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  %p = alloca i32, align 4
+  store i32 %n, i32* %p, align 4
+  %v = load i32, i32* %p, align 4
+  store i32 %v, i32* %p, align 4
+  %w = load i32, i32* %p, align 4
+  ret i32 %w
+}
+"""
+    )
+    from repro.ir import Store
+
+    assert_semantics_preserved(module, lambda m: run_passes(m, ["early-cse"]))
+    assert len(ops(module, Store)) == 1
+
+
+class TestGVN:
+    def test_gvn_congruent_chains(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  %a1 = add i32 %n, 1
+  %a2 = add i32 %n, 1
+  %b1 = mul i32 %a1, 3
+  %b2 = mul i32 %a2, 3
+  %r = sub i32 %b1, %b2
+  ret i32 %r
+}
+"""
+        )
+        assert_semantics_preserved(module, lambda m: run_passes(m, ["gvn", "instsimplify"]))
+        # sub of congruent values -> 0; everything else dead.
+        assert module.get_function("entry").instruction_count == 1
+
+    def test_gvn_across_blocks(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  %a = add i32 %n, 7
+  br label %next
+next:
+  %b = add i32 %n, 7
+  %r = sub i32 %a, %b
+  ret i32 %r
+}
+"""
+        )
+        run_passes(module, ["gvn", "instsimplify"])
+        assert run_module(module, "entry", [3])[0] == 0
+
+    def test_gvn_load_elimination_single_pred_chain(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  %p = alloca i32, align 4
+  store i32 %n, i32* %p, align 4
+  br label %next
+next:
+  br label %next2
+next2:
+  %v = load i32, i32* %p, align 4
+  ret i32 %v
+}
+"""
+        )
+        assert_semantics_preserved(module, lambda m: run_passes(m, ["gvn"]))
+        assert len(ops(module, Load)) == 0
+
+    def test_gvn_load_cse(self):
+        module = build_module(
+            """
+@g = global i32 5, align 4
+define i32 @entry(i32 %n) {
+entry:
+  %a = load i32, i32* @g, align 4
+  %b = load i32, i32* @g, align 4
+  %r = add i32 %a, %b
+  ret i32 %r
+}
+"""
+        )
+        run_passes(module, ["gvn"])
+        assert len(ops(module, Load)) == 1
+
+    def test_gvn_blocked_by_may_alias_store(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  %p = alloca [4 x i32], align 4
+  %q0 = gep [4 x i32]* %p, i32 0, i32 0
+  %m = and i32 %n, 3
+  %qd = gep [4 x i32]* %p, i32 0, i32 %m
+  store i32 1, i32* %q0, align 4
+  store i32 9, i32* %qd, align 4
+  %v = load i32, i32* %q0, align 4
+  ret i32 %v
+}
+"""
+        )
+        run_passes(module, ["gvn"])
+        verify_module(module)
+        assert run_module(module, "entry", [0])[0] == 9
+        assert run_module(module, "entry", [1])[0] == 1
+
+    def test_gvn_congruent_phis(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  %c = icmp sgt i32 %n, 0
+  br i1 %c, label %a, label %b
+a:
+  br label %m
+b:
+  br label %m
+m:
+  %p1 = phi i32 [ 1, %a ], [ 2, %b ]
+  %p2 = phi i32 [ 1, %a ], [ 2, %b ]
+  %r = sub i32 %p1, %p2
+  ret i32 %r
+}
+"""
+        )
+        run_passes(module, ["gvn", "instsimplify"])
+        assert run_module(module, "entry", [4])[0] == 0

@@ -1,0 +1,150 @@
+"""-dce, -adce, -bdce."""
+
+from repro.ir import run_module, verify_module
+from repro.passes import run_passes
+from tests.conftest import assert_semantics_preserved, build_module
+
+
+def icount(module, fn="entry"):
+    return module.get_function(fn).instruction_count
+
+
+def test_dce_removes_unused_pure():
+    module = build_module(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  %dead = mul i32 %n, 3
+  %dead2 = add i32 %dead, 1
+  ret i32 %n
+}
+"""
+    )
+    run_passes(module, ["dce"])
+    assert icount(module) == 1
+
+
+def test_dce_keeps_side_effects():
+    module = build_module(
+        """
+declare i32 @ext(i32)
+define i32 @entry(i32 %n) {
+entry:
+  %unused = call i32 @ext(i32 %n)
+  ret i32 %n
+}
+"""
+    )
+    run_passes(module, ["dce"])
+    assert icount(module) == 2  # the call stays
+
+
+def test_dce_removes_pure_willreturn_call():
+    module = build_module(
+        """
+declare i32 @pure(i32) readnone willreturn
+define i32 @entry(i32 %n) {
+entry:
+  %unused = call i32 @pure(i32 %n)
+  ret i32 %n
+}
+"""
+    )
+    run_passes(module, ["dce"])
+    assert icount(module) == 1
+
+
+def test_adce_kills_dead_phi_cycle():
+    module = build_module(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  br label %loop
+loop:
+  %deadphi = phi i32 [ 0, %entry ], [ %deadnext, %loop ]
+  %i = phi i32 [ 0, %entry ], [ %i2, %loop ]
+  %deadnext = add i32 %deadphi, 1
+  %i2 = add i32 %i, 1
+  %c = icmp slt i32 %i2, %n
+  br i1 %c, label %loop, label %out
+out:
+  ret i32 %i2
+}
+"""
+    )
+    before, _ = run_module(module, "entry", [5])
+    # Plain DCE cannot remove the mutually-referential pair...
+    run_passes(module, ["dce"])
+    assert any(i.name == "deadphi" for i in module.get_function("entry").instructions())
+    # ...ADCE can.
+    run_passes(module, ["adce"])
+    verify_module(module)
+    assert not any(
+        i.name == "deadphi" for i in module.get_function("entry").instructions()
+    )
+    assert run_module(module, "entry", [5])[0] == before
+
+
+def test_adce_preserves_stores():
+    module = build_module(
+        """
+@g = internal global i32 0, align 4
+define i32 @entry(i32 %n) {
+entry:
+  store i32 %n, i32* @g, align 4
+  %v = load i32, i32* @g, align 4
+  ret i32 %v
+}
+"""
+    )
+    assert_semantics_preserved(module, lambda m: run_passes(m, ["adce"]))
+    assert icount(module) == 3
+
+
+def test_bdce_zero_demanded_bits():
+    module = build_module(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  %big = shl i32 %n, 16
+  %masked = and i32 %big, 255
+  ret i32 %masked
+}
+"""
+    )
+    # All demanded bits of %big are below bit 16 -> %big contributes 0.
+    assert_semantics_preserved(module, lambda m: run_passes(m, ["bdce", "instsimplify"]))
+    assert icount(module) == 1  # ret of constant 0
+
+
+def test_bdce_respects_demanded_bits_through_trunc():
+    module = build_module(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  %w = zext i32 %n to i64
+  %s = shl i64 %w, 40
+  %t = trunc i64 %s to i32
+  ret i32 %t
+}
+"""
+    )
+    assert_semantics_preserved(module, lambda m: run_passes(m, ["bdce", "instsimplify"]))
+    assert run_module(module, "entry", [123])[0] == 0
+
+
+def test_bdce_keeps_live_bits():
+    module = build_module(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  %x = shl i32 %n, 2
+  %m = and i32 %x, 12
+  ret i32 %m
+}
+"""
+    )
+    before = run_module(module, "entry", [3])[0]
+    run_passes(module, ["bdce"])
+    verify_module(module)
+    assert run_module(module, "entry", [3])[0] == before == 12

@@ -1,0 +1,104 @@
+"""Failure injection: the pass framework must localize faults."""
+
+import pytest
+
+from repro.ir import ConstantInt, I32, VerificationError
+from repro.passes import FunctionPass, ModulePass, Pass, PassManager
+from repro.workloads import ProgramProfile, generate_program
+
+
+def _module():
+    return generate_program(ProgramProfile(name="fail", seed=4, segments=4))
+
+
+class ThrowingPass(ModulePass):
+    name = "throwing-test-pass"
+
+    def run_on_module(self, module):
+        raise ValueError("synthetic fault")
+
+
+class IRBreakingPass(FunctionPass):
+    """Deletes a terminator — leaves invalid IR behind."""
+
+    name = "ir-breaking-test-pass"
+
+    def run_on_function(self, fn):
+        fn.entry.terminator.erase_from_parent()
+        return True
+
+
+class NoOpPass(ModulePass):
+    name = "noop-test-pass"
+
+    def run_on_module(self, module):
+        return False
+
+
+def test_exception_names_the_pass():
+    pm = PassManager([NoOpPass(), ThrowingPass()])
+    with pytest.raises(RuntimeError, match="throwing-test-pass"):
+        pm.run(_module())
+
+
+def test_verify_mode_names_the_breaking_pass():
+    pm = PassManager(
+        [NoOpPass(), IRBreakingPass(), NoOpPass()], verify=True
+    )
+    with pytest.raises(RuntimeError, match="ir-breaking-test-pass"):
+        pm.run(_module())
+
+
+def test_without_verify_breakage_is_not_checked():
+    pm = PassManager([IRBreakingPass()])
+    pm.run(_module())  # no exception: verification is opt-in
+
+
+def test_changed_passes_reflect_partial_progress():
+    pm = PassManager(["simplifycfg", ThrowingPass()])
+    module = _module()
+    with pytest.raises(RuntimeError):
+        pm.run(module)
+    # simplifycfg's result is recorded even though the run aborted.
+    assert pm.changed_passes in ([], ["simplifycfg"])
+
+
+def test_unregistered_pass_instance_usable():
+    """Pass instances need not be in the registry."""
+
+    class Anonymous(ModulePass):
+        name = "anonymous"
+
+        def run_on_module(self, module):
+            return False
+
+    pm = PassManager([Anonymous()])
+    assert not pm.run(_module())
+
+
+def test_base_pass_is_abstract():
+    class Incomplete(Pass):
+        name = "incomplete"
+
+    with pytest.raises(NotImplementedError):
+        Incomplete().run_on_module(_module())
+
+
+def test_function_pass_requires_run_on_function():
+    class Incomplete(FunctionPass):
+        name = "incomplete-fn"
+
+    with pytest.raises(NotImplementedError):
+        Incomplete().run_on_module(_module())
+
+
+def test_environment_survives_noop_actions():
+    """An action that changes nothing yields ~zero reward, not an error."""
+    from repro.core import ActionSpace, PhaseOrderingEnv
+
+    module = _module()
+    env = PhaseOrderingEnv(module, ActionSpace([["barrier"]]), episode_length=2)
+    env.reset()
+    _, reward, _, info = env.step(0)
+    assert reward == pytest.approx(0.0)
+    assert info.bin_size == env.base_size

@@ -1,0 +1,152 @@
+"""Constant folding helpers (passes/fold.py) — must agree with the
+interpreter's semantics exactly."""
+
+import pytest
+
+from repro.ir import (
+    Argument,
+    BinaryOp,
+    Cast,
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    ICmp,
+    I1,
+    I8,
+    I32,
+    I64,
+    F64,
+    PointerType,
+    Select,
+    UndefValue,
+)
+from repro.passes.fold import (
+    fold_binary,
+    fold_cast,
+    fold_icmp,
+    fold_instruction,
+    fold_select,
+)
+
+
+def ci(v, ty=I32):
+    return ConstantInt(ty, v)
+
+
+class TestFoldBinary:
+    @pytest.mark.parametrize(
+        "op,a,b,expected",
+        [
+            ("add", 7, 5, 12),
+            ("sub", 7, 5, 2),
+            ("mul", -3, 5, -15),
+            ("sdiv", -7, 2, -3),
+            ("udiv", 7, 2, 3),
+            ("srem", -7, 2, -1),
+            ("urem", 7, 3, 1),
+            ("and", 0b1100, 0b1010, 0b1000),
+            ("or", 0b1100, 0b1010, 0b1110),
+            ("xor", 0b1100, 0b1010, 0b0110),
+            ("shl", 1, 5, 32),
+            ("lshr", -1, 28, 15),
+            ("ashr", -16, 2, -4),
+        ],
+    )
+    def test_int_ops(self, op, a, b, expected):
+        folded = fold_binary(op, ci(a), ci(b))
+        assert folded is not None and folded.value == expected
+
+    def test_wrapping(self):
+        folded = fold_binary("add", ci(2**31 - 1), ci(1))
+        assert folded.value == -(2**31)
+
+    def test_division_by_zero_not_folded(self):
+        assert fold_binary("sdiv", ci(1), ci(0)) is None
+        assert fold_binary("urem", ci(1), ci(0)) is None
+
+    def test_float_ops(self):
+        folded = fold_binary("fmul", ConstantFloat(F64, 2.5), ConstantFloat(F64, 4.0))
+        assert folded.value == 10.0
+
+    def test_float_nan_inf_not_folded(self):
+        huge = ConstantFloat(F64, 1e308)
+        assert fold_binary("fmul", huge, huge) is None
+
+    def test_non_constants_not_folded(self):
+        assert fold_binary("add", Argument(I32, "x"), ci(1)) is None
+
+
+class TestFoldCompare:
+    @pytest.mark.parametrize(
+        "pred,a,b,expected",
+        [
+            ("eq", 3, 3, 1),
+            ("ne", 3, 3, 0),
+            ("slt", -1, 0, 1),
+            ("ult", -1, 0, 0),  # -1 is max unsigned
+            ("sge", 5, 5, 1),
+            ("ugt", 1, 2, 0),
+        ],
+    )
+    def test_icmp(self, pred, a, b, expected):
+        folded = fold_icmp(pred, ci(a), ci(b))
+        assert folded is not None and folded.value == expected
+
+    def test_null_pointers(self):
+        null = ConstantNull(PointerType(I32))
+        assert fold_icmp("eq", null, ConstantNull(PointerType(I32))).value == 1
+
+
+class TestFoldCast:
+    def test_trunc(self):
+        assert fold_cast("trunc", ci(0x1FF, I64), I8).value == -1
+
+    def test_zext_uses_unsigned(self):
+        assert fold_cast("zext", ci(-1, I8), I32).value == 255
+
+    def test_sext_keeps_sign(self):
+        assert fold_cast("sext", ci(-1, I8), I32).value == -1
+
+    def test_sitofp_fptosi(self):
+        f = fold_cast("sitofp", ci(-9), F64)
+        assert f.value == -9.0
+        back = fold_cast("fptosi", ConstantFloat(F64, -9.7), I32)
+        assert back.value == -9  # trunc toward zero
+
+    def test_fptosi_overflow_not_folded(self):
+        assert fold_cast("fptosi", ConstantFloat(F64, 1e30), I32) is None
+
+    def test_undef_propagates(self):
+        out = fold_cast("zext", UndefValue(I8), I32)
+        assert isinstance(out, UndefValue)
+
+
+class TestFoldSelectAndInstruction:
+    def test_select_constant_condition(self):
+        a, b = ci(1), ci(2)
+        assert fold_select(ConstantInt(I1, 1), a, b) is a
+        assert fold_select(ConstantInt(I1, 0), a, b) is b
+
+    def test_select_same_arms(self):
+        a = ci(9)
+        assert fold_select(Argument(I1, "c"), a, a) is a
+
+    def test_fold_instruction_dispatch(self):
+        add = BinaryOp("add", ci(1), ci(2))
+        assert fold_instruction(add).value == 3
+        cmp = ICmp("slt", ci(1), ci(2))
+        assert fold_instruction(cmp).value == 1
+        cast = Cast("sext", ci(-1, I8), I32)
+        assert fold_instruction(cast).value == -1
+        sel = Select(ConstantInt(I1, 1), ci(5), ci(6))
+        assert fold_instruction(sel).value == 5
+
+    def test_fold_matches_interpreter(self):
+        """Folding and interpretation must agree bit-for-bit."""
+        from repro.ir.interp import _int_binop
+
+        for op in ("add", "sub", "mul", "and", "or", "xor", "shl", "lshr", "ashr"):
+            for a in (-7, 0, 3, 2**31 - 2):
+                for b in (1, 3, 31):
+                    folded = fold_binary(op, ci(a), ci(b))
+                    assert folded.value == _int_binop(op, I32, a, b)

@@ -1,0 +1,69 @@
+"""Hypothesis properties: the folder, the interpreter and the live program
+must agree for every operation and operand pattern."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import (
+    ConstantInt,
+    I8,
+    I32,
+    parse_module,
+    run_module,
+    ICMP_PREDICATES,
+)
+from repro.ir.interp import _icmp, _int_binop
+from repro.passes.fold import fold_binary, fold_icmp
+
+SAFE_OPS = ["add", "sub", "mul", "and", "or", "xor", "shl", "lshr", "ashr"]
+
+ints32 = st.integers(-(2**31), 2**31 - 1)
+ints8 = st.integers(-128, 127)
+
+
+@given(op=st.sampled_from(SAFE_OPS), a=ints32, b=ints32)
+@settings(max_examples=200, deadline=None)
+def test_fold_equals_interp_helper(op, a, b):
+    folded = fold_binary(op, ConstantInt(I32, a), ConstantInt(I32, b))
+    assert folded is not None
+    assert folded.value == _int_binop(op, I32, I32.wrap(a), I32.wrap(b))
+
+
+@given(op=st.sampled_from(SAFE_OPS), a=ints8, b=ints8)
+@settings(max_examples=100, deadline=None)
+def test_fold_equals_execution_i8(op, a, b):
+    """Fold vs actually running the instruction through the interpreter."""
+    module = parse_module(
+        f"""
+define i32 @entry(i32 %n) {{
+entry:
+  %a = trunc i32 {a} to i8
+  %b = trunc i32 {b} to i8
+  %r = {op} i8 %a, %b
+  %w = sext i8 %r to i32
+  ret i32 %w
+}}
+"""
+    )
+    executed, _ = run_module(module, "entry", [0])
+    folded = fold_binary(op, ConstantInt(I8, a), ConstantInt(I8, b))
+    assert folded.value == executed
+
+
+@given(pred=st.sampled_from(ICMP_PREDICATES), a=ints32, b=ints32)
+@settings(max_examples=200, deadline=None)
+def test_icmp_fold_equals_interp(pred, a, b):
+    folded = fold_icmp(pred, ConstantInt(I32, a), ConstantInt(I32, b))
+    assert folded is not None
+    assert folded.value == _icmp(pred, I32, I32.wrap(a), I32.wrap(b))
+
+
+@given(
+    op=st.sampled_from(["sdiv", "udiv", "srem", "urem"]),
+    a=ints32,
+    b=ints32.filter(lambda v: v != 0),
+)
+@settings(max_examples=150, deadline=None)
+def test_division_fold_matches_interp(op, a, b):
+    folded = fold_binary(op, ConstantInt(I32, a), ConstantInt(I32, b))
+    assert folded is not None
+    assert folded.value == _int_binop(op, I32, I32.wrap(a), I32.wrap(b))

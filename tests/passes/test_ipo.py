@@ -1,0 +1,425 @@
+"""IPO passes: inline, functionattrs family, globalopt/globaldce,
+deadargelim, constmerge, ipo misc."""
+
+from repro.ir import Call, ConstantInt, Load, Store, run_module, verify_module
+from repro.passes import run_passes
+from tests.conftest import assert_semantics_preserved, build_module
+
+
+INLINABLE = """
+define internal i32 @tiny(i32 %x) {
+entry:
+  %r = mul i32 %x, 3
+  ret i32 %r
+}
+define i32 @entry(i32 %n) {
+entry:
+  %a = call i32 @tiny(i32 %n)
+  %b = call i32 @tiny(i32 %a)
+  ret i32 %b
+}
+"""
+
+
+class TestInliner:
+    def test_inlines_small_callee(self):
+        module = build_module(INLINABLE)
+        assert_semantics_preserved(module, lambda m: run_passes(m, ["inline"]))
+        entry = module.get_function("entry")
+        assert not any(isinstance(i, Call) for i in entry.instructions())
+
+    def test_inlined_body_deleted_by_globaldce(self):
+        module = build_module(INLINABLE)
+        run_passes(module, ["inline", "globaldce"])
+        assert module.get_function("tiny") is None
+
+    def test_inlines_branchy_callee_with_phi_result(self):
+        module = build_module(
+            """
+define internal i32 @pick(i32 %x) {
+entry:
+  %c = icmp sgt i32 %x, 0
+  br i1 %c, label %a, label %b
+a:
+  ret i32 %x
+b:
+  %neg = sub i32 0, %x
+  ret i32 %neg
+}
+define i32 @entry(i32 %n) {
+entry:
+  %r = call i32 @pick(i32 %n)
+  %s = add i32 %r, 100
+  ret i32 %s
+}
+"""
+        )
+        assert_semantics_preserved(
+            module, lambda m: run_passes(m, ["inline"]), args=(5, -5, 0)
+        )
+        entry = module.get_function("entry")
+        assert not any(isinstance(i, Call) for i in entry.instructions())
+        assert len(entry.blocks) >= 3  # callee CFG was spliced in
+
+    def test_does_not_inline_recursive(self):
+        module = build_module(
+            """
+define internal i32 @rec(i32 %x) {
+entry:
+  %c = icmp sgt i32 %x, 0
+  br i1 %c, label %r, label %b
+r:
+  %x1 = sub i32 %x, 1
+  %v = call i32 @rec(i32 %x1)
+  ret i32 %v
+b:
+  ret i32 0
+}
+define i32 @entry(i32 %n) {
+entry:
+  %r = call i32 @rec(i32 %n)
+  ret i32 %r
+}
+"""
+        )
+        run_passes(module, ["inline"])
+        entry = module.get_function("entry")
+        assert any(isinstance(i, Call) for i in entry.instructions())
+
+    def test_respects_noinline(self):
+        module = build_module(INLINABLE)
+        module.get_function("tiny").attributes.add("noinline")
+        assert not run_passes(module, ["inline"])
+
+    def test_inlines_calls_mid_block(self):
+        module = build_module(
+            """
+define internal i32 @helper(i32 %x) {
+entry:
+  %r = add i32 %x, 9
+  ret i32 %r
+}
+define i32 @entry(i32 %n) {
+entry:
+  %pre = mul i32 %n, 2
+  %c = call i32 @helper(i32 %pre)
+  %post = sub i32 %c, %n
+  ret i32 %post
+}
+"""
+        )
+        assert_semantics_preserved(module, lambda m: run_passes(m, ["inline"]))
+
+    def test_always_inline_pass(self):
+        module = build_module(INLINABLE)
+        module.get_function("tiny").attributes.add("alwaysinline")
+        run_passes(module, ["always-inline"])
+        entry = module.get_function("entry")
+        assert not any(isinstance(i, Call) for i in entry.instructions())
+
+
+class TestFunctionAttrs:
+    def test_infers_readnone_for_pure(self):
+        module = build_module(INLINABLE)
+        run_passes(module, ["functionattrs"])
+        tiny = module.get_function("tiny")
+        assert "readnone" in tiny.attributes
+        assert "willreturn" in tiny.attributes
+        assert "norecurse" in tiny.attributes
+
+    def test_loop_blocks_willreturn(self, loop_module):
+        run_passes(loop_module, ["functionattrs"])
+        fn = loop_module.get_function("entry")
+        assert "willreturn" not in fn.attributes
+
+    def test_bottom_up_propagation(self):
+        module = build_module(
+            """
+define internal i32 @leaf(i32 %x) {
+entry:
+  %r = add i32 %x, 1
+  ret i32 %r
+}
+define internal i32 @mid(i32 %x) {
+entry:
+  %r = call i32 @leaf(i32 %x)
+  ret i32 %r
+}
+define i32 @entry(i32 %n) {
+entry:
+  %r = call i32 @mid(i32 %n)
+  ret i32 %r
+}
+"""
+        )
+        run_passes(module, ["functionattrs"])
+        assert "readnone" in module.get_function("mid").attributes
+
+    def test_stores_to_global_block_readonly(self):
+        module = build_module(
+            """
+@g = global i32 0, align 4
+define internal i32 @writer(i32 %x) {
+entry:
+  store i32 %x, i32* @g, align 4
+  ret i32 %x
+}
+define i32 @entry(i32 %n) {
+entry:
+  %r = call i32 @writer(i32 %n)
+  ret i32 %r
+}
+"""
+        )
+        run_passes(module, ["functionattrs"])
+        writer = module.get_function("writer")
+        assert "readonly" not in writer.attributes
+        assert "readnone" not in writer.attributes
+
+    def test_attrs_enable_call_cse(self):
+        module = build_module(
+            """
+define internal i32 @pure(i32 %x) {
+entry:
+  %r = mul i32 %x, 5
+  ret i32 %r
+}
+define i32 @entry(i32 %n) {
+entry:
+  %a = call i32 @pure(i32 %n)
+  %b = call i32 @pure(i32 %n)
+  %r = add i32 %a, %b
+  ret i32 %r
+}
+"""
+        )
+        # Without attrs CSE keeps both calls; with attrs it merges them.
+        plain = module.clone()
+        run_passes(plain, ["early-cse"])
+        assert sum(1 for i in plain.get_function("entry").instructions() if isinstance(i, Call)) == 2
+        run_passes(module, ["functionattrs", "early-cse"])
+        assert sum(1 for i in module.get_function("entry").instructions() if isinstance(i, Call)) == 1
+
+    def test_inferattrs_known_library(self):
+        module = build_module(
+            """
+declare i32 @abs(i32)
+define i32 @entry(i32 %n) {
+entry:
+  %r = call i32 @abs(i32 %n)
+  ret i32 %r
+}
+"""
+        )
+        run_passes(module, ["inferattrs"])
+        assert "readnone" in module.get_function("abs").attributes
+
+    def test_forceattrs_is_noop(self, loop_module):
+        assert not run_passes(loop_module, ["forceattrs"])
+
+
+class TestGlobals:
+    def test_globalopt_deletes_writeonly_global_stores(self):
+        module = build_module(
+            """
+@sink = internal global i32 0, align 4
+define i32 @entry(i32 %n) {
+entry:
+  store i32 %n, i32* @sink, align 4
+  ret i32 %n
+}
+"""
+        )
+        run_passes(module, ["globalopt", "globaldce"])
+        verify_module(module)
+        assert module.get_global("sink") is None
+        assert not any(
+            isinstance(i, Store) for i in module.get_function("entry").instructions()
+        )
+
+    def test_globalopt_constifies_readonly_global(self):
+        module = build_module(
+            """
+@ro = internal global i32 41, align 4
+define i32 @entry(i32 %n) {
+entry:
+  %v = load i32, i32* @ro, align 4
+  %r = add i32 %v, 1
+  ret i32 %r
+}
+"""
+        )
+        assert_semantics_preserved(module, lambda m: run_passes(m, ["globalopt"]))
+        # Loads were folded to the initializer.
+        assert not any(
+            isinstance(i, Load) for i in module.get_function("entry").instructions()
+        )
+
+    def test_globaldce_removes_unused_function_and_global(self):
+        module = build_module(
+            """
+@unused = internal global i32 1, align 4
+define internal i32 @orphan(i32 %x) {
+entry:
+  ret i32 %x
+}
+define i32 @entry(i32 %n) {
+entry:
+  ret i32 %n
+}
+"""
+        )
+        run_passes(module, ["globaldce"])
+        assert module.get_function("orphan") is None
+        assert module.get_global("unused") is None
+        assert module.get_function("entry") is not None
+
+    def test_globaldce_keeps_function_referenced_by_initializer(self):
+        from repro.ir import Function, GlobalVariable, PointerType
+
+        module = build_module(
+            """
+define internal i32 @target(i32 %x) {
+entry:
+  ret i32 %x
+}
+define i32 @entry(i32 %n) {
+entry:
+  ret i32 %n
+}
+"""
+        )
+        target = module.get_function("target")
+        module.add_global(
+            GlobalVariable(PointerType(target.ftype), "fp", target, True, "external")
+        )
+        run_passes(module, ["globaldce"])
+        assert module.get_function("target") is not None
+
+    def test_constmerge(self):
+        module = build_module(
+            """
+@a = internal constant i32 7, align 4
+@b = internal constant i32 7, align 4
+define i32 @entry(i32 %n) {
+entry:
+  %x = load i32, i32* @a, align 4
+  %y = load i32, i32* @b, align 4
+  %r = add i32 %x, %y
+  ret i32 %r
+}
+"""
+        )
+        assert_semantics_preserved(module, lambda m: run_passes(m, ["constmerge"]))
+        assert len(module.globals) == 1
+
+    def test_called_value_propagation(self):
+        from repro.ir import Function, GlobalVariable, IRBuilder, PointerType
+
+        module = build_module(
+            """
+define internal i32 @impl(i32 %x) {
+entry:
+  %r = add i32 %x, 50
+  ret i32 %r
+}
+define i32 @entry(i32 %n) {
+entry:
+  ret i32 %n
+}
+"""
+        )
+        impl = module.get_function("impl")
+        fp = module.add_global(
+            GlobalVariable(PointerType(impl.ftype), "fp", impl, True, "internal")
+        )
+        entry = module.get_function("entry")
+        ret = entry.entry.terminator
+        b = IRBuilder(entry.entry)
+        ret.erase_from_parent()
+        loaded = b.load(fp)
+        call = b.call(loaded, [entry.args[0]])
+        b.ret(call)
+        verify_module(module)
+        before = run_module(module, "entry", [4])[0]
+        run_passes(module, ["called-value-propagation"])
+        verify_module(module)
+        assert run_module(module, "entry", [4])[0] == before == 54
+        call_inst = next(
+            i for i in entry.instructions() if isinstance(i, Call)
+        )
+        assert call_inst.called_function is impl
+
+    def test_strip_dead_prototypes(self):
+        module = build_module(
+            """
+declare i32 @unused_ext(i32)
+declare i32 @used_ext(i32)
+define i32 @entry(i32 %n) {
+entry:
+  %r = call i32 @used_ext(i32 %n)
+  ret i32 %r
+}
+"""
+        )
+        run_passes(module, ["strip-dead-prototypes"])
+        assert module.get_function("unused_ext") is None
+        assert module.get_function("used_ext") is not None
+
+    def test_elim_avail_extern(self):
+        module = build_module(INLINABLE)
+        module.get_function("tiny").linkage = "available_externally"
+        run_passes(module, ["elim-avail-extern"])
+        assert module.get_function("tiny").is_declaration
+
+    def test_barrier_is_noop(self, loop_module):
+        assert not run_passes(loop_module, ["barrier"])
+
+
+class TestDeadArgElim:
+    def test_removes_unused_argument(self):
+        module = build_module(
+            """
+define internal i32 @callee(i32 %x, i32 %dead) {
+entry:
+  %r = add i32 %x, 2
+  ret i32 %r
+}
+define i32 @entry(i32 %n) {
+entry:
+  %waste = mul i32 %n, 99
+  %r = call i32 @callee(i32 %n, i32 %waste)
+  ret i32 %r
+}
+"""
+        )
+        assert_semantics_preserved(module, lambda m: run_passes(m, ["deadargelim"]))
+        callee = module.get_function("callee")
+        assert len(callee.args) == 1
+        call = next(
+            i for i in module.get_function("entry").instructions()
+            if isinstance(i, Call)
+        )
+        assert len(call.args) == 1
+
+    def test_keeps_args_of_external_function(self):
+        module = build_module(
+            """
+define i32 @exported(i32 %x, i32 %dead) {
+entry:
+  ret i32 %x
+}
+define i32 @entry(i32 %n) {
+entry:
+  %r = call i32 @exported(i32 %n, i32 0)
+  ret i32 %r
+}
+"""
+        )
+        assert not run_passes(module, ["deadargelim"])
+
+    def test_prune_eh_infers_nounwind(self):
+        module = build_module(INLINABLE)
+        run_passes(module, ["prune-eh"])
+        assert "nounwind" in module.get_function("tiny").attributes
+        assert "nounwind" in module.get_function("entry").attributes

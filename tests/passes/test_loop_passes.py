@@ -1,0 +1,631 @@
+"""Loop passes: simplify, lcssa, licm, rotate, unroll, deletion, idiom,
+unswitch, distribute, vectorize, indvars, sink, load-elim."""
+
+import pytest
+
+from repro.analysis import LoopInfo
+from repro.ir import (
+    Branch,
+    Call,
+    Load,
+    Phi,
+    Store,
+    VectorType,
+    run_module,
+    verify_module,
+)
+from repro.passes import run_passes
+from tests.conftest import LOOP_MODULE, assert_semantics_preserved, build_module
+
+
+WHILE_LOOP = """
+define i32 @entry(i32 %n) {
+entry:
+  br label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %i2, %latch ]
+  %acc = phi i32 [ 0, %entry ], [ %acc2, %latch ]
+  %cond = icmp slt i32 %i, %n
+  br i1 %cond, label %body, label %exit
+body:
+  %acc2 = add i32 %acc, %i
+  br label %latch
+latch:
+  %i2 = add i32 %i, 1
+  br label %header
+exit:
+  ret i32 %acc
+}
+"""
+
+
+class TestLoopSimplify:
+    def test_creates_preheader(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  %c = icmp sgt i32 %n, 0
+  br i1 %c, label %header, label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %i2, %header ]
+  %i2 = add i32 %i, 1
+  %lc = icmp slt i32 %i2, %n
+  br i1 %lc, label %header, label %exit
+exit:
+  ret i32 %i2
+}
+"""
+        )
+        fn = module.get_function("entry")
+        (loop,) = LoopInfo(fn).loops
+        assert loop.preheader() is None  # entry branches twice into header
+        assert_semantics_preserved(module, lambda m: run_passes(m, ["simplifycfg", "loop-simplify"]))
+        (loop,) = LoopInfo(fn).loops
+        assert loop.preheader() is not None
+
+    def test_merges_latches(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  br label %h
+h:
+  %i = phi i32 [ 0, %entry ], [ %a2, %l1 ], [ %b2, %l2 ]
+  %c = icmp slt i32 %i, %n
+  br i1 %c, label %body, label %exit
+body:
+  %odd = and i32 %i, 1
+  %isodd = icmp ne i32 %odd, 0
+  br i1 %isodd, label %l1, label %l2
+l1:
+  %a2 = add i32 %i, 1
+  br label %h
+l2:
+  %b2 = add i32 %i, 2
+  br label %h
+exit:
+  ret i32 %i
+}
+"""
+        )
+        assert_semantics_preserved(module, lambda m: run_passes(m, ["loop-simplify"]))
+        fn = module.get_function("entry")
+        (loop,) = LoopInfo(fn).loops
+        assert loop.single_latch is not None
+
+    def test_dedicates_exits(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  %c0 = icmp sgt i32 %n, 100
+  br i1 %c0, label %out, label %pre
+pre:
+  br label %h
+h:
+  %i = phi i32 [ 0, %pre ], [ %i2, %h ]
+  %i2 = add i32 %i, 1
+  %c = icmp slt i32 %i2, %n
+  br i1 %c, label %h, label %out
+out:
+  %r = phi i32 [ 999, %entry ], [ %i2, %h ]
+  ret i32 %r
+}
+"""
+        )
+        assert_semantics_preserved(module, lambda m: run_passes(m, ["loop-simplify"]))
+        fn = module.get_function("entry")
+        (loop,) = LoopInfo(fn).loops
+        assert loop.has_dedicated_exits()
+
+
+class TestLCSSA:
+    def test_inserts_exit_phi(self):
+        module = build_module(WHILE_LOOP)
+        run_passes(module, ["loop-simplify", "lcssa"])
+        verify_module(module)
+        fn = module.get_function("entry")
+        exit_block = next(b for b in fn.blocks if b.name == "exit")
+        # acc's out-of-loop use now goes through a phi in the exit block.
+        ret = exit_block.terminator
+        assert isinstance(ret.value, Phi)
+        assert run_module(module, "entry", [5])[0] == 10
+
+    def test_idempotent(self):
+        module = build_module(WHILE_LOOP)
+        run_passes(module, ["loop-simplify", "lcssa"])
+        before = module.get_function("entry").instruction_count
+        run_passes(module, ["lcssa"])
+        assert module.get_function("entry").instruction_count == before
+
+
+class TestLICM:
+    def test_hoists_invariant_arithmetic(self):
+        module = build_module(LOOP_MODULE)
+        assert_semantics_preserved(module, lambda m: run_passes(m, ["licm"]))
+        fn = module.get_function("entry")
+        body = next(b for b in fn.blocks if b.name == "body")
+        assert not any(i.name == "hoist" for i in body.instructions)
+
+    def test_hoists_invariant_load(self):
+        module = build_module(
+            """
+@k = internal constant i32 9, align 4
+define i32 @entry(i32 %n) {
+entry:
+  br label %h
+h:
+  %i = phi i32 [ 0, %entry ], [ %i2, %h ]
+  %k = load i32, i32* @k, align 4
+  %i2 = add i32 %i, %k
+  %c = icmp slt i32 %i2, %n
+  br i1 %c, label %h, label %exit
+exit:
+  ret i32 %i2
+}
+"""
+        )
+        assert_semantics_preserved(module, lambda m: run_passes(m, ["licm"]))
+        fn = module.get_function("entry")
+        header = next(b for b in fn.blocks if b.name == "h")
+        assert not any(isinstance(i, Load) for i in header.instructions)
+
+    def test_does_not_hoist_load_with_aliasing_store(self):
+        module = build_module(
+            """
+@g = internal global i32 1, align 4
+define i32 @entry(i32 %n) {
+entry:
+  br label %h
+h:
+  %i = phi i32 [ 0, %entry ], [ %i2, %h ]
+  %v = load i32, i32* @g, align 4
+  %w = add i32 %v, 1
+  store i32 %w, i32* @g, align 4
+  %i2 = add i32 %i, 1
+  %c = icmp slt i32 %i2, %n
+  br i1 %c, label %h, label %exit
+exit:
+  ret i32 %v
+}
+"""
+        )
+        assert_semantics_preserved(module, lambda m: run_passes(m, ["licm"]))
+        fn = module.get_function("entry")
+        header = next(b for b in fn.blocks if b.name == "h")
+        assert any(isinstance(i, Load) for i in header.instructions)
+
+    def test_does_not_hoist_nonspeculatable_division(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  br label %h
+h:
+  %i = phi i32 [ 0, %entry ], [ %i2, %h ]
+  %q = sdiv i32 100, %n
+  %i2 = add i32 %i, %q
+  %c = icmp slt i32 %i2, 50
+  br i1 %c, label %h, label %exit
+exit:
+  ret i32 %i2
+}
+"""
+        )
+        run_passes(module, ["licm"])
+        fn = module.get_function("entry")
+        entry = fn.entry
+        assert not any(i.opcode == "sdiv" for i in entry.instructions)
+
+
+class TestLoopRotate:
+    def test_rotates_while_to_dowhile(self):
+        module = build_module(WHILE_LOOP)
+        assert_semantics_preserved(
+            module,
+            lambda m: run_passes(m, ["loop-simplify", "lcssa", "loop-rotate"]),
+            args=(0, 1, 7),
+        )
+        fn = module.get_function("entry")
+        (loop,) = LoopInfo(fn).loops
+        # After rotation the exiting block is the latch (bottom-test).
+        assert loop.exiting_blocks() == [loop.single_latch]
+
+    def test_rotation_enables_licm_into_guarded_block(self):
+        module = build_module(LOOP_MODULE)
+        assert_semantics_preserved(
+            module,
+            lambda m: run_passes(
+                m, ["loop-simplify", "lcssa", "loop-rotate", "licm"]
+            ),
+            args=(0, 3),
+        )
+
+    def test_no_rotation_for_already_rotated(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  br label %h
+h:
+  %i = phi i32 [ 0, %entry ], [ %i2, %h ]
+  %i2 = add i32 %i, 1
+  %c = icmp slt i32 %i2, %n
+  br i1 %c, label %h, label %exit
+exit:
+  ret i32 %i2
+}
+"""
+        )
+        assert not run_passes(module, ["loop-rotate"])
+
+
+class TestUnrollDeletionIndvars:
+    SMALL_TRIP = """
+define i32 @entry(i32 %n) {
+entry:
+  br label %h
+h:
+  %i = phi i32 [ 0, %entry ], [ %i2, %h ]
+  %acc = phi i32 [ %n, %entry ], [ %acc2, %h ]
+  %acc2 = add i32 %acc, %i
+  %i2 = add i32 %i, 1
+  %c = icmp slt i32 %i2, 4
+  br i1 %c, label %h, label %exit
+exit:
+  ret i32 %acc2
+}
+"""
+
+    def test_full_unroll(self):
+        module = build_module(self.SMALL_TRIP)
+        assert_semantics_preserved(module, lambda m: run_passes(m, ["loop-unroll"]))
+        assert LoopInfo(module.get_function("entry")).loops == []
+
+    def test_unroll_respects_budget(self):
+        # 1000 iterations: way over the trip limit.
+        module = build_module(self.SMALL_TRIP.replace("icmp slt i32 %i2, 4",
+                                                      "icmp slt i32 %i2, 1000"))
+        assert not run_passes(module, ["loop-unroll"])
+
+    def test_loop_deletion_removes_dead_loop(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  br label %h
+h:
+  %i = phi i32 [ 0, %entry ], [ %i2, %h ]
+  %junk = mul i32 %i, 3
+  %i2 = add i32 %i, 1
+  %c = icmp slt i32 %i2, 100
+  br i1 %c, label %h, label %exit
+exit:
+  ret i32 %n
+}
+"""
+        )
+        assert_semantics_preserved(module, lambda m: run_passes(m, ["loop-deletion"]))
+        assert LoopInfo(module.get_function("entry")).loops == []
+
+    def test_deletion_keeps_observed_loop(self):
+        module = build_module(self.SMALL_TRIP)
+        assert not run_passes(module, ["loop-deletion"])
+
+    def test_deletion_keeps_side_effecting_loop(self):
+        module = build_module(
+            """
+@g = global i32 0, align 4
+define i32 @entry(i32 %n) {
+entry:
+  br label %h
+h:
+  %i = phi i32 [ 0, %entry ], [ %i2, %h ]
+  store i32 %i, i32* @g, align 4
+  %i2 = add i32 %i, 1
+  %c = icmp slt i32 %i2, 10
+  br i1 %c, label %h, label %exit
+exit:
+  ret i32 %n
+}
+"""
+        )
+        assert not run_passes(module, ["loop-deletion"])
+
+    def test_indvars_rewrites_exit_value(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  br label %h
+h:
+  %i = phi i32 [ 0, %entry ], [ %i2, %h ]
+  %junk = mul i32 %i, 3
+  %i2 = add i32 %i, 1
+  %c = icmp slt i32 %i2, 10
+  br i1 %c, label %h, label %exit
+exit:
+  ret i32 %i2
+}
+"""
+        )
+        assert_semantics_preserved(module, lambda m: run_passes(m, ["indvars"]))
+        fn = module.get_function("entry")
+        ret = next(b for b in fn.blocks if b.name == "exit").terminator
+        from repro.ir import ConstantInt
+
+        assert isinstance(ret.value, ConstantInt)
+        assert ret.value.value == 10
+        # And now indvars+deletion together remove the loop entirely.
+        run_passes(module, ["loop-deletion"])
+        assert LoopInfo(fn).loops == []
+
+
+class TestLoopIdiom:
+    ZERO_LOOP = """
+define i32 @entry(i32 %n) {
+entry:
+  %buf = alloca [32 x i32], align 4
+  br label %h
+h:
+  %i = phi i32 [ 0, %entry ], [ %i2, %h ]
+  %p = gep [32 x i32]* %buf, i32 0, i32 %i
+  store i32 0, i32* %p, align 4
+  %i2 = add i32 %i, 1
+  %c = icmp slt i32 %i2, 32
+  br i1 %c, label %h, label %exit
+exit:
+  %q = gep [32 x i32]* %buf, i32 0, i32 %n
+  %v = load i32, i32* %q, align 4
+  ret i32 %v
+}
+"""
+
+    def test_memset_idiom(self):
+        module = build_module(self.ZERO_LOOP)
+        assert_semantics_preserved(
+            module, lambda m: run_passes(m, ["loop-idiom"]), args=(0, 13, 31)
+        )
+        fn = module.get_function("entry")
+        assert LoopInfo(fn).loops == []
+        calls = [i for i in fn.instructions() if isinstance(i, Call)]
+        assert any("memset" in c.callee.name for c in calls)
+
+    def test_memcpy_idiom(self):
+        module = build_module(
+            """
+@src = internal constant [16 x i32] zeroinitializer, align 4
+define i32 @entry(i32 %n) {
+entry:
+  %dst = alloca [16 x i32], align 4
+  br label %h
+h:
+  %i = phi i32 [ 0, %entry ], [ %i2, %h ]
+  %sp = gep [16 x i32]* @src, i32 0, i32 %i
+  %v = load i32, i32* %sp, align 4
+  %dp = gep [16 x i32]* %dst, i32 0, i32 %i
+  store i32 %v, i32* %dp, align 4
+  %i2 = add i32 %i, 1
+  %c = icmp slt i32 %i2, 16
+  br i1 %c, label %h, label %exit
+exit:
+  %q = gep [16 x i32]* %dst, i32 0, i32 5
+  %w = load i32, i32* %q, align 4
+  ret i32 %w
+}
+"""
+        )
+        assert_semantics_preserved(module, lambda m: run_passes(m, ["loop-idiom"]))
+        fn = module.get_function("entry")
+        calls = [i for i in fn.instructions() if isinstance(i, Call)]
+        assert any("memcpy" in c.callee.name for c in calls)
+
+    def test_non_splat_store_not_converted(self):
+        module = build_module(self.ZERO_LOOP.replace("store i32 0,", "store i32 %i,"))
+        run_passes(module, ["loop-idiom"])
+        fn = module.get_function("entry")
+        assert LoopInfo(fn).loops != []
+
+
+class TestUnswitch:
+    INVARIANT_BRANCH = """
+define i32 @entry(i32 %n) {
+entry:
+  %flag = icmp sgt i32 %n, 50
+  br label %h
+h:
+  %i = phi i32 [ 0, %entry ], [ %i2, %latch ]
+  %acc = phi i32 [ 0, %entry ], [ %acc2, %latch ]
+  br i1 %flag, label %a, label %b
+a:
+  %av = add i32 %acc, %i
+  br label %latch
+b:
+  %bv = add i32 %acc, 2
+  br label %latch
+latch:
+  %acc2 = phi i32 [ %av, %a ], [ %bv, %b ]
+  %i2 = add i32 %i, 1
+  %c = icmp slt i32 %i2, 8
+  br i1 %c, label %h, label %exit
+exit:
+  %r = phi i32 [ %acc2, %latch ]
+  ret i32 %r
+}
+"""
+
+    def test_unswitch_duplicates_loop(self):
+        module = build_module(self.INVARIANT_BRANCH)
+        before_blocks = len(module.get_function("entry").blocks)
+        assert_semantics_preserved(
+            module,
+            lambda m: run_passes(m, ["loop-unswitch"]),
+            args=(10, 60),
+        )
+        # Unswitching duplicated the loop body (code size grew) and there
+        # are now two loops dispatched from the preheader.
+        fn = module.get_function("entry")
+        assert len(fn.blocks) > before_blocks
+        assert len(LoopInfo(fn).loops) == 2
+
+    def test_unswitch_leaves_variant_branch(self):
+        module = build_module(
+            self.INVARIANT_BRANCH.replace(
+                "%flag = icmp sgt i32 %n, 50", "%flagbase = icmp sgt i32 %n, 50"
+            ).replace(
+                "br i1 %flag, label %a, label %b",
+                "%flag = icmp sgt i32 %i, 3\n  br i1 %flag, label %a, label %b",
+            )
+        )
+        assert not run_passes(module, ["loop-unswitch"])
+
+
+class TestVectorizeDistribute:
+    VECTORIZABLE = """
+define i32 @entry(i32 %n) {
+entry:
+  %a = alloca [32 x i32], align 16
+  %b = alloca [32 x i32], align 16
+  br label %init
+init:
+  %j = phi i32 [ 0, %entry ], [ %j2, %init ]
+  %ip = gep [32 x i32]* %a, i32 0, i32 %j
+  store i32 %j, i32* %ip, align 4
+  %j2 = add i32 %j, 1
+  %jc = icmp slt i32 %j2, 32
+  br i1 %jc, label %init, label %pre
+pre:
+  br label %h
+h:
+  %i = phi i32 [ 0, %pre ], [ %i2, %h ]
+  %sp = gep [32 x i32]* %a, i32 0, i32 %i
+  %v = load i32, i32* %sp, align 4
+  %w = mul i32 %v, %n
+  %x = add i32 %w, 3
+  %dp = gep [32 x i32]* %b, i32 0, i32 %i
+  store i32 %x, i32* %dp, align 4
+  %i2 = add i32 %i, 1
+  %c = icmp slt i32 %i2, 32
+  br i1 %c, label %h, label %exit
+exit:
+  %q = gep [32 x i32]* %b, i32 0, i32 7
+  %r = load i32, i32* %q, align 4
+  ret i32 %r
+}
+"""
+
+    def test_vectorize_produces_vector_ops(self):
+        module = build_module(self.VECTORIZABLE)
+        assert_semantics_preserved(
+            module, lambda m: run_passes(m, ["loop-vectorize"]), args=(2, 5)
+        )
+        fn = module.get_function("entry")
+        assert any(
+            isinstance(i.type, VectorType)
+            for i in fn.instructions()
+            if not i.type.is_void
+        )
+
+    def test_vectorize_skips_odd_trip(self):
+        module = build_module(self.VECTORIZABLE.replace("icmp slt i32 %i2, 32",
+                                                        "icmp slt i32 %i2, 31"))
+        fn = module.get_function("entry")
+        loops_before = len(LoopInfo(fn).loops)
+        run_passes(module, ["loop-vectorize"])
+        # The compute loop (odd trip) must survive; only shapes with
+        # VF-divisible constant trips vectorize.
+        assert len(LoopInfo(fn).loops) == loops_before
+
+    def test_distribute_splits_two_streams(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  %a = alloca [16 x i32], align 4
+  %b = alloca [16 x i32], align 4
+  br label %h
+h:
+  %i = phi i32 [ 0, %entry ], [ %i2, %h ]
+  %pa = gep [16 x i32]* %a, i32 0, i32 %i
+  %va = mul i32 %i, 2
+  store i32 %va, i32* %pa, align 4
+  %pb = gep [16 x i32]* %b, i32 0, i32 %i
+  %vb = add i32 %i, 9
+  store i32 %vb, i32* %pb, align 4
+  %i2 = add i32 %i, 1
+  %c = icmp slt i32 %i2, 16
+  br i1 %c, label %h, label %exit
+exit:
+  %qa = gep [16 x i32]* %a, i32 0, i32 3
+  %ra = load i32, i32* %qa, align 4
+  %qb = gep [16 x i32]* %b, i32 0, i32 3
+  %rb = load i32, i32* %qb, align 4
+  %r = add i32 %ra, %rb
+  ret i32 %r
+}
+"""
+        )
+        fn = module.get_function("entry")
+        assert len(LoopInfo(fn).loops) == 1
+        assert_semantics_preserved(module, lambda m: run_passes(m, ["loop-distribute"]))
+        assert len(LoopInfo(fn).loops) == 2
+
+
+class TestSinkLoadElim:
+    def test_loop_load_elim_forwards_preheader_store(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  %p = alloca i32, align 4
+  store i32 %n, i32* %p, align 4
+  br label %h
+h:
+  %i = phi i32 [ 0, %entry ], [ %i2, %h ]
+  %v = load i32, i32* %p, align 4
+  %i2 = add i32 %i, %v
+  %c = icmp slt i32 %i2, 100
+  br i1 %c, label %h, label %exit
+exit:
+  ret i32 %i2
+}
+"""
+        )
+        assert_semantics_preserved(
+            module, lambda m: run_passes(m, ["loop-load-elim"]), args=(1, 7)
+        )
+        fn = module.get_function("entry")
+        header = next(b for b in fn.blocks if b.name == "h")
+        assert not any(isinstance(i, Load) for i in header.instructions)
+
+    def test_loop_sink_moves_into_cold_block(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  %expensive = mul i32 %n, 123
+  br label %h
+h:
+  %i = phi i32 [ 0, %entry ], [ %i2, %latch ]
+  %odd = and i32 %i, 1
+  %isodd = icmp ne i32 %odd, 0
+  br i1 %isodd, label %cold, label %latch
+cold:
+  %use = add i32 %expensive, %i
+  br label %latch
+latch:
+  %m = phi i32 [ %use, %cold ], [ %i, %h ]
+  %i2 = add i32 %m, 1
+  %c = icmp slt i32 %i2, %n
+  br i1 %c, label %h, label %exit
+exit:
+  ret i32 %i2
+}
+"""
+        )
+        assert_semantics_preserved(
+            module, lambda m: run_passes(m, ["loop-sink"]), args=(5, 20)
+        )
+        fn = module.get_function("entry")
+        assert not any(i.name == "expensive" for i in fn.entry.instructions)

@@ -1,0 +1,202 @@
+"""-mem2reg and -sroa."""
+
+from repro.ir import Alloca, Load, Phi, Store, run_module, verify_module
+from repro.passes import run_passes
+from tests.conftest import assert_semantics_preserved, build_module
+
+
+def count(module, cls, fn="entry"):
+    return sum(
+        1 for i in module.get_function(fn).instructions() if isinstance(i, cls)
+    )
+
+
+def test_promotes_simple_scalar():
+    module = build_module(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  %p = alloca i32, align 4
+  store i32 %n, i32* %p, align 4
+  %v = load i32, i32* %p, align 4
+  %r = add i32 %v, 1
+  ret i32 %r
+}
+"""
+    )
+    assert_semantics_preserved(module, lambda m: run_passes(m, ["mem2reg"]))
+    assert count(module, Alloca) == 0
+    assert count(module, Load) == 0
+    assert count(module, Store) == 0
+
+
+def test_inserts_phi_at_merge():
+    module = build_module(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  %p = alloca i32, align 4
+  %c = icmp sgt i32 %n, 0
+  br i1 %c, label %a, label %b
+a:
+  store i32 1, i32* %p, align 4
+  br label %m
+b:
+  store i32 2, i32* %p, align 4
+  br label %m
+m:
+  %v = load i32, i32* %p, align 4
+  ret i32 %v
+}
+"""
+    )
+    assert_semantics_preserved(
+        module, lambda m: run_passes(m, ["mem2reg"]), args=(-1, 0, 1)
+    )
+    assert count(module, Alloca) == 0
+    assert count(module, Phi) == 1
+
+
+def test_loop_carried_promotion(loop_module):
+    module = build_module(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  %acc = alloca i32, align 4
+  store i32 0, i32* %acc, align 4
+  br label %header
+header:
+  %i = phi i32 [ 0, %entry ], [ %i2, %header ]
+  %cur = load i32, i32* %acc, align 4
+  %nxt = add i32 %cur, %i
+  store i32 %nxt, i32* %acc, align 4
+  %i2 = add i32 %i, 1
+  %c = icmp slt i32 %i2, %n
+  br i1 %c, label %header, label %exit
+exit:
+  %r = load i32, i32* %acc, align 4
+  ret i32 %r
+}
+"""
+    )
+    assert_semantics_preserved(module, lambda m: run_passes(m, ["mem2reg"]))
+    assert count(module, Alloca) == 0
+    assert count(module, Phi) >= 2  # original i plus the promoted acc
+
+
+def test_does_not_promote_escaping_alloca():
+    module = build_module(
+        """
+declare void @ext(i32* %p)
+define i32 @entry(i32 %n) {
+entry:
+  %p = alloca i32, align 4
+  store i32 %n, i32* %p, align 4
+  call void @ext(i32* %p)
+  %v = load i32, i32* %p, align 4
+  ret i32 %v
+}
+"""
+    )
+    run_passes(module, ["mem2reg"])
+    assert count(module, Alloca) == 1  # untouched
+
+
+def test_does_not_promote_aggregate():
+    module = build_module(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  %a = alloca [4 x i32], align 4
+  %p = gep [4 x i32]* %a, i32 0, i32 1
+  store i32 %n, i32* %p, align 4
+  %v = load i32, i32* %p, align 4
+  ret i32 %v
+}
+"""
+    )
+    run_passes(module, ["mem2reg"])
+    assert count(module, Alloca) == 1
+
+
+SROA_ARRAY = """
+define i32 @entry(i32 %n) {
+entry:
+  %a = alloca [4 x i32], align 4
+  %p0 = gep [4 x i32]* %a, i32 0, i32 0
+  %p1 = gep [4 x i32]* %a, i32 0, i32 1
+  store i32 %n, i32* %p0, align 4
+  store i32 7, i32* %p1, align 4
+  %v0 = load i32, i32* %p0, align 4
+  %v1 = load i32, i32* %p1, align 4
+  %r = add i32 %v0, %v1
+  ret i32 %r
+}
+"""
+
+
+def test_sroa_splits_and_promotes_array():
+    module = build_module(SROA_ARRAY)
+    assert_semantics_preserved(module, lambda m: run_passes(m, ["sroa"]))
+    assert count(module, Alloca) == 0
+    assert count(module, Load) == 0
+
+
+def test_sroa_rejects_dynamic_index():
+    module = build_module(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  %a = alloca [4 x i32], align 4
+  %m = and i32 %n, 3
+  %p = gep [4 x i32]* %a, i32 0, i32 %m
+  store i32 9, i32* %p, align 4
+  %p0 = gep [4 x i32]* %a, i32 0, i32 0
+  store i32 1, i32* %p0, align 4
+  %v = load i32, i32* %p, align 4
+  ret i32 %v
+}
+"""
+    )
+    run_passes(module, ["sroa"])
+    assert count(module, Alloca) == 1  # kept whole
+
+
+def test_sroa_promotes_plain_scalars_too():
+    module = build_module(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  %p = alloca i32, align 4
+  store i32 %n, i32* %p, align 4
+  %v = load i32, i32* %p, align 4
+  ret i32 %v
+}
+"""
+    )
+    run_passes(module, ["sroa"])
+    assert count(module, Alloca) == 0
+
+
+def test_mem2reg_undef_on_uninitialized_path():
+    """A load on a path with no prior store becomes undef — still verifies."""
+    module = build_module(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  %p = alloca i32, align 4
+  %c = icmp sgt i32 %n, 0
+  br i1 %c, label %a, label %m
+a:
+  store i32 5, i32* %p, align 4
+  br label %m
+m:
+  %v = load i32, i32* %p, align 4
+  ret i32 %v
+}
+"""
+    )
+    run_passes(module, ["mem2reg"])
+    verify_module(module)
+    # The defined path still yields 5.
+    assert run_module(module, "entry", [1])[0] == 5

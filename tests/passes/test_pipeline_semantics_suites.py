@@ -1,0 +1,34 @@
+"""Whole-suite semantic soak: every pipeline level preserves the observable
+behaviour of every named benchmark (the strongest end-to-end guarantee the
+substrate offers)."""
+
+import pytest
+
+from repro.ir import run_module, verify_module
+from repro.passes import build_pipeline
+from repro.workloads import load_suite
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("level", ["O1", "O3", "Oz"])
+def test_pipelines_preserve_suite_semantics(level):
+    for suite_name in ("mibench",):
+        for name, module in load_suite(suite_name):
+            baseline, _ = run_module(module, "entry", [5])
+            optimized = module.clone()
+            build_pipeline(level).run(optimized)
+            verify_module(optimized)
+            result, _ = run_module(optimized, "entry", [5])
+            assert result == baseline, f"{level} broke {name}"
+
+
+@pytest.mark.slow
+def test_oz_preserves_spec_semantics():
+    for suite_name in ("spec2006", "spec2017"):
+        for name, module in load_suite(suite_name):
+            baseline, _ = run_module(module, "entry", [3])
+            optimized = module.clone()
+            build_pipeline("Oz").run(optimized)
+            verify_module(optimized)
+            result, _ = run_module(optimized, "entry", [3])
+            assert result == baseline, f"Oz broke {name}"

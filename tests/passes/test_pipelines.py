@@ -1,0 +1,113 @@
+"""Standard pipelines: structure and end-to-end behaviour."""
+
+import pytest
+
+from repro.codegen import object_size
+from repro.ir import run_module, verify_module
+from repro.passes import (
+    OPT_LEVELS,
+    OZ_PASS_SEQUENCE,
+    PASS_REGISTRY,
+    available_passes,
+    build_pipeline,
+    create_pass,
+    optimize,
+    parse_pass_list,
+    run_passes,
+)
+from repro.workloads import ProgramProfile, generate_program
+
+
+class TestOzSequence:
+    def test_matches_paper_counts(self):
+        """Table I: 90 transformation passes, 54 unique (Section I)."""
+        assert len(OZ_PASS_SEQUENCE) == 90
+        assert len(set(OZ_PASS_SEQUENCE)) == 54
+
+    def test_every_pass_is_registered(self):
+        for name in OZ_PASS_SEQUENCE:
+            assert name in PASS_REGISTRY, name
+
+    def test_known_ordering_landmarks(self):
+        # The sequence starts and ends as printed in Table I.
+        assert OZ_PASS_SEQUENCE[0] == "ee-instrument"
+        assert OZ_PASS_SEQUENCE[1] == "simplifycfg"
+        assert OZ_PASS_SEQUENCE[-1] == "simplifycfg"
+        assert OZ_PASS_SEQUENCE[-2] == "div-rem-pairs"
+        assert OZ_PASS_SEQUENCE[-3] == "instsimplify"
+
+    def test_parse_pass_list(self):
+        assert parse_pass_list("-simplifycfg -sroa") == ["simplifycfg", "sroa"]
+        assert parse_pass_list("gvn dce") == ["gvn", "dce"]
+
+
+class TestRegistry:
+    def test_create_pass_by_flag(self):
+        p = create_pass("-simplifycfg")
+        assert p.name == "simplifycfg"
+
+    def test_unknown_pass_raises(self):
+        with pytest.raises(KeyError):
+            create_pass("frobnicate")
+
+    def test_at_least_all_oz_passes_available(self):
+        assert set(OZ_PASS_SEQUENCE) <= set(available_passes())
+
+
+@pytest.fixture(scope="module")
+def program():
+    return generate_program(ProgramProfile(name="pipe", seed=99, segments=7))
+
+
+class TestLevels:
+    @pytest.mark.parametrize("level", OPT_LEVELS)
+    def test_level_preserves_semantics(self, program, level):
+        module = program.clone()
+        baseline, _ = run_module(program, "entry", [6])
+        optimize(module, level)
+        verify_module(module)
+        result, _ = run_module(module, "entry", [6])
+        assert result == baseline
+
+    def test_o0_is_identity(self, program):
+        module = program.clone()
+        assert not build_pipeline("O0").run(module)
+
+    def test_oz_not_larger_than_o3(self, program):
+        """The size ranking that motivates the paper (Fig. 1): Oz should
+        produce code no larger than O3."""
+        o3 = program.clone()
+        oz = program.clone()
+        optimize(o3, "O3")
+        optimize(oz, "Oz")
+        assert (
+            object_size(oz, "x86-64").total_bytes
+            <= object_size(o3, "x86-64").total_bytes
+        )
+
+    def test_optimization_shrinks_code(self, program):
+        module = program.clone()
+        before = object_size(module, "x86-64").total_bytes
+        optimize(module, "Oz")
+        after = object_size(module, "x86-64").total_bytes
+        assert after < before
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            build_pipeline("O7")
+
+
+def test_pass_manager_reports_changed_passes(program):
+    pm = build_pipeline("Oz")
+    pm.run(program.clone())
+    assert "simplifycfg" in pm.changed_passes
+
+
+def test_pipeline_is_convergent(program):
+    """Running Oz twice: the second run changes little and keeps semantics."""
+    module = program.clone()
+    baseline, _ = run_module(module, "entry", [4])
+    optimize(module, "Oz")
+    optimize(module, "Oz")
+    verify_module(module)
+    assert run_module(module, "entry", [4])[0] == baseline

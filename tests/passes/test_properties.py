@@ -1,0 +1,136 @@
+"""Property-based tests (hypothesis): pass pipelines over random programs
+must preserve IR validity and observable semantics, and the IR text format
+must round-trip."""
+
+import numpy as np
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import MANUAL_SUBSEQUENCES, PAPER_ODG_SUBSEQUENCES
+from repro.ir import (
+    parse_module,
+    print_module,
+    run_module,
+    verify_module,
+)
+from repro.passes import OZ_PASS_SEQUENCE, run_passes
+from repro.workloads import ProgramProfile, generate_program
+
+_SETTINGS = dict(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _make_program(seed: int):
+    profile = ProgramProfile(
+        name=f"prop{seed}",
+        seed=seed,
+        segments=3 + seed % 4,
+        recursive_helper=(seed % 5 == 0),
+    )
+    return generate_program(profile)
+
+
+def _observed(module, arg):
+    result, trace = run_module(module, "entry", [arg])
+    return result, trace
+
+
+@given(seed=st.integers(0, 10_000))
+@settings(**_SETTINGS)
+def test_generated_programs_are_valid_and_deterministic(seed):
+    module = _make_program(seed)
+    verify_module(module)
+    again = _make_program(seed)
+    assert print_module(module) == print_module(again)
+
+
+@given(seed=st.integers(0, 5_000), arg=st.integers(-20, 20))
+@settings(**_SETTINGS)
+def test_clone_preserves_behaviour(seed, arg):
+    module = _make_program(seed)
+    clone = module.clone()
+    verify_module(clone)
+    assert _observed(module, arg) == _observed(clone, arg)
+
+
+@given(
+    seed=st.integers(0, 2_000),
+    actions=st.lists(
+        st.integers(0, len(PAPER_ODG_SUBSEQUENCES) - 1), min_size=1, max_size=8
+    ),
+    arg=st.integers(-10, 10),
+)
+@settings(**_SETTINGS)
+def test_random_odg_action_sequences_preserve_semantics(seed, actions, arg):
+    module = _make_program(seed)
+    baseline = _observed(module, arg)
+    optimized = module.clone()
+    for action in actions:
+        run_passes(optimized, list(PAPER_ODG_SUBSEQUENCES[action]))
+    verify_module(optimized)
+    assert _observed(optimized, arg)[0] == baseline[0]
+
+
+@given(
+    seed=st.integers(0, 2_000),
+    actions=st.lists(
+        st.integers(0, len(MANUAL_SUBSEQUENCES) - 1), min_size=1, max_size=8
+    ),
+    arg=st.integers(-10, 10),
+)
+@settings(**_SETTINGS)
+def test_random_manual_action_sequences_preserve_semantics(seed, actions, arg):
+    module = _make_program(seed)
+    baseline = _observed(module, arg)
+    optimized = module.clone()
+    for action in actions:
+        run_passes(optimized, list(MANUAL_SUBSEQUENCES[action]))
+    verify_module(optimized)
+    assert _observed(optimized, arg)[0] == baseline[0]
+
+
+@given(
+    seed=st.integers(0, 2_000),
+    data=st.data(),
+)
+@settings(**_SETTINGS)
+def test_random_pass_subsets_preserve_semantics(seed, data):
+    """Arbitrary pass subsets in arbitrary order — harsher than Oz order."""
+    unique = sorted(set(OZ_PASS_SEQUENCE))
+    picks = data.draw(
+        st.lists(st.sampled_from(unique), min_size=1, max_size=12)
+    )
+    arg = data.draw(st.integers(-10, 10))
+    module = _make_program(seed)
+    baseline = _observed(module, arg)
+    optimized = module.clone()
+    run_passes(optimized, picks)
+    verify_module(optimized)
+    assert _observed(optimized, arg)[0] == baseline[0]
+
+
+@given(seed=st.integers(0, 3_000))
+@settings(**_SETTINGS)
+def test_printer_parser_roundtrip_on_generated(seed):
+    module = _make_program(seed)
+    text = print_module(module)
+    reparsed = parse_module(text)
+    verify_module(reparsed)
+    # The module-name header is a comment and is not parsed back.
+    strip = lambda t: t.split("\n", 1)[1]
+    assert strip(print_module(reparsed)) == strip(text)
+    for arg in (0, 7):
+        assert _observed(module, arg)[0] == _observed(reparsed, arg)[0]
+
+
+@given(seed=st.integers(0, 2_000), arg=st.integers(-15, 15))
+@settings(max_examples=8, deadline=None)
+def test_full_oz_preserves_semantics(seed, arg):
+    module = _make_program(seed)
+    baseline = _observed(module, arg)
+    optimized = module.clone()
+    run_passes(optimized, list(OZ_PASS_SEQUENCE))
+    verify_module(optimized)
+    assert _observed(optimized, arg)[0] == baseline[0]

@@ -1,0 +1,550 @@
+"""Remaining scalar passes: reassociate, jump-threading,
+correlated-propagation, tailcallelim, speculative-execution, dse,
+memcpyopt, mldst-motion, div-rem-pairs, lower-expect, float2int,
+lower-constant-intrinsics, alignment-from-assumptions."""
+
+from repro.ir import (
+    BinaryOp,
+    Branch,
+    Call,
+    ConstantInt,
+    Load,
+    Select,
+    Store,
+    run_module,
+    verify_module,
+)
+from repro.passes import run_passes
+from tests.conftest import assert_semantics_preserved, build_module
+
+
+class TestReassociate:
+    def test_clusters_and_folds_constants(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  %a = add i32 %n, 4
+  %b = add i32 %a, %n
+  %r = add i32 %b, 6
+  ret i32 %r
+}
+"""
+        )
+        assert_semantics_preserved(
+            module, lambda m: run_passes(m, ["reassociate"])
+        )
+        consts = [
+            op.value
+            for i in module.get_function("entry").instructions()
+            if isinstance(i, BinaryOp)
+            for op in i.operands
+            if isinstance(op, ConstantInt)
+        ]
+        assert 10 in consts  # 4 and 6 merged
+
+    def test_no_change_for_minimal_trees(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  %r = add i32 %n, 4
+  ret i32 %r
+}
+"""
+        )
+        assert not run_passes(module, ["reassociate"])
+
+
+class TestJumpThreading:
+    THREADABLE = """
+define i32 @entry(i32 %n) {
+entry:
+  %c = icmp sgt i32 %n, 0
+  br i1 %c, label %a, label %b
+a:
+  br label %check
+b:
+  br label %check
+check:
+  %k = phi i32 [ 1, %a ], [ 0, %b ]
+  %t = icmp eq i32 %k, 1
+  br i1 %t, label %yes, label %no
+yes:
+  ret i32 100
+no:
+  ret i32 200
+}
+"""
+
+    def test_threads_known_predecessors(self):
+        module = build_module(self.THREADABLE)
+        assert_semantics_preserved(
+            module, lambda m: run_passes(m, ["jump-threading", "simplifycfg"]),
+            args=(-5, 5),
+        )
+        # The phi+icmp dispatch block is gone.
+        fn = module.get_function("entry")
+        assert not any(b.name == "check" for b in fn.blocks)
+
+    def test_respects_escaping_values(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  %c = icmp sgt i32 %n, 0
+  br i1 %c, label %a, label %b
+a:
+  br label %check
+b:
+  br label %check
+check:
+  %k = phi i32 [ 1, %a ], [ 0, %b ]
+  %t = icmp eq i32 %k, 1
+  br i1 %t, label %yes, label %no
+yes:
+  %u = add i32 %k, 10
+  ret i32 %u
+no:
+  ret i32 200
+}
+"""
+        )
+        assert_semantics_preserved(
+            module, lambda m: run_passes(m, ["jump-threading"]), args=(-5, 5)
+        )
+
+
+class TestCorrelatedPropagation:
+    def test_folds_implied_condition(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  %c = icmp eq i32 %n, 7
+  br i1 %c, label %then, label %out
+then:
+  %x = mul i32 %n, 2
+  ret i32 %x
+out:
+  ret i32 0
+}
+"""
+        )
+        assert_semantics_preserved(
+            module, lambda m: run_passes(m, ["correlated-propagation", "sccp"]),
+            args=(7, 8),
+        )
+        # In `then`, %n is pinned to 7 -> mul folds to 14.
+        fn = module.get_function("entry")
+        then = next(b for b in fn.blocks if b.name == "then")
+        assert isinstance(then.terminator.value, ConstantInt)
+
+    def test_propagates_condition_reuse(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  %c = icmp sgt i32 %n, 0
+  br i1 %c, label %then, label %out
+then:
+  %z = zext i1 %c to i32
+  ret i32 %z
+out:
+  ret i32 5
+}
+"""
+        )
+        assert_semantics_preserved(
+            module, lambda m: run_passes(m, ["correlated-propagation", "instsimplify"]),
+            args=(1, -1),
+        )
+        fn = module.get_function("entry")
+        then = next(b for b in fn.blocks if b.name == "then")
+        assert isinstance(then.terminator.value, ConstantInt)
+        assert then.terminator.value.value == 1
+
+
+class TestTailCallElim:
+    RECURSIVE = """
+define internal i32 @sum(i32 %k, i32 %acc) {
+entry:
+  %c = icmp sgt i32 %k, 0
+  br i1 %c, label %rec, label %base
+rec:
+  %k1 = sub i32 %k, 1
+  %a1 = add i32 %acc, %k
+  %r = call i32 @sum(i32 %k1, i32 %a1)
+  ret i32 %r
+base:
+  ret i32 %acc
+}
+define i32 @entry(i32 %n) {
+entry:
+  %r = call i32 @sum(i32 %n, i32 0)
+  ret i32 %r
+}
+"""
+
+    def test_converts_tail_recursion_to_loop(self):
+        module = build_module(self.RECURSIVE)
+        assert_semantics_preserved(module, lambda m: run_passes(m, ["tailcallelim"]))
+        sum_fn = module.get_function("sum")
+        assert not any(
+            isinstance(i, Call) and i.called_function is sum_fn
+            for i in sum_fn.instructions()
+        )
+        # Deep recursion now runs in constant stack.
+        assert run_module(module, "entry", [10000])[0] == sum(range(10001))
+
+    def test_non_tail_recursion_untouched(self):
+        module = build_module(
+            """
+define internal i32 @fact(i32 %k) {
+entry:
+  %c = icmp sle i32 %k, 1
+  br i1 %c, label %base, label %rec
+rec:
+  %k1 = sub i32 %k, 1
+  %f = call i32 @fact(i32 %k1)
+  %r = mul i32 %k, %f
+  ret i32 %r
+base:
+  ret i32 1
+}
+define i32 @entry(i32 %n) {
+entry:
+  %r = call i32 @fact(i32 %n)
+  ret i32 %r
+}
+"""
+        )
+        assert not run_passes(module, ["tailcallelim"])
+
+
+class TestSpecExec:
+    def test_hoists_cheap_instructions(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  %c = icmp sgt i32 %n, 0
+  br i1 %c, label %then, label %out
+then:
+  %a = add i32 %n, 1
+  %b = mul i32 %a, 2
+  ret i32 %b
+out:
+  ret i32 0
+}
+"""
+        )
+        assert_semantics_preserved(
+            module, lambda m: run_passes(m, ["speculative-execution"]), args=(1, -1)
+        )
+        fn = module.get_function("entry")
+        then = next(b for b in fn.blocks if b.name == "then")
+        assert len(then.instructions) == 1  # only the ret remains
+
+    def test_does_not_hoist_loads(self):
+        module = build_module(
+            """
+@g = global i32 3, align 4
+define i32 @entry(i32 %n) {
+entry:
+  %c = icmp sgt i32 %n, 0
+  br i1 %c, label %then, label %out
+then:
+  %v = load i32, i32* @g, align 4
+  ret i32 %v
+out:
+  ret i32 0
+}
+"""
+        )
+        run_passes(module, ["speculative-execution"])
+        assert not any(isinstance(i, Load) for i in module.get_function("entry").entry.instructions)
+
+
+class TestDSE:
+    def test_removes_overwritten_store(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  %p = alloca i32, align 4
+  store i32 1, i32* %p, align 4
+  store i32 %n, i32* %p, align 4
+  %v = load i32, i32* %p, align 4
+  ret i32 %v
+}
+"""
+        )
+        assert_semantics_preserved(module, lambda m: run_passes(m, ["dse"]))
+        stores = [
+            i for i in module.get_function("entry").instructions()
+            if isinstance(i, Store)
+        ]
+        assert len(stores) == 1
+
+    def test_keeps_store_with_intervening_load(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  %p = alloca i32, align 4
+  store i32 1, i32* %p, align 4
+  %v = load i32, i32* %p, align 4
+  store i32 %n, i32* %p, align 4
+  %w = load i32, i32* %p, align 4
+  %r = add i32 %v, %w
+  ret i32 %r
+}
+"""
+        )
+        run_passes(module, ["dse"])
+        stores = [
+            i for i in module.get_function("entry").instructions()
+            if isinstance(i, Store)
+        ]
+        assert len(stores) == 2
+
+    def test_removes_stores_to_never_loaded_local(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  %p = alloca [4 x i32], align 4
+  %q = gep [4 x i32]* %p, i32 0, i32 1
+  store i32 %n, i32* %q, align 4
+  ret i32 %n
+}
+"""
+        )
+        run_passes(module, ["dse"])
+        assert not any(
+            isinstance(i, Store) for i in module.get_function("entry").instructions()
+        )
+
+
+class TestMemOpt:
+    def test_memcpyopt_forms_memset_from_store_run(self):
+        stores = "\n".join(
+            f"  %p{i} = gep [8 x i32]* %a, i32 0, i32 {i}\n"
+            f"  store i32 0, i32* %p{i}, align 4"
+            for i in range(8)
+        )
+        module = build_module(
+            f"""
+define i32 @entry(i32 %n) {{
+entry:
+  %a = alloca [8 x i32], align 4
+{stores}
+  %q = gep [8 x i32]* %a, i32 0, i32 5
+  %v = load i32, i32* %q, align 4
+  ret i32 %v
+}}
+"""
+        )
+        assert_semantics_preserved(module, lambda m: run_passes(m, ["memcpyopt"]))
+        fn = module.get_function("entry")
+        assert any(
+            isinstance(i, Call) and "memset" in i.callee.name
+            for i in fn.instructions()
+        )
+        assert not any(isinstance(i, Store) for i in fn.instructions())
+
+    def test_memcpyopt_leaves_mixed_values(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  %a = alloca [4 x i32], align 4
+  %p0 = gep [4 x i32]* %a, i32 0, i32 0
+  store i32 0, i32* %p0, align 4
+  %p1 = gep [4 x i32]* %a, i32 0, i32 1
+  store i32 %n, i32* %p1, align 4
+  %v = load i32, i32* %p1, align 4
+  ret i32 %v
+}
+"""
+        )
+        assert not run_passes(module, ["memcpyopt"])
+
+    def test_mldst_sinks_diamond_stores(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  %p = alloca i32, align 4
+  %c = icmp sgt i32 %n, 0
+  br i1 %c, label %a, label %b
+a:
+  %x = add i32 %n, 1
+  store i32 %x, i32* %p, align 4
+  br label %m
+b:
+  %y = sub i32 %n, 1
+  store i32 %y, i32* %p, align 4
+  br label %m
+m:
+  %v = load i32, i32* %p, align 4
+  ret i32 %v
+}
+"""
+        )
+        assert_semantics_preserved(
+            module, lambda m: run_passes(m, ["mldst-motion"]), args=(1, -1)
+        )
+        fn = module.get_function("entry")
+        stores = [i for i in fn.instructions() if isinstance(i, Store)]
+        assert len(stores) == 1
+        assert stores[0].parent.name == "m"
+
+    def test_mldst_hoists_duplicate_loads(self):
+        module = build_module(
+            """
+@g = global i32 5, align 4
+define i32 @entry(i32 %n) {
+entry:
+  %c = icmp sgt i32 %n, 0
+  br i1 %c, label %a, label %b
+a:
+  %x = load i32, i32* @g, align 4
+  br label %m
+b:
+  %y = load i32, i32* @g, align 4
+  br label %m
+m:
+  %v = phi i32 [ %x, %a ], [ %y, %b ]
+  ret i32 %v
+}
+"""
+        )
+        assert_semantics_preserved(
+            module, lambda m: run_passes(m, ["mldst-motion"]), args=(1, -1)
+        )
+        fn = module.get_function("entry")
+        loads = [i for i in fn.instructions() if isinstance(i, Load)]
+        assert len(loads) == 1
+        assert loads[0].parent is fn.entry
+
+
+class TestSmallOzPasses:
+    def test_div_rem_pairs(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  %d = or i32 %n, 1
+  %q = sdiv i32 100, %d
+  %r = srem i32 100, %d
+  %s = add i32 %q, %r
+  ret i32 %s
+}
+"""
+        )
+        assert_semantics_preserved(module, lambda m: run_passes(m, ["div-rem-pairs"]))
+        assert not any(
+            i.opcode == "srem" for i in module.get_function("entry").instructions()
+        )
+
+    def test_lower_expect_strips_and_annotates(self):
+        module = build_module(
+            """
+declare i32 @llvm.expect.i32(i32 %v, i32 %e)
+define i32 @entry(i32 %n) {
+entry:
+  %raw = icmp sgt i32 %n, 0
+  %w = zext i1 %raw to i32
+  %e = call i32 @llvm.expect.i32(i32 %w, i32 1)
+  %c = icmp eq i32 %e, 1
+  br i1 %c, label %hot, label %cold
+hot:
+  ret i32 1
+cold:
+  ret i32 0
+}
+"""
+        )
+        assert_semantics_preserved(
+            module, lambda m: run_passes(m, ["lower-expect"]), args=(1, -1)
+        )
+        fn = module.get_function("entry")
+        assert not any(isinstance(i, Call) for i in fn.instructions())
+        branch = next(
+            i for i in fn.instructions() if isinstance(i, Branch) and i.is_conditional
+        )
+        assert branch.meta.get("branch_weights") == [2000, 1]
+
+    def test_float2int_demotes_exact_chain(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  %a = sitofp i32 %n to double
+  %b = sitofp i32 7 to double
+  %c = fadd double %a, %b
+  %r = fptosi double %c to i32
+  ret i32 %r
+}
+"""
+        )
+        assert_semantics_preserved(module, lambda m: run_passes(m, ["float2int"]))
+        fn = module.get_function("entry")
+        assert not any(i.opcode == "fadd" for i in fn.instructions())
+
+    def test_float2int_leaves_mul_chains(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  %a = sitofp i32 %n to double
+  %c = fmul double %a, %a
+  %r = fptosi double %c to i32
+  ret i32 %r
+}
+"""
+        )
+        assert not run_passes(module, ["float2int"])
+
+    def test_lower_constant_intrinsics(self):
+        module = build_module(
+            """
+declare i32 @llvm.is.constant.i32(i32 %v)
+declare i64 @llvm.objectsize.i64(i8* %p)
+define i32 @entry(i32 %n) {
+entry:
+  %a = alloca [8 x i8], align 1
+  %p = gep [8 x i8]* %a, i32 0, i32 0
+  %k = call i32 @llvm.is.constant.i32(i32 5)
+  %u = call i32 @llvm.is.constant.i32(i32 %n)
+  %sz = call i64 @llvm.objectsize.i64(i8* %p)
+  %szt = trunc i64 %sz to i32
+  %t = add i32 %k, %u
+  %r = add i32 %t, %szt
+  ret i32 %r
+}
+"""
+        )
+        run_passes(module, ["lower-constant-intrinsics"])
+        fn = module.get_function("entry")
+        assert not any(isinstance(i, Call) for i in fn.instructions())
+        assert run_module(module, "entry", [1])[0] == 1 + 0 + 8
+
+    def test_alignment_from_assumptions(self):
+        module = build_module(
+            """
+define i32 @entry(i32 %n) {
+entry:
+  %p = alloca i32, align 16
+  store i32 %n, i32* %p, align 1
+  %v = load i32, i32* %p, align 1
+  ret i32 %v
+}
+"""
+        )
+        run_passes(module, ["alignment-from-assumptions"])
+        fn = module.get_function("entry")
+        load = next(i for i in fn.instructions() if isinstance(i, Load))
+        assert load.alignment == 16

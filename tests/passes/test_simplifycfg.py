@@ -1,0 +1,226 @@
+"""-simplifycfg behaviours."""
+
+from repro.ir import Branch, Select, run_module, verify_module
+from repro.passes import run_passes
+from tests.conftest import assert_semantics_preserved, build_module
+
+
+def names(module):
+    return [b.name for b in module.get_function("entry").blocks]
+
+
+def test_merges_straightline_chain():
+    module = build_module(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  %a = add i32 %n, 1
+  br label %b1
+b1:
+  %b = add i32 %a, 2
+  br label %b2
+b2:
+  %c = add i32 %b, 3
+  ret i32 %c
+}
+"""
+    )
+    assert_semantics_preserved(module, lambda m: run_passes(m, ["simplifycfg"]))
+    assert len(module.get_function("entry").blocks) == 1
+
+
+def test_folds_constant_branch():
+    module = build_module(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  br i1 true, label %a, label %b
+a:
+  ret i32 1
+b:
+  ret i32 2
+}
+"""
+    )
+    run_passes(module, ["simplifycfg"])
+    verify_module(module)
+    assert len(module.get_function("entry").blocks) == 1
+    assert run_module(module, "entry", [0])[0] == 1
+
+
+def test_removes_unreachable_code():
+    module = build_module(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  ret i32 %n
+dead:
+  %x = add i32 %n, 1
+  ret i32 %x
+}
+"""
+    )
+    run_passes(module, ["simplifycfg"])
+    assert names(module) == ["entry"]
+
+
+def test_forwards_empty_block():
+    module = build_module(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  %c = icmp sgt i32 %n, 0
+  br i1 %c, label %hop, label %out
+hop:
+  br label %out
+out:
+  %p = phi i32 [ 1, %hop ], [ 2, %entry ]
+  ret i32 %p
+}
+"""
+    )
+    assert_semantics_preserved(module, lambda m: run_passes(m, ["simplifycfg"]))
+    # hop is gone; the diamond became a select or direct flow.
+    assert "hop" not in names(module)
+
+
+def test_if_conversion_to_select(diamond_module):
+    assert_semantics_preserved(
+        diamond_module, lambda m: run_passes(m, ["simplifycfg"])
+    )
+    fn = diamond_module.get_function("entry")
+    assert len(fn.blocks) == 1
+    assert any(isinstance(i, Select) for i in fn.instructions())
+
+
+def test_triangle_conversion():
+    module = build_module(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  %c = icmp sgt i32 %n, 5
+  br i1 %c, label %then, label %merge
+then:
+  %t = mul i32 %n, 3
+  br label %merge
+merge:
+  %p = phi i32 [ %t, %then ], [ %n, %entry ]
+  ret i32 %p
+}
+"""
+    )
+    assert_semantics_preserved(module, lambda m: run_passes(m, ["simplifycfg"]))
+    fn = module.get_function("entry")
+    assert len(fn.blocks) == 1
+
+
+def test_speculation_budget_respected():
+    # A side with many instructions must NOT be flattened.
+    body = "\n".join(
+        f"  %t{i} = add i32 %n, {i}" for i in range(10)
+    )
+    chain = "%t0"
+    adds = "\n".join(
+        f"  %s{i} = add i32 %s{i-1}, %t{i}" if i else "  %s0 = add i32 %t0, 0"
+        for i in range(10)
+    )
+    module = build_module(
+        f"""
+define i32 @entry(i32 %n) {{
+entry:
+  %c = icmp sgt i32 %n, 0
+  br i1 %c, label %then, label %merge
+then:
+{body}
+{adds}
+  br label %merge
+merge:
+  %p = phi i32 [ %s9, %then ], [ 0, %entry ]
+  ret i32 %p
+}}
+"""
+    )
+    run_passes(module, ["simplifycfg"])
+    verify_module(module)
+    assert len(module.get_function("entry").blocks) == 3
+
+
+def test_does_not_speculate_side_effects():
+    module = build_module(
+        """
+declare i32 @ext(i32)
+define i32 @entry(i32 %n) {
+entry:
+  %c = icmp sgt i32 %n, 0
+  br i1 %c, label %then, label %merge
+then:
+  %t = call i32 @ext(i32 %n)
+  br label %merge
+merge:
+  %p = phi i32 [ %t, %then ], [ 0, %entry ]
+  ret i32 %p
+}
+"""
+    )
+    run_passes(module, ["simplifycfg"])
+    verify_module(module)
+    # The call must still be conditional.
+    _, trace = run_module(module, "entry", [-1])
+    assert trace == []
+    _, trace = run_module(module, "entry", [1])
+    assert trace == [("ext", (1,))]
+
+
+def test_switch_on_constant_folds():
+    module = build_module(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  switch i32 2, label %d [ i32 1, label %a  i32 2, label %b ]
+a:
+  ret i32 10
+b:
+  ret i32 20
+d:
+  ret i32 30
+}
+"""
+    )
+    run_passes(module, ["simplifycfg"])
+    assert run_module(module, "entry", [0])[0] == 20
+    assert len(module.get_function("entry").blocks) == 1
+
+
+def test_same_target_cond_branch_collapses():
+    module = build_module(
+        """
+define i32 @entry(i32 %n) {
+entry:
+  %c = icmp sgt i32 %n, 0
+  br i1 %c, label %next, label %next
+next:
+  ret i32 %n
+}
+"""
+    )
+    run_passes(module, ["simplifycfg"])
+    verify_module(module)
+    fn = module.get_function("entry")
+    assert len(fn.blocks) == 1
+    assert not any(
+        isinstance(i, Branch) and i.is_conditional for i in fn.instructions()
+    )
+
+
+def test_loop_structure_is_preserved(loop_module):
+    before, _ = run_module(loop_module, "entry", [7])
+    run_passes(loop_module, ["simplifycfg"])
+    verify_module(loop_module)
+    after, _ = run_module(loop_module, "entry", [7])
+    assert before == after
+
+
+def test_fixpoint_idempotent(diamond_module):
+    run_passes(diamond_module, ["simplifycfg"])
+    changed_again = run_passes(diamond_module, ["simplifycfg"])
+    assert not changed_again

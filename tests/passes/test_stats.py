@@ -1,0 +1,56 @@
+"""Pass-execution statistics collection."""
+
+from repro.passes import PassManager
+from repro.passes.pipelines import OZ_PASS_SEQUENCE
+from repro.workloads import ProgramProfile, generate_program
+
+
+def _module():
+    return generate_program(ProgramProfile(name="stats", seed=14, segments=5))
+
+
+def test_stats_disabled_by_default():
+    pm = PassManager(["simplifycfg"])
+    pm.run(_module())
+    assert pm.stats is None
+
+
+def test_records_per_invocation():
+    pm = PassManager(["mem2reg", "instcombine", "dce"], collect_stats=True)
+    pm.run(_module())
+    assert pm.stats is not None
+    assert [r.name for r in pm.stats.records] == ["mem2reg", "instcombine", "dce"]
+    assert all(r.seconds >= 0 for r in pm.stats.records)
+
+
+def test_instruction_delta_tracks_shrinkage():
+    pm = PassManager(list(OZ_PASS_SEQUENCE), collect_stats=True)
+    module = _module()
+    before = module.instruction_count
+    pm.run(module)
+    total_delta = sum(r.instruction_delta for r in pm.stats.records)
+    assert total_delta == module.instruction_count - before
+    assert total_delta < 0  # Oz shrinks generated programs
+
+
+def test_by_pass_aggregation():
+    pm = PassManager(list(OZ_PASS_SEQUENCE), collect_stats=True)
+    pm.run(_module())
+    agg = pm.stats.by_pass()
+    # simplifycfg appears 11 times in the Oz sequence.
+    assert agg["simplifycfg"]["runs"] == OZ_PASS_SEQUENCE.count("simplifycfg")
+    assert pm.stats.total_seconds > 0
+
+
+def test_report_renders():
+    pm = PassManager(["simplifycfg", "dce"], collect_stats=True)
+    pm.run(_module())
+    report = pm.stats.report()
+    assert "simplifycfg" in report
+    assert "TOTAL" in report
+
+
+def test_changed_passes_consistency():
+    pm = PassManager(list(OZ_PASS_SEQUENCE), collect_stats=True)
+    pm.run(_module())
+    assert pm.stats.changed_passes == pm.changed_passes

@@ -1,0 +1,67 @@
+"""Additional Q-network properties."""
+
+import numpy as np
+import pytest
+
+from repro.rl import QNetwork
+
+
+def test_relu_hidden_linear_output():
+    """Negative pre-activations are clipped in hidden layers only."""
+    net = QNetwork(4, 3, hidden=(8,), seed=0)
+    # Zero all weights: output must be exactly the output bias.
+    for layer in net.layers:
+        layer.weight[...] = 0.0
+        layer.bias[...] = 0.0
+    net.layers[-1].bias[...] = np.array([-5.0, 0.0, 5.0])
+    q = net.predict(np.ones(4))
+    assert np.allclose(q, [-5.0, 0.0, 5.0])  # output layer is linear
+
+
+def test_batch_and_single_predictions_agree():
+    net = QNetwork(6, 4, hidden=(16, 8), seed=2)
+    rng = np.random.RandomState(0)
+    states = rng.standard_normal((5, 6))
+    batch = net.predict(states)
+    singles = np.stack([net.predict(s) for s in states])
+    assert np.allclose(batch, singles)
+
+
+def test_huber_loss_clips_large_errors():
+    net = QNetwork(3, 2, hidden=(4,), learning_rate=0.0, seed=1)
+    states = np.zeros((2, 3))
+    actions = np.array([0, 1])
+    q = net.predict(states)
+    big_targets = q[np.arange(2), actions] + 1000.0
+    loss = net.train_batch(states, actions, big_targets)
+    # Huber(1000) = 1000 - 0.5; quadratic would be 500000.
+    assert loss == pytest.approx(999.5, rel=1e-3)
+
+
+def test_training_only_touches_selected_action():
+    """One gradient step on action 0 must leave other actions' output-layer
+    weights unchanged."""
+    net = QNetwork(3, 4, hidden=(5,), learning_rate=1e-2, seed=3)
+    before = net.layers[-1].weight.copy()
+    states = np.ones((4, 3))
+    actions = np.zeros(4, dtype=np.int64)
+    targets = np.full(4, 10.0)
+    net.train_batch(states, actions, targets)
+    after = net.layers[-1].weight
+    changed = np.abs(after - before).sum(axis=0)
+    assert changed[0] > 0
+    assert np.allclose(changed[1:], 0.0)
+
+
+def test_adam_state_advances():
+    net = QNetwork(3, 2, hidden=(4,), learning_rate=1e-3, seed=4)
+    assert net._adam_t == 0
+    states = np.zeros((2, 3))
+    net.train_batch(states, np.array([0, 1]), np.array([1.0, -1.0]))
+    assert net._adam_t == 1
+
+
+def test_set_weights_validates_length():
+    net = QNetwork(3, 2, hidden=(4,), seed=5)
+    with pytest.raises(AssertionError):
+        net.set_weights([np.zeros((3, 4))])

@@ -1,0 +1,54 @@
+"""Property tests over suite programs: every named benchmark behaves like a
+valid compiler workload end-to-end."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.codegen import object_size
+from repro.ir import run_module, verify_module
+from repro.mca import estimate_throughput
+from repro.passes import optimize
+from repro.workloads import (
+    MIBENCH_PROFILES,
+    SPEC2006_PROFILES,
+    SPEC2017_PROFILES,
+    generate_program,
+)
+
+ALL_PROFILES = {
+    **MIBENCH_PROFILES,
+    **SPEC2006_PROFILES,
+    **SPEC2017_PROFILES,
+}
+
+
+@pytest.mark.parametrize("name", sorted(ALL_PROFILES))
+def test_benchmark_full_lifecycle(name):
+    """Each named benchmark: valid, runnable, optimizable, measurable."""
+    module = generate_program(ALL_PROFILES[name])
+    verify_module(module)
+    base, _ = run_module(module, "entry", [4])
+
+    raw_size = object_size(module, "x86-64").total_bytes
+    raw_cycles = estimate_throughput(module, "x86-64").total_cycles
+    assert raw_size > 0 and raw_cycles > 0
+
+    optimize(module, "Oz")
+    verify_module(module)
+    after, _ = run_module(module, "entry", [4])
+    assert after == base, f"{name}: Oz changed observable behaviour"
+    assert object_size(module, "x86-64").total_bytes < raw_size
+
+
+@given(
+    name=st.sampled_from(sorted(ALL_PROFILES)),
+    arg=st.integers(-30, 30),
+)
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_benchmarks_deterministic_across_regeneration(name, arg):
+    a = generate_program(ALL_PROFILES[name])
+    b = generate_program(ALL_PROFILES[name])
+    ra, _ = run_module(a, "entry", [arg])
+    rb, _ = run_module(b, "entry", [arg])
+    assert ra == rb

@@ -1,0 +1,132 @@
+"""Workload generator and benchmark suites."""
+
+import pytest
+
+from repro.ir import Alloca, Call, Load, Store, run_module, verify_module
+from repro.analysis import LoopInfo
+from repro.workloads import (
+    MIBENCH_PROFILES,
+    ProgramProfile,
+    SPEC2006_PROFILES,
+    SPEC2017_PROFILES,
+    SUITES,
+    generate_program,
+    load_suite,
+)
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        from repro.ir import print_module
+
+        p = ProgramProfile(name="d", seed=42)
+        assert print_module(generate_program(p)) == print_module(generate_program(p))
+
+    def test_different_seeds_differ(self):
+        from repro.ir import print_module
+
+        a = generate_program(ProgramProfile(name="x", seed=1))
+        b = generate_program(ProgramProfile(name="x", seed=2))
+        assert print_module(a) != print_module(b)
+
+    def test_valid_and_runnable(self):
+        for seed in range(4):
+            m = generate_program(ProgramProfile(name="v", seed=seed, segments=6))
+            verify_module(m)
+            result, _ = run_module(m, "entry", [seed])
+            assert isinstance(result, int)
+            assert 0 <= result <= 0xFFFF  # final mask bounds the result
+
+    def test_profile_controls_constructs(self):
+        loopy = generate_program(
+            ProgramProfile(
+                name="loopy", seed=7, segments=8,
+                w_zero_loop=5.0, w_compute_loop=5.0,
+                w_arith=0.01, w_branch=0.01, w_call=0.01, w_switch=0.01,
+                w_fp=0.01, w_small_loop=0.01, w_invariant_loop=0.01,
+                w_copy_loop=0.01,
+            )
+        )
+        flat = generate_program(
+            ProgramProfile(
+                name="flat", seed=7, segments=8,
+                w_zero_loop=0.01, w_compute_loop=0.01, w_copy_loop=0.01,
+                w_small_loop=0.01, w_invariant_loop=0.01,
+                w_arith=5.0, w_branch=0.01, w_call=0.01, w_switch=0.01,
+                w_fp=0.01,
+            )
+        )
+        assert len(LoopInfo(loopy.get_function("entry")).loops) > len(
+            LoopInfo(flat.get_function("entry")).loops
+        )
+
+    def test_dead_args_and_helpers_present(self):
+        m = generate_program(ProgramProfile(name="h", seed=3, helpers=2))
+        assert m.get_function("never_called") is not None
+        helper = m.get_function("helper0")
+        assert helper is not None and helper.is_internal
+        assert len(helper.args) == 3  # x, y + dead arg
+
+    def test_recursive_helper(self):
+        m = generate_program(
+            ProgramProfile(name="r", seed=3, recursive_helper=True)
+        )
+        fn = m.get_function("sum_to")
+        assert fn is not None
+        assert any(
+            isinstance(i, Call) and i.called_function is fn
+            for i in fn.instructions()
+        )
+
+    def test_duplicate_globals_for_constmerge(self):
+        m = generate_program(ProgramProfile(name="g", seed=3, duplicate_globals=3))
+        names = {g.name for g in m.globals}
+        assert {"kconst0", "kconst1", "kconst2"} <= names
+
+    def test_optimization_opportunities_exist(self):
+        """The full Oz pipeline must find real work in generated code."""
+        from repro.passes import optimize
+
+        m = generate_program(ProgramProfile(name="o", seed=9, segments=8))
+        before = m.instruction_count
+        optimize(m, "Oz")
+        assert m.instruction_count < before * 0.9
+
+
+class TestSuites:
+    def test_suite_names(self):
+        assert set(SUITES) == {
+            "mibench", "spec2006", "spec2017", "llvm_test_suite"
+        }
+
+    def test_paper_benchmarks_present(self):
+        assert "541.leela_r" in SPEC2017_PROFILES
+        assert "520.omnetpp_r" in SPEC2017_PROFILES
+        assert "519.lbm_r" in SPEC2017_PROFILES
+        assert "464.h264ref" in SPEC2006_PROFILES
+        assert "susan" in MIBENCH_PROFILES
+
+    def test_mibench_smaller_than_spec(self):
+        mib = load_suite("mibench")
+        spec = load_suite("spec2017")
+        avg = lambda suite: sum(m.instruction_count for _, m in suite) / len(suite)
+        assert avg(mib) < avg(spec)
+
+    def test_training_corpus_size(self):
+        from repro.workloads import llvm_test_suite
+
+        corpus = llvm_test_suite(count=10)
+        assert len(corpus) == 10
+        names = [n for n, _ in corpus]
+        assert len(set(names)) == 10
+
+    def test_all_suite_programs_verify_and_run(self):
+        for name in ("mibench", "spec2006", "spec2017"):
+            for bench, module in load_suite(name):
+                verify_module(module)
+                result, _ = run_module(module, "entry", [3])
+                assert isinstance(result, int), bench
+
+    def test_unknown_suite(self):
+        with pytest.raises(KeyError):
+            load_suite("parsec")
