@@ -1,0 +1,110 @@
+"""Bounded LRU caches with hit/miss/eviction accounting.
+
+The incremental metrics engine (``repro.core.metrics``) keys expensive
+per-function computations — codegen size, MCA scheduling, IR2Vec
+embeddings — and whole environment transitions on structural fingerprints
+(``repro.ir.fingerprint``). All of those caches are instances of
+:class:`LRUCache`, so hit rates and memory bounds are uniform and
+observable everywhere.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional
+
+
+@dataclass
+class CacheStats:
+    """Counter snapshot for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    size: int = 0
+    capacity: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "size": self.size,
+            "capacity": self.capacity,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+_MISSING = object()
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    ``get`` counts a hit or a miss and refreshes recency; ``put`` inserts
+    and evicts the stalest entry once ``capacity`` is exceeded.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity <= 0:
+            raise ValueError("cache capacity must be positive")
+        self.capacity = capacity
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._data
+
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        value = self._data.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return default
+        self.hits += 1
+        self._data.move_to_end(key)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def reset_counters(self) -> None:
+        self.hits = self.misses = self.evictions = 0
+
+    @property
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            size=len(self._data),
+            capacity=self.capacity,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        s = self.stats
+        return (
+            f"<LRUCache {s.size}/{s.capacity} hits={s.hits} "
+            f"misses={s.misses} evictions={s.evictions}>"
+        )

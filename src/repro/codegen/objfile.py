@@ -10,9 +10,11 @@ overhead. This is the quantity the POSET-RL reward's BinSize terms measure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..analysis.liveness import Liveness
+from ..caching import LRUCache
+from ..ir.fingerprint import function_fingerprint
 from ..ir.instructions import Alloca
 from ..ir.module import Function, Module
 from ..ir.values import ConstantString, GlobalVariable
@@ -94,8 +96,15 @@ def _global_data_bytes(gv: GlobalVariable) -> int:
     return size
 
 
-def object_size(module: Module, target="x86-64") -> SizeReport:
-    """Size of the object file produced from ``module`` for ``target``."""
+def object_size(
+    module: Module, target="x86-64", cache: Optional[LRUCache] = None
+) -> SizeReport:
+    """Size of the object file produced from ``module`` for ``target``.
+
+    With ``cache`` (an :class:`~repro.caching.LRUCache`), per-function text
+    sizes are memoized on the function's structural fingerprint: a module
+    where only one of N functions changed re-lowers only that function.
+    """
     if isinstance(target, str):
         target = get_target(target)
     report = SizeReport(target=target.name)
@@ -105,7 +114,14 @@ def object_size(module: Module, target="x86-64") -> SizeReport:
             if fn.has_uses:  # undefined symbol referenced -> symtab entry
                 report.symbol_bytes += SYMBOL_ENTRY_BYTES
             continue
-        fr = function_text_size(fn, target)
+        if cache is not None:
+            key = (function_fingerprint(fn), target.name)
+            fr = cache.get(key)
+            if fr is None:
+                fr = function_text_size(fn, target)
+                cache.put(key, fr)
+        else:
+            fr = function_text_size(fn, target)
         report.functions.append(fr)
         report.text_bytes += fr.text_bytes
         report.symbol_bytes += SYMBOL_ENTRY_BYTES

@@ -8,8 +8,20 @@ from .environment import (
     StepInfo,
     make_action_space,
 )
-from .evaluate import BenchmarkResult, SuiteSummary, evaluate_benchmark, optimize_with_oz
+from .evaluate import (
+    BenchmarkResult,
+    SuiteSummary,
+    evaluate_benchmark,
+    evaluate_suite,
+    optimize_with_oz,
+)
 from .extensions import ParameterizedActionSpace, make_parameterized_action_space
+from .metrics import (
+    MetricsEngine,
+    ModuleMetrics,
+    Transition,
+    TransitionCache,
+)
 from .odg import DEFAULT_CRITICAL_DEGREE, OzDependenceGraph
 from .presets import paper_config, quick_config, scaled_config
 from .search import (
@@ -37,6 +49,8 @@ __all__ = [
     "DEFAULT_CRITICAL_DEGREE",
     "DEFAULT_EPISODE_LENGTH",
     "MANUAL_SUBSEQUENCES",
+    "MetricsEngine",
+    "ModuleMetrics",
     "OZ_PASS_SEQUENCE",
     "OzDependenceGraph",
     "PAPER_ODG_SUBSEQUENCES",
@@ -48,9 +62,12 @@ __all__ = [
     "StepInfo",
     "SuiteSummary",
     "TrainStats",
+    "Transition",
+    "TransitionCache",
     "binsize_reward",
     "combined_reward",
     "evaluate_benchmark",
+    "evaluate_suite",
     "flags_to_passes",
     "greedy_reward_policy",
     "greedy_size_policy",

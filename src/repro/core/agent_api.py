@@ -21,7 +21,8 @@ from .environment import (
     PhaseOrderingEnv,
     make_action_space,
 )
-from .evaluate import BenchmarkResult, SuiteSummary, evaluate_benchmark
+from .evaluate import BenchmarkResult, SuiteSummary, evaluate_suite
+from .metrics import MetricsEngine
 from .rewards import RewardWeights
 
 
@@ -44,17 +45,22 @@ class PosetRL:
         self,
         action_space: str = "odg",
         target: str = "x86-64",
-        weights: RewardWeights = RewardWeights(),
+        weights: Optional[RewardWeights] = None,
         episode_length: int = DEFAULT_EPISODE_LENGTH,
         agent_config: Optional[AgentConfig] = None,
         double_dqn: bool = True,
         seed: int = 0,
+        cache: bool = True,
     ):
         self.action_space_kind = action_space
         self.actions = make_action_space(action_space)
         self.target = target
-        self.weights = weights
+        self.weights = weights if weights is not None else RewardWeights()
         self.episode_length = episode_length
+        #: One incremental metrics engine shared by every environment this
+        #: facade creates — the cross-episode/cross-module reuse is where
+        #: the training-loop speedup comes from.
+        self.metrics = MetricsEngine(target=target, enabled=cache)
         config = agent_config or AgentConfig()
         config = replace(
             config, num_actions=len(self.actions), seed=seed
@@ -72,7 +78,12 @@ class PosetRL:
             target=self.target,
             weights=self.weights,
             episode_length=self.episode_length,
+            metrics=self.metrics,
         )
+
+    def cache_stats(self) -> Dict[str, Dict[str, float]]:
+        """Hit/miss/eviction counters of the shared metrics engine."""
+        return self.metrics.stats()
 
     # -- training ---------------------------------------------------------------
     def train(
@@ -150,21 +161,25 @@ class PosetRL:
 
     # -- evaluation -------------------------------------------------------------------
     def evaluate_suite(
-        self, suite_name: str, modules: Sequence[Tuple[str, Module]]
+        self,
+        suite_name: str,
+        modules: Sequence[Tuple[str, Module]],
+        max_workers: Optional[int] = None,
     ) -> SuiteSummary:
-        """Table IV / Table V style summary for one benchmark suite."""
-        results: List[BenchmarkResult] = []
-        for name, module in modules:
-            results.append(
-                evaluate_benchmark(
-                    name,
-                    module,
-                    predict=self.predict,
-                    apply_actions=self.apply_actions,
-                    target=self.target,
-                )
-            )
-        return SuiteSummary(suite=suite_name, target=self.target, results=results)
+        """Table IV / Table V style summary for one benchmark suite.
+
+        ``max_workers`` > 1 evaluates benchmarks in parallel worker
+        processes (the facade — agent weights included — is shipped to
+        each worker; cache contents are dropped in transit).
+        """
+        return evaluate_suite(
+            suite_name,
+            modules,
+            predict=self.predict,
+            apply_actions=self.apply_actions,
+            target=self.target,
+            max_workers=max_workers,
+        )
 
     # -- persistence -----------------------------------------------------------
     def save(self, path: str) -> None:

@@ -5,20 +5,25 @@ Gym-style interface over one program: the state is the IR2Vec-style
 sub-sequence through the pass manager, and the reward combines the object
 file's size delta with the MCA throughput delta (both normalized against
 the unoptimized module, Eqns 1-3).
+
+Metrics are produced through a :class:`~repro.core.metrics.MetricsEngine`:
+per-function size/MCA/embedding results are memoized on structural
+fingerprints, and whole ``(state, action)`` transitions are cached so that
+revisited prefixes (ubiquitous under ε-greedy training) skip the pass
+pipeline entirely. ``cache=False`` restores the plain uncached paths.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..codegen.objfile import object_size
 from ..embeddings.ir2vec import IR2VecEncoder
 from ..ir.module import Module
-from ..mca.sched import estimate_throughput
-from ..passes.base import PassManager, create_pass
+from ..passes.base import PassManager
+from .metrics import MetricsEngine, Transition
 from .rewards import RewardWeights, combined_reward
 from .subsequences import PAPER_ODG_SUBSEQUENCES
 
@@ -37,6 +42,11 @@ class StepInfo:
     throughput: float
     size_reward: float
     throughput_reward: float
+    #: Whether the action modified the module (the ``ActionSpace.apply``
+    #: changed-flag; no-op actions leave every metric untouched).
+    changed: bool = True
+    #: Whether this step was served from the transition cache.
+    cache_hit: bool = False
 
 
 class ActionSpace:
@@ -66,27 +76,66 @@ class PhaseOrderingEnv:
         module: Module,
         action_space: Optional[ActionSpace] = None,
         target: str = "x86-64",
-        weights: RewardWeights = RewardWeights(),
+        weights: Optional[RewardWeights] = None,
         episode_length: int = DEFAULT_EPISODE_LENGTH,
         encoder: Optional[IR2VecEncoder] = None,
+        metrics: Optional[MetricsEngine] = None,
+        cache: bool = True,
     ):
         self.original = module
         self.action_space = action_space or ActionSpace(PAPER_ODG_SUBSEQUENCES)
         self.target = target
-        self.weights = weights
+        self.weights = weights if weights is not None else RewardWeights()
         self.episode_length = episode_length
-        self.encoder = encoder or IR2VecEncoder()
+        if metrics is not None:
+            self.metrics = metrics
+        else:
+            self.metrics = MetricsEngine(
+                target=target, encoder=encoder, enabled=cache
+            )
+        self.encoder = self.metrics.encoder
 
         # Baseline ("without any optimization") metrics — Eqns 2-3
         # denominators — computed once.
-        self.base_size = object_size(module, target).total_bytes
-        self.base_throughput = estimate_throughput(module, target).throughput
+        self.base_size = self.metrics.size(module).total_bytes
+        self.base_throughput = self.metrics.throughput(module).throughput
+        self._base_fingerprint: Optional[str] = (
+            self.metrics.fingerprint(module) if self.metrics.enabled else None
+        )
 
-        self.current: Module = module.clone()
+        # ``current`` is materialized lazily: ``_pending`` references a
+        # read-only snapshot (the original, or a transition-cache entry)
+        # that is cloned only when something actually needs a mutable
+        # module. A chain of transition-cache hits therefore never clones.
+        self._current: Optional[Module] = None
+        self._pending: Optional[Module] = module
         self.steps = 0
         self.last_size = self.base_size
         self.last_throughput = self.base_throughput
         self.history: List[StepInfo] = []
+        self._state: Optional[np.ndarray] = None
+        self._base_state: Optional[np.ndarray] = None
+        # Fingerprint of ``current``, maintained incrementally so a chain
+        # of transition-cache hits never re-walks the module.
+        self._fingerprint = self._base_fingerprint
+
+    @property
+    def current(self) -> Module:
+        """The module in its current (post-actions) state.
+
+        Materializes a private mutable copy on first access after a reset
+        or a transition-cache hit.
+        """
+        if self._pending is not None:
+            self._current = self._pending.clone()
+            self._pending = None
+        assert self._current is not None
+        return self._current
+
+    @current.setter
+    def current(self, module: Module) -> None:
+        self._current = module
+        self._pending = None
 
     # -- gym-style API ---------------------------------------------------------
     @property
@@ -98,24 +147,43 @@ class PhaseOrderingEnv:
         return self.encoder.dimension
 
     def observe(self) -> np.ndarray:
-        return self.encoder.program_embedding(self.current)
+        if self.metrics.enabled and self._state is not None:
+            return self._state
+        # Embedding is a pure read: no need to materialize a mutable copy.
+        module = self._pending if self._pending is not None else self.current
+        return self.metrics.embedding(module)
 
     def reset(self) -> np.ndarray:
-        self.current = self.original.clone()
+        self._pending = self.original
+        self._current = None
         self.steps = 0
         self.last_size = self.base_size
         self.last_throughput = self.base_throughput
         self.history = []
-        return self.observe()
+        self._fingerprint = self._base_fingerprint
+        self._state = None
+        if self.metrics.enabled:
+            if self._base_state is None:
+                self._base_state = self.metrics.embedding(self.original)
+                self._base_state.setflags(write=False)
+            self._state = self._base_state
+            return self._state
+        self._state = self.observe()
+        return self._state
 
     def step(self, action: int) -> Tuple[np.ndarray, float, bool, StepInfo]:
         if not (0 <= action < self.num_actions):
             raise IndexError(f"action {action} out of range")
         passes = self.action_space.passes_for(action)
-        self.action_space.apply(action, self.current)
 
-        size = object_size(self.current, self.target).total_bytes
-        throughput = estimate_throughput(self.current, self.target).throughput
+        if self.metrics.enabled:
+            size, throughput, changed, cache_hit = self._cached_apply(action)
+        else:
+            changed = self.action_space.apply(action, self.current)
+            cache_hit = False
+            size = self.metrics.size(self.current).total_bytes
+            throughput = self.metrics.throughput(self.current).throughput
+            self._state = self.observe()
 
         reward = combined_reward(
             self.last_size,
@@ -134,13 +202,87 @@ class PhaseOrderingEnv:
             size_reward=(self.last_size - size) / self.base_size,
             throughput_reward=(throughput - self.last_throughput)
             / self.base_throughput,
+            changed=changed,
+            cache_hit=cache_hit,
         )
         self.history.append(info)
         self.last_size = size
         self.last_throughput = throughput
         self.steps += 1
         done = self.steps >= self.episode_length
-        return self.observe(), reward, done, info
+        state = self._state if self._state is not None else self.observe()
+        return state, reward, done, info
+
+    def _cached_apply(self, action: int) -> Tuple[int, float, bool, bool]:
+        """Apply ``action`` through the transition cache.
+
+        Returns ``(size, throughput, changed, cache_hit)`` and leaves
+        ``self.current`` / ``self._state`` / ``self._fingerprint``
+        describing the post-action module.
+        """
+        engine = self.metrics
+        assert engine.transitions is not None
+        fingerprint = self._fingerprint
+        if fingerprint is None:
+            fingerprint = engine.fingerprint(self.current)
+
+        hit = engine.transitions.get(fingerprint, action)
+        if hit is not None:
+            if hit.module is not None:
+                # Lazy: keep a reference to the cache-owned snapshot; it
+                # is cloned only if something needs a mutable module.
+                self._current = None
+                self._pending = hit.module
+            self._fingerprint = hit.result_fingerprint
+            self._state = hit.embedding
+            return hit.size, hit.throughput, hit.changed, True
+
+        module = self.current  # materializes a mutable copy if needed
+        applied = self.action_space.apply(action, module)
+        # The changed-flag is advisory; fingerprint equality is the
+        # authoritative no-op check (sound in both directions).
+        result_fp = engine.fingerprint(module) if applied else fingerprint
+        changed = result_fp != fingerprint
+        if changed:
+            measured = engine.measure(module)
+            size, throughput = measured.size, measured.throughput
+            cycles, embedding = measured.cycles, measured.embedding
+            # Hand the mutated module itself to the cache and keep only a
+            # lazy reference to it — nothing mutates it from here without
+            # going through the materializing ``current`` property.
+            snapshot: Optional[Module] = module
+            self._current = None
+            self._pending = module
+        else:
+            size, throughput = self.last_size, self.last_throughput
+            cycles = 0.0
+            embedding = self._state if self._state is not None else self.observe()
+            snapshot = None
+        # The state array is shared between the cache, the env and the
+        # agent: freeze it so an accidental in-place edit cannot corrupt
+        # future hits.
+        embedding.setflags(write=False)
+        engine.transitions.put(
+            fingerprint,
+            action,
+            Transition(
+                result_fingerprint=result_fp,
+                changed=changed,
+                size=size,
+                throughput=throughput,
+                cycles=cycles,
+                embedding=embedding,
+                module=snapshot,
+            ),
+        )
+        self._fingerprint = result_fp
+        self._state = embedding
+        return size, throughput, changed, False
+
+    # -- observability ---------------------------------------------------------
+    def cache_stats(self) -> Dict[str, Dict[str, float]]:
+        """Hit/miss/eviction counters of the underlying metrics engine."""
+        return self.metrics.stats()
 
     # -- convenience -----------------------------------------------------------
     def rollout(self, actions: Sequence[int]) -> List[StepInfo]:

@@ -1,0 +1,210 @@
+"""Incremental metrics engine for the RL hot loop.
+
+Every :meth:`PhaseOrderingEnv.step` needs three module-level quantities:
+object-file size, the MCA throughput proxy, and the IR2Vec state embedding.
+All three decompose into per-function parts that only change when the
+function's body changes, so the engine memoizes them on structural
+fingerprints (:mod:`repro.ir.fingerprint`):
+
+* per-function codegen size / MCA report / embedding — shared LRU caches
+  threaded into :func:`~repro.codegen.objfile.object_size`,
+  :func:`~repro.mca.sched.estimate_throughput` and
+  :class:`~repro.embeddings.ir2vec.IR2VecEncoder`;
+* whole transitions — ``(module_fingerprint, action) →`` result metrics
+  plus a snapshot of the resulting module, so an ε-greedy agent revisiting
+  a known prefix skips the pass pipeline entirely.
+
+Results are combined in the same order as the uncached code paths, so a
+cached measurement is bit-identical to an uncached one.
+
+One engine is intended to be shared across environments and episodes
+(:class:`~repro.core.agent_api.PosetRL` owns one); fingerprint keys make
+that safe across different modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+import numpy as np
+
+from ..caching import LRUCache
+from ..codegen.objfile import SizeReport, object_size
+from ..embeddings.ir2vec import IR2VecEncoder
+from ..ir.fingerprint import module_fingerprint
+from ..ir.module import Module
+from ..mca.sched import McaSummary, estimate_throughput
+
+#: Default per-function cache capacity (entries are small reports/vectors).
+DEFAULT_FUNCTION_CACHE_SIZE = 16384
+#: Default transition cache capacity (entries hold a module snapshot).
+DEFAULT_TRANSITION_CACHE_SIZE = 2048
+
+
+@dataclass
+class ModuleMetrics:
+    """The three measurements one environment step consumes."""
+
+    size: int
+    throughput: float
+    cycles: float
+    embedding: np.ndarray
+    size_report: SizeReport
+    mca: McaSummary
+
+
+@dataclass
+class Transition:
+    """Cached outcome of applying one action to one module state."""
+
+    result_fingerprint: str
+    changed: bool
+    size: int
+    throughput: float
+    cycles: float
+    embedding: np.ndarray
+    #: Snapshot of the module after the action; ``None`` when the action
+    #: was a structural no-op (the caller's module is already the result).
+    module: Optional[Module]
+
+
+class TransitionCache:
+    """LRU map ``(module_fingerprint, action) → Transition``."""
+
+    def __init__(self, capacity: int = DEFAULT_TRANSITION_CACHE_SIZE):
+        self._cache = LRUCache(capacity)
+
+    def get(
+        self, fingerprint: str, action: Hashable
+    ) -> Optional[Transition]:
+        return self._cache.get((fingerprint, action))
+
+    def put(
+        self, fingerprint: str, action: Hashable, transition: Transition
+    ) -> None:
+        self._cache.put((fingerprint, action), transition)
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    @property
+    def stats(self):
+        return self._cache.stats
+
+
+class MetricsEngine:
+    """Fingerprint-keyed memoization for size / throughput / embedding.
+
+    ``enabled=False`` degrades to the plain uncached code paths (the
+    baseline the equivalence tests and microbenchmarks compare against).
+    """
+
+    def __init__(
+        self,
+        target: str = "x86-64",
+        encoder: Optional[IR2VecEncoder] = None,
+        enabled: bool = True,
+        function_cache_size: int = DEFAULT_FUNCTION_CACHE_SIZE,
+        transition_cache_size: int = DEFAULT_TRANSITION_CACHE_SIZE,
+    ):
+        self.target = target
+        self.enabled = enabled
+        self.function_cache_size = function_cache_size
+        self.transition_cache_size = transition_cache_size
+        self._init_caches()
+        self.encoder = encoder or IR2VecEncoder()
+        if enabled and self.encoder.function_cache is None:
+            self.encoder.function_cache = self._embedding_cache
+
+    def _init_caches(self) -> None:
+        if self.enabled:
+            self.size_cache: Optional[LRUCache] = LRUCache(
+                self.function_cache_size
+            )
+            self.mca_cache: Optional[LRUCache] = LRUCache(
+                self.function_cache_size
+            )
+            self._embedding_cache: Optional[LRUCache] = LRUCache(
+                self.function_cache_size
+            )
+            self.transitions: Optional[TransitionCache] = TransitionCache(
+                self.transition_cache_size
+            )
+        else:
+            self.size_cache = None
+            self.mca_cache = None
+            self._embedding_cache = None
+            self.transitions = None
+
+    # -- measurements ------------------------------------------------------
+    def fingerprint(self, module: Module) -> str:
+        return module_fingerprint(module)
+
+    def size(self, module: Module) -> SizeReport:
+        return object_size(module, self.target, cache=self.size_cache)
+
+    def throughput(self, module: Module) -> McaSummary:
+        return estimate_throughput(module, self.target, cache=self.mca_cache)
+
+    def embedding(self, module: Module) -> np.ndarray:
+        return self.encoder.program_embedding(module)
+
+    def measure(self, module: Module) -> ModuleMetrics:
+        """Size, throughput and state embedding in one shot."""
+        size_report = self.size(module)
+        mca = self.throughput(module)
+        return ModuleMetrics(
+            size=size_report.total_bytes,
+            throughput=mca.throughput,
+            cycles=mca.total_cycles,
+            embedding=self.embedding(module),
+            size_report=size_report,
+            mca=mca,
+        )
+
+    # -- observability -----------------------------------------------------
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Hit/miss/eviction counters for every cache, JSON-friendly."""
+        if not self.enabled:
+            return {"enabled": {"enabled": 0.0}}
+        assert (
+            self.size_cache is not None
+            and self.mca_cache is not None
+            and self._embedding_cache is not None
+            and self.transitions is not None
+        )
+        return {
+            "size": self.size_cache.stats.as_dict(),
+            "mca": self.mca_cache.stats.as_dict(),
+            "embedding": self._embedding_cache.stats.as_dict(),
+            "transitions": self.transitions.stats.as_dict(),
+        }
+
+    def clear(self) -> None:
+        if self.enabled:
+            self._init_caches()
+            self.encoder.function_cache = self._embedding_cache
+
+    # -- pickling ----------------------------------------------------------
+    # Engines ride along when a PosetRL facade is shipped to evaluation
+    # worker processes; cache contents (which include module snapshots that
+    # do not pickle) are dropped and rebuilt empty on the other side.
+    def __getstate__(self) -> Dict[str, Any]:
+        return {
+            "target": self.target,
+            "enabled": self.enabled,
+            "function_cache_size": self.function_cache_size,
+            "transition_cache_size": self.transition_cache_size,
+        }
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        self.target = state["target"]
+        self.enabled = state["enabled"]
+        self.function_cache_size = state["function_cache_size"]
+        self.transition_cache_size = state["transition_cache_size"]
+        self._init_caches()
+        self.encoder = IR2VecEncoder(function_cache=self._embedding_cache)

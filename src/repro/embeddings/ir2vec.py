@@ -18,6 +18,8 @@ import numpy as np
 
 from ..analysis.liveness import Liveness
 from ..analysis.reaching import ReachingStores
+from ..caching import LRUCache
+from ..ir.fingerprint import function_fingerprint
 from ..ir.instructions import Instruction, Load
 from ..ir.module import BasicBlock, Function, Module
 from ..ir.types import (
@@ -78,11 +80,23 @@ def _operand_kind(value: Value) -> str:
 
 
 class IR2VecEncoder:
-    """Produces instruction / function / program embeddings."""
+    """Produces instruction / function / program embeddings.
 
-    def __init__(self, vocabulary: Optional[Vocabulary] = None):
+    ``function_cache`` (an :class:`~repro.caching.LRUCache`) memoizes
+    function embeddings on the function's structural fingerprint, so a
+    program embedding after a localized mutation re-encodes only the
+    changed functions. Cached vectors are frozen (non-writeable) because
+    they are shared between lookups.
+    """
+
+    def __init__(
+        self,
+        vocabulary: Optional[Vocabulary] = None,
+        function_cache: Optional[LRUCache] = None,
+    ):
         self.vocab = vocabulary or default_vocabulary()
         self.dimension = self.vocab.dimension
+        self.function_cache = function_cache
 
     # -- level 0: seed (syntactic) embeddings ------------------------------
     def seed_instruction(self, inst: Instruction) -> np.ndarray:
@@ -120,6 +134,17 @@ class IR2VecEncoder:
     def function_embedding(self, fn: Function) -> np.ndarray:
         if fn.is_declaration:
             return np.zeros(self.dimension)
+        if self.function_cache is not None:
+            key = function_fingerprint(fn)
+            cached = self.function_cache.get(key)
+            if cached is None:
+                cached = self._compute_function_embedding(fn)
+                cached.setflags(write=False)
+                self.function_cache.put(key, cached)
+            return cached
+        return self._compute_function_embedding(fn)
+
+    def _compute_function_embedding(self, fn: Function) -> np.ndarray:
         flowed = self.function_instruction_embeddings(fn)
         liveness = Liveness(fn)
         total = np.zeros(self.dimension)

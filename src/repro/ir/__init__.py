@@ -84,6 +84,7 @@ from .values import (
     make_constant,
     zero,
 )
+from .fingerprint import function_fingerprint, module_fingerprint
 from .verifier import VerificationError, verify_function, verify_module
 
 __all__ = [name for name in dir() if not name.startswith("_")]

@@ -1,0 +1,158 @@
+"""Stable structural fingerprints for functions and modules.
+
+A fingerprint is a content hash over everything the metrics pipeline can
+observe — opcodes, types, operand structure, predicates, alignments,
+instruction metadata, callee identity and attributes, linkage — while
+ignoring everything it cannot: local value names and block names (cloning
+renames locals, and a clone must fingerprint identically to its source).
+
+Properties relied on by the caches in :mod:`repro.core.metrics`:
+
+* ``module.clone()`` ⇒ equal fingerprint;
+* any structural mutation (instruction added/removed/reordered, operand
+  rewired, type changed, attribute toggled) ⇒ different fingerprint;
+* the module fingerprint is insensitive to the *order* of functions and
+  globals, so symbol-table shuffles do not invalidate transition caches.
+
+Equal fingerprints are used as cache keys for per-function codegen size,
+MCA scheduling reports and IR2Vec embeddings: everything those computations
+read is folded into the hash, so a hit is exact (modulo hash collision of
+a 128-bit blake2b, which we accept).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List
+
+from .instructions import (
+    Alloca,
+    Call,
+    FCmp,
+    ICmp,
+    Instruction,
+    Load,
+    Store,
+)
+from .module import BasicBlock, Function, Module
+from .values import Argument, Constant, GlobalValue, Value
+
+_DIGEST_BYTES = 16
+
+
+def _hasher() -> "hashlib._Hash":
+    return hashlib.blake2b(digest_size=_DIGEST_BYTES)
+
+
+def _operand_token(
+    op: Value, local_ids: Dict[int, str]
+) -> str:
+    """A stable token for one operand.
+
+    Local values (arguments, instructions, blocks) are referenced by their
+    structural position, never by name. Globals are referenced by symbol
+    name; called functions additionally contribute their attribute set,
+    because callee attributes change the caller's effect analysis
+    (``readnone``/``readonly`` gate reaching-store kills and DCE of calls).
+    """
+    token = local_ids.get(id(op))
+    if token is not None:
+        return token
+    if isinstance(op, Function):
+        attrs = ",".join(sorted(op.attributes))
+        decl = "d" if op.is_declaration else ""
+        return f"@{op.name}|{attrs}|{decl}"
+    if isinstance(op, GlobalValue):
+        return f"@{op.name}"
+    if isinstance(op, Constant):
+        return f"k:{op.type}:{op.ref()}"
+    return f"?:{op.type}:{op.ref()}"  # pragma: no cover - exotic operand
+
+
+def _instruction_tokens(
+    inst: Instruction, local_ids: Dict[int, str]
+) -> List[str]:
+    tokens = [inst.opcode, str(inst.type)]
+    if isinstance(inst, (ICmp, FCmp)):
+        tokens.append(inst.predicate)
+    if isinstance(inst, (Alloca, Load, Store)):
+        tokens.append(f"align{inst.alignment}")
+    if isinstance(inst, Alloca):
+        tokens.append(str(inst.allocated_type))
+    if isinstance(inst, Call) and inst.tail:
+        tokens.append("tail")
+    if inst.meta:
+        for key in sorted(inst.meta):
+            tokens.append(f"!{key}={inst.meta[key]!r}")
+    for op in inst.operands:
+        tokens.append(_operand_token(op, local_ids))
+    return tokens
+
+
+def function_fingerprint(fn: Function) -> str:
+    """Content hash of one function (hex digest).
+
+    Covers the signature, linkage, attributes and — for definitions — the
+    full body: block structure, instruction stream, operand graph and any
+    metadata. Local names are ignored, so clones hash identically.
+    """
+    h = _hasher()
+    linkage = "internal" if fn.is_internal else "external"
+    head = f"fn|{fn.name}|{fn.ftype}|{linkage}|{','.join(sorted(fn.attributes))}"
+    h.update(head.encode())
+
+    if fn.is_declaration:
+        h.update(b"|declaration")
+        return h.hexdigest()
+
+    # Structural identities: position-based, assigned up front so forward
+    # references (phis over back edges) resolve deterministically.
+    local_ids: Dict[int, str] = {}
+    for i, arg in enumerate(fn.args):
+        local_ids[id(arg)] = f"a{i}"
+    counter = 0
+    for bi, block in enumerate(fn.blocks):
+        local_ids[id(block)] = f"b{bi}"
+        for inst in block.instructions:
+            local_ids[id(inst)] = f"i{counter}"
+            counter += 1
+
+    for block in fn.blocks:
+        h.update(f"|{local_ids[id(block)]}:".encode())
+        for inst in block.instructions:
+            line = " ".join(_instruction_tokens(inst, local_ids))
+            h.update(f"{local_ids[id(inst)]}={line};".encode())
+    return h.hexdigest()
+
+
+def _global_fingerprint(gv) -> str:
+    init = gv.initializer
+    if init is None or init.is_zero():
+        init_token = "zero"
+    else:
+        init_token = init.ref()
+    linkage = "internal" if gv.is_internal else "external"
+    kind = "const" if gv.is_constant else "var"
+    h = _hasher()
+    h.update(
+        f"gv|{gv.name}|{gv.value_type}|{linkage}|{kind}"
+        f"|align{gv.alignment}|{init_token}".encode()
+    )
+    return h.hexdigest()
+
+
+def module_fingerprint(module: Module) -> str:
+    """Content hash of a whole module (hex digest).
+
+    Combines the sorted per-symbol fingerprints so the result is
+    insensitive to declaration order, then all the structural properties
+    of each symbol through its own fingerprint.
+    """
+    parts = [function_fingerprint(fn) for fn in module.functions]
+    parts.extend(_global_fingerprint(gv) for gv in module.globals)
+    parts.sort()
+    h = _hasher()
+    h.update(b"module")
+    for part in parts:
+        h.update(part.encode())
+    return h.hexdigest()

@@ -19,6 +19,8 @@ from typing import Dict, List, Optional
 
 from ..analysis.blockfreq import BlockFrequency
 from ..analysis.loops import LoopInfo
+from ..caching import LRUCache
+from ..ir.fingerprint import function_fingerprint
 from ..ir.instructions import Call, Instruction, Phi
 from ..ir.module import BasicBlock, Function, Module
 from ..codegen.isel import lower_instruction
@@ -167,8 +169,29 @@ class McaSummary:
         return 1e9 / max(self.total_cycles, 1e-9)
 
 
-def estimate_throughput(module: Module, target="x86-64") -> McaSummary:
-    """LLVM-MCA stand-in: static cycles/throughput for the whole module."""
+def _function_call_counts(fn: Function) -> Dict[str, float]:
+    """Frequency-weighted direct-call counts out of one function."""
+    freq = BlockFrequency(fn)
+    counts: Dict[str, float] = {}
+    for inst in fn.instructions():
+        if isinstance(inst, Call):
+            callee = inst.called_function
+            if callee is None or callee.is_intrinsic:
+                continue
+            f = freq.frequency(inst.parent) if inst.parent else 1.0
+            counts[callee.name] = counts.get(callee.name, 0.0) + f
+    return counts
+
+
+def estimate_throughput(
+    module: Module, target="x86-64", cache: Optional[LRUCache] = None
+) -> McaSummary:
+    """LLVM-MCA stand-in: static cycles/throughput for the whole module.
+
+    With ``cache``, the per-function scheduling report and outgoing-call
+    counts are memoized on the function's structural fingerprint; only the
+    (cheap) interprocedural invocation fixed point is recombined per call.
+    """
     if isinstance(target, str):
         descriptor = get_target(target)
         model = get_port_model(target)
@@ -181,17 +204,19 @@ def estimate_throughput(module: Module, target="x86-64") -> McaSummary:
     for fn in module.functions:
         if fn.is_declaration:
             continue
-        reports[fn.name] = analyze_function(fn, descriptor, model)
-        freq = BlockFrequency(fn)
-        counts: Dict[str, float] = {}
-        for inst in fn.instructions():
-            if isinstance(inst, Call):
-                callee = inst.called_function
-                if callee is None or callee.is_intrinsic:
-                    continue
-                f = freq.frequency(inst.parent) if inst.parent else 1.0
-                counts[callee.name] = counts.get(callee.name, 0.0) + f
-        call_counts[fn.name] = counts
+        if cache is not None:
+            key = (function_fingerprint(fn), descriptor.name)
+            entry = cache.get(key)
+            if entry is None:
+                entry = (
+                    analyze_function(fn, descriptor, model),
+                    _function_call_counts(fn),
+                )
+                cache.put(key, entry)
+            reports[fn.name], call_counts[fn.name] = entry
+        else:
+            reports[fn.name] = analyze_function(fn, descriptor, model)
+            call_counts[fn.name] = _function_call_counts(fn)
 
     # Invocation frequencies: externally visible functions are entry points
     # invoked once; internal functions accumulate caller frequency.

@@ -6,4 +6,6 @@
   breakdown per target.
 * ``python -m repro.tools.mca``    — the `llvm-mca` analogue: static
   throughput report.
+* ``python -m repro.tools.profile`` — per-stage timing (passes / codegen /
+  mca / embedding) for one RL episode, with cache counters.
 """

@@ -1,0 +1,170 @@
+"""Per-stage timing of one RL episode: where does a step's time go?
+
+Breaks an episode down into the stages the environment runs — pass
+pipeline (``apply``), codegen size, MCA scheduling, IR2Vec embedding,
+fingerprinting — and prints a table of per-stage totals, plus cache
+counters when the incremental metrics engine is on.
+
+Examples::
+
+    python -m repro.tools.profile input.ll
+    python -m repro.tools.profile --suite mibench --benchmark susan
+    python -m repro.tools.profile --no-cache --steps 30 input.ll
+    python -m repro.tools.profile --episodes 5 input.ll   # repeat to see hits
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Dict, List, Optional
+
+from ..codegen.target import TARGETS
+from ..core.environment import PhaseOrderingEnv, make_action_space
+from ..core.metrics import MetricsEngine
+from ..ir.parser import parse_module
+from ..workloads.suites import load_suite
+
+
+class _StageClock:
+    """Accumulates wall time and call counts per stage."""
+
+    def __init__(self) -> None:
+        self.totals: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+
+    def timed(self, stage: str, fn, *args, **kwargs):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        elapsed = time.perf_counter() - start
+        self.totals[stage] = self.totals.get(stage, 0.0) + elapsed
+        self.calls[stage] = self.calls.get(stage, 0) + 1
+        return result
+
+
+def _instrument(env, engine: MetricsEngine, clock: _StageClock) -> None:
+    """Route the env's stage calls through the clock.
+
+    Wraps the engine's bound methods (and ``ActionSpace.apply``) on the
+    *instances*, so the episode runs through the real ``env.step`` path —
+    including the transition cache, whose hits show up as stages simply
+    not being called.
+    """
+    stages = (
+        ("passes", env.action_space, "apply"),
+        ("codegen", engine, "size"),
+        ("mca", engine, "throughput"),
+        ("embedding", engine, "embedding"),
+        ("fingerprint", engine, "fingerprint"),
+    )
+    for stage, obj, attr in stages:
+        original = getattr(obj, attr)
+
+        def wrapped(*args, _stage=stage, _fn=original, **kwargs):
+            return clock.timed(_stage, _fn, *args, **kwargs)
+
+        setattr(obj, attr, wrapped)
+
+
+def _profile_episode(env, actions) -> None:
+    env.reset()
+    for action in actions:
+        env.step(action)
+
+
+def run(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-profile", description=__doc__)
+    parser.add_argument("--target", default="x86-64",
+                        choices=sorted(set(TARGETS)))
+    parser.add_argument("--action-space", default="odg",
+                        choices=("odg", "manual"))
+    parser.add_argument("--steps", type=int, default=15,
+                        help="actions per episode (default 15)")
+    parser.add_argument("--episodes", type=int, default=1,
+                        help="episodes to run (repeats expose cache hits)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--no-cache", action="store_true",
+                        help="profile the uncached metrics paths")
+    parser.add_argument("--suite", help="profile a workload-suite benchmark "
+                        "instead of an input file")
+    parser.add_argument("--benchmark",
+                        help="benchmark name within --suite (default: first)")
+    parser.add_argument("input", nargs="?",
+                        help="textual IR file (- for stdin)")
+    args = parser.parse_args(argv)
+
+    if args.suite:
+        try:
+            corpus = load_suite(args.suite)
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return 1
+        if args.benchmark:
+            matches = [m for n, m in corpus if n == args.benchmark]
+            if not matches:
+                names = ", ".join(n for n, _ in corpus)
+                print(f"no benchmark {args.benchmark!r} in {args.suite} "
+                      f"(have: {names})", file=sys.stderr)
+                return 1
+            module = matches[0]
+        else:
+            module = corpus[0][1]
+    elif args.input:
+        text = sys.stdin.read() if args.input == "-" else open(args.input).read()
+        module = parse_module(text)
+    else:
+        parser.error("provide an input file or --suite")
+
+    action_space = make_action_space(args.action_space)
+    engine = MetricsEngine(target=args.target, enabled=not args.no_cache)
+    env = PhaseOrderingEnv(
+        module,
+        action_space=action_space,
+        target=args.target,
+        episode_length=max(args.steps, 1),
+        metrics=engine,
+    )
+    import numpy as np
+
+    rng = np.random.RandomState(args.seed)
+    actions = [int(rng.randint(len(action_space))) for _ in range(args.steps)]
+
+    clock = _StageClock()
+    _instrument(env, engine, clock)
+    start = time.perf_counter()
+    for _ in range(args.episodes):
+        _profile_episode(env, actions)
+    wall = time.perf_counter() - start
+
+    mode = "uncached" if args.no_cache else "cached"
+    print(f"profile: {args.episodes} episode(s) x {args.steps} steps "
+          f"({mode}, target {args.target})")
+    print(f"{'stage':<12} {'total s':>10} {'calls':>7} {'ms/call':>9} {'share':>7}")
+    for stage in ("passes", "codegen", "mca", "embedding", "fingerprint"):
+        total = clock.totals.get(stage, 0.0)
+        calls = clock.calls.get(stage, 0)
+        per = 1000.0 * total / calls if calls else 0.0
+        share = 100.0 * total / wall if wall else 0.0
+        print(f"{stage:<12} {total:>10.4f} {calls:>7} {per:>9.3f} {share:>6.1f}%")
+    print(f"{'wall':<12} {wall:>10.4f}")
+
+    if engine.enabled:
+        print("\ncache counters:")
+        for name, counters in engine.stats().items():
+            print(f"  {name:<12} hits={counters['hits']:<8.0f} "
+                  f"misses={counters['misses']:<8.0f} "
+                  f"evictions={counters['evictions']:<6.0f} "
+                  f"hit_rate={counters['hit_rate']:.2%}")
+    return 0
+
+
+def main() -> int:  # pragma: no cover - console entry
+    try:
+        return run()
+    except BrokenPipeError:
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,54 @@
+"""Process-pool suite evaluation: parallel results must match serial."""
+
+import pytest
+
+from repro.core import PosetRL, evaluate_suite
+from repro.core.presets import quick_config
+from repro.workloads import load_suite
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return load_suite("mibench")[:4]
+
+
+@pytest.fixture(scope="module")
+def agent(corpus):
+    a = PosetRL(seed=0, agent_config=quick_config())
+    a.train(corpus, episodes=2)
+    return a
+
+
+def test_parallel_matches_serial(agent, corpus):
+    serial = agent.evaluate_suite("mibench", corpus)
+    parallel = agent.evaluate_suite("mibench", corpus, max_workers=2)
+    assert [r.name for r in parallel.results] == [
+        r.name for r in serial.results
+    ]
+    for s, p in zip(serial.results, parallel.results):
+        assert p.oz_size == s.oz_size
+        assert p.agent_size == s.agent_size
+        assert p.oz_cycles == s.oz_cycles
+        assert p.agent_cycles == s.agent_cycles
+        assert p.actions == s.actions
+
+
+def test_function_form_parallel(agent, corpus):
+    summary = evaluate_suite(
+        "mibench",
+        corpus,
+        predict=agent.predict,
+        apply_actions=agent.apply_actions,
+        target=agent.target,
+        max_workers=2,
+    )
+    assert len(summary.results) == len(corpus)
+    assert summary.suite == "mibench"
+
+
+def test_single_worker_is_serial(agent, corpus):
+    one = agent.evaluate_suite("mibench", corpus[:2], max_workers=1)
+    none = agent.evaluate_suite("mibench", corpus[:2])
+    assert [r.agent_size for r in one.results] == [
+        r.agent_size for r in none.results
+    ]

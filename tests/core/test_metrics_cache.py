@@ -1,0 +1,213 @@
+"""Incremental metrics engine: cached == uncached, hit accounting,
+no-op visibility, and the shared-default-weights fix."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MetricsEngine,
+    PhaseOrderingEnv,
+    PosetRL,
+    RewardWeights,
+)
+from repro.core.metrics import Transition, TransitionCache
+from repro.caching import LRUCache
+from repro.workloads import ProgramProfile, generate_program, load_suite
+
+EVAL_SUITES = ("mibench", "spec2006", "spec2017")
+
+
+def fixed_actions(env, seed, length=15):
+    rng = np.random.RandomState(seed)
+    return [int(rng.randint(env.num_actions)) for _ in range(length)]
+
+
+@pytest.fixture(scope="module")
+def module():
+    return generate_program(ProgramProfile(name="mc", seed=23, segments=6))
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("suite", EVAL_SUITES)
+    def test_cached_rollout_bit_identical_on_suite(self, suite):
+        """Cached env must reproduce the uncached metrics exactly on every
+        workload-suite module (sizes, throughputs and state embeddings)."""
+        for seed_offset, (name, mod) in enumerate(load_suite(suite)):
+            cached = PhaseOrderingEnv(mod, cache=True)
+            uncached = PhaseOrderingEnv(mod, cache=False)
+            actions = fixed_actions(cached, seed=seed_offset)
+
+            assert cached.base_size == uncached.base_size
+            assert cached.base_throughput == uncached.base_throughput
+            sc = cached.reset()
+            su = uncached.reset()
+            assert np.array_equal(sc, su), f"{suite}/{name}: reset state"
+            for action in actions:
+                state_c, reward_c, _, info_c = cached.step(action)
+                state_u, reward_u, _, info_u = uncached.step(action)
+                assert info_c.bin_size == info_u.bin_size, f"{suite}/{name}"
+                assert info_c.throughput == info_u.throughput, f"{suite}/{name}"
+                assert reward_c == reward_u, f"{suite}/{name}"
+                assert np.array_equal(state_c, state_u), f"{suite}/{name}"
+
+    def test_repeated_episode_stays_identical(self, module):
+        """Transition-cache replay (episode 2+) must serve the exact
+        metrics the first episode computed."""
+        cached = PhaseOrderingEnv(module, cache=True)
+        uncached = PhaseOrderingEnv(module, cache=False)
+        # Distinct actions ⇒ distinct transition keys ⇒ a miss-only first
+        # episode and a hit-only replay.
+        actions = list(np.random.RandomState(99).permutation(cached.num_actions)[:15])
+        first = cached.rollout(actions)
+        assert not any(i.cache_hit for i in first)
+        replay = cached.rollout(actions)
+        assert all(i.cache_hit for i in replay)
+        baseline = uncached.rollout(actions)
+        for a, b in zip(replay, baseline):
+            assert a.bin_size == b.bin_size
+            assert a.throughput == b.throughput
+
+    def test_shared_engine_across_envs(self, module):
+        """PosetRL-style sharing: one engine, many envs over the same
+        module — second env's episode is served from the cache."""
+        engine = MetricsEngine()
+        env1 = PhaseOrderingEnv(module, metrics=engine)
+        actions = fixed_actions(env1, seed=3)
+        env1.rollout(actions)
+        env2 = PhaseOrderingEnv(module, metrics=engine)
+        infos = env2.rollout(actions)
+        assert all(i.cache_hit for i in infos)
+
+
+class TestTransitionAccounting:
+    def test_hit_miss_counters(self, module):
+        env = PhaseOrderingEnv(module, cache=True)
+        actions = list(range(10))  # distinct ⇒ distinct transition keys
+        env.rollout(actions)
+        stats = env.cache_stats()["transitions"]
+        assert stats["misses"] == 10
+        assert stats["hits"] == 0
+        env.rollout(actions)
+        stats = env.cache_stats()["transitions"]
+        assert stats["hits"] == 10
+        assert stats["misses"] == 10
+
+    def test_prefix_sharing_between_sequences(self, module):
+        """Two action sequences sharing a prefix share cached transitions."""
+        env = PhaseOrderingEnv(module, cache=True)
+        env.rollout([1, 2, 3, 4])
+        before = env.cache_stats()["transitions"]
+        env.rollout([1, 2, 3, 7])
+        after = env.cache_stats()["transitions"]
+        assert after["hits"] - before["hits"] == 3
+        assert after["misses"] - before["misses"] == 1
+
+    def test_eviction_counting(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.stats.evictions == 1
+        assert "a" not in cache and "c" in cache
+
+    def test_transition_cache_capacity(self):
+        tc = TransitionCache(capacity=1)
+        t = Transition(
+            result_fingerprint="x", changed=False, size=1, throughput=1.0,
+            cycles=1.0, embedding=np.zeros(4), module=None,
+        )
+        tc.put("fp1", 0, t)
+        tc.put("fp2", 0, t)
+        assert len(tc) == 1
+        assert tc.stats.evictions == 1
+
+    def test_function_cache_hits_on_partial_change(self, module):
+        """A step that leaves most functions untouched re-measures only
+        the changed ones: per-function caches must show hits."""
+        engine = MetricsEngine()
+        env = PhaseOrderingEnv(module, metrics=engine)
+        env.reset()
+        for action in fixed_actions(env, seed=13, length=8):
+            env.step(action)
+        stats = engine.stats()
+        assert stats["size"]["hits"] > 0
+        assert stats["mca"]["hits"] > 0
+        assert stats["embedding"]["hits"] > 0
+
+
+class TestNoOpVisibility:
+    def test_noop_actions_recorded_in_stepinfo(self, module):
+        """Re-applying the same subsequence at a fixpoint is a no-op and
+        must be visible as ``changed=False`` with unchanged metrics."""
+        env = PhaseOrderingEnv(module, cache=True)
+        env.reset()
+        action = 0
+        # Drive to the action's fixpoint, then one more application.
+        last = None
+        for _ in range(6):
+            _, _, _, info = env.step(action)
+            last = info
+        assert last is not None and not last.changed
+        assert last.bin_size == env.last_size
+
+    def test_noop_has_zero_reward(self, module):
+        env = PhaseOrderingEnv(module, cache=True, episode_length=8)
+        env.reset()
+        rewards = []
+        for _ in range(8):
+            _, reward, _, info = env.step(2)
+            rewards.append((reward, info.changed))
+        # Once the fixpoint is reached every later step is a free no-op.
+        tail = [r for r, changed in rewards if not changed]
+        assert all(r == 0.0 for r in tail)
+
+    def test_uncached_env_also_records_changed_flag(self, module):
+        env = PhaseOrderingEnv(module, cache=False)
+        env.reset()
+        for _ in range(6):
+            _, _, _, info = env.step(0)
+        assert info.changed is False
+
+
+class TestWeightsDefault:
+    def test_env_weights_not_shared_between_instances(self, module):
+        a = PhaseOrderingEnv(module)
+        b = PhaseOrderingEnv(module)
+        assert a.weights is not b.weights
+        assert a.weights == RewardWeights()
+
+    def test_agent_weights_not_shared_between_instances(self):
+        a = PosetRL(seed=0)
+        b = PosetRL(seed=1)
+        assert a.weights is not b.weights
+
+    def test_explicit_weights_still_respected(self, module):
+        w = RewardWeights(alpha=1.0, beta=0.0)
+        env = PhaseOrderingEnv(module, weights=w)
+        assert env.weights is w
+
+
+class TestEngineLifecycle:
+    def test_clear_resets_counters_and_contents(self, module):
+        engine = MetricsEngine()
+        env = PhaseOrderingEnv(module, metrics=engine)
+        env.rollout([0, 1, 2])
+        assert len(engine.transitions) > 0
+        engine.clear()
+        assert len(engine.transitions) == 0
+        assert engine.stats()["size"]["hits"] == 0
+
+    def test_disabled_engine_reports_disabled(self, module):
+        env = PhaseOrderingEnv(module, cache=False)
+        assert env.cache_stats() == {"enabled": {"enabled": 0.0}}
+
+    def test_pickling_drops_cache_contents(self, module):
+        import pickle
+
+        agent = PosetRL(seed=0)
+        env = agent.make_env(module)
+        env.rollout([0, 1, 2, 3])
+        assert len(agent.metrics.transitions) > 0
+        restored = pickle.loads(pickle.dumps(agent))
+        assert restored.metrics.enabled
+        assert len(restored.metrics.transitions) == 0
