@@ -1,6 +1,6 @@
 """POSET-RL core: ODG, action spaces, environment, rewards, agent facade."""
 
-from .agent_api import PosetRL, TrainStats
+from .agent_api import PosetRL, TrainStats, TrainThroughput
 from .environment import (
     ActionSpace,
     DEFAULT_EPISODE_LENGTH,
@@ -34,6 +34,7 @@ from .search import (
     rollout_policy,
 )
 from .rewards import ALPHA, BETA, RewardWeights, binsize_reward, combined_reward, throughput_reward
+from .vector_env import EnvSpec, EpisodeRecord, VectorPhaseOrderingEnv
 from .subsequences import (
     MANUAL_SUBSEQUENCES,
     OZ_PASS_SEQUENCE,
@@ -48,6 +49,8 @@ __all__ = [
     "BenchmarkResult",
     "DEFAULT_CRITICAL_DEGREE",
     "DEFAULT_EPISODE_LENGTH",
+    "EnvSpec",
+    "EpisodeRecord",
     "MANUAL_SUBSEQUENCES",
     "MetricsEngine",
     "ModuleMetrics",
@@ -62,7 +65,9 @@ __all__ = [
     "StepInfo",
     "SuiteSummary",
     "TrainStats",
+    "TrainThroughput",
     "Transition",
+    "VectorPhaseOrderingEnv",
     "TransitionCache",
     "binsize_reward",
     "combined_reward",

@@ -8,6 +8,7 @@ benchmark harness drive.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -24,6 +25,7 @@ from .environment import (
 from .evaluate import BenchmarkResult, SuiteSummary, evaluate_suite
 from .metrics import MetricsEngine
 from .rewards import RewardWeights
+from .vector_env import EnvSpec, VectorPhaseOrderingEnv
 
 
 @dataclass
@@ -36,6 +38,38 @@ class TrainStats:
     final_size: int
     epsilon: float
     actions: List[int] = field(default_factory=list)
+
+
+@dataclass
+class TrainThroughput:
+    """Wall-clock throughput of one training run."""
+
+    n_envs: int
+    workers: int
+    total_steps: int
+    episodes: int
+    wall_seconds: float
+    train_updates: int
+
+    @property
+    def steps_per_second(self) -> float:
+        return self.total_steps / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def episodes_per_second(self) -> float:
+        return self.episodes / self.wall_seconds if self.wall_seconds else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "n_envs": self.n_envs,
+            "workers": self.workers,
+            "total_steps": self.total_steps,
+            "episodes": self.episodes,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "train_updates": self.train_updates,
+            "steps_per_second": round(self.steps_per_second, 2),
+            "episodes_per_second": round(self.episodes_per_second, 2),
+        }
 
 
 class PosetRL:
@@ -69,6 +103,9 @@ class PosetRL:
         self.agent = agent_cls(config)
         self._rng = np.random.RandomState(seed + 13)
         self.train_history: List[TrainStats] = []
+        #: Throughput report of the most recent :meth:`train` /
+        #: :meth:`train_vectorized` call.
+        self.last_train_throughput: Optional[TrainThroughput] = None
 
     # -- environments --------------------------------------------------------
     def make_env(self, module: Module) -> PhaseOrderingEnv:
@@ -102,6 +139,8 @@ class PosetRL:
             raise ValueError("training corpus is empty")
         envs: Dict[str, PhaseOrderingEnv] = {}
         stats: List[TrainStats] = []
+        start = time.perf_counter()
+        train_updates_before = self.agent.train_steps
         for episode in range(episodes):
             name, module = modules[int(self._rng.randint(len(modules)))]
             env = envs.get(name)
@@ -130,6 +169,122 @@ class PosetRL:
             stats.append(record)
             if callback is not None:
                 callback(record)
+        self.last_train_throughput = TrainThroughput(
+            n_envs=1,
+            workers=0,
+            total_steps=sum(len(s.actions) for s in stats),
+            episodes=len(stats),
+            wall_seconds=time.perf_counter() - start,
+            train_updates=self.agent.train_steps - train_updates_before,
+        )
+        self.train_history.extend(stats)
+        return stats
+
+    def make_vector_env(
+        self,
+        modules: Sequence[Tuple[str, Module]],
+        n_envs: int,
+        workers: int = 0,
+    ) -> VectorPhaseOrderingEnv:
+        """``n_envs`` lockstep environments over ``modules``.
+
+        In-process slots share this facade's metrics engine (and its
+        corpus-sampling RNG, so vectorized and serial training draw the
+        same module sequence). ``workers > 0`` moves environment stepping
+        into that many child processes — each worker then owns a private
+        engine, since caches cannot cross the process boundary.
+        """
+        if workers:
+            spec = EnvSpec(
+                action_space_kind=self.action_space_kind,
+                target=self.target,
+                weights=self.weights,
+                episode_length=self.episode_length,
+                cache=self.metrics.enabled,
+            )
+            return VectorPhaseOrderingEnv(
+                modules, n_envs, rng=self._rng, workers=workers, spec=spec
+            )
+        return VectorPhaseOrderingEnv(
+            modules, n_envs, env_factory=self.make_env, rng=self._rng
+        )
+
+    def train_vectorized(
+        self,
+        modules: Sequence[Tuple[str, Module]],
+        total_steps: Optional[int] = None,
+        n_envs: int = 8,
+        *,
+        episodes: Optional[int] = None,
+        workers: int = 0,
+        callback: Optional[Callable[[TrainStats], None]] = None,
+    ) -> List[TrainStats]:
+        """Batched ε-greedy training: ``n_envs`` environments per decision.
+
+        Each iteration makes one batched ``act_batch`` forward over the
+        ``(n_envs, state_dim)`` observation matrix, steps every
+        environment in lockstep, and stores the resulting transitions
+        with serial per-transition semantics (step counting, training
+        cadence, target syncs). With ``n_envs=1`` this reproduces
+        :meth:`train` bit-for-bit for the same seed; larger ``n_envs``
+        amortizes the network forward — and, with ``workers``, overlaps
+        environment stepping across processes.
+
+        Give exactly one of ``total_steps`` (environment transitions,
+        summed over envs; the loop stops at the first lockstep boundary
+        ≥ it) or ``episodes`` (converted via ``episode_length``).
+        Episode records match :meth:`train`'s and extend
+        ``train_history``; the wall-clock summary lands in
+        :attr:`last_train_throughput`.
+        """
+        if (total_steps is None) == (episodes is None):
+            raise ValueError("specify exactly one of total_steps / episodes")
+        if episodes is not None:
+            total_steps = episodes * self.episode_length
+        assert total_steps is not None
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+
+        venv = self.make_vector_env(modules, n_envs, workers=workers)
+        stats: List[TrainStats] = []
+        steps_done = 0
+        train_updates_before = self.agent.train_steps
+        start = time.perf_counter()
+        try:
+            venv.reset()
+            while steps_done < total_steps:
+                # Pending auto-resets materialize here — after the
+                # previous step's transitions were stored, which is when
+                # the serial loop would sample its next module.
+                states = venv.observations
+                actions = self.agent.act_batch(states)
+                next_states, rewards, dones, _infos = venv.step(actions)
+                self.agent.remember_batch(
+                    states, actions, rewards, next_states, dones
+                )
+                steps_done += venv.n_envs
+                for rec in venv.pop_completed():
+                    record = TrainStats(
+                        episode=len(stats),
+                        module=rec.module,
+                        total_reward=rec.total_reward,
+                        final_size=rec.final_size,
+                        epsilon=self.agent.epsilon,
+                        actions=rec.actions,
+                    )
+                    stats.append(record)
+                    if callback is not None:
+                        callback(record)
+        finally:
+            venv.close()
+        self.last_train_throughput = TrainThroughput(
+            n_envs=n_envs,
+            workers=venv.workers,
+            total_steps=steps_done,
+            episodes=len(stats),
+            wall_seconds=time.perf_counter() - start,
+            train_updates=self.agent.train_steps - train_updates_before,
+        )
         self.train_history.extend(stats)
         return stats
 

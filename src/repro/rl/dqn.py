@@ -76,11 +76,39 @@ class DQNAgent:
         """ε-greedy action (or pure greedy for evaluation)."""
         if not greedy and self._rng.random_sample() < self.epsilon:
             return int(self._rng.randint(self.config.num_actions))
-        q = self.online.predict(np.asarray(state, dtype=np.float64))
+        # ``predict`` normalizes dtype at its own boundary; no extra copy.
+        q = self.online.predict(state)
         return int(np.argmax(q))
 
+    def act_batch(self, states: np.ndarray, greedy: bool = False) -> np.ndarray:
+        """ε-greedy actions for a whole ``(n, state_dim)`` batch.
+
+        One ``QNetwork.predict`` forward serves every row. The per-row
+        exploration draws happen in row order with exactly the calls
+        :meth:`act` makes, so with ``n == 1`` the RNG stream — and
+        therefore the chosen action sequence — is identical to calling
+        :meth:`act` once per step.
+        """
+        states = np.asarray(states, dtype=np.float64)
+        if states.ndim != 2:
+            raise ValueError(f"expected (n, state_dim) batch, got {states.shape}")
+        n = states.shape[0]
+        actions = np.empty(n, dtype=np.int64)
+        explore = np.zeros(n, dtype=bool)
+        if not greedy:
+            eps = self.epsilon
+            for i in range(n):
+                if self._rng.random_sample() < eps:
+                    explore[i] = True
+                    actions[i] = int(self._rng.randint(self.config.num_actions))
+        exploit = ~explore
+        if exploit.any():
+            q = self.online.predict(states)
+            actions[exploit] = q.argmax(axis=1)[exploit]
+        return actions
+
     def q_values(self, state: np.ndarray) -> np.ndarray:
-        return self.online.predict(np.asarray(state, dtype=np.float64))
+        return self.online.predict(state)
 
     # -- learning ----------------------------------------------------------------
     def remember(
@@ -94,6 +122,68 @@ class DQNAgent:
         self.memory.push(
             state, action, reward * self.config.reward_scale, next_state, done
         )
+        self._after_push()
+
+    def remember_batch(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_states: np.ndarray,
+        dones: np.ndarray,
+    ) -> None:
+        """Store ``n`` transitions (rows), preserving serial semantics.
+
+        Step counting, the ``train_every`` training cadence and target
+        synchronization all remain *per transition*: a training update
+        that serial :meth:`remember` would have run between two pushes
+        still runs between them here, so ``n == 1`` batches reproduce
+        the serial trajectory bit-for-bit and larger batches change
+        nothing about when (or on what) the network trains.
+
+        Insertion is still vectorized: updates and target syncs can only
+        fire at ``train_every`` / ``target_sync_every`` step boundaries,
+        so transitions are bulk-written with ``push_batch`` in chunks
+        that end exactly on those boundaries — identical observable
+        behavior, far fewer per-row Python round-trips.
+        """
+        c = self.config
+        states = np.atleast_2d(np.asarray(states))
+        next_states = np.atleast_2d(np.asarray(next_states))
+        actions = np.asarray(actions)
+        dones = np.asarray(dones)
+        scaled = np.asarray(rewards, dtype=np.float64) * c.reward_scale
+        n = len(actions)
+        i = 0
+        while i < n:
+            remaining = n - i
+            if len(self.memory) + remaining < c.min_replay:
+                # No update can fire inside this batch; only sync
+                # boundaries limit the chunk.
+                to_train = remaining
+            else:
+                to_train = c.train_every - (self.steps % c.train_every)
+            to_sync = c.target_sync_every - (self.steps % c.target_sync_every)
+            chunk = min(remaining, to_train, to_sync)
+            end = i + chunk
+            self.memory.push_batch(
+                states[i:end],
+                actions[i:end],
+                scaled[i:end],
+                next_states[i:end],
+                dones[i:end],
+            )
+            self.steps += chunk
+            i = end
+            if (
+                len(self.memory) >= c.min_replay
+                and self.steps % c.train_every == 0
+            ):
+                self.last_loss = self._train_step()
+            if self.steps % c.target_sync_every == 0:
+                self.target.copy_from(self.online)
+
+    def _after_push(self) -> None:
         self.steps += 1
         c = self.config
         if len(self.memory) >= c.min_replay and self.steps % c.train_every == 0:

@@ -69,9 +69,16 @@ class QNetwork:
 
     # -- inference ----------------------------------------------------------
     def predict(self, states: np.ndarray) -> np.ndarray:
-        """Q-values for a batch (or single) state."""
-        squeeze = states.ndim == 1
-        x = np.atleast_2d(states).astype(np.float64)
+        """Q-values for a batch (or single) state.
+
+        ``np.asarray`` keeps already-float64 inputs as views — the act
+        path hands states straight from the environment every step, so
+        the cast must be a no-op for them.
+        """
+        x = np.asarray(states, dtype=np.float64)
+        squeeze = x.ndim == 1
+        if squeeze:
+            x = x[np.newaxis, :]
         for layer in self.layers:
             _, x = layer.forward(x)
         return x[0] if squeeze else x
@@ -85,7 +92,7 @@ class QNetwork:
         huber_delta: float = 1.0,
     ) -> float:
         """One Adam step fitting Q(s, a) toward ``targets``; returns loss."""
-        x = np.atleast_2d(states).astype(np.float64)
+        x = np.atleast_2d(np.asarray(states, dtype=np.float64))
         batch = x.shape[0]
         activations: List[np.ndarray] = [x]
         pres: List[np.ndarray] = []
@@ -156,18 +163,47 @@ class QNetwork:
     def copy_from(self, other: "QNetwork") -> None:
         self.set_weights(other.get_weights())
 
+    @property
+    def hidden(self) -> Tuple[int, ...]:
+        """Hidden-layer widths (every layer output except the head's)."""
+        return tuple(layer.weight.shape[1] for layer in self.layers[:-1])
+
     def save(self, path: str) -> None:
         arrays = {f"p{i}": w for i, w in enumerate(self.get_weights())}
+        # ``meta`` carries the architecture: without the hidden widths a
+        # checkpoint from a non-default network silently mis-shaped (or
+        # crashed) on load.
         arrays["meta"] = np.array(
             [self.state_dim, self.num_actions, self.learning_rate]
         )
+        arrays["hidden"] = np.array(self.hidden, dtype=np.int64)
         np.savez(path, **arrays)
 
     @classmethod
-    def load(cls, path: str, hidden: Sequence[int] = (128, 64)) -> "QNetwork":
+    def load(cls, path: str, hidden: Optional[Sequence[int]] = None) -> "QNetwork":
+        """Restore a checkpoint.
+
+        The architecture is read from the file itself: the ``hidden``
+        array when present, otherwise (legacy checkpoints) inferred from
+        the stored weight-matrix shapes. An explicit ``hidden`` argument
+        is validated against the file rather than trusted.
+        """
         data = np.load(path)
         meta = data["meta"]
-        net = cls(int(meta[0]), int(meta[1]), hidden, float(meta[2]))
+        if "hidden" in data.files:
+            stored: Tuple[int, ...] = tuple(int(h) for h in data["hidden"])
+        else:
+            param_keys = [k for k in data.files if k.startswith("p")]
+            n_layers = len(param_keys) // 2
+            stored = tuple(
+                int(data[f"p{2 * i}"].shape[1]) for i in range(n_layers - 1)
+            )
+        if hidden is not None and tuple(hidden) != stored:
+            raise ValueError(
+                f"checkpoint {path!r} has hidden layers {stored}, "
+                f"not {tuple(hidden)}"
+            )
+        net = cls(int(meta[0]), int(meta[1]), stored, float(meta[2]))
         weights = [data[f"p{i}"] for i in range(2 * len(net.layers))]
         net.set_weights(weights)
         return net

@@ -1,9 +1,22 @@
-"""Experience replay memory."""
+"""Experience replay memory.
+
+Storage is a set of preallocated numpy ring arrays (states, actions,
+rewards, next-states, done flags) rather than a Python list of
+per-transition objects: pushes write rows in place, batches gather with
+one fancy-index per array, and whole trajectories can be inserted at
+once with :meth:`ReplayMemory.push_batch`. The public API — ``push`` /
+``sample`` / ``len`` — and the uniform-sampling RNG stream are unchanged
+from the original list-backed implementation, so a fixed seed draws the
+same indices (and therefore bit-identical batches) as before.
+
+:class:`Transition` is kept as a compatibility view type:
+``memory[i]`` materializes the ``i``-th oldest stored transition.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -18,19 +31,40 @@ class Transition:
 
 
 class ReplayMemory:
-    """Fixed-capacity ring buffer of transitions with uniform sampling."""
+    """Fixed-capacity ring buffer of transitions with uniform sampling.
+
+    Arrays are allocated lazily on the first push (the state dimension is
+    not known earlier); every later transition must share that shape.
+    """
 
     def __init__(self, capacity: int = 10_000, seed: int = 0):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self._items: List[Optional[Transition]] = [None] * capacity
         self._write = 0
         self._size = 0
         self._rng = np.random.RandomState(seed)
+        self._states: Optional[np.ndarray] = None
+        self._actions: Optional[np.ndarray] = None
+        self._rewards: Optional[np.ndarray] = None
+        self._next_states: Optional[np.ndarray] = None
+        self._dones: Optional[np.ndarray] = None
 
     def __len__(self) -> int:
         return self._size
+
+    @property
+    def state_dim(self) -> Optional[int]:
+        """Flattened state width, or ``None`` before the first push."""
+        return None if self._states is None else self._states.shape[1]
+
+    def _allocate(self, state: np.ndarray) -> None:
+        width = int(np.asarray(state).size)
+        self._states = np.zeros((self.capacity, width), dtype=np.float32)
+        self._next_states = np.zeros((self.capacity, width), dtype=np.float32)
+        self._actions = np.zeros(self.capacity, dtype=np.int64)
+        self._rewards = np.zeros(self.capacity, dtype=np.float64)
+        self._dones = np.zeros(self.capacity, dtype=bool)
 
     def push(
         self,
@@ -40,15 +74,69 @@ class ReplayMemory:
         next_state: np.ndarray,
         done: bool,
     ) -> None:
-        self._items[self._write] = Transition(
-            np.asarray(state, dtype=np.float32),
-            int(action),
-            float(reward),
-            np.asarray(next_state, dtype=np.float32),
-            bool(done),
-        )
+        if self._states is None:
+            self._allocate(np.asarray(state))
+        assert self._states is not None
+        i = self._write
+        self._states[i] = np.asarray(state, dtype=np.float32).ravel()
+        self._actions[i] = int(action)
+        self._rewards[i] = float(reward)
+        self._next_states[i] = np.asarray(next_state, dtype=np.float32).ravel()
+        self._dones[i] = bool(done)
         self._write = (self._write + 1) % self.capacity
         self._size = min(self._size + 1, self.capacity)
+
+    def push_batch(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        rewards: np.ndarray,
+        next_states: np.ndarray,
+        dones: np.ndarray,
+    ) -> None:
+        """Insert ``n`` transitions at once (rows of the given arrays).
+
+        Equivalent to ``n`` sequential pushes — including ring wraparound
+        order — but writes each array with at most two slice assignments.
+        """
+        states = np.asarray(states, dtype=np.float32)
+        n = states.shape[0]
+        if n == 0:
+            return
+        if n > self.capacity:
+            # Only the last ``capacity`` transitions survive n pushes.
+            self.push_batch(
+                states[-self.capacity:],
+                np.asarray(actions)[-self.capacity:],
+                np.asarray(rewards)[-self.capacity:],
+                np.asarray(next_states)[-self.capacity:],
+                np.asarray(dones)[-self.capacity:],
+            )
+            return
+        if self._states is None:
+            self._allocate(states[0])
+        assert self._states is not None
+        next_states = np.asarray(next_states, dtype=np.float32)
+        actions = np.asarray(actions, dtype=np.int64).ravel()
+        rewards = np.asarray(rewards, dtype=np.float64).ravel()
+        dones = np.asarray(dones, dtype=bool).ravel()
+
+        first = min(n, self.capacity - self._write)
+        rest = n - first
+        dest = slice(self._write, self._write + first)
+        self._states[dest] = states[:first].reshape(first, -1)
+        self._next_states[dest] = next_states[:first].reshape(first, -1)
+        self._actions[dest] = actions[:first]
+        self._rewards[dest] = rewards[:first]
+        self._dones[dest] = dones[:first]
+        if rest:
+            self._states[:rest] = states[first:].reshape(rest, -1)
+            self._next_states[:rest] = next_states[first:].reshape(rest, -1)
+            self._actions[:rest] = actions[first:]
+            self._rewards[:rest] = rewards[first:]
+            self._dones[:rest] = dones[first:]
+        self._write = (self._write + n) % self.capacity
+        self._size = min(self._size + n, self.capacity)
 
     def sample(
         self, batch_size: int
@@ -56,11 +144,26 @@ class ReplayMemory:
         """Uniform batch as stacked arrays (s, a, r, s', done)."""
         if batch_size > self._size:
             raise ValueError("not enough transitions to sample")
+        assert self._states is not None
         indices = self._rng.randint(0, self._size, size=batch_size)
-        batch = [self._items[i] for i in indices]
-        states = np.stack([t.state for t in batch])  # type: ignore[union-attr]
-        actions = np.array([t.action for t in batch], dtype=np.int64)  # type: ignore[union-attr]
-        rewards = np.array([t.reward for t in batch], dtype=np.float64)  # type: ignore[union-attr]
-        next_states = np.stack([t.next_state for t in batch])  # type: ignore[union-attr]
-        dones = np.array([t.done for t in batch], dtype=bool)  # type: ignore[union-attr]
-        return states, actions, rewards, next_states, dones
+        return (
+            self._states[indices],
+            self._actions[indices],
+            self._rewards[indices],
+            self._next_states[indices],
+            self._dones[indices],
+        )
+
+    def __getitem__(self, index: int) -> Transition:
+        """The ``index``-th oldest transition as a :class:`Transition`."""
+        if not (0 <= index < self._size):
+            raise IndexError(f"transition {index} out of range")
+        assert self._states is not None
+        i = (self._write - self._size + index) % self.capacity
+        return Transition(
+            state=self._states[i].copy(),
+            action=int(self._actions[i]),
+            reward=float(self._rewards[i]),
+            next_state=self._next_states[i].copy(),
+            done=bool(self._dones[i]),
+        )

@@ -5,12 +5,22 @@ pipeline (``apply``), codegen size, MCA scheduling, IR2Vec embedding,
 fingerprinting — and prints a table of per-stage totals, plus cache
 counters when the incremental metrics engine is on.
 
+``--train N`` switches to the training-throughput harness: it runs
+``PosetRL.train_vectorized`` for N environment steps over the selected
+corpus and prints the :class:`~repro.core.agent_api.TrainThroughput`
+report (steps/sec, episodes/sec, training updates). ``--compare-serial``
+additionally times the serial ``PosetRL.train`` loop on the same budget
+and prints the speedup.
+
 Examples::
 
     python -m repro.tools.profile input.ll
     python -m repro.tools.profile --suite mibench --benchmark susan
     python -m repro.tools.profile --no-cache --steps 30 input.ll
     python -m repro.tools.profile --episodes 5 input.ll   # repeat to see hits
+    python -m repro.tools.profile --suite mibench --train 480 --n-envs 8
+    python -m repro.tools.profile --suite mibench --train 480 --n-envs 8 \\
+        --workers 8 --no-cache --compare-serial
 """
 
 from __future__ import annotations
@@ -73,6 +83,56 @@ def _profile_episode(env, actions) -> None:
         env.step(action)
 
 
+def _print_throughput(label: str, report) -> None:
+    print(f"{label:<12} steps={report.total_steps:<7} "
+          f"episodes={report.episodes:<5} wall={report.wall_seconds:>8.3f}s  "
+          f"steps/s={report.steps_per_second:>8.1f}  "
+          f"episodes/s={report.episodes_per_second:>7.2f}  "
+          f"updates={report.train_updates}")
+
+
+def _run_train_harness(args, corpus) -> int:
+    """Time ``train_vectorized`` (and optionally the serial loop)."""
+    from ..core.agent_api import PosetRL
+
+    def make_agent() -> PosetRL:
+        return PosetRL(
+            action_space=args.action_space,
+            target=args.target,
+            episode_length=max(args.steps, 1),
+            seed=args.seed,
+            cache=not args.no_cache,
+        )
+
+    mode = "uncached" if args.no_cache else "cached"
+    print(f"training-throughput harness: {args.train} steps, "
+          f"n_envs={args.n_envs}, workers={args.workers}, "
+          f"corpus={len(corpus)} module(s), {mode}")
+    agent = make_agent()
+    agent.train_vectorized(
+        corpus, total_steps=args.train, n_envs=args.n_envs,
+        workers=args.workers,
+    )
+    vec = agent.last_train_throughput
+    _print_throughput("vectorized", vec)
+    if args.compare_serial:
+        serial_agent = make_agent()
+        episodes = max(1, args.train // max(args.steps, 1))
+        serial_agent.train(corpus, episodes=episodes)
+        serial = serial_agent.last_train_throughput
+        _print_throughput("serial", serial)
+        if serial.steps_per_second:
+            print(f"speedup: {vec.steps_per_second / serial.steps_per_second:.2f}x "
+                  f"(vectorized vs serial steps/sec)")
+    if not args.no_cache:
+        print("\ncache counters:")
+        for name, counters in agent.cache_stats().items():
+            print(f"  {name:<12} hits={counters['hits']:<8.0f} "
+                  f"misses={counters['misses']:<8.0f} "
+                  f"hit_rate={counters['hit_rate']:.2%}")
+    return 0
+
+
 def run(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(prog="repro-profile", description=__doc__)
     parser.add_argument("--target", default="x86-64",
@@ -90,31 +150,47 @@ def run(argv: Optional[List[str]] = None) -> int:
                         "instead of an input file")
     parser.add_argument("--benchmark",
                         help="benchmark name within --suite (default: first)")
+    parser.add_argument("--train", type=int, metavar="STEPS",
+                        help="run the training-throughput harness for this "
+                        "many environment steps instead of stage profiling")
+    parser.add_argument("--n-envs", type=int, default=8,
+                        help="vector width for --train (default 8)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="environment worker processes for --train "
+                        "(default 0: step in-process)")
+    parser.add_argument("--compare-serial", action="store_true",
+                        help="with --train: also time the serial train loop "
+                        "and print the speedup")
     parser.add_argument("input", nargs="?",
                         help="textual IR file (- for stdin)")
     args = parser.parse_args(argv)
 
     if args.suite:
         try:
-            corpus = load_suite(args.suite)
+            suite_corpus = load_suite(args.suite)
         except KeyError as exc:
             print(exc.args[0], file=sys.stderr)
             return 1
         if args.benchmark:
-            matches = [m for n, m in corpus if n == args.benchmark]
+            matches = [(n, m) for n, m in suite_corpus if n == args.benchmark]
             if not matches:
-                names = ", ".join(n for n, _ in corpus)
+                names = ", ".join(n for n, _ in suite_corpus)
                 print(f"no benchmark {args.benchmark!r} in {args.suite} "
                       f"(have: {names})", file=sys.stderr)
                 return 1
-            module = matches[0]
+            corpus = matches
         else:
-            module = corpus[0][1]
+            corpus = list(suite_corpus)
+        module = corpus[0][1]
     elif args.input:
         text = sys.stdin.read() if args.input == "-" else open(args.input).read()
         module = parse_module(text)
+        corpus = [(args.input, module)]
     else:
         parser.error("provide an input file or --suite")
+
+    if args.train:
+        return _run_train_harness(args, corpus)
 
     action_space = make_action_space(args.action_space)
     engine = MetricsEngine(target=args.target, enabled=not args.no_cache)

@@ -107,6 +107,45 @@ class TestQNetwork:
         state = np.linspace(-1, 1, 6)
         assert np.allclose(net.predict(state), loaded.predict(state))
 
+    def test_save_load_nondefault_hidden(self, tmp_path):
+        """Regression: checkpoints must carry their hidden-layer sizes.
+        A (64, 32) network used to come back mis-shaped because ``load``
+        assumed the default (128, 64) architecture."""
+        net = QNetwork(6, 3, hidden=(64, 32), seed=5)
+        path = str(tmp_path / "model.npz")
+        net.save(path)
+        loaded = QNetwork.load(path)
+        assert loaded.hidden == (64, 32)
+        state = np.linspace(-1, 1, 6)
+        assert np.allclose(net.predict(state), loaded.predict(state))
+
+    def test_load_infers_hidden_from_legacy_checkpoint(self, tmp_path):
+        """Checkpoints written before the ``hidden`` field still load:
+        the architecture is inferred from the weight-matrix shapes."""
+        net = QNetwork(6, 3, hidden=(48, 24, 12), seed=2)
+        path = str(tmp_path / "legacy.npz")
+        arrays = {f"p{i}": w for i, w in enumerate(net.get_weights())}
+        arrays["meta"] = np.array([6, 3, net.learning_rate])
+        np.savez(path, **arrays)  # no "hidden" entry, like old saves
+        loaded = QNetwork.load(path)
+        assert loaded.hidden == (48, 24, 12)
+        state = np.linspace(-1, 1, 6)
+        assert np.allclose(net.predict(state), loaded.predict(state))
+
+    def test_load_rejects_mismatched_hidden(self, tmp_path):
+        net = QNetwork(6, 3, hidden=(64, 32), seed=5)
+        path = str(tmp_path / "model.npz")
+        net.save(path)
+        with pytest.raises(ValueError, match="hidden layers"):
+            QNetwork.load(path, hidden=(128, 64))
+
+    def test_predict_no_copy_for_float64(self):
+        """The act-path boundary cast is a no-op for float64 inputs."""
+        net = QNetwork(4, 2, hidden=(8,))
+        state = np.ones(4, dtype=np.float64)
+        assert np.asarray(state, dtype=np.float64) is state
+        assert net.predict(state).shape == (2,)
+
 
 class TestReplay:
     def test_push_and_len(self):
@@ -244,3 +283,96 @@ class TestAgents:
         other.load(path)
         state = np.linspace(0, 1, 6)
         assert np.allclose(agent.q_values(state), other.q_values(state))
+
+    def test_save_load_nondefault_hidden_agent(self, tmp_path):
+        """Regression: an agent with hidden=(64, 32) round-trips."""
+        agent = DoubleDQNAgent(self._config(hidden=(64, 32)))
+        path = str(tmp_path / "agent.npz")
+        agent.save(path)
+        other = DoubleDQNAgent(self._config(hidden=(64, 32), seed=9))
+        other.load(path)
+        state = np.linspace(0, 1, 6)
+        assert np.allclose(agent.q_values(state), other.q_values(state))
+        assert np.allclose(
+            agent.q_values(state), other.target.predict(state)
+        )
+
+
+class TestActBatch:
+    def _config(self, **kw):
+        defaults = dict(
+            state_dim=6, num_actions=4, hidden=(16,), min_replay=8,
+            batch_size=4, train_every=2, target_sync_every=16,
+            epsilon_steps=50, seed=0,
+        )
+        defaults.update(kw)
+        return AgentConfig(**defaults)
+
+    def test_single_row_matches_act_rng_stream(self):
+        """act_batch on (1, d) consumes the exploration RNG exactly like
+        act, so interleaved usage stays on the serial trajectory."""
+        a = DoubleDQNAgent(self._config())
+        b = DoubleDQNAgent(self._config())
+        rng = np.random.RandomState(5)
+        for _ in range(60):
+            state = rng.standard_normal(6)
+            serial_action = a.act(state)
+            (batch_action,) = b.act_batch(state[np.newaxis, :])
+            assert serial_action == batch_action
+            # keep both agents' step counts (hence ε) in lockstep
+            a.remember(state, serial_action, 0.0, state, False)
+            b.remember_batch(
+                state[np.newaxis, :], np.array([batch_action]),
+                np.zeros(1), state[np.newaxis, :], np.zeros(1, dtype=bool),
+            )
+        assert np.array_equal(
+            a._rng.get_state()[1], b._rng.get_state()[1]
+        )
+
+    def test_greedy_batch_is_rowwise_argmax(self):
+        agent = DoubleDQNAgent(self._config())
+        states = np.random.RandomState(3).standard_normal((5, 6))
+        actions = agent.act_batch(states, greedy=True)
+        q = agent.online.predict(states)
+        assert np.array_equal(actions, q.argmax(axis=1))
+
+    def test_exploration_covers_actions(self):
+        agent = DoubleDQNAgent(self._config(epsilon_steps=10_000))
+        states = np.zeros((8, 6))
+        seen = set()
+        for _ in range(40):
+            seen.update(agent.act_batch(states).tolist())
+        assert seen == {0, 1, 2, 3}
+
+    def test_rejects_non_batch_shapes(self):
+        agent = DoubleDQNAgent(self._config())
+        with pytest.raises(ValueError):
+            agent.act_batch(np.zeros(6))
+
+    def test_remember_batch_matches_serial_remember(self):
+        """Same transitions via remember_batch or n remember calls give
+        the same replay contents, step counts and training updates."""
+        a = DoubleDQNAgent(self._config())
+        b = DoubleDQNAgent(self._config())
+        rng = np.random.RandomState(11)
+        for _ in range(10):
+            states = rng.standard_normal((4, 6))
+            actions = rng.randint(0, 4, size=4)
+            rewards = rng.standard_normal(4)
+            next_states = rng.standard_normal((4, 6))
+            dones = rng.randint(0, 2, size=4).astype(bool)
+            for i in range(4):
+                a.remember(
+                    states[i], int(actions[i]), float(rewards[i]),
+                    next_states[i], bool(dones[i]),
+                )
+            b.remember_batch(states, actions, rewards, next_states, dones)
+        assert a.steps == b.steps == 40
+        assert a.train_steps == b.train_steps > 0
+        assert a.last_loss == b.last_loss
+        for wa, wb in zip(a.online.get_weights(), b.online.get_weights()):
+            assert np.array_equal(wa, wb)
+        got = a.memory.sample(16)
+        want = b.memory.sample(16)
+        for g, w in zip(got, want):
+            assert np.array_equal(g, w)
