@@ -4,7 +4,9 @@ pipeline, embeddings, size/MCA measurement, one environment step — plus a
 cached-vs-uncached training-loop comparison for the incremental metrics
 engine (written to ``benchmarks/results/perf_metrics_cache.json``) and a
 batched-vs-serial training-throughput comparison for the vectorized
-trainer (``benchmarks/results/perf_train_vectorized.json``)."""
+trainer (``benchmarks/results/perf_train_vectorized.json``) and a
+batched-serving-vs-serial-predict comparison for the optimization
+service (``benchmarks/results/perf_serving.json``)."""
 
 from __future__ import annotations
 
@@ -272,3 +274,111 @@ def test_train_vectorized_speedup():
     assert decision_speedup >= 2.0, payload
     # End-to-end must at least not regress materially on one core.
     assert e2e_speedup >= 0.5, payload
+
+
+# -- batched serving ---------------------------------------------------------
+
+
+def test_serving_batched_throughput():
+    """Batched serving vs serial per-request ``PosetRL.predict`` at
+    concurrency 8; emits perf_serving.json.
+
+    Both sides run the same policy over the same module corpus on warm
+    metrics caches (an untimed warm-up pass covers every distinct
+    module). The serving side gets no result cache and returns no IR, so
+    every timed request performs a full greedy rollout — the measured win
+    is micro-batching alone: eight in-flight rollouts per batched forward
+    instead of one forward per step per request.
+    """
+    from repro.ir.printer import print_module
+    from repro.serving import OptimizationService, request_pool, run_load
+
+    corpus_modules = [
+        (
+            f"serve{i}",
+            generate_program(
+                ProgramProfile(name=f"serve{i}", seed=50 + i, segments=2)
+            ),
+        )
+        for i in range(4)
+    ]
+    corpus = [(name, print_module(m)) for name, m in corpus_modules]
+    concurrency = 8
+    n_requests = 64
+
+    agent = PosetRL(seed=0)
+    service = OptimizationService.from_agent(
+        agent,
+        max_batch=concurrency,
+        batch_window_s=0.002,
+        result_cache_size=None,  # force full rollouts: measure batching
+        include_ir=False,
+    )
+    requests = request_pool(corpus, n_requests)
+    with service:
+        # untimed warm-up: populate the transition caches for both sides
+        run_load(service, request_pool(corpus, len(corpus)),
+                 concurrency=concurrency)
+        report = run_load(service, requests, concurrency=concurrency)
+    assert report.status_counts == {"ok": n_requests}
+
+    # Serial baseline: the same rollouts, one request at a time, on its
+    # own equally-warm metrics engine.
+    serial_agent = PosetRL(seed=0)
+    for _, module in corpus_modules:
+        serial_agent.predict(module)
+    serial_modules = [
+        corpus_modules[i % len(corpus_modules)][1] for i in range(n_requests)
+    ]
+    start = time.perf_counter()
+    for module in serial_modules:
+        serial_agent.predict(module)
+    serial_s = time.perf_counter() - start
+    serial_rps = n_requests / serial_s if serial_s else float("inf")
+
+    speedup = (
+        report.throughput_rps / serial_rps if serial_rps else float("inf")
+    )
+
+    # Cache-hit isolation: a repeat submission must complete without
+    # invoking any pass or measurement code. MetricsEngine counters and
+    # scheduler tick counts are the witnesses.
+    cached = OptimizationService.from_agent(agent, include_ir=False)
+    with cached:
+        first = cached.optimize(corpus[0][1], name="first")
+        metrics_before = cached.stats()["metrics"]
+        ticks_before = cached.counters["batch_ticks"]
+        hit = cached.optimize(corpus[0][1], name="again")
+        metrics_after = cached.stats()["metrics"]
+    assert hit.cache_hit
+    assert hit.report() == first.report()  # bit-identical recorded report
+    assert metrics_after == metrics_before, (
+        "cache hit touched measurement code"
+    )
+    assert cached.counters["batch_ticks"] == ticks_before, (
+        "cache hit reached the scheduler"
+    )
+
+    payload = {
+        "concurrency": concurrency,
+        "max_batch": concurrency,
+        "requests": n_requests,
+        "distinct_modules": len(corpus),
+        "cpu_count": os.cpu_count(),
+        "serial_predict": {
+            "wall_seconds": round(serial_s, 4),
+            "throughput_rps": round(serial_rps, 2),
+        },
+        "batched_serving": report.as_dict(),
+        "speedup": round(speedup, 2),
+        "cache_hit_latency_s": round(hit.latency_s, 6),
+    }
+    save_results("perf_serving", payload)
+    print(
+        f"\nbatched serving speedup at concurrency {concurrency}: "
+        f"{speedup:.2f}x ({serial_rps:.0f} -> "
+        f"{report.throughput_rps:.0f} req/s), "
+        f"p50 {report.p50_ms:.2f}ms p99 {report.p99_ms:.2f}ms, "
+        f"cache hit {1e3 * hit.latency_s:.3f}ms"
+    )
+    assert speedup >= 2.0, payload

@@ -15,6 +15,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..ir.module import Module
+from ..ir.verifier import VerificationError, verify_module
 from ..rl.dqn import AgentConfig, DoubleDQNAgent, DQNAgent
 from .environment import (
     ActionSpace,
@@ -301,11 +302,37 @@ class PosetRL:
             actions.append(action)
         return actions
 
-    def apply_actions(self, module: Module, actions: Sequence[int]) -> Module:
-        """Apply a predicted action sequence to a fresh copy of ``module``."""
+    def apply_actions(
+        self, module: Module, actions: Sequence[int], verify: bool = True
+    ) -> Module:
+        """Apply a predicted action sequence to a fresh copy of ``module``.
+
+        The result is verified before it is returned: a pass that broke an
+        IR invariant raises :class:`ValueError` naming the offending action
+        index and its pass sub-sequence (located by replaying the sequence
+        with per-action verification — the happy path verifies only once).
+        """
         copy = module.clone()
         for action in actions:
             self.actions.apply(action, copy)
+        if verify:
+            try:
+                verify_module(copy)
+            except VerificationError as exc:
+                probe = module.clone()
+                for index, action in enumerate(actions):
+                    self.actions.apply(action, probe)
+                    try:
+                        verify_module(probe)
+                    except VerificationError as inner:
+                        raise ValueError(
+                            f"action {index} (id {action}: "
+                            f"{' '.join(self.actions.passes_for(action))}) "
+                            f"produced invalid IR: {inner}"
+                        ) from exc
+                raise ValueError(
+                    f"predicted sequence produced invalid IR: {exc}"
+                ) from exc
         return copy
 
     def predicted_pass_sequence(self, actions: Sequence[int]) -> List[str]:
@@ -338,7 +365,26 @@ class PosetRL:
 
     # -- persistence -----------------------------------------------------------
     def save(self, path: str) -> None:
-        self.agent.save(path)
+        """Checkpoint the online network, with serving-facing metadata.
+
+        The embedded metadata (action-space name, target, episode length,
+        training stats) lets :class:`repro.serving.ModelRegistry` rebuild a
+        correctly-configured serving model from the file alone.
+        """
+        self.agent.save(path, metadata=self.checkpoint_metadata())
+
+    def checkpoint_metadata(self) -> Dict[str, object]:
+        return {
+            "action_space": self.action_space_kind,
+            "target": self.target,
+            "episode_length": self.episode_length,
+            "num_actions": len(self.actions),
+            "double_dqn": self.agent.double,
+            "train_episodes": len(self.train_history),
+            "train_steps": self.agent.steps,
+            "train_updates": self.agent.train_steps,
+            "epsilon": self.agent.epsilon,
+        }
 
     def load(self, path: str) -> None:
         self.agent.load(path)

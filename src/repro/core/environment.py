@@ -137,6 +137,16 @@ class PhaseOrderingEnv:
         self._current = module
         self._pending = None
 
+    @property
+    def fingerprint(self) -> Optional[str]:
+        """Structural fingerprint of the current module.
+
+        Maintained incrementally along the transition-cache chain; ``None``
+        when the metrics engine is disabled (callers fall back to
+        fingerprinting the materialized module themselves).
+        """
+        return self._fingerprint
+
     # -- gym-style API ---------------------------------------------------------
     @property
     def num_actions(self) -> int:

@@ -206,8 +206,8 @@ class DQNAgent:
         return self.online.train_batch(states, actions, targets)
 
     # -- persistence ------------------------------------------------------------
-    def save(self, path: str) -> None:
-        self.online.save(path)
+    def save(self, path: str, metadata: Optional[dict] = None) -> None:
+        self.online.save(path, metadata=metadata)
 
     def load(self, path: str) -> None:
         net = QNetwork.load(path, self.config.hidden)

@@ -9,7 +9,8 @@ serialized to ``.npz`` for checkpointing.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+import json
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -168,7 +169,7 @@ class QNetwork:
         """Hidden-layer widths (every layer output except the head's)."""
         return tuple(layer.weight.shape[1] for layer in self.layers[:-1])
 
-    def save(self, path: str) -> None:
+    def save(self, path: str, metadata: Optional[Dict[str, Any]] = None) -> None:
         arrays = {f"p{i}": w for i, w in enumerate(self.get_weights())}
         # ``meta`` carries the architecture: without the hidden widths a
         # checkpoint from a non-default network silently mis-shaped (or
@@ -177,7 +178,20 @@ class QNetwork:
             [self.state_dim, self.num_actions, self.learning_rate]
         )
         arrays["hidden"] = np.array(self.hidden, dtype=np.int64)
+        if metadata:
+            # Free-form provenance (action-space name, training stats, …)
+            # consumed by the serving model registry. JSON keeps the
+            # checkpoint a single self-describing file.
+            arrays["metadata_json"] = np.array(json.dumps(metadata))
         np.savez(path, **arrays)
+
+    @staticmethod
+    def load_metadata(path: str) -> Dict[str, Any]:
+        """Provenance metadata embedded in a checkpoint (``{}`` if none)."""
+        data = np.load(path)
+        if "metadata_json" in data.files:
+            return json.loads(data["metadata_json"].item())
+        return {}
 
     @classmethod
     def load(cls, path: str, hidden: Optional[Sequence[int]] = None) -> "QNetwork":

@@ -1,0 +1,32 @@
+"""Optimization-as-a-service: the deployed face of POSET-RL.
+
+The training side of this repo produces a policy; this package serves it.
+:class:`OptimizationService` accepts concurrent textual-IR requests,
+micro-batches the greedy rollouts of all in-flight sessions into one
+Q-network forward per tick, memoizes full reports in a fingerprint-keyed
+result cache, and guards every request with timeouts, result
+verification and automatic ``-Oz`` fallback. :class:`ModelRegistry`
+provides versioned checkpoints with atomic hot reload, and
+:func:`run_load` is the closed-loop harness behind
+``python -m repro.tools.serve``.
+
+See ``docs/SERVING.md`` for the architecture and measured numbers.
+"""
+
+from .cache import ResultCache, text_key
+from .loadgen import LoadReport, request_pool, run_load
+from .registry import ModelRegistry, RegisteredModel
+from .service import OptimizationService, OptimizeRequest, OptimizeResult
+
+__all__ = [
+    "LoadReport",
+    "ModelRegistry",
+    "OptimizationService",
+    "OptimizeRequest",
+    "OptimizeResult",
+    "RegisteredModel",
+    "ResultCache",
+    "request_pool",
+    "run_load",
+    "text_key",
+]

@@ -1,0 +1,68 @@
+"""Result cache for the optimization service.
+
+Completed :class:`~repro.serving.service.OptimizeResult` reports are keyed
+on ``(module fingerprint, model version)`` — the structural fingerprint
+from :mod:`repro.ir.fingerprint`, so two textually different but
+structurally identical submissions share one entry, and a hot reload
+(new model version) never serves a stale sequence.
+
+A repeat submission is answered entirely from this cache: no pass runs,
+no size/MCA/embedding measurement, no environment step — the recorded
+report is returned verbatim (only per-request fields like latency and the
+``cache_hit`` flag differ).
+
+In front of the structural key sits an exact-text memo: byte-identical
+resubmissions (the common serving case) skip even the parse and the
+fingerprint walk.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from ..caching import CacheStats, LRUCache
+
+
+def text_key(ir_text: str) -> str:
+    """Cheap exact-text key (128-bit blake2b of the submitted bytes)."""
+    return hashlib.blake2b(ir_text.encode(), digest_size=16).hexdigest()
+
+
+class ResultCache:
+    """Thread-safe LRU of finished optimization reports.
+
+    The underlying :class:`~repro.caching.LRUCache` supplies the bounded
+    storage and hit/miss/eviction counters; this wrapper adds the lock
+    (results are looked up from every client thread) and the composite
+    ``(fingerprint, model_version)`` key.
+    """
+
+    def __init__(self, capacity: int = 1024):
+        self._lock = threading.Lock()
+        self._cache = LRUCache(capacity)
+
+    def _key(self, fingerprint: str, model_version: str) -> Hashable:
+        return (fingerprint, model_version)
+
+    def get(self, fingerprint: str, model_version: str) -> Optional[Any]:
+        with self._lock:
+            return self._cache.get(self._key(fingerprint, model_version))
+
+    def put(self, fingerprint: str, model_version: str, result: Any) -> None:
+        with self._lock:
+            self._cache.put(self._key(fingerprint, model_version), result)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._cache.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._cache)
+
+    @property
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return self._cache.stats

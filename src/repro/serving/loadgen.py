@@ -1,0 +1,157 @@
+"""Closed-loop load generator for :class:`OptimizationService`.
+
+``concurrency`` client threads pull requests from a shared pool and
+submit them back-to-back (each thread waits for its result before
+sending the next — closed-loop, so offered load adapts to service
+throughput). Per-request latencies are recorded from submit to result;
+the report carries throughput and p50/p95/p99 latency plus per-status
+counts, ready for ``benchmarks/results/perf_serving.json``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .service import OptimizationService, OptimizeRequest, OptimizeResult
+
+
+@dataclass
+class LoadReport:
+    """Aggregate outcome of one load run."""
+
+    requests: int
+    concurrency: int
+    wall_seconds: float
+    latencies_s: List[float] = field(default_factory=list)
+    status_counts: Dict[str, int] = field(default_factory=dict)
+    cache_hits: int = 0
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.requests / self.wall_seconds if self.wall_seconds else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        if not self.latencies_s:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_s), q))
+
+    @property
+    def p50_ms(self) -> float:
+        return 1e3 * self.latency_percentile(50)
+
+    @property
+    def p95_ms(self) -> float:
+        return 1e3 * self.latency_percentile(95)
+
+    @property
+    def p99_ms(self) -> float:
+        return 1e3 * self.latency_percentile(99)
+
+    def as_dict(self) -> Dict[str, object]:
+        lat = np.asarray(self.latencies_s) if self.latencies_s else np.zeros(1)
+        return {
+            "requests": self.requests,
+            "concurrency": self.concurrency,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "throughput_rps": round(self.throughput_rps, 2),
+            "latency_ms": {
+                "mean": round(1e3 * float(lat.mean()), 3),
+                "p50": round(self.p50_ms, 3),
+                "p95": round(self.p95_ms, 3),
+                "p99": round(self.p99_ms, 3),
+                "max": round(1e3 * float(lat.max()), 3),
+            },
+            "status_counts": dict(self.status_counts),
+            "cache_hits": self.cache_hits,
+        }
+
+
+def run_load(
+    service: OptimizationService,
+    requests: Sequence[OptimizeRequest],
+    concurrency: int = 8,
+    collect_results: bool = False,
+) -> LoadReport:
+    """Drive ``requests`` through ``service`` with closed-loop clients.
+
+    Requests are consumed in order from a shared index; thread ``k`` does
+    not own a fixed slice, so a slow request never idles the other
+    clients. The service must already be constructed; it is started if
+    needed and left running.
+    """
+    if not requests:
+        raise ValueError("request pool is empty")
+    concurrency = max(1, min(concurrency, len(requests)))
+    service.start()
+
+    next_index = [0]
+    index_lock = threading.Lock()
+    latencies: List[List[float]] = [[] for _ in range(concurrency)]
+    outcomes: List[List[OptimizeResult]] = [[] for _ in range(concurrency)]
+    errors: List[BaseException] = []
+
+    def client(slot: int) -> None:
+        while True:
+            with index_lock:
+                i = next_index[0]
+                if i >= len(requests):
+                    return
+                next_index[0] = i + 1
+            request = requests[i]
+            start = time.monotonic()
+            try:
+                result = service.submit_request(request).result(
+                    timeout=service.request_timeout_s + 60.0
+                )
+            except BaseException as exc:  # noqa: BLE001 - reported below
+                errors.append(exc)
+                return
+            latencies[slot].append(time.monotonic() - start)
+            outcomes[slot].append(result)
+
+    threads = [
+        threading.Thread(target=client, args=(slot,), daemon=True)
+        for slot in range(concurrency)
+    ]
+    start = time.monotonic()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.monotonic() - start
+    if errors:
+        raise RuntimeError(f"load generator client failed: {errors[0]!r}")
+
+    flat_results = [r for per_slot in outcomes for r in per_slot]
+    status_counts: Dict[str, int] = {}
+    for result in flat_results:
+        status_counts[result.status] = status_counts.get(result.status, 0) + 1
+    report = LoadReport(
+        requests=len(flat_results),
+        concurrency=concurrency,
+        wall_seconds=wall,
+        latencies_s=[l for per_slot in latencies for l in per_slot],
+        status_counts=status_counts,
+        cache_hits=sum(1 for r in flat_results if r.cache_hit),
+    )
+    if collect_results:
+        report.results = flat_results  # type: ignore[attr-defined]
+    return report
+
+
+def request_pool(
+    corpus: Sequence, count: int
+) -> List[OptimizeRequest]:
+    """``count`` requests cycling over ``(name, ir_text)`` pairs."""
+    if not corpus:
+        raise ValueError("corpus is empty")
+    pool: List[OptimizeRequest] = []
+    for i in range(count):
+        name, ir_text = corpus[i % len(corpus)]
+        pool.append(OptimizeRequest(ir_text=ir_text, name=name))
+    return pool

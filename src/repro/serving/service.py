@@ -1,0 +1,667 @@
+"""Batched optimization-as-a-service: POSET-RL behind a request queue.
+
+:class:`OptimizationService` turns a trained policy into a compilation
+service. Clients submit :class:`OptimizeRequest`\\ s (textual IR in) from
+any thread and receive an :class:`OptimizeResult` — the predicted pass
+sequence plus a size/throughput report against the unoptimized module.
+
+**Micro-batching.** A single scheduler thread drives every in-flight
+request as a greedy-rollout *session* (one
+:class:`~repro.core.environment.PhaseOrderingEnv` per request). Each tick
+stacks the observations of all active sessions and serves them with one
+batched Q-network forward per pinned model version — the same
+one-forward-drives-N machinery as vectorized training
+(:meth:`RegisteredModel.act` is the serving twin of
+``DQNAgent.act_batch``), so N customer modules cost one network call per
+step instead of N. New requests join at tick boundaries (continuous
+batching); when the service is idle, the first waiter is held for at most
+``batch_window_s`` so closely-spaced arrivals share a batch, and the
+window is cut short the moment ``max_batch`` requests are waiting.
+
+**Caching.** Completed reports land in a fingerprint-keyed
+:class:`~repro.serving.cache.ResultCache`; repeat submissions return the
+recorded report without touching the pass pipeline or any measurement
+code. Session environments are pooled per (fingerprint, action space) and
+share one :class:`~repro.core.metrics.MetricsEngine` per action-space
+kind, so even cache-miss rollouts over known modules run on the warm
+transition cache. (Engines are segregated by action-space kind because
+the transition cache keys on raw action indices, which mean different
+sub-sequences in different spaces.)
+
+**Robustness guard.** Every request carries a wall-clock deadline;
+oversized or unparsable modules are rejected up front; each optimized
+result is verified (memoized by result fingerprint) before it is
+returned; and any pass failure, verifier failure or timeout falls back to
+the stock ``-Oz`` pipeline with a per-reason error counter.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field, replace
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.environment import PhaseOrderingEnv
+from ..core.metrics import MetricsEngine
+from ..ir.fingerprint import module_fingerprint
+from ..ir.module import Module
+from ..ir.parser import parse_module
+from ..ir.printer import print_module
+from ..ir.verifier import VerificationError, verify_module
+from ..passes.pipelines import OZ_PASS_SEQUENCE, build_pipeline
+from ..rl.network import QNetwork
+from .cache import ResultCache, text_key
+from .registry import ModelRegistry, RegisteredModel
+
+#: Cap on the verified-result fingerprint memo (entries are 32-char keys).
+_VERIFIED_MEMO_LIMIT = 65536
+
+
+@dataclass
+class OptimizeRequest:
+    """One unit of service traffic: a module to optimize."""
+
+    ir_text: str
+    name: str = "<module>"
+
+
+@dataclass
+class OptimizeResult:
+    """The service's answer: pass sequence + size/throughput report."""
+
+    name: str
+    #: ``"ok"`` (policy sequence served), ``"fallback"`` (guard tripped,
+    #: ``-Oz`` result returned) or ``"rejected"`` (nothing optimized).
+    status: str
+    reason: Optional[str] = None
+    model_version: Optional[str] = None
+    action_space: Optional[str] = None
+    actions: List[int] = field(default_factory=list)
+    passes: List[str] = field(default_factory=list)
+    base_size: int = 0
+    optimized_size: int = 0
+    base_throughput: float = 0.0
+    optimized_throughput: float = 0.0
+    fingerprint: Optional[str] = None
+    optimized_ir: Optional[str] = None
+    cache_hit: bool = False
+    latency_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    @property
+    def size_reduction_pct(self) -> float:
+        """Size win over the unoptimized module (positive = smaller)."""
+        if not self.base_size:
+            return 0.0
+        return 100.0 * (self.base_size - self.optimized_size) / self.base_size
+
+    def report(self) -> Dict[str, Any]:
+        """The deterministic part of the result (excludes per-request
+        fields: latency, cache flag, caller-chosen name)."""
+        return {
+            "status": self.status,
+            "reason": self.reason,
+            "model_version": self.model_version,
+            "action_space": self.action_space,
+            "actions": list(self.actions),
+            "passes": list(self.passes),
+            "base_size": self.base_size,
+            "optimized_size": self.optimized_size,
+            "base_throughput": self.base_throughput,
+            "optimized_throughput": self.optimized_throughput,
+            "fingerprint": self.fingerprint,
+            "optimized_ir": self.optimized_ir,
+        }
+
+    def as_dict(self) -> Dict[str, Any]:
+        out = self.report()
+        out.update(
+            name=self.name,
+            cache_hit=self.cache_hit,
+            latency_s=round(self.latency_s, 6),
+            size_reduction_pct=round(self.size_reduction_pct, 2),
+        )
+        return out
+
+
+class _Session:
+    """One in-flight request: its pinned model, env and rollout state."""
+
+    __slots__ = (
+        "name", "fingerprint", "model", "future", "arrival", "deadline",
+        "env", "pool_key", "state", "finalized",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        fingerprint: str,
+        model: RegisteredModel,
+        future: "Future[OptimizeResult]",
+        arrival: float,
+        deadline: float,
+    ):
+        self.name = name
+        self.fingerprint = fingerprint
+        self.model = model
+        self.future = future
+        self.arrival = arrival
+        self.deadline = deadline
+        self.env: Optional[PhaseOrderingEnv] = None
+        self.pool_key: Optional[Tuple[str, str, int]] = None
+        self.state: Optional[np.ndarray] = None
+        self.finalized = False
+
+
+class OptimizationService:
+    """Micro-batching front end over a :class:`ModelRegistry`."""
+
+    def __init__(
+        self,
+        registry: Optional[ModelRegistry] = None,
+        *,
+        target: str = "x86-64",
+        max_batch: int = 8,
+        batch_window_s: float = 0.005,
+        request_timeout_s: float = 60.0,
+        max_instructions: int = 100_000,
+        result_cache_size: Optional[int] = 1024,
+        include_ir: bool = True,
+        verify: bool = True,
+        metrics_cache: bool = True,
+    ):
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        self.registry = registry if registry is not None else ModelRegistry()
+        self.target = target
+        self.max_batch = max_batch
+        self.batch_window_s = batch_window_s
+        self.request_timeout_s = request_timeout_s
+        self.max_instructions = max_instructions
+        self.include_ir = include_ir
+        self.verify = verify
+        self.metrics_cache = metrics_cache
+        self.result_cache: Optional[ResultCache] = (
+            ResultCache(result_cache_size) if result_cache_size else None
+        )
+
+        # Scheduler state. ``_queue`` is shared with client threads (under
+        # ``_wake``); ``_active``, the env pool and the metrics engines are
+        # touched by the scheduler thread only.
+        self._wake = threading.Condition()
+        self._queue: Deque[_Session] = deque()
+        self._active: List[_Session] = []
+        self._env_pool: Dict[Tuple[str, str, int], List[PhaseOrderingEnv]] = {}
+        self._engines: Dict[str, MetricsEngine] = {}
+        self._verified: set = set()
+        self._thread: Optional[threading.Thread] = None
+        self._running = False
+        self._closed = False
+
+        # Exact-text admission memo (client threads, under ``_memo_lock``):
+        # text key -> ("ok", fingerprint) | ("rejected", reason).
+        self._memo_lock = threading.Lock()
+        self._fp_memo: Dict[str, Tuple[str, str]] = {}
+        self._modules: Dict[str, Module] = {}
+
+        self.counters: Dict[str, int] = {
+            "requests": 0, "ok": 0, "cache_hits": 0,
+            "fallbacks": 0, "rejected": 0, "batch_ticks": 0,
+            "batched_steps": 0,
+        }
+        #: Per-reason guard counters, e.g. ``{"timeout": 2, "oversized": 1}``.
+        self.error_counts: Dict[str, int] = {}
+
+    # -- constructors -------------------------------------------------------
+    @classmethod
+    def from_agent(
+        cls,
+        agent,
+        *,
+        version: Optional[str] = None,
+        snapshot: bool = True,
+        **kwargs,
+    ) -> "OptimizationService":
+        """Serve a :class:`~repro.core.agent_api.PosetRL` facade's policy.
+
+        ``snapshot=True`` (default) registers a frozen copy of the online
+        network, so continued training of the facade cannot mutate the
+        serving model mid-request.
+        """
+        network = agent.agent.online
+        if snapshot:
+            frozen = QNetwork(
+                network.state_dim, network.num_actions,
+                network.hidden, network.learning_rate,
+            )
+            frozen.copy_from(network)
+            network = frozen
+        registry = ModelRegistry()
+        registry.register(
+            network,
+            action_space=agent.action_space_kind,
+            episode_length=agent.episode_length,
+            version=version,
+            metadata=agent.checkpoint_metadata(),
+        )
+        kwargs.setdefault("target", agent.target)
+        return cls(registry, **kwargs)
+
+    @classmethod
+    def from_checkpoint(
+        cls,
+        path: str,
+        *,
+        action_space: Optional[str] = None,
+        version: Optional[str] = None,
+        **kwargs,
+    ) -> "OptimizationService":
+        """Serve a saved ``.npz`` checkpoint (metadata-aware, see
+        :meth:`ModelRegistry.register_checkpoint`)."""
+        registry = ModelRegistry()
+        registry.register_checkpoint(
+            path, action_space=action_space, version=version
+        )
+        metadata = QNetwork.load_metadata(path)
+        if "target" in metadata:
+            kwargs.setdefault("target", str(metadata["target"]))
+        return cls(registry, **kwargs)
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self) -> "OptimizationService":
+        with self._wake:
+            if self._closed:
+                raise RuntimeError("service has been stopped")
+            if self._thread is None:
+                self._running = True
+                self._thread = threading.Thread(
+                    target=self._loop, name="repro-serving", daemon=True
+                )
+                self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Stop accepting requests, drain in-flight work, join the thread."""
+        with self._wake:
+            self._closed = True
+            self._running = False
+            self._wake.notify_all()
+            thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+
+    def __enter__(self) -> "OptimizationService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- client API ---------------------------------------------------------
+    def submit(
+        self, ir_text: str, name: str = "<module>"
+    ) -> "Future[OptimizeResult]":
+        """Enqueue one module; returns a future for its result.
+
+        The admission guard runs on the caller's thread: parse/oversize
+        rejection, exact-text memoization, fingerprinting and the result
+        cache lookup. Cache hits complete the future immediately — they
+        never reach the scheduler, the pass pipeline or any measurement
+        code. The active model version is pinned here, so a hot reload
+        between submission and execution does not change this request's
+        policy.
+        """
+        future: "Future[OptimizeResult]" = Future()
+        arrival = time.monotonic()
+        self._count("requests")
+
+        key = text_key(ir_text)
+        with self._memo_lock:
+            memo = self._fp_memo.get(key)
+        if memo is None:
+            memo = self._admission_check(key, ir_text)
+        kind, payload = memo
+        if kind == "rejected":
+            self._reject(future, name, arrival, payload)
+            return future
+        fingerprint = payload
+
+        model = self.registry.active
+        if self.result_cache is not None:
+            hit = self.result_cache.get(fingerprint, model.version)
+            if hit is not None:
+                self._count("cache_hits")
+                future.set_result(replace(
+                    hit, name=name, cache_hit=True,
+                    latency_s=time.monotonic() - arrival,
+                ))
+                return future
+
+        session = _Session(
+            name=name,
+            fingerprint=fingerprint,
+            model=model,
+            future=future,
+            arrival=arrival,
+            deadline=arrival + self.request_timeout_s,
+        )
+        with self._wake:
+            if self._closed:
+                raise RuntimeError("service has been stopped")
+            self._queue.append(session)
+            self._wake.notify_all()
+        return future
+
+    def submit_request(self, request: OptimizeRequest) -> "Future[OptimizeResult]":
+        return self.submit(request.ir_text, name=request.name)
+
+    def optimize(
+        self, ir_text: str, name: str = "<module>",
+        timeout: Optional[float] = None,
+    ) -> OptimizeResult:
+        """Synchronous convenience: submit and wait (auto-starts)."""
+        self.start()
+        budget = timeout if timeout is not None else self.request_timeout_s + 60.0
+        return self.submit(ir_text, name=name).result(timeout=budget)
+
+    # -- observability ------------------------------------------------------
+    def stats(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "counters": dict(self.counters),
+            "errors": dict(self.error_counts),
+            "models": {
+                v: self.registry.get(v).describe()
+                for v in self.registry.versions()
+            },
+        }
+        if self.result_cache is not None:
+            out["result_cache"] = self.result_cache.stats.as_dict()
+        out["metrics"] = {
+            kind: engine.stats() for kind, engine in self._engines.items()
+        }
+        return out
+
+    # -- admission (client threads) -----------------------------------------
+    def _admission_check(self, key: str, ir_text: str) -> Tuple[str, str]:
+        """Parse/oversize guard + fingerprint, memoized on exact text."""
+        try:
+            module = parse_module(ir_text)
+        except Exception as exc:
+            memo = ("rejected", f"parse_error: {exc}")
+        else:
+            count = module.instruction_count
+            if count > self.max_instructions:
+                memo = (
+                    "rejected",
+                    f"oversized: {count} instructions exceed the "
+                    f"service limit of {self.max_instructions}",
+                )
+            else:
+                fingerprint = module_fingerprint(module)
+                memo = ("ok", fingerprint)
+                with self._memo_lock:
+                    self._modules.setdefault(fingerprint, module)
+        with self._memo_lock:
+            self._fp_memo[key] = memo
+        return memo
+
+    def _count(self, key: str, n: int = 1) -> None:
+        with self._memo_lock:
+            self.counters[key] = self.counters.get(key, 0) + n
+
+    def _count_error(self, reason: str) -> None:
+        tag = reason.split(":", 1)[0]
+        with self._memo_lock:
+            self.error_counts[tag] = self.error_counts.get(tag, 0) + 1
+
+    def _reject(
+        self, future: Future, name: str, arrival: float, reason: str
+    ) -> None:
+        self._count("rejected")
+        self._count_error(reason)
+        future.set_result(OptimizeResult(
+            name=name, status="rejected", reason=reason,
+            latency_s=time.monotonic() - arrival,
+        ))
+
+    # -- scheduler thread ---------------------------------------------------
+    def _loop(self) -> None:
+        while True:
+            with self._wake:
+                while self._running and not self._queue and not self._active:
+                    self._wake.wait(0.1)
+                if not self._running and not self._queue and not self._active:
+                    return
+                if not self._active and self._queue:
+                    # Batch-forming window: the oldest waiter is held at
+                    # most ``batch_window_s`` for company, cut short as
+                    # soon as the batch is full.
+                    window_end = self._queue[0].arrival + self.batch_window_s
+                    while self._running and len(self._queue) < self.max_batch:
+                        remaining = window_end - time.monotonic()
+                        if remaining <= 0:
+                            break
+                        self._wake.wait(remaining)
+                admitted: List[_Session] = []
+                while self._queue and (
+                    len(self._active) + len(admitted) < self.max_batch
+                ):
+                    admitted.append(self._queue.popleft())
+            for session in admitted:
+                self._admit(session)
+            try:
+                self._tick()
+            except Exception as exc:  # pragma: no cover - defensive
+                # A scheduler crash must not strand submitters on futures
+                # that will never resolve.
+                for session in self._active:
+                    if not session.finalized:
+                        self._finalize_fallback(
+                            session, f"scheduler_error: {exc}"
+                        )
+                self._active = []
+
+    def _engine_for(self, kind: str) -> MetricsEngine:
+        engine = self._engines.get(kind)
+        if engine is None:
+            engine = MetricsEngine(
+                target=self.target, enabled=self.metrics_cache
+            )
+            self._engines[kind] = engine
+        return engine
+
+    def _admit(self, session: _Session) -> None:
+        """Attach a (pooled or fresh) environment and start the rollout."""
+        if time.monotonic() > session.deadline:
+            self._finalize_fallback(session, "timeout: expired in queue")
+            return
+        try:
+            model = session.model
+            pool_key = (
+                session.fingerprint,
+                model.action_space_kind,
+                model.episode_length,
+            )
+            pool = self._env_pool.get(pool_key)
+            env = pool.pop() if pool else None
+            if env is None:
+                with self._memo_lock:
+                    module = self._modules[session.fingerprint]
+                env = PhaseOrderingEnv(
+                    module,
+                    model.action_space,
+                    target=self.target,
+                    episode_length=model.episode_length,
+                    metrics=self._engine_for(model.action_space_kind),
+                )
+            session.env = env
+            session.pool_key = pool_key
+            session.state = env.reset()
+            self._active.append(session)
+        except Exception as exc:
+            self._finalize_fallback(session, f"env_error: {exc}")
+
+    def _tick(self) -> None:
+        """One lockstep step of every active session.
+
+        Safe to call with no active sessions (an empty batch tick is a
+        no-op). Sessions are grouped by pinned model version, so a hot
+        reload mid-stream simply yields one batched forward per model
+        generation until the old sessions drain.
+        """
+        if not self._active:
+            return
+        now = time.monotonic()
+        for session in self._active:
+            if now > session.deadline:
+                self._finalize_fallback(session, "timeout: deadline exceeded")
+        self._active = [s for s in self._active if not s.finalized]
+        if not self._active:
+            return
+
+        groups: Dict[str, List[_Session]] = {}
+        for session in self._active:
+            groups.setdefault(session.model.version, []).append(session)
+
+        self._count("batch_ticks")
+        for sessions in groups.values():
+            model = sessions[0].model
+            states = np.stack([s.state for s in sessions])
+            try:
+                actions = model.act(states)
+            except Exception as exc:
+                for session in sessions:
+                    self._finalize_fallback(session, f"model_error: {exc}")
+                continue
+            self._count("batched_steps", len(sessions))
+            for session, action in zip(sessions, actions):
+                env = session.env
+                assert env is not None
+                try:
+                    state, _, done, _ = env.step(int(action))
+                except Exception as exc:
+                    self._finalize_fallback(
+                        session,
+                        f"pass_error: step {env.steps} "
+                        f"(action {int(action)}): {exc}",
+                    )
+                    continue
+                session.state = state
+                if done:
+                    self._finalize_ok(session)
+        self._active = [s for s in self._active if not s.finalized]
+
+    # -- finalization (scheduler thread) ------------------------------------
+    def _release_env(self, session: _Session) -> None:
+        env, session.env = session.env, None
+        if env is not None and session.pool_key is not None:
+            pool = self._env_pool.setdefault(session.pool_key, [])
+            if len(pool) < self.max_batch:
+                pool.append(env)
+
+    def _finalize_ok(self, session: _Session) -> None:
+        """Verify the rollout result and answer with the policy report."""
+        env = session.env
+        assert env is not None
+        try:
+            result_fp = env.fingerprint
+            needs_verify = self.verify and (
+                result_fp is None or result_fp not in self._verified
+            )
+            optimized: Optional[Module] = None
+            if needs_verify or self.include_ir:
+                optimized = env.current
+            if needs_verify:
+                verify_module(optimized)
+                if result_fp is not None:
+                    if len(self._verified) >= _VERIFIED_MEMO_LIMIT:
+                        self._verified.clear()
+                    self._verified.add(result_fp)
+        except VerificationError as exc:
+            self._finalize_fallback(session, f"verify_error: {exc}")
+            return
+        except Exception as exc:
+            self._finalize_fallback(session, f"finalize_error: {exc}")
+            return
+
+        model = session.model
+        actions = [info.action for info in env.history]
+        passes: List[str] = []
+        for action in actions:
+            passes.extend(model.action_space.passes_for(action))
+        result = OptimizeResult(
+            name=session.name,
+            status="ok",
+            model_version=model.version,
+            action_space=model.action_space_kind,
+            actions=actions,
+            passes=passes,
+            base_size=env.base_size,
+            optimized_size=env.last_size,
+            base_throughput=env.base_throughput,
+            optimized_throughput=env.last_throughput,
+            fingerprint=session.fingerprint,
+            optimized_ir=(
+                print_module(optimized)
+                if self.include_ir and optimized is not None
+                else None
+            ),
+        )
+        if self.result_cache is not None:
+            self.result_cache.put(session.fingerprint, model.version, result)
+        self._release_env(session)
+        self._count("ok")
+        session.finalized = True
+        session.future.set_result(replace(
+            result, latency_s=time.monotonic() - session.arrival
+        ))
+
+    def _finalize_fallback(self, session: _Session, reason: str) -> None:
+        """Answer with the stock ``-Oz`` result; never raises."""
+        self._release_env(session)
+        self._count("fallbacks")
+        self._count_error(reason)
+        result = self._fallback_result(session, reason)
+        session.finalized = True
+        session.future.set_result(result)
+
+    def _fallback_result(self, session: _Session, reason: str) -> OptimizeResult:
+        try:
+            with self._memo_lock:
+                original = self._modules[session.fingerprint]
+            engine = self._engine_for(session.model.action_space_kind)
+            base_size = engine.size(original).total_bytes
+            base_throughput = engine.throughput(original).throughput
+            copy = original.clone()
+            build_pipeline("Oz").run(copy)
+            return OptimizeResult(
+                name=session.name,
+                status="fallback",
+                reason=reason,
+                model_version=session.model.version,
+                action_space=session.model.action_space_kind,
+                passes=list(OZ_PASS_SEQUENCE),
+                base_size=base_size,
+                optimized_size=engine.size(copy).total_bytes,
+                base_throughput=base_throughput,
+                optimized_throughput=engine.throughput(copy).throughput,
+                fingerprint=session.fingerprint,
+                optimized_ir=print_module(copy) if self.include_ir else None,
+                latency_s=time.monotonic() - session.arrival,
+            )
+        except Exception as exc:  # pragma: no cover - double fault
+            return OptimizeResult(
+                name=session.name,
+                status="rejected",
+                reason=f"{reason}; fallback_failed: {exc}",
+                model_version=session.model.version,
+                fingerprint=session.fingerprint,
+                latency_s=time.monotonic() - session.arrival,
+            )

@@ -8,4 +8,6 @@
   throughput report.
 * ``python -m repro.tools.profile`` — per-stage timing (passes / codegen /
   mca / embedding) for one RL episode, with cache counters.
+* ``python -m repro.tools.serve``  — load harness for the batched
+  optimization service: throughput, p50/p95/p99 latency, guard counters.
 """

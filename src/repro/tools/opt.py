@@ -5,6 +5,7 @@ Examples::
     python -m repro.tools.opt -Oz input.ll -o output.ll
     python -m repro.tools.opt --passes "-simplifycfg -sroa -gvn" input.ll
     python -m repro.tools.opt -Oz --stats --verify input.ll
+    python -m repro.tools.opt --agent model.npz input.ll -o output.ll
     python -m repro.tools.opt --list-passes
 """
 
@@ -33,6 +34,13 @@ def build_argparser() -> argparse.ArgumentParser:
         )
     parser.add_argument("--passes", type=str, default=None,
                         help='explicit pass list, e.g. "-sroa -gvn -dce"')
+    parser.add_argument("--agent", type=str, default=None, metavar="CHECKPOINT",
+                        help="apply a trained policy's predicted sequence "
+                        "from this .npz checkpoint (serving code path)")
+    parser.add_argument("--action-space", choices=("odg", "manual"),
+                        default=None,
+                        help="with --agent: override the checkpoint's "
+                        "recorded action space")
     parser.add_argument("--verify", action="store_true",
                         help="verify the IR after every pass")
     parser.add_argument("--stats", action="store_true",
@@ -45,6 +53,50 @@ def build_argparser() -> argparse.ArgumentParser:
     return parser
 
 
+def _run_agent(args, text: str) -> int:
+    """Optimize with a trained policy through the serving code path.
+
+    The checkpoint goes through the model registry (embedded metadata
+    picks the action space), and the request through the full service
+    guard: the result is verified, and a pass failure falls back to
+    ``-Oz`` with the reason reported on stderr.
+    """
+    from ..serving import OptimizationService
+
+    with OptimizationService.from_checkpoint(
+        args.agent, action_space=args.action_space, include_ir=True,
+    ) as service:
+        result = service.optimize(text, name=args.input)
+
+    if result.status == "rejected":
+        sys.stderr.write(f"error: request rejected: {result.reason}\n")
+        return 1
+    if result.status == "fallback":
+        sys.stderr.write(
+            f"; warning: policy sequence failed ({result.reason}); "
+            f"served the -Oz fallback\n"
+        )
+
+    assert result.optimized_ir is not None
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(result.optimized_ir)
+    else:
+        sys.stdout.write(result.optimized_ir)
+
+    if args.stats:
+        model = service.registry.active
+        sys.stderr.write(
+            f"; model {model.version} ({model.action_space_kind}), "
+            f"status {result.status}\n"
+            f"; actions: {' '.join(map(str, result.actions)) or '(none)'}\n"
+            f"; passes applied: {len(result.passes)}\n"
+            f"; size: {result.base_size} -> {result.optimized_size} bytes "
+            f"({result.size_reduction_pct:.1f}% reduction)\n"
+        )
+    return 0
+
+
 def run(argv: Optional[List[str]] = None) -> int:
     parser = build_argparser()
     args = parser.parse_args(argv)
@@ -55,11 +107,17 @@ def run(argv: Optional[List[str]] = None) -> int:
 
     if args.input is None:
         parser.error("an input file is required")
+    if args.agent and (args.passes or args.level):
+        parser.error("--agent is mutually exclusive with --passes / -O levels")
     text = (
         sys.stdin.read()
         if args.input == "-"
         else open(args.input).read()
     )
+
+    if args.agent:
+        return _run_agent(args, text)
+
     module = parse_module(text)
 
     if args.passes is not None:

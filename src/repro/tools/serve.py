@@ -1,0 +1,193 @@
+"""Load harness for the batched optimization service.
+
+Builds an :class:`~repro.serving.OptimizationService` (from a checkpoint
+or a freshly-seeded policy), drives it with closed-loop clients over a
+benchmark suite, and reports throughput, p50/p95/p99 latency and the
+service's guard/cache counters. ``--compare-serial`` also times the
+serial per-request ``PosetRL.predict`` path and prints the speedup.
+
+Examples::
+
+    python -m repro.tools.serve --suite mibench --requests 64 --concurrency 8
+    python -m repro.tools.serve --suite mibench --checkpoint model.npz \\
+        --requests 128 --concurrency 8 --compare-serial
+    python -m repro.tools.serve --suite spec2017 --requests 24 \\
+        --no-result-cache --json results.json
+    python -m repro.tools.serve --suite mibench --requests 12 \\
+        --fail-on-fallback     # CI smoke mode
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+from ..codegen.target import TARGETS
+from ..core.agent_api import PosetRL
+from ..ir.printer import print_module
+from ..serving import OptimizationService, request_pool, run_load
+from ..workloads.suites import load_suite
+
+
+def build_argparser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro-serve", description=__doc__,
+                                     formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--suite", default="mibench",
+                        help="workload suite for the request pool "
+                        "(default mibench)")
+    parser.add_argument("--checkpoint",
+                        help="serve this .npz checkpoint (default: a "
+                        "freshly-initialized policy)")
+    parser.add_argument("--action-space", choices=("odg", "manual"),
+                        default=None,
+                        help="override the checkpoint's action space")
+    parser.add_argument("--target", default="x86-64",
+                        choices=sorted(set(TARGETS)))
+    parser.add_argument("--requests", type=int, default=64,
+                        help="total requests to send (default 64)")
+    parser.add_argument("--concurrency", type=int, default=8,
+                        help="closed-loop client threads (default 8)")
+    parser.add_argument("--max-batch", type=int, default=8,
+                        help="scheduler batch width (default 8)")
+    parser.add_argument("--window-ms", type=float, default=5.0,
+                        help="batch-forming window in ms (default 5)")
+    parser.add_argument("--timeout-s", type=float, default=60.0,
+                        help="per-request wall-clock deadline (default 60)")
+    parser.add_argument("--no-result-cache", action="store_true",
+                        help="disable the fingerprint result cache")
+    parser.add_argument("--no-warmup", action="store_true",
+                        help="skip the untimed warm-up pass over the "
+                        "distinct modules")
+    parser.add_argument("--compare-serial", action="store_true",
+                        help="also time serial per-request PosetRL.predict "
+                        "and print the speedup")
+    parser.add_argument("--fail-on-fallback", action="store_true",
+                        help="exit non-zero if any request fell back to -Oz "
+                        "or was rejected (CI smoke gate)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", dest="json_path",
+                        help="also write the report as JSON to this path")
+    return parser
+
+
+def run(argv: Optional[List[str]] = None) -> int:
+    args = build_argparser().parse_args(argv)
+
+    try:
+        suite = load_suite(args.suite)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 1
+    corpus = [(name, print_module(module)) for name, module in suite]
+
+    agent: Optional[PosetRL] = None
+    if args.checkpoint:
+        service = OptimizationService.from_checkpoint(
+            args.checkpoint,
+            action_space=args.action_space,
+            target=args.target,
+            max_batch=args.max_batch,
+            batch_window_s=args.window_ms / 1e3,
+            request_timeout_s=args.timeout_s,
+            result_cache_size=None if args.no_result_cache else 1024,
+            include_ir=False,
+        )
+    else:
+        agent = PosetRL(
+            action_space=args.action_space or "odg",
+            target=args.target, seed=args.seed,
+        )
+        service = OptimizationService.from_agent(
+            agent,
+            max_batch=args.max_batch,
+            batch_window_s=args.window_ms / 1e3,
+            request_timeout_s=args.timeout_s,
+            result_cache_size=None if args.no_result_cache else 1024,
+            include_ir=False,
+        )
+
+    requests = request_pool(corpus, args.requests)
+    with service:
+        if not args.no_warmup:
+            run_load(
+                service,
+                request_pool(corpus, len(corpus)),
+                concurrency=args.concurrency,
+            )
+        report = run_load(service, requests, concurrency=args.concurrency)
+        stats = service.stats()
+
+    model = service.registry.active
+    print(f"serving load report: suite={args.suite} "
+          f"model={model.version} ({model.action_space_kind}) "
+          f"target={args.target}")
+    print(f"  requests={report.requests} concurrency={report.concurrency} "
+          f"max_batch={args.max_batch} window={args.window_ms:.1f}ms")
+    print(f"  wall={report.wall_seconds:.3f}s "
+          f"throughput={report.throughput_rps:.1f} req/s")
+    print(f"  latency p50={report.p50_ms:.2f}ms p95={report.p95_ms:.2f}ms "
+          f"p99={report.p99_ms:.2f}ms")
+    print(f"  statuses={report.status_counts} cache_hits={report.cache_hits}")
+    if stats["errors"]:
+        print(f"  guard counters: {stats['errors']}")
+
+    payload = {
+        "suite": args.suite,
+        "target": args.target,
+        "model": model.describe(),
+        "load": report.as_dict(),
+        "service_stats": stats,
+    }
+
+    if args.compare_serial:
+        serial_agent = agent or PosetRL(
+            action_space=args.action_space or "odg",
+            target=args.target, seed=args.seed,
+        )
+        suite_by_name = dict(suite)
+        modules = [suite_by_name[r.name] for r in requests]
+        for module in modules[: len(suite)]:
+            serial_agent.predict(module)  # warm the metrics caches
+        start = time.perf_counter()
+        for module in modules:
+            serial_agent.predict(module)
+        serial_wall = time.perf_counter() - start
+        serial_rps = len(modules) / serial_wall if serial_wall else 0.0
+        speedup = (
+            report.throughput_rps / serial_rps if serial_rps else float("inf")
+        )
+        print(f"  serial predict: {serial_wall:.3f}s "
+              f"({serial_rps:.1f} req/s) -> batched speedup {speedup:.2f}x")
+        payload["serial"] = {
+            "wall_seconds": round(serial_wall, 4),
+            "throughput_rps": round(serial_rps, 2),
+            "speedup": round(speedup, 2),
+        }
+
+    if args.json_path:
+        with open(args.json_path, "w") as fh:
+            json.dump(payload, fh, indent=2, default=str)
+
+    if args.fail_on_fallback:
+        bad = report.status_counts.get("fallback", 0)
+        bad += report.status_counts.get("rejected", 0)
+        if bad:
+            print(f"FAIL: {bad} request(s) fell back or were rejected "
+                  f"(guard counters: {stats['errors']})", file=sys.stderr)
+            return 1
+        print("  no fallbacks, no rejections")
+    return 0
+
+
+def main() -> int:  # pragma: no cover - console entry
+    try:
+        return run()
+    except BrokenPipeError:
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

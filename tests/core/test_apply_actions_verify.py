@@ -1,0 +1,74 @@
+"""PosetRL.apply_actions verifies its result and names the bad action."""
+
+import pytest
+
+from repro import PosetRL
+from repro.ir.verifier import verify_module
+from repro.workloads import ProgramProfile, generate_program
+
+
+@pytest.fixture()
+def module():
+    return generate_program(ProgramProfile(name="av", seed=90, segments=2))
+
+
+@pytest.fixture()
+def agent():
+    return PosetRL(seed=0)
+
+
+def _drop_a_terminator(mod):
+    for function in mod.functions:
+        for block in function.blocks:
+            if block.instructions and block.instructions[-1].is_terminator:
+                block.instructions.pop()
+                return
+    raise AssertionError("no terminator found to drop")
+
+
+def test_happy_path_returns_verified_module(agent, module):
+    result = agent.apply_actions(module, [0, 1, 2])
+    verify_module(result)  # does not raise
+    assert result is not module  # original untouched
+    assert module.instruction_count > 0
+
+
+def test_broken_action_is_named(agent, module, monkeypatch):
+    """If a pass breaks an IR invariant, the error names the offending
+    action index and its pass sub-sequence."""
+    real_apply = agent.actions.apply
+
+    def sabotaged_apply(action, mod):
+        changed = real_apply(action, mod)
+        if action == 7:
+            _drop_a_terminator(mod)
+        return changed
+
+    monkeypatch.setattr(agent.actions, "apply", sabotaged_apply)
+    with pytest.raises(ValueError) as excinfo:
+        agent.apply_actions(module, [0, 7, 2])
+    message = str(excinfo.value)
+    assert "action 1" in message
+    assert "id 7" in message
+    for name in agent.actions.passes_for(7):
+        assert name in message
+    assert "invalid IR" in message
+
+
+def test_verify_false_skips_the_check(agent, module, monkeypatch):
+    real_apply = agent.actions.apply
+
+    def sabotaged_apply(action, mod):
+        changed = real_apply(action, mod)
+        _drop_a_terminator(mod)
+        return changed
+
+    monkeypatch.setattr(agent.actions, "apply", sabotaged_apply)
+    result = agent.apply_actions(module, [0], verify=False)
+    assert result is not module
+
+
+def test_original_module_is_never_mutated(agent, module):
+    before = module.instruction_count
+    agent.apply_actions(module, list(range(5)))
+    assert module.instruction_count == before

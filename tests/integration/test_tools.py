@@ -122,3 +122,110 @@ class TestMca:
             )
 
         assert cycles(["-O3", demo_file]) <= cycles([demo_file])
+
+
+class TestOptAgent:
+    @pytest.fixture
+    def checkpoint(self, tmp_path):
+        from repro import PosetRL
+
+        path = tmp_path / "model.npz"
+        PosetRL(seed=0).save(str(path))
+        return str(path)
+
+    def test_agent_optimizes_through_serving_path(
+        self, demo_file, checkpoint, capsys
+    ):
+        rc, out, err = run_tool(opt, ["--agent", checkpoint, demo_file], capsys)
+        assert rc == 0
+        assert "define i32 @entry" in out
+        assert "rejected" not in err
+
+    def test_agent_stats_report(self, demo_file, checkpoint, capsys):
+        rc, _, err = run_tool(
+            opt, ["--agent", checkpoint, "--stats", demo_file], capsys
+        )
+        assert rc == 0
+        assert "model v1 (odg)" in err
+        assert "status ok" in err
+        assert "actions:" in err
+        assert "size:" in err
+
+    def test_agent_output_file(self, demo_file, checkpoint, tmp_path, capsys):
+        out_path = tmp_path / "out.ll"
+        rc, out, _ = run_tool(
+            opt, ["--agent", checkpoint, demo_file, "-o", str(out_path)],
+            capsys,
+        )
+        assert rc == 0
+        assert out == ""
+        assert "define i32 @entry" in out_path.read_text()
+
+    def test_agent_excludes_passes_and_levels(
+        self, demo_file, checkpoint, capsys
+    ):
+        with pytest.raises(SystemExit):
+            run_tool(opt, ["--agent", checkpoint, "-Oz", demo_file], capsys)
+        capsys.readouterr()
+        with pytest.raises(SystemExit):
+            run_tool(
+                opt,
+                ["--agent", checkpoint, "--passes", "-dce", demo_file],
+                capsys,
+            )
+
+
+class TestServe:
+    def test_load_smoke(self, capsys):
+        from repro.tools import serve
+
+        rc, out, _ = run_tool(
+            serve,
+            ["--suite", "mibench", "--requests", "6", "--concurrency", "2",
+             "--fail-on-fallback"],
+            capsys,
+        )
+        assert rc == 0
+        assert "serving load report" in out
+        assert "throughput=" in out
+        assert "p50=" in out
+        assert "no fallbacks" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        import json
+
+        from repro.tools import serve
+
+        json_path = tmp_path / "report.json"
+        rc, _, _ = run_tool(
+            serve,
+            ["--suite", "mibench", "--requests", "4", "--concurrency", "2",
+             "--json", str(json_path)],
+            capsys,
+        )
+        assert rc == 0
+        payload = json.loads(json_path.read_text())
+        assert payload["load"]["requests"] == 4
+        assert payload["model"]["version"] == "v1"
+        assert "p99" in payload["load"]["latency_ms"]
+
+    def test_unknown_suite(self, capsys):
+        from repro.tools import serve
+
+        rc, _, err = run_tool(serve, ["--suite", "nope"], capsys)
+        assert rc == 1
+
+    def test_checkpoint_round_trip(self, tmp_path, capsys):
+        from repro import PosetRL
+        from repro.tools import serve
+
+        path = tmp_path / "model.npz"
+        PosetRL(action_space="manual", seed=1).save(str(path))
+        rc, out, _ = run_tool(
+            serve,
+            ["--suite", "mibench", "--checkpoint", str(path),
+             "--requests", "4", "--concurrency", "2"],
+            capsys,
+        )
+        assert rc == 0
+        assert "(manual)" in out

@@ -1,0 +1,122 @@
+"""Model registry: versioning, activation, checkpoint metadata."""
+
+import numpy as np
+import pytest
+
+from repro import PosetRL
+from repro.rl.network import QNetwork
+from repro.serving import ModelRegistry
+
+
+def _net(num_actions=34, seed=0):
+    return QNetwork(300, num_actions, (16,), seed=seed)
+
+
+class TestRegistry:
+    def test_first_registration_activates(self):
+        registry = ModelRegistry()
+        assert not registry.has_active
+        version = registry.register(_net())
+        assert version == "v1"
+        assert registry.active.version == "v1"
+        assert registry.active.action_space_kind == "odg"
+
+    def test_later_registrations_do_not_steal_traffic(self):
+        registry = ModelRegistry()
+        registry.register(_net(seed=0))
+        registry.register(_net(seed=1))
+        assert registry.active.version == "v1"
+        assert registry.versions() == ["v1", "v2"]
+
+    def test_activate_swaps_atomically(self):
+        registry = ModelRegistry()
+        registry.register(_net(seed=0))
+        registry.register(_net(seed=1))
+        model = registry.activate("v2")
+        assert model.version == "v2"
+        assert registry.active is model
+
+    def test_activate_unknown_version(self):
+        registry = ModelRegistry()
+        registry.register(_net())
+        with pytest.raises(KeyError, match="v9"):
+            registry.activate("v9")
+
+    def test_no_active_model_raises(self):
+        with pytest.raises(LookupError):
+            ModelRegistry().active
+
+    def test_duplicate_version_rejected(self):
+        registry = ModelRegistry()
+        registry.register(_net(), version="prod")
+        with pytest.raises(ValueError, match="prod"):
+            registry.register(_net(), version="prod")
+
+    def test_action_count_mismatch_rejected(self):
+        registry = ModelRegistry()
+        with pytest.raises(ValueError, match="manual"):
+            registry.register(_net(num_actions=34), action_space="manual")
+
+    def test_act_is_greedy_argmax(self):
+        registry = ModelRegistry()
+        registry.register(_net())
+        model = registry.active
+        states = np.random.RandomState(0).standard_normal((4, 300))
+        actions = model.act(states)
+        expected = model.network.predict(states).argmax(axis=1)
+        assert np.array_equal(actions, expected)
+
+    def test_describe_carries_metadata(self):
+        registry = ModelRegistry()
+        registry.register(_net(), metadata={"train_episodes": 7})
+        desc = registry.active.describe()
+        assert desc["action_space"] == "odg"
+        assert desc["state_dim"] == 300
+        assert desc["meta.train_episodes"] == 7
+
+
+class TestCheckpointMetadata:
+    def test_posetrl_checkpoint_embeds_serving_metadata(self, tmp_path):
+        agent = PosetRL(action_space="manual", seed=3, episode_length=9)
+        path = str(tmp_path / "model.npz")
+        agent.save(path)
+        meta = QNetwork.load_metadata(path)
+        assert meta["action_space"] == "manual"
+        assert meta["episode_length"] == 9
+        assert meta["num_actions"] == 15
+        assert meta["double_dqn"] is True
+        assert meta["train_episodes"] == 0
+
+    def test_register_checkpoint_self_configures(self, tmp_path):
+        agent = PosetRL(action_space="manual", seed=3, episode_length=9)
+        path = str(tmp_path / "model.npz")
+        agent.save(path)
+        registry = ModelRegistry()
+        registry.register_checkpoint(path)
+        model = registry.active
+        assert model.action_space_kind == "manual"
+        assert model.episode_length == 9
+        assert model.num_actions == 15
+        # weights actually round-trip
+        state = np.zeros(300)
+        assert np.allclose(
+            model.network.predict(state), agent.agent.online.predict(state)
+        )
+
+    def test_register_checkpoint_explicit_override(self, tmp_path):
+        agent = PosetRL(action_space="odg", seed=0)
+        path = str(tmp_path / "model.npz")
+        agent.save(path)
+        registry = ModelRegistry()
+        registry.register_checkpoint(path, action_space="odg",
+                                     episode_length=5)
+        assert registry.active.episode_length == 5
+
+    def test_legacy_checkpoint_without_metadata(self, tmp_path):
+        net = _net()
+        path = str(tmp_path / "legacy.npz")
+        net.save(path)  # no metadata argument
+        assert QNetwork.load_metadata(path) == {}
+        registry = ModelRegistry()
+        registry.register_checkpoint(path)  # defaults to odg
+        assert registry.active.action_space_kind == "odg"

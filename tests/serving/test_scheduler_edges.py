@@ -1,0 +1,151 @@
+"""Scheduler edge cases: empty ticks, deadline windows, hot reload."""
+
+import threading
+import time
+
+import pytest
+
+from repro import PosetRL
+from repro.ir.printer import print_module
+from repro.serving import OptimizationService
+from repro.workloads import ProgramProfile, generate_program
+
+
+@pytest.fixture(scope="module")
+def text():
+    module = generate_program(ProgramProfile(name="edge", seed=80, segments=2))
+    return print_module(module)
+
+
+@pytest.fixture()
+def agent():
+    return PosetRL(seed=0)
+
+
+class TestBatchFormation:
+    def test_empty_batch_tick_is_noop(self, agent):
+        svc = OptimizationService.from_agent(agent)
+        svc._tick()  # never started, no sessions
+        assert svc.counters["batch_ticks"] == 0
+        assert svc._active == []
+
+    def test_deadline_expiry_with_single_waiter(self, agent, text):
+        """A lone request is held for the full batch window, then served."""
+        window = 0.15
+        with OptimizationService.from_agent(
+            agent, batch_window_s=window
+        ) as svc:
+            start = time.monotonic()
+            result = svc.optimize(text)
+            elapsed = time.monotonic() - start
+        assert result.status == "ok"
+        # the scheduler waited out the window before running the batch
+        assert elapsed >= window * 0.6
+        assert result.latency_s >= window * 0.6
+
+    def test_full_batch_cuts_window_short(self, agent, text):
+        """max_batch waiters do not sit out a long window."""
+        with OptimizationService.from_agent(
+            agent, batch_window_s=30.0, max_batch=2
+        ) as svc:
+            svc.start()
+            start = time.monotonic()
+            futures = [svc.submit(text, name=f"r{i}") for i in range(2)]
+            results = [f.result(timeout=10) for f in futures]
+            elapsed = time.monotonic() - start
+        assert [r.status for r in results] == ["ok", "ok"]
+        assert elapsed < 5.0  # nowhere near the 30s window
+
+    def test_late_arrival_joins_in_flight_batch(self, agent, text):
+        """Continuous batching: a request arriving mid-rollout is admitted
+        at the next tick boundary instead of waiting for the batch to
+        drain."""
+        with OptimizationService.from_agent(
+            agent, batch_window_s=0.001
+        ) as svc:
+            svc.start()
+            first = svc.submit(text, name="early")
+            second = svc.submit(text + "\n", name="late")  # distinct text key
+            results = [
+                f.result(timeout=10) for f in (first, second)
+            ]
+        assert all(r.status == "ok" for r in results)
+        # Same fingerprint -> the late request either joined the batch or
+        # hit the result cache recorded by the first.
+        assert results[0].fingerprint == results[1].fingerprint
+
+
+class TestHotReload:
+    def test_reload_mid_stream_keeps_in_flight_requests(self, agent, text):
+        """Requests pinned to v1 finish on v1 while new traffic gets v2 —
+        across *different action spaces*, which also exercises the
+        per-kind metrics engine segregation."""
+        manual = PosetRL(action_space="manual", seed=5)
+        svc = OptimizationService.from_agent(
+            agent, batch_window_s=0.05, result_cache_size=None
+        )
+        # Submit before starting the scheduler: the request pins v1 but
+        # cannot complete yet.
+        first = svc.submit(text, name="pinned-to-v1")
+        svc.registry.register(
+            manual.agent.online,
+            action_space="manual",
+            episode_length=manual.episode_length,
+            version="v2",
+        )
+        svc.registry.activate("v2")
+        second = svc.submit(text, name="gets-v2")
+        with svc:
+            r1 = first.result(timeout=30)
+            r2 = second.result(timeout=30)
+
+        assert r1.status == "ok"
+        assert r1.model_version == "v1"
+        assert r1.action_space == "odg"
+        assert r2.status == "ok"
+        assert r2.model_version == "v2"
+        assert r2.action_space == "manual"
+        assert len(r2.actions) == manual.episode_length
+        # both generations ran; each action-space kind got its own engine
+        assert set(svc.stats()["metrics"]) == {"odg", "manual"}
+        assert svc.counters["fallbacks"] == 0
+
+    def test_concurrent_reload_under_load(self, agent, text):
+        """Activating a new version while clients are in flight drops
+        nothing."""
+        other = PosetRL(seed=7)
+        svc = OptimizationService.from_agent(
+            agent, batch_window_s=0.001, result_cache_size=None
+        )
+        svc.registry.register(other.agent.online, version="v2")
+        errors = []
+        results = []
+        lock = threading.Lock()
+
+        def client(i):
+            try:
+                result = svc.optimize(text, name=f"c{i}")
+                with lock:
+                    results.append(result)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def reloader():
+            for version in ("v2", "v1", "v2"):
+                svc.registry.activate(version)
+                time.sleep(0.002)
+
+        with svc:
+            threads = [
+                threading.Thread(target=client, args=(i,)) for i in range(6)
+            ]
+            threads.append(threading.Thread(target=reloader))
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        assert not errors
+        assert len(results) == 6
+        assert all(r.status == "ok" for r in results)
+        assert {r.model_version for r in results} <= {"v1", "v2"}
