@@ -232,11 +232,16 @@ class Interpreter:
         module: Module,
         fuel: int = 2_000_000,
         externals: Optional[Dict[str, Callable]] = None,
+        collect_coverage: bool = False,
     ):
         self.module = module
         self.fuel = fuel
+        self.initial_fuel = fuel
         self.memory = Memory()
         self.trace: List[Tuple[str, Tuple]] = []
+        #: opcodes actually executed (``collect_coverage=True``); the
+        #: differential-testing suite uses this to prove generator coverage.
+        self.executed_opcodes: Optional[set] = set() if collect_coverage else None
         self.externals = dict(externals or {})
         self._globals: Dict[int, int] = {}
         self._fn_addrs: Dict[int, int] = {}
@@ -325,6 +330,8 @@ class Interpreter:
     ):
         # Phis are evaluated in parallel against the incoming edge.
         phi_values = []
+        if self.executed_opcodes is not None and block.phis():
+            self.executed_opcodes.add("phi")
         for phi in block.phis():
             incoming = phi.incoming_for_block(prev) if prev is not None else None
             if incoming is None:
@@ -344,8 +351,15 @@ class Interpreter:
                 return outcome
         raise InterpError(f"fell off the end of %{block.name}")
 
+    @property
+    def steps_executed(self) -> int:
+        """Instructions retired so far (fuel consumed)."""
+        return self.initial_fuel - self.fuel
+
     def _execute(self, fn: Function, inst: Instruction, env: Dict[int, object]):
         v = lambda x: self._value(env, x)
+        if self.executed_opcodes is not None:
+            self.executed_opcodes.add(inst.opcode)
 
         if isinstance(inst, BinaryOp):
             lhs, rhs = v(inst.lhs), v(inst.rhs)

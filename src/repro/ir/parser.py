@@ -421,10 +421,16 @@ class _FunctionParser:
         return Call(callee, args, tail=tail)
 
 
+_MODULE_NAME_RE = re.compile(r"^;\s*module\s+(\S+)\s*$", re.MULTILINE)
+
+
 class _ModuleParser:
     def __init__(self, text: str):
         self.cur = _Cursor(_tokenize(text))
-        self.module = Module()
+        # The printer records the module name in a leading comment;
+        # recover it so print -> parse -> print is an exact round trip.
+        m = _MODULE_NAME_RE.search(text)
+        self.module = Module(m.group(1) if m else "module")
 
     def symbol(self, name: str) -> Value:
         sym = self.module._symbols.get(name)

@@ -7,6 +7,7 @@ the interpreter's).
 
 from __future__ import annotations
 
+import struct
 from typing import Optional
 
 from ..ir.instructions import Cast, FCmp, ICmp, Instruction, Select
@@ -60,6 +61,13 @@ def fold_fcmp(predicate: str, lhs: Value, rhs: Value) -> Optional[ConstantInt]:
     return None
 
 
+def _round_to(ty: FloatType, value: float) -> float:
+    """Round to the target float width, matching the interpreter's casts."""
+    if ty.bits == 32:
+        return struct.unpack("<f", struct.pack("<f", value))[0]
+    return value
+
+
 def fold_cast(opcode: str, value: Value, to_type: Type) -> Optional[Constant]:
     if isinstance(value, UndefValue):
         return UndefValue(to_type)
@@ -73,7 +81,7 @@ def fold_cast(opcode: str, value: Value, to_type: Type) -> Optional[Constant]:
             return ConstantInt(to_type, value.value)
         if opcode in ("sitofp", "uitofp") and isinstance(to_type, FloatType):
             raw = value.unsigned if opcode == "uitofp" else value.value
-            return ConstantFloat(to_type, float(raw))
+            return ConstantFloat(to_type, _round_to(to_type, float(raw)))
         if opcode == "bitcast" and to_type == value.type:
             return value
         if opcode == "inttoptr" and isinstance(to_type, PointerType):
@@ -87,7 +95,7 @@ def fold_cast(opcode: str, value: Value, to_type: Type) -> Optional[Constant]:
                 return None
             return ConstantInt(to_type, int(v))
         if opcode in ("fptrunc", "fpext") and isinstance(to_type, FloatType):
-            return ConstantFloat(to_type, value.value)
+            return ConstantFloat(to_type, _round_to(to_type, value.value))
     if isinstance(value, ConstantNull):
         if opcode == "bitcast" and isinstance(to_type, PointerType):
             return ConstantNull(to_type)

@@ -33,6 +33,13 @@ oversized or unparsable modules are rejected up front; each optimized
 result is verified (memoized by result fingerprint) before it is
 returned; and any pass failure, verifier failure or timeout falls back to
 the stock ``-Oz`` pipeline with a per-reason error counter.
+
+With ``semantic_check=True`` the guard goes beyond structural validity:
+the optimized module is run in the reference interpreter against the
+original (:func:`repro.testing.oracle.modules_equivalent`) and an
+observable behaviour change — a miscompile the verifier cannot see —
+falls back to ``-Oz`` with a ``miscompile:`` reason. Off by default: it
+costs a handful of interpreter runs per (memoized) result.
 """
 
 from __future__ import annotations
@@ -176,6 +183,7 @@ class OptimizationService:
         result_cache_size: Optional[int] = 1024,
         include_ir: bool = True,
         verify: bool = True,
+        semantic_check: bool = False,
         metrics_cache: bool = True,
     ):
         if max_batch <= 0:
@@ -188,6 +196,7 @@ class OptimizationService:
         self.max_instructions = max_instructions
         self.include_ir = include_ir
         self.verify = verify
+        self.semantic_check = semantic_check
         self.metrics_cache = metrics_cache
         self.result_cache: Optional[ResultCache] = (
             ResultCache(result_cache_size) if result_cache_size else None
@@ -202,6 +211,7 @@ class OptimizationService:
         self._env_pool: Dict[Tuple[str, str, int], List[PhaseOrderingEnv]] = {}
         self._engines: Dict[str, MetricsEngine] = {}
         self._verified: set = set()
+        self._sem_verified: set = set()
         self._thread: Optional[threading.Thread] = None
         self._running = False
         self._closed = False
@@ -575,8 +585,12 @@ class OptimizationService:
             needs_verify = self.verify and (
                 result_fp is None or result_fp not in self._verified
             )
+            needs_sem_check = self.semantic_check and (
+                result_fp is None
+                or (session.fingerprint, result_fp) not in self._sem_verified
+            )
             optimized: Optional[Module] = None
-            if needs_verify or self.include_ir:
+            if needs_verify or needs_sem_check or self.include_ir:
                 optimized = env.current
             if needs_verify:
                 verify_module(optimized)
@@ -584,6 +598,19 @@ class OptimizationService:
                     if len(self._verified) >= _VERIFIED_MEMO_LIMIT:
                         self._verified.clear()
                     self._verified.add(result_fp)
+            if needs_sem_check:
+                from ..testing.oracle import modules_equivalent
+
+                with self._memo_lock:
+                    original = self._modules[session.fingerprint]
+                mismatch = modules_equivalent(original, optimized)
+                if mismatch is not None:
+                    self._finalize_fallback(session, f"miscompile: {mismatch}")
+                    return
+                if result_fp is not None:
+                    if len(self._sem_verified) >= _VERIFIED_MEMO_LIMIT:
+                        self._sem_verified.clear()
+                    self._sem_verified.add((session.fingerprint, result_fp))
         except VerificationError as exc:
             self._finalize_fallback(session, f"verify_error: {exc}")
             return

@@ -1,0 +1,53 @@
+"""Generative differential testing for the mini-LLVM pipeline.
+
+The structural verifier proves IR *validity*; this package proves
+*semantic correctness* under arbitrary phase orderings — exactly the
+regime POSET-RL explores. Four pieces:
+
+* :mod:`~repro.testing.generator` — a seeded random program generator
+  (extending the workload generator) whose modules exercise every
+  executable instruction kind and are interpreter-runnable with a defined
+  observable output (return value + external-call trace).
+* :mod:`~repro.testing.oracle` — the differential oracle: run a module
+  before and after a pass sequence and compare observations, classifying
+  failures as miscompiles, crashes, verifier breaks or hangs.
+* :mod:`~repro.testing.reduce` — a delta-debugging reducer shrinking a
+  failing (module, pass-sequence) pair to a minimal repro.
+* :mod:`~repro.testing.corpus` — persisted reduced repros that the test
+  suite replays forever; :mod:`~repro.testing.campaign` drives whole fuzz
+  campaigns (also via ``python -m repro.tools.fuzz``).
+"""
+
+from .campaign import FuzzConfig, FuzzFailure, FuzzReport, run_campaign
+from .corpus import CorpusCase, load_cases, replay_case, save_case
+from .generator import FuzzProfile, FuzzProgramGenerator, generate_fuzz_program
+from .oracle import (
+    CheckResult,
+    DifferentialOracle,
+    Observation,
+    make_sequences,
+    modules_equivalent,
+    observe_module,
+)
+from .reduce import Reducer
+
+__all__ = [
+    "CheckResult",
+    "CorpusCase",
+    "DifferentialOracle",
+    "FuzzConfig",
+    "FuzzFailure",
+    "FuzzProfile",
+    "FuzzProgramGenerator",
+    "FuzzReport",
+    "Observation",
+    "Reducer",
+    "generate_fuzz_program",
+    "load_cases",
+    "make_sequences",
+    "modules_equivalent",
+    "observe_module",
+    "replay_case",
+    "run_campaign",
+    "save_case",
+]

@@ -1,0 +1,247 @@
+"""Fuzz campaigns: generate programs, run the oracle, reduce failures.
+
+A campaign sweeps a seed range: for each seed it generates one fuzz
+module, takes its baseline observations once, then differentially checks
+every pass sequence the configured mode produces against that baseline.
+Failures are (optionally) shrunk by the delta-debugging reducer and
+written to a corpus directory as permanent regression cases.
+
+Driven programmatically via :func:`run_campaign` or from the command
+line via ``python -m repro.tools.fuzz``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..ir.printer import print_module
+from .corpus import CorpusCase, save_case
+from .generator import FuzzProfile, generate_fuzz_program
+from .oracle import (
+    DEFAULT_ARG_SETS,
+    DEFAULT_FUEL,
+    DifferentialOracle,
+    make_sequences,
+)
+from .reduce import Reducer
+
+#: explicit sequences may be given instead of a mode name
+SequenceSpec = Union[str, Sequence[Sequence[str]]]
+
+
+@dataclass
+class FuzzConfig:
+    """Everything one campaign needs; defaults match the CI smoke job."""
+
+    seeds: int = 50
+    start_seed: int = 0
+    sequences: SequenceSpec = "odg"
+    #: agent-style episodes per module (manual/odg/random modes)
+    episodes: int = 1
+    episode_length: int = 10
+    #: stop starting new seeds once this much wall time has elapsed
+    time_budget_s: Optional[float] = None
+    reduce: bool = False
+    corpus_dir: Optional[Path] = None
+    arg_sets: Sequence[Sequence[int]] = DEFAULT_ARG_SETS
+    fuel: int = DEFAULT_FUEL
+    verify_each: bool = False
+    #: size knob forwarded to the generator profile
+    segments: int = 6
+    fn_name: str = "entry"
+    #: budget for the reducer, in predicate evaluations per failure
+    reduce_max_checks: int = 800
+
+
+@dataclass
+class FuzzFailure:
+    """One failing (seed, pass-sequence) pair, plus its reduction."""
+
+    seed: int
+    kind: str
+    detail: str
+    passes: List[str]
+    module_text: str
+    args: Optional[Tuple] = None
+    reduced_module_text: Optional[str] = None
+    reduced_passes: Optional[List[str]] = None
+    reduced_instructions: Optional[int] = None
+    corpus_path: Optional[str] = None
+
+
+@dataclass
+class FuzzReport:
+    """Aggregate campaign outcome."""
+
+    seeds_run: int = 0
+    checks: int = 0
+    counts: Dict[str, int] = field(default_factory=dict)
+    failures: List[FuzzFailure] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    budget_exhausted: bool = False
+
+    @property
+    def miscompiles(self) -> int:
+        return self.counts.get("miscompile", 0)
+
+    @property
+    def clean(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        parts = [f"{self.seeds_run} seeds", f"{self.checks} checks"]
+        for kind in ("ok", "miscompile", "verifier_error", "crash", "hang",
+                     "skip"):
+            if self.counts.get(kind):
+                parts.append(f"{kind}={self.counts[kind]}")
+        parts.append(f"{self.elapsed_s:.1f}s")
+        if self.budget_exhausted:
+            parts.append("(time budget hit)")
+        return ", ".join(parts)
+
+    def to_dict(self) -> dict:
+        return {
+            "seeds_run": self.seeds_run,
+            "checks": self.checks,
+            "counts": dict(self.counts),
+            "elapsed_s": round(self.elapsed_s, 3),
+            "budget_exhausted": self.budget_exhausted,
+            "failures": [
+                {
+                    "seed": f.seed,
+                    "kind": f.kind,
+                    "detail": f.detail,
+                    "passes": f.passes,
+                    "reduced_passes": f.reduced_passes,
+                    "reduced_instructions": f.reduced_instructions,
+                    "corpus_path": f.corpus_path,
+                }
+                for f in self.failures
+            ],
+        }
+
+
+def _sequences_for(config: FuzzConfig, rng) -> List[List[str]]:
+    if isinstance(config.sequences, str):
+        return make_sequences(
+            config.sequences, rng,
+            episodes=config.episodes,
+            episode_length=config.episode_length,
+        )
+    return [list(s) for s in config.sequences]
+
+
+def reduce_failure(
+    failure_module,
+    failure: FuzzFailure,
+    oracle: DifferentialOracle,
+    max_checks: int = 800,
+) -> None:
+    """Shrink a failure in place (fills the ``reduced_*`` fields)."""
+    kind = failure.kind
+    if failure.args is not None:
+        # Reduce against just the diverging input: one baseline run and
+        # one optimized run per predicate check instead of one per
+        # configured arg set (~3x fewer interpreter runs).
+        oracle = DifferentialOracle(
+            fn_name=oracle.fn_name,
+            arg_sets=[failure.args],
+            fuel=oracle.fuel,
+            verify_each=oracle.verify_each,
+        )
+    reducer = Reducer(
+        predicate=lambda m, ps: oracle.check(m, ps).kind == kind,
+        max_checks=max_checks,
+    )
+    reduced_module, reduced_passes = reducer.reduce(
+        failure_module, failure.passes
+    )
+    failure.reduced_module_text = print_module(reduced_module)
+    failure.reduced_passes = reduced_passes
+    failure.reduced_instructions = reduced_module.instruction_count
+
+
+def run_campaign(
+    config: FuzzConfig,
+    log: Optional[Callable[[str], None]] = None,
+) -> FuzzReport:
+    """Run one campaign and return its report."""
+    say = log or (lambda _msg: None)
+    report = FuzzReport()
+    started = time.monotonic()
+    corpus_serial = 0
+
+    for i in range(config.seeds):
+        elapsed = time.monotonic() - started
+        if config.time_budget_s is not None and elapsed >= config.time_budget_s:
+            report.budget_exhausted = True
+            break
+        seed = config.start_seed + i
+        profile = FuzzProfile(
+            name=f"fuzz{seed}", seed=seed, segments=config.segments
+        )
+        module = generate_fuzz_program(profile)
+        oracle = DifferentialOracle(
+            fn_name=config.fn_name,
+            arg_sets=config.arg_sets,
+            fuel=config.fuel,
+            verify_each=config.verify_each,
+        )
+        baselines = oracle.baseline(module)
+        # Sequence draws are seeded per module: the whole campaign is a
+        # pure function of (config), reproducible anywhere.
+        rng = np.random.RandomState(seed ^ 0x5EED)
+        report.seeds_run += 1
+        for passes in _sequences_for(config, rng):
+            result = oracle.check(module, passes, baselines=baselines)
+            report.checks += 1
+            report.counts[result.kind] = report.counts.get(result.kind, 0) + 1
+            if not result.is_failure:
+                continue
+            failure = FuzzFailure(
+                seed=seed,
+                kind=result.kind,
+                detail=result.detail,
+                passes=list(result.passes),
+                module_text=print_module(module),
+                args=result.args,
+            )
+            say(f"seed {seed}: {result.kind} — {result.detail}")
+            if config.reduce:
+                try:
+                    reduce_failure(
+                        module, failure, oracle,
+                        max_checks=config.reduce_max_checks,
+                    )
+                    say(
+                        f"seed {seed}: reduced to "
+                        f"{failure.reduced_instructions} instructions, "
+                        f"passes {failure.reduced_passes}"
+                    )
+                except Exception as exc:  # reduction is best-effort
+                    say(f"seed {seed}: reduction failed: {exc}")
+            if config.corpus_dir is not None:
+                case = CorpusCase(
+                    name=f"seed{seed}-{result.kind}-{corpus_serial}",
+                    kind=result.kind,
+                    passes=failure.reduced_passes or failure.passes,
+                    module_text=(
+                        failure.reduced_module_text or failure.module_text
+                    ),
+                    fn_name=config.fn_name,
+                    arg_sets=[tuple(a) for a in config.arg_sets],
+                    detail=result.detail,
+                )
+                path = save_case(case, Path(config.corpus_dir))
+                failure.corpus_path = str(path)
+                corpus_serial += 1
+            report.failures.append(failure)
+
+    report.elapsed_s = time.monotonic() - started
+    say(report.summary())
+    return report

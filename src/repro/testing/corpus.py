@@ -1,0 +1,107 @@
+"""Persisted minimal repros that the test suite replays forever.
+
+A corpus case is one ``.ll`` file: a comment header (``;;`` lines with
+JSON values) recording what failed and how to reproduce it, followed by
+the reduced module text. Cases are committed under
+``tests/testing/corpus/`` — every bug the fuzzer ever found stays a
+regression test, and replaying a case after the fix must come back
+``ok``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple
+
+from ..ir.parser import parse_module
+from .oracle import DEFAULT_ARG_SETS, DEFAULT_FUEL, CheckResult, DifferentialOracle
+
+_HEADER_RE = re.compile(r"^;;\s*(\w+):\s*(.*)$")
+
+
+@dataclass
+class CorpusCase:
+    """One reduced (module, pass-sequence) repro."""
+
+    name: str
+    #: failure kind when the case was found (miscompile/crash/...)
+    kind: str
+    passes: List[str]
+    module_text: str
+    fn_name: str = "entry"
+    arg_sets: List[Tuple[int, ...]] = field(
+        default_factory=lambda: [tuple(a) for a in DEFAULT_ARG_SETS]
+    )
+    detail: str = ""
+
+    def to_text(self) -> str:
+        header = [
+            ";; fuzz-corpus-case",
+            f";; name: {json.dumps(self.name)}",
+            f";; kind: {json.dumps(self.kind)}",
+            f";; fn: {json.dumps(self.fn_name)}",
+            f";; args: {json.dumps([list(a) for a in self.arg_sets])}",
+            f";; passes: {json.dumps(self.passes)}",
+        ]
+        if self.detail:
+            # Keep the header single-line per key.
+            header.append(f";; detail: {json.dumps(self.detail[:500])}")
+        return "\n".join(header) + "\n\n" + self.module_text.rstrip() + "\n"
+
+    @classmethod
+    def from_text(cls, text: str, name: str = "") -> "CorpusCase":
+        fields = {}
+        body_lines = []
+        for line in text.splitlines():
+            m = _HEADER_RE.match(line)
+            if m:
+                key, raw = m.group(1), m.group(2)
+                if raw:
+                    fields[key] = json.loads(raw)
+            else:
+                body_lines.append(line)
+        return cls(
+            name=fields.get("name", name),
+            kind=fields.get("kind", "miscompile"),
+            passes=list(fields.get("passes", [])),
+            module_text="\n".join(body_lines).strip() + "\n",
+            fn_name=fields.get("fn", "entry"),
+            arg_sets=[tuple(a) for a in fields.get("args", [[0]])],
+            detail=fields.get("detail", ""),
+        )
+
+
+def save_case(case: CorpusCase, directory: Path) -> Path:
+    """Write ``case`` to ``directory/<name>.ll`` and return the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{case.name}.ll"
+    path.write_text(case.to_text())
+    return path
+
+
+def load_cases(directory: Path) -> List[CorpusCase]:
+    """All corpus cases under ``directory``, sorted by file name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    cases = []
+    for path in sorted(directory.glob("*.ll")):
+        cases.append(CorpusCase.from_text(path.read_text(), name=path.stem))
+    return cases
+
+
+def replay_case(case: CorpusCase, fuel: int = DEFAULT_FUEL) -> CheckResult:
+    """Re-run a corpus case through the oracle.
+
+    Returns the current classification: ``ok`` once the bug is fixed,
+    the original failure kind while it is not.
+    """
+    module = parse_module(case.module_text)
+    oracle = DifferentialOracle(
+        fn_name=case.fn_name, arg_sets=case.arg_sets, fuel=fuel
+    )
+    return oracle.check(module, case.passes)

@@ -1,0 +1,275 @@
+"""Csmith-style random program generator for differential testing.
+
+Extends the workload generator with constructs the training corpus never
+needed but the pass pipeline must still handle correctly: unsigned
+arithmetic and masked shifts, integer/float cast chains, vector
+insert/extract and lane-wise arithmetic, pointer↔integer round-trips,
+wide switches, global read/write traffic, and *observable* external calls
+(``@observe``) whose trace the differential oracle compares.
+
+Every generated module is
+
+* **deterministic** in its seed (byte-identical printed text across
+  processes — asserted by the seed-determinism test),
+* **interpreter-executable with no undefined behaviour** (divisors are
+  forced odd, shift amounts masked below the bit width, every load reads
+  initialized memory), and
+* **fully printable↔parseable** (no named struct types — the one corner
+  the textual format deliberately omits), so failing cases can be saved
+  to the corpus and replayed from text.
+
+The guaranteed "coverage segments" run once per module before the
+weighted random mix, so every executable opcode appears in — and is
+executed by — every generated program. The interpreter-coverage test
+relies on this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..ir.module import Function, Module
+from ..ir.types import (
+    F32,
+    F64,
+    FunctionType,
+    I8,
+    I16,
+    I32,
+    I64,
+    PointerType,
+    VectorType,
+    VOID,
+)
+from ..ir.values import ConstantFloat, ConstantInt, ConstantVector, Value
+from ..workloads.generator import (
+    _CONSTRUCTS,
+    ProgramGenerator,
+    ProgramProfile,
+    _Builder,
+)
+
+
+@dataclass(frozen=True)
+class FuzzProfile(ProgramProfile):
+    """Construct mix for one fuzz program (extends the workload knobs)."""
+
+    name: str = "fuzz"
+    segments: int = 6
+    array_len: int = 8
+    recursive_helper: bool = True
+    #: weights of the fuzz-only constructs in the random segment mix
+    w_unsigned: float = 1.2
+    w_cast: float = 1.2
+    w_vector: float = 1.0
+    w_fp_chain: float = 1.0
+    w_wide_switch: float = 0.7
+    w_global_rw: float = 0.8
+    w_ptr_play: float = 0.7
+    w_observe: float = 1.5
+
+
+#: fuzz-only constructs; appended to the workload construct table
+_FUZZ_CONSTRUCTS: List[Tuple[str, str]] = [
+    ("w_unsigned", "emit_unsigned"),
+    ("w_cast", "emit_cast_chain"),
+    ("w_vector", "emit_vector"),
+    ("w_fp_chain", "emit_fp_chain"),
+    ("w_wide_switch", "emit_wide_switch"),
+    ("w_global_rw", "emit_global_rw"),
+    ("w_ptr_play", "emit_ptr_play"),
+    ("w_observe", "emit_observe"),
+]
+
+#: constructs run exactly once per module, in order, before the random
+#: mix — together they execute every opcode the interpreter supports.
+COVERAGE_SEGMENTS: List[str] = [
+    "emit_signed_core",
+    "emit_unsigned",
+    "emit_cast_chain",
+    "emit_vector",
+    "emit_fp_chain",
+    "emit_wide_switch",
+    "emit_global_rw",
+    "emit_ptr_play",
+    "emit_observe",
+]
+
+
+class _FuzzBuilder(_Builder):
+    """Workload builder plus the fuzz-only constructs."""
+
+    # -- deterministic signed-arithmetic core -------------------------------
+    def emit_signed_core(self) -> None:
+        """add/sub/mul/sdiv/srem/shl with guarded operands, once."""
+        b = self.b
+        x, y = self.pick(), self.pick()
+        s = b.add(x, y)
+        d = b.sub(s, x)
+        m = b.mul(d, b.and_(y, self._c(7)))
+        den = b.or_(self.pick(), self._c(1))  # odd => never zero
+        q = b.sdiv(m, den)
+        r = b.srem(m, den)
+        sh = b.shl(x, b.and_(y, self._c(7)))
+        self.pool.extend([b.add(q, r), b.xor(sh, d)])
+
+    def emit_unsigned(self) -> None:
+        """udiv/urem and masked lshr/ashr (all defined for any input)."""
+        b = self.b
+        num = self.pick()
+        den = b.or_(self.pick(), self._c(1))
+        q = b.udiv(num, den)
+        r = b.binary("urem", num, den)
+        amt = b.and_(self.pick(), self._c(31))  # < bit width: no poison
+        l = b.lshr(self.pick(), amt)
+        a = b.ashr(self.pick(), amt)
+        self.pool.extend([b.add(q, r), b.xor(l, a)])
+
+    def emit_cast_chain(self) -> None:
+        """trunc/zext/sext chains through i64/i16/i8."""
+        b = self.b
+        x = self.pick()
+        wide = b.sext(x, I64)
+        bumped = b.binary("add", wide, ConstantInt(I64, 0x1234))
+        narrow = b.trunc(bumped, I16)
+        back = b.zext(narrow, I32)
+        byte = b.trunc(self.pick(), I8)
+        sign = b.sext(byte, I32)
+        self.pool.extend([back, sign])
+
+    def emit_vector(self) -> None:
+        """Vector insert/extract and lane-wise arithmetic on <4 x i32>."""
+        b = self.b
+        rng = self.rng
+        vty = VectorType(I32, 4)
+        base = ConstantVector(
+            vty, [ConstantInt(I32, int(rng.randint(-9, 10))) for _ in range(4)]
+        )
+        v1 = b.insertelement(base, self.pick(), ConstantInt(I32, 0))
+        v2 = b.insertelement(v1, self.pick(), ConstantInt(I32, int(rng.randint(1, 4))))
+        op = ["add", "mul", "xor", "and"][int(rng.randint(4))]
+        mixed = b.binary(op, v1, v2)
+        lane_a = b.extractelement(mixed, ConstantInt(I32, 0))
+        lane_b = b.extractelement(mixed, ConstantInt(I32, 3))
+        self.pool.append(b.add(lane_a, lane_b))
+
+    def emit_fp_chain(self) -> None:
+        """fdiv/frem/fcmp/select plus the full float-cast family."""
+        b = self.b
+        a = b.sitofp(self.pick(), F64)
+        nz = b.or_(self.pick(), self._c(1))  # odd int => nonzero float
+        c = b.sitofp(nz, F64)
+        d = b.fdiv(a, c)
+        rem = b.binary("frem", a, c)
+        mix = b.fsub(b.fadd(d, rem), b.fmul(a, ConstantFloat(F64, 0.5)))
+        squeezed = b.cast("fptrunc", mix, F32)
+        widened = b.cast("fpext", squeezed, F64)
+        cond = b.fcmp("olt", widened, a)
+        chosen = b.select(cond, widened, mix)
+        unsigned = b.cast("uitofp", self.pick(), F64)
+        total = b.fadd(chosen, unsigned)
+        self.fpool.append(total)
+        self.pool.append(b.fptosi(total, I32))
+
+    def emit_wide_switch(self) -> None:
+        """A 5-way switch with a phi merge."""
+        b = self.b
+        value = b.and_(self.pick(), self._c(7))
+        merge = self.fresh_block("wswmerge")
+        default = self.fresh_block("wswdef")
+        cases = []
+        blocks = []
+        for i in range(5):
+            blocks.append(self.fresh_block(f"wswcase{i}"))
+            cases.append((self._c(i), blocks[-1]))
+        b.switch(value, default, cases)
+        incomings = []
+        for i, block in enumerate(blocks):
+            self.continue_in(block)
+            v = b.add(self.pick(), self._c(3 * i + 1))
+            b.br(merge)
+            incomings.append((v, b.block))
+        self.continue_in(default)
+        dv = b.mul(self.pick(), self._c(-3))
+        b.br(merge)
+        incomings.append((dv, b.block))
+        self.continue_in(merge)
+        phi = b.phi(I32)
+        for v, blk in incomings:
+            phi.add_incoming(v, blk)
+        self.pool.append(phi)
+
+    def emit_global_rw(self) -> None:
+        """Store-then-load traffic through the module's global table."""
+        b = self.b
+        g = self.gen.module.get_global("gtable")
+        assert g is not None
+        n = self.gen.profile.array_len
+        idx = b.and_(self.pick(), self._c(n - 1))  # array_len is a power of 2
+        p = b.gep(g, [self._c(0), idx])
+        b.store(self.pick(), p)
+        self.pool.append(b.load(p))
+
+    def emit_ptr_play(self) -> None:
+        """ptrtoint/inttoptr round-trip and a pointer bitcast load."""
+        b = self.b
+        arr, n = self._make_array(initialize=True)
+        k = self._c(int(self.rng.randint(0, n)))
+        p = b.gep(arr, [self._c(0), k])
+        as_int = b.cast("ptrtoint", p, I64)
+        back = b.cast("inttoptr", as_int, PointerType(I32))
+        self.pool.append(b.load(back))
+        first = b.bitcast(arr, PointerType(I32))
+        self.pool.append(b.load(first))
+
+    def emit_observe(self) -> None:
+        """Externally visible calls — the oracle compares their trace."""
+        b = self.b
+        b.call(self.gen.observe_fn, [self.pick()])
+        if self.fpool and self.rng.random_sample() < 0.7:
+            b.call(self.gen.observe_f64_fn, [self.pick_fp()])
+        sourced = b.call(self.gen.source_fn, [self.pick()])
+        self.pool.append(sourced)
+
+
+class FuzzProgramGenerator(ProgramGenerator):
+    """Seeded random program generator for the differential oracle."""
+
+    builder_cls = _FuzzBuilder
+    constructs = _CONSTRUCTS + _FUZZ_CONSTRUCTS
+
+    def __init__(self, profile: FuzzProfile):
+        super().__init__(profile)
+        self.observe_fn: Function = None  # type: ignore[assignment]
+        self.observe_f64_fn: Function = None  # type: ignore[assignment]
+        self.source_fn: Function = None  # type: ignore[assignment]
+
+    def _emit_helpers(self) -> None:
+        super()._emit_helpers()
+        # External declarations: calls to these are the observable trace.
+        self.observe_fn = Function(
+            self.module, "observe", FunctionType(VOID, [I32]),
+            linkage="external", arg_names=["x"],
+        )
+        self.observe_f64_fn = Function(
+            self.module, "observe_f64", FunctionType(VOID, [F64]),
+            linkage="external", arg_names=["x"],
+        )
+        self.source_fn = Function(
+            self.module, "ext_source", FunctionType(I32, [I32]),
+            linkage="external", arg_names=["x"],
+        )
+
+    def _emit_segments(self, builder: _Builder) -> None:
+        for method in COVERAGE_SEGMENTS:
+            getattr(builder, method)()
+        # Guarantee at least one helper call and one loop-carried phi.
+        builder.emit_call()
+        builder.emit_small_loop()
+        super()._emit_segments(builder)
+
+
+def generate_fuzz_program(profile: FuzzProfile) -> Module:
+    """Generate one deterministic fuzz module for ``profile``."""
+    return FuzzProgramGenerator(profile).generate()

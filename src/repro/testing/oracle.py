@@ -1,0 +1,372 @@
+"""The differential semantic-equivalence oracle.
+
+An :class:`Observation` is the canonical observable behaviour of one
+program run: the return value plus the ordered external-call trace
+(floats canonicalized to their bit patterns so NaN compares equal to
+itself and ``-0.0`` differs from ``0.0``). A correct optimization must
+preserve the observation exactly for every input.
+
+:class:`DifferentialOracle` runs a module through an arbitrary pass
+sequence and classifies the outcome:
+
+``ok``
+    every input produced identical observations before and after;
+``miscompile``
+    valid IR, wrong behaviour — a silently wrong result, the failure mode
+    the structural verifier cannot see;
+``verifier_error``
+    a pass produced structurally invalid IR (caught at the exact pass);
+``crash``
+    a pass raised while running;
+``hang``
+    the optimized program exhausted a fuel budget the original finished
+    well within (an introduced infinite loop);
+``skip``
+    the *baseline* run trapped or ran out of fuel — a generator bug, not
+    a pass bug, and never counted against the pipeline.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core.subsequences import MANUAL_SUBSEQUENCES, PAPER_ODG_SUBSEQUENCES
+from ..ir.interp import Interpreter, InterpError, OutOfFuel
+from ..ir.module import Function, Module
+from ..ir.types import IntType
+from ..ir.verifier import verify_module
+from ..passes.base import PassManager
+from ..passes.pipelines import OZ_PASS_SEQUENCE
+
+#: default interpreter budget per run
+DEFAULT_FUEL = 500_000
+
+#: default inputs the oracle drives ``@entry(i32)`` with
+DEFAULT_ARG_SETS: Tuple[Tuple[int, ...], ...] = ((0,), (7,), (-3,))
+
+
+def _canon(value) -> object:
+    """Canonical, hashable, bit-exact form of an observed value."""
+    if isinstance(value, float):
+        return ("f64", struct.pack("<d", value))
+    if isinstance(value, list):
+        return tuple(_canon(v) for v in value)
+    if isinstance(value, tuple):
+        return tuple(_canon(v) for v in value)
+    return value
+
+
+@dataclass(frozen=True)
+class Observation:
+    """Observable behaviour of one run: how it ended, what it returned,
+    and every external call in order."""
+
+    kind: str  # "return" | "trap" | "fuel"
+    value: object = None
+    trace: Tuple = ()
+    steps: int = 0
+    detail: str = ""
+
+    def __eq__(self, other) -> bool:  # steps/detail are diagnostics only
+        return (
+            isinstance(other, Observation)
+            and self.kind == other.kind
+            and self.value == other.value
+            and self.trace == other.trace
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.value, self.trace))
+
+
+def observe_module(
+    module: Module,
+    fn_name: str = "entry",
+    args: Sequence = (0,),
+    fuel: int = DEFAULT_FUEL,
+) -> Observation:
+    """Run ``fn_name`` and capture the canonical observation."""
+    interp = Interpreter(module, fuel=fuel)
+    try:
+        result = interp.run(fn_name, list(args))
+    except OutOfFuel:
+        return Observation(
+            "fuel", trace=_canon(interp.trace), steps=interp.steps_executed
+        )
+    except InterpError as exc:
+        return Observation(
+            "trap",
+            trace=_canon(interp.trace),
+            steps=interp.steps_executed,
+            detail=str(exc),
+        )
+    return Observation(
+        "return",
+        value=_canon(result),
+        trace=_canon(interp.trace),
+        steps=interp.steps_executed,
+    )
+
+
+@dataclass
+class CheckResult:
+    """Outcome of one differential check of (module, pass sequence)."""
+
+    kind: str  # ok | miscompile | verifier_error | crash | hang | skip
+    detail: str = ""
+    passes: List[str] = field(default_factory=list)
+    #: input args of the first diverging run (miscompile/hang only)
+    args: Optional[Tuple] = None
+    before: Optional[Observation] = None
+    after: Optional[Observation] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.kind == "ok"
+
+    @property
+    def is_failure(self) -> bool:
+        return self.kind in ("miscompile", "verifier_error", "crash", "hang")
+
+
+class DifferentialOracle:
+    """Runs pass sequences against the reference interpreter."""
+
+    def __init__(
+        self,
+        fn_name: str = "entry",
+        arg_sets: Sequence[Sequence] = DEFAULT_ARG_SETS,
+        fuel: int = DEFAULT_FUEL,
+        verify_each: bool = False,
+    ):
+        self.fn_name = fn_name
+        self.arg_sets = [tuple(a) for a in arg_sets]
+        self.fuel = fuel
+        #: verify after every pass (pinpoints the breaking pass; ~2x cost)
+        self.verify_each = verify_each
+
+    # -- baseline ------------------------------------------------------------
+    def baseline(self, module: Module) -> List[Observation]:
+        """One observation per configured input, on the unoptimized module."""
+        return [
+            observe_module(module, self.fn_name, args, self.fuel)
+            for args in self.arg_sets
+        ]
+
+    # -- the differential check ---------------------------------------------
+    def check(
+        self,
+        module: Module,
+        passes: Sequence[str],
+        baselines: Optional[List[Observation]] = None,
+    ) -> CheckResult:
+        """Apply ``passes`` to a clone of ``module`` and compare behaviour.
+
+        ``baselines`` (from :meth:`baseline`) can be passed to amortize
+        the pre-optimization runs across many sequences.
+        """
+        passes = list(passes)
+        if baselines is None:
+            baselines = self.baseline(module)
+        usable = [
+            (args, obs)
+            for args, obs in zip(self.arg_sets, baselines)
+            if obs.kind == "return"
+        ]
+        if not usable:
+            return CheckResult(
+                "skip",
+                detail="baseline run trapped or ran out of fuel on every "
+                "input (generator bug, not a pass bug)",
+                passes=passes,
+            )
+
+        candidate = module.clone()
+        try:
+            managers = PassManager(passes).passes
+        except Exception as exc:
+            return CheckResult("crash", detail=f"pass construction: {exc}",
+                               passes=passes)
+        for p in managers:
+            try:
+                p.run_on_module(candidate)
+            except Exception as exc:
+                return CheckResult(
+                    "crash", detail=f"pass -{p.name} raised: {exc}",
+                    passes=passes,
+                )
+            if self.verify_each:
+                try:
+                    verify_module(candidate)
+                except Exception as exc:
+                    return CheckResult(
+                        "verifier_error",
+                        detail=f"IR invalid after -{p.name}: {exc}",
+                        passes=passes,
+                    )
+        if not self.verify_each:
+            try:
+                verify_module(candidate)
+            except Exception as exc:
+                return CheckResult(
+                    "verifier_error",
+                    detail=f"IR invalid after sequence: {exc}",
+                    passes=passes,
+                )
+
+        for args, before in usable:
+            after = observe_module(candidate, self.fn_name, args, self.fuel)
+            if after.kind == "fuel":
+                return CheckResult(
+                    "hang",
+                    detail=f"optimized module exhausted {self.fuel} fuel on "
+                    f"args {args!r}; baseline finished in {before.steps} steps",
+                    passes=passes, args=tuple(args),
+                    before=before, after=after,
+                )
+            if after != before:
+                return CheckResult(
+                    "miscompile",
+                    detail=_describe_mismatch(args, before, after),
+                    passes=passes, args=tuple(args),
+                    before=before, after=after,
+                )
+        return CheckResult("ok", passes=passes)
+
+
+def _describe_mismatch(args, before: Observation, after: Observation) -> str:
+    parts = [f"on args {tuple(args)!r}:"]
+    if after.kind == "trap":
+        parts.append(f"optimized module trapped ({after.detail})")
+    elif before.value != after.value:
+        parts.append(f"return value {before.value!r} -> {after.value!r}")
+    if before.trace != after.trace:
+        parts.append(
+            f"external-call trace diverged "
+            f"({len(before.trace)} calls -> {len(after.trace)} calls)"
+            if len(before.trace) != len(after.trace)
+            else "external-call trace diverged (same length, different "
+            "callees or arguments)"
+        )
+    return " ".join(parts)
+
+
+# -- pass-sequence sources ----------------------------------------------------
+
+SEQUENCE_MODES = ("singles", "oz", "manual", "odg", "random", "all")
+
+
+def make_sequences(
+    mode: str,
+    rng,
+    episodes: int = 1,
+    episode_length: int = 10,
+) -> List[List[str]]:
+    """Pass sequences to test one module with.
+
+    ``singles``
+        each unique ``-Oz`` pass alone;
+    ``oz``
+        the full ``-Oz`` pipeline plus every Table-II manual sub-sequence;
+    ``manual`` / ``odg``
+        ``episodes`` random agent-style orderings: ``episode_length``
+        actions drawn (with replacement) from the Table-II / Table-III
+        sub-sequences and flattened, exactly the shape a trained policy
+        emits;
+    ``random``
+        random permutations of the unique ``-Oz`` passes — orderings no
+        human curated;
+    ``all``
+        the union of the above.
+    """
+    unique = sorted(set(OZ_PASS_SEQUENCE))
+    out: List[List[str]] = []
+    if mode in ("singles", "all"):
+        out.extend([p] for p in unique)
+    if mode in ("oz", "all"):
+        out.append(list(OZ_PASS_SEQUENCE))
+        out.extend(list(s) for s in MANUAL_SUBSEQUENCES)
+    if mode in ("manual", "odg", "all"):
+        tables = []
+        if mode in ("manual", "all"):
+            tables.append(MANUAL_SUBSEQUENCES)
+        if mode in ("odg", "all"):
+            tables.append(PAPER_ODG_SUBSEQUENCES)
+        for table in tables:
+            for _ in range(episodes):
+                seq: List[str] = []
+                for _ in range(episode_length):
+                    seq.extend(table[int(rng.randint(len(table)))])
+                out.append(seq)
+    if mode in ("random", "all"):
+        for _ in range(max(1, episodes)):
+            perm = list(unique)
+            rng.shuffle(perm)
+            out.append(perm)
+    if not out:
+        raise ValueError(f"unknown sequence mode {mode!r}")
+    return out
+
+
+# -- serving hook -------------------------------------------------------------
+
+def _pick_entry(module: Module) -> Optional[Function]:
+    """A function the oracle can drive: defined, int-returning, all-int
+    params. Prefers ``@entry`` (the generator's convention)."""
+    entry = module.get_function("entry")
+    candidates = [entry] if entry is not None else []
+    candidates += [f for f in module.functions if f is not entry]
+    for fn in candidates:
+        if fn.is_declaration or fn.is_intrinsic:
+            continue
+        if not isinstance(fn.return_type, IntType):
+            continue
+        if all(isinstance(a.type, IntType) for a in fn.args):
+            return fn
+    return None
+
+
+def modules_equivalent(
+    original: Module,
+    optimized: Module,
+    fn_name: Optional[str] = None,
+    arg_sets: Optional[Sequence[Sequence[int]]] = None,
+    fuel: int = DEFAULT_FUEL,
+) -> Optional[str]:
+    """Semantic post-optimization check for the serving guard.
+
+    Returns ``None`` when the modules agree on every driveable input (or
+    when nothing is driveable — no executable int entry point, or the
+    baseline itself traps), and a human-readable mismatch description
+    when the optimized module observably diverges.
+    """
+    if fn_name is None:
+        fn = _pick_entry(original)
+        if fn is None:
+            return None
+        fn_name = fn.name
+    else:
+        fn = original.get_function(fn_name)
+        if fn is None:
+            return None
+    if optimized.get_function(fn_name) is None:
+        return f"function @{fn_name} disappeared from the optimized module"
+    if arg_sets is None:
+        probe = (0, 7, -3)
+        arity = len(fn.args)
+        arg_sets = [tuple([p] * arity) for p in probe]
+    for args in arg_sets:
+        before = observe_module(original, fn_name, args, fuel)
+        if before.kind != "return":
+            continue  # not a driveable input; nothing to compare
+        after = observe_module(optimized, fn_name, args, fuel)
+        if after.kind == "fuel":
+            return (
+                f"optimized @{fn_name}{tuple(args)!r} exhausted {fuel} fuel; "
+                f"original finished in {before.steps} steps"
+            )
+        if after != before:
+            return _describe_mismatch(args, before, after)
+    return None

@@ -1,0 +1,108 @@
+"""Differential fuzzing campaigns against the pass pipeline.
+
+Generates seeded random programs, runs them through pass sequences, and
+compares interpreter behaviour before and after (see
+:mod:`repro.testing`). Failures can be delta-debugged to minimal repros
+and written to a corpus directory as permanent regression cases.
+
+Examples::
+
+    python -m repro.tools.fuzz --seeds 200 --sequences odg
+    python -m repro.tools.fuzz --seeds 50 --sequences all --reduce \\
+        --corpus tests/testing/corpus
+    python -m repro.tools.fuzz --seeds 1000 --time-budget 60 \\
+        --fail-on-miscompile          # the CI smoke job
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from ..testing.campaign import FuzzConfig, run_campaign
+from ..testing.oracle import SEQUENCE_MODES
+
+
+def build_argparser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-fuzz", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--seeds", type=int, default=50,
+                        help="number of random programs (default 50)")
+    parser.add_argument("--start-seed", type=int, default=0,
+                        help="first seed (campaigns are seed-deterministic)")
+    parser.add_argument("--sequences", choices=SEQUENCE_MODES, default="odg",
+                        help="pass-sequence source per module (default odg)")
+    parser.add_argument("--episodes", type=int, default=1,
+                        help="agent-style episodes per module "
+                        "(manual/odg/random modes)")
+    parser.add_argument("--episode-length", type=int, default=10,
+                        help="actions per episode (default 10)")
+    parser.add_argument("--segments", type=int, default=6,
+                        help="program size knob (default 6)")
+    parser.add_argument("--time-budget", type=float, default=None, metavar="S",
+                        help="stop starting new seeds after S seconds")
+    parser.add_argument("--reduce", action="store_true",
+                        help="delta-debug each failure to a minimal repro")
+    parser.add_argument("--corpus", type=str, default=None, metavar="DIR",
+                        help="write failing cases to this corpus directory")
+    parser.add_argument("--verify-each", action="store_true",
+                        help="verify IR after every pass (pinpoints the "
+                        "breaking pass; slower)")
+    parser.add_argument("--fail-on-miscompile", action="store_true",
+                        help="exit nonzero if any failure is found (CI mode)")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="print the report as JSON on stdout")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="suppress progress output")
+    return parser
+
+
+def run(argv: Optional[List[str]] = None) -> int:
+    parser = build_argparser()
+    args = parser.parse_args(argv)
+
+    config = FuzzConfig(
+        seeds=args.seeds,
+        start_seed=args.start_seed,
+        sequences=args.sequences,
+        episodes=args.episodes,
+        episode_length=args.episode_length,
+        segments=args.segments,
+        time_budget_s=args.time_budget,
+        reduce=args.reduce,
+        corpus_dir=args.corpus,
+        verify_each=args.verify_each,
+    )
+    log = None if args.quiet else (lambda msg: sys.stderr.write(msg + "\n"))
+    report = run_campaign(config, log=log)
+
+    if args.as_json:
+        json.dump(report.to_dict(), sys.stdout, indent=2)
+        sys.stdout.write("\n")
+    else:
+        sys.stdout.write(report.summary() + "\n")
+        for failure in report.failures:
+            sys.stdout.write(
+                f"  seed {failure.seed}: {failure.kind} "
+                f"[{' '.join(failure.reduced_passes or failure.passes)}] "
+                f"{failure.detail}\n"
+            )
+
+    if args.fail_on_miscompile and report.failures:
+        return 1
+    return 0
+
+
+def main() -> int:  # pragma: no cover - console entry
+    try:
+        return run()
+    except BrokenPipeError:
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

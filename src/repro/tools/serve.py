@@ -58,6 +58,10 @@ def build_argparser() -> argparse.ArgumentParser:
                         help="per-request wall-clock deadline (default 60)")
     parser.add_argument("--no-result-cache", action="store_true",
                         help="disable the fingerprint result cache")
+    parser.add_argument("--semantic-check", action="store_true",
+                        help="run every optimized module in the reference "
+                        "interpreter against the original and fall back to "
+                        "-Oz on observable behaviour changes")
     parser.add_argument("--no-warmup", action="store_true",
                         help="skip the untimed warm-up pass over the "
                         "distinct modules")
@@ -94,6 +98,7 @@ def run(argv: Optional[List[str]] = None) -> int:
             request_timeout_s=args.timeout_s,
             result_cache_size=None if args.no_result_cache else 1024,
             include_ir=False,
+            semantic_check=args.semantic_check,
         )
     else:
         agent = PosetRL(
@@ -107,6 +112,7 @@ def run(argv: Optional[List[str]] = None) -> int:
             request_timeout_s=args.timeout_s,
             result_cache_size=None if args.no_result_cache else 1024,
             include_ir=False,
+            semantic_check=args.semantic_check,
         )
 
     requests = request_pool(corpus, args.requests)

@@ -415,7 +415,19 @@ _CONSTRUCTS = [
 
 
 class ProgramGenerator:
-    """Generates one module per :class:`ProgramProfile`."""
+    """Generates one module per :class:`ProgramProfile`.
+
+    Subclasses (e.g. the fuzzing generator in :mod:`repro.testing`) extend
+    the construct mix by overriding :attr:`builder_cls` and
+    :attr:`constructs` — each ``(weight_attr, method_name)`` entry is
+    looked up on the profile / builder respectively, with missing weight
+    attributes treated as 0.
+    """
+
+    #: builder class used for the root function body
+    builder_cls: type = _Builder
+    #: (profile weight attribute, builder method) construct table
+    constructs: List[Tuple[str, str]] = _CONSTRUCTS
 
     def __init__(self, profile: ProgramProfile):
         self.profile = profile
@@ -532,15 +544,21 @@ class ProgramGenerator:
             linkage="external",
             arg_names=["n"],
         )
-        builder = _Builder(self, fn, self.rng)
+        builder = self.builder_cls(self, fn, self.rng)
         builder.pool.append(fn.args[0])
+        self._emit_segments(builder)
+        builder.finish()
 
-        weights = np.array([getattr(p, w) for w, _ in _CONSTRUCTS], dtype=float)
+    def _emit_segments(self, builder: "_Builder") -> None:
+        p = self.profile
+        table = self.constructs
+        weights = np.array(
+            [getattr(p, w, 0.0) for w, _ in table], dtype=float
+        )
         weights = weights / weights.sum()
         for _ in range(p.segments):
-            index = int(self.rng.choice(len(_CONSTRUCTS), p=weights))
-            getattr(builder, _CONSTRUCTS[index][1])()
-        builder.finish()
+            index = int(self.rng.choice(len(table), p=weights))
+            getattr(builder, table[index][1])()
 
 
 def generate_program(profile: ProgramProfile) -> Module:

@@ -1,0 +1,101 @@
+"""Deliberately broken passes for exercising the differential oracle.
+
+Each fixture registers a test-only pass in the live ``PASS_REGISTRY`` and
+removes it on teardown, so fuzz-harness tests can inject each failure
+kind on demand without touching the real pipeline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir.instructions import BinaryOp, Branch, Ret
+from repro.passes.base import PASS_REGISTRY, FunctionPass
+
+
+class SwapSubOperandsPass(FunctionPass):
+    """Miscompile: rewrites ``sub x, y`` to ``sub y, x`` (valid IR,
+    observably wrong results)."""
+
+    name = "test-swap-sub"
+
+    def run_on_function(self, fn):
+        changed = False
+        for block in fn.blocks:
+            for i, inst in enumerate(list(block.instructions)):
+                if isinstance(inst, BinaryOp) and inst.opcode == "sub":
+                    swapped = BinaryOp(
+                        "sub", inst.operand(1), inst.operand(0), inst.name
+                    )
+                    block.instructions[i] = swapped
+                    swapped.parent = block
+                    inst.replace_all_uses_with(swapped)
+                    inst.drop_all_operands()
+                    inst.parent = None
+                    changed = True
+        return changed
+
+
+class CrashingPass(FunctionPass):
+    """Crash: raises while running."""
+
+    name = "test-crash"
+
+    def run_on_function(self, fn):
+        raise RuntimeError("synthetic pass crash")
+
+
+class InvalidIRPass(FunctionPass):
+    """Verifier break: deletes the entry block's terminator."""
+
+    name = "test-drop-terminator"
+
+    def run_on_function(self, fn):
+        term = fn.entry.terminator
+        if term is None:
+            return False
+        term.drop_all_operands()
+        fn.entry.instructions.remove(term)
+        return True
+
+
+class InfiniteLoopPass(FunctionPass):
+    """Hang: retargets every ``ret`` block back to the entry block."""
+
+    name = "test-infinite-loop"
+
+    def run_on_function(self, fn):
+        changed = False
+        for block in fn.blocks:
+            term = block.terminator
+            if isinstance(term, Ret) and not fn.entry.phis():
+                term.erase_from_parent()
+                block.append(Branch(fn.entry))
+                changed = True
+        return changed
+
+
+ALL_BROKEN = (
+    SwapSubOperandsPass, CrashingPass, InvalidIRPass, InfiniteLoopPass,
+)
+
+
+@pytest.fixture()
+def broken_passes():
+    """Register every broken pass; yields their flag names."""
+    for cls in ALL_BROKEN:
+        PASS_REGISTRY[cls.name] = cls
+    try:
+        yield [cls.name for cls in ALL_BROKEN]
+    finally:
+        for cls in ALL_BROKEN:
+            PASS_REGISTRY.pop(cls.name, None)
+
+
+@pytest.fixture()
+def swap_sub_pass():
+    PASS_REGISTRY[SwapSubOperandsPass.name] = SwapSubOperandsPass
+    try:
+        yield SwapSubOperandsPass.name
+    finally:
+        PASS_REGISTRY.pop(SwapSubOperandsPass.name, None)

@@ -1,0 +1,31 @@
+;; fuzz-corpus-case
+;; name: "fptrunc-fold-ipsccp"
+;; kind: "miscompile"
+;; fn: "entry"
+;; args: [[0], [7], [-3]]
+;; passes: ["ipsccp"]
+;; detail: "on args (0,): external-call trace diverged (same length, different callees or arguments)"
+
+; module fuzz4
+
+declare void @observe_f64(double %x)
+
+define i32 @entry(i32 %n) {
+entry:
+  %v1 = add i64 0, 4660
+  %v2 = trunc i64 %v1 to i16
+  %v3 = zext i16 %v2 to i32
+  %v4 = sitofp i32 %v3 to double
+  %v5 = or i32 -12, 1
+  %v6 = sitofp i32 %v5 to double
+  %v7 = fdiv double %v4, %v6
+  %v8 = fadd double %v7, 0.0
+  %v9 = fsub double %v8, 0.0
+  %v10 = fptrunc double %v9 to float
+  %v11 = fpext float %v10 to double
+  %v12 = fcmp olt double %v11, %v4
+  %v13 = select i1 %v12, double %v11, double %v9
+  %v14 = fadd double %v13, 0.0
+  call void @observe_f64(double %v14)
+  ret i32 0
+}

@@ -1,0 +1,92 @@
+"""Corpus persistence and the replay-forever regression gate.
+
+Every reduced repro the fuzzer ever found lives in ``corpus/`` next to
+this file. Replaying a case must come back ``ok`` — a regression of the
+original bug flips it back to its recorded failure kind and fails the
+suite with the minimal repro already in hand.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.ir.parser import parse_module
+from repro.ir.printer import print_module
+from repro.ir.verifier import verify_module
+from repro.testing import (
+    CorpusCase,
+    load_cases,
+    replay_case,
+    save_case,
+)
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+
+class TestCorpusRoundTrip:
+    def test_save_load_preserves_case(self, tmp_path):
+        case = CorpusCase(
+            name="t1",
+            kind="miscompile",
+            passes=["instcombine", "gvn"],
+            module_text="define i32 @entry(i32 %n) {\nentry:\n  ret i32 %n\n}\n",
+            arg_sets=[(0,), (7,)],
+            detail="return value 1 -> 2",
+        )
+        path = save_case(case, tmp_path)
+        assert path.name == "t1.ll"
+        loaded = load_cases(tmp_path)
+        assert len(loaded) == 1
+        got = loaded[0]
+        assert got.name == "t1"
+        assert got.kind == "miscompile"
+        assert got.passes == ["instcombine", "gvn"]
+        assert got.arg_sets == [(0,), (7,)]
+        assert got.detail == "return value 1 -> 2"
+        assert parse_module(got.module_text).instruction_count == 1
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert load_cases(tmp_path / "nope") == []
+
+    def test_replay_detects_live_bug(self, tmp_path, broken_passes):
+        case = CorpusCase(
+            name="live",
+            kind="miscompile",
+            passes=["test-swap-sub"],
+            module_text=(
+                "define i32 @entry(i32 %n) {\n"
+                "entry:\n  %d = sub i32 %n, 3\n  ret i32 %d\n}\n"
+            ),
+        )
+        save_case(case, tmp_path)
+        (loaded,) = load_cases(tmp_path)
+        assert replay_case(loaded).kind == "miscompile"
+
+
+class TestCommittedCorpus:
+    def test_corpus_is_not_empty(self):
+        """The first campaign found real miscompiles; their reduced repros
+        are committed here forever."""
+        assert load_cases(CORPUS_DIR), "committed fuzz corpus went missing"
+
+    def test_committed_cases_are_small_and_valid(self):
+        for case in load_cases(CORPUS_DIR):
+            module = parse_module(case.module_text)
+            verify_module(module)
+            assert module.instruction_count <= 20, case.name
+            # Round-trips exactly (reduced repros are normalized).
+            assert print_module(parse_module(print_module(module))) == \
+                print_module(module)
+
+    @pytest.mark.parametrize(
+        "case",
+        load_cases(CORPUS_DIR),
+        ids=[c.name for c in load_cases(CORPUS_DIR)],
+    )
+    def test_replay_forever(self, case):
+        """Each committed case replays ``ok`` — its bug stays fixed."""
+        result = replay_case(case)
+        assert result.kind == "ok", (
+            f"corpus case {case.name} regressed to {result.kind}: "
+            f"{result.detail}\noriginally: {case.detail}"
+        )

@@ -1,0 +1,62 @@
+"""Seed determinism across process boundaries.
+
+The whole testing story leans on reproducibility: a seed in a fuzz
+report must regenerate the exact same module on any machine, any
+process. These tests print generated modules from two *separate*
+interpreter processes and require byte-identical output — catching
+accidental dependence on hash randomization, dict order, id(), or
+process-global state.
+"""
+
+import subprocess
+import sys
+
+import pytest
+
+FUZZ_SNIPPET = """\
+import sys
+from repro.ir.printer import print_module
+from repro.testing import FuzzProfile, generate_fuzz_program
+module = generate_fuzz_program(FuzzProfile(seed={seed}))
+sys.stdout.write(print_module(module))
+"""
+
+WORKLOAD_SNIPPET = """\
+import sys
+from repro.ir.printer import print_module
+from repro.workloads import ProgramProfile, generate_program
+module = generate_program(ProgramProfile(name="det", seed={seed}, segments=4))
+sys.stdout.write(print_module(module))
+"""
+
+
+def run_in_subprocess(snippet: str, seed: int) -> str:
+    proc = subprocess.run(
+        [sys.executable, "-c", snippet.format(seed=seed)],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    assert proc.stdout, "generator printed nothing"
+    return proc.stdout
+
+
+@pytest.mark.parametrize("seed", [0, 42])
+def test_fuzz_generator_is_deterministic_across_processes(seed):
+    first = run_in_subprocess(FUZZ_SNIPPET, seed)
+    second = run_in_subprocess(FUZZ_SNIPPET, seed)
+    assert first == second
+
+
+@pytest.mark.parametrize("seed", [3])
+def test_workload_generator_is_deterministic_across_processes(seed):
+    first = run_in_subprocess(WORKLOAD_SNIPPET, seed)
+    second = run_in_subprocess(WORKLOAD_SNIPPET, seed)
+    assert first == second
+
+
+def test_different_seeds_differ():
+    a = run_in_subprocess(FUZZ_SNIPPET, 0)
+    b = run_in_subprocess(FUZZ_SNIPPET, 1)
+    assert a != b

@@ -1,0 +1,250 @@
+"""Differential oracle: observation semantics and failure classification."""
+
+import numpy as np
+import pytest
+
+from repro.ir.parser import parse_module
+from repro.core.subsequences import MANUAL_SUBSEQUENCES, PAPER_ODG_SUBSEQUENCES
+from repro.passes.pipelines import OZ_PASS_SEQUENCE
+from repro.testing import (
+    DifferentialOracle,
+    FuzzProfile,
+    Observation,
+    generate_fuzz_program,
+    make_sequences,
+    modules_equivalent,
+    observe_module,
+)
+
+SUB_MODULE = """
+define i32 @entry(i32 %n) {
+entry:
+  %d = sub i32 %n, 3
+  ret i32 %d
+}
+"""
+
+TRAPPING_MODULE = """
+define i32 @entry(i32 %n) {
+entry:
+  %d = sdiv i32 %n, 0
+  ret i32 %d
+}
+"""
+
+
+class TestObservation:
+    def test_return_observation(self):
+        module = parse_module(SUB_MODULE)
+        obs = observe_module(module, args=(10,))
+        assert obs.kind == "return"
+        assert obs.value == 7
+        assert obs.steps > 0
+
+    def test_trap_observation(self):
+        obs = observe_module(parse_module(TRAPPING_MODULE), args=(1,))
+        assert obs.kind == "trap"
+        assert "zero" in obs.detail
+
+    def test_fuel_observation(self):
+        text = """
+        define i32 @entry(i32 %n) {
+        entry:
+          br label %loop
+        loop:
+          br label %loop
+        }
+        """
+        obs = observe_module(parse_module(text), args=(0,), fuel=100)
+        assert obs.kind == "fuel"
+
+    def test_equality_ignores_diagnostics(self):
+        a = Observation("return", value=1, trace=(), steps=10)
+        b = Observation("return", value=1, trace=(), steps=99, detail="x")
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_float_values_compare_bitwise(self):
+        nan = float("nan")
+        a = Observation("return", value=("f64", b"\x00" * 8))
+        assert a == Observation("return", value=("f64", b"\x00" * 8))
+        # NaN canonicalizes to a bit pattern equal to itself.
+        m = parse_module("""
+        define double @entry() {
+        entry:
+          %x = fdiv double 0.0, 0.0
+          ret double %x
+        }
+        """)
+        o1 = observe_module(m, args=())
+        o2 = observe_module(m, args=())
+        assert o1.value == o2.value
+        assert nan != nan  # the reason the canonicalization exists
+
+    def test_trace_is_compared(self):
+        a = Observation("return", value=0, trace=(("observe", (1,)),))
+        b = Observation("return", value=0, trace=(("observe", (2,)),))
+        assert a != b
+
+
+class TestClassification:
+    def test_identity_sequence_is_ok(self):
+        oracle = DifferentialOracle()
+        result = oracle.check(parse_module(SUB_MODULE), [])
+        assert result.kind == "ok"
+        assert result.ok and not result.is_failure
+
+    def test_real_pipeline_is_ok_on_fuzz_program(self):
+        module = generate_fuzz_program(FuzzProfile(seed=3))
+        oracle = DifferentialOracle()
+        result = oracle.check(module, ["instcombine", "gvn", "simplifycfg"])
+        assert result.kind == "ok"
+
+    def test_miscompile_detected(self, broken_passes):
+        oracle = DifferentialOracle()
+        result = oracle.check(parse_module(SUB_MODULE), ["test-swap-sub"])
+        assert result.kind == "miscompile"
+        assert result.is_failure
+        assert result.args is not None
+        assert result.before is not None and result.after is not None
+        assert result.before != result.after
+        assert "->" in result.detail
+
+    def test_crash_detected_with_pass_name(self, broken_passes):
+        oracle = DifferentialOracle()
+        result = oracle.check(
+            parse_module(SUB_MODULE), ["instcombine", "test-crash"]
+        )
+        assert result.kind == "crash"
+        assert "test-crash" in result.detail
+
+    def test_verifier_error_detected(self, broken_passes):
+        oracle = DifferentialOracle()
+        result = oracle.check(
+            parse_module(SUB_MODULE), ["test-drop-terminator"]
+        )
+        assert result.kind == "verifier_error"
+
+    def test_verify_each_pinpoints_pass(self, broken_passes):
+        oracle = DifferentialOracle(verify_each=True)
+        result = oracle.check(
+            parse_module(SUB_MODULE), ["test-drop-terminator", "instcombine"]
+        )
+        assert result.kind == "verifier_error"
+        assert "test-drop-terminator" in result.detail
+
+    def test_hang_detected(self, broken_passes):
+        oracle = DifferentialOracle(fuel=5000)
+        result = oracle.check(
+            parse_module(SUB_MODULE), ["test-infinite-loop"]
+        )
+        assert result.kind == "hang"
+
+    def test_trapping_baseline_is_skip_not_failure(self, broken_passes):
+        oracle = DifferentialOracle()
+        result = oracle.check(
+            parse_module(TRAPPING_MODULE), ["test-swap-sub"]
+        )
+        assert result.kind == "skip"
+        assert not result.is_failure
+
+    def test_unknown_pass_is_crash(self):
+        oracle = DifferentialOracle()
+        result = oracle.check(parse_module(SUB_MODULE), ["no-such-pass"])
+        assert result.kind == "crash"
+
+    def test_baselines_can_be_amortized(self):
+        module = parse_module(SUB_MODULE)
+        oracle = DifferentialOracle()
+        baselines = oracle.baseline(module)
+        r1 = oracle.check(module, ["instcombine"], baselines=baselines)
+        r2 = oracle.check(module, ["gvn"], baselines=baselines)
+        assert r1.kind == r2.kind == "ok"
+
+
+class TestMakeSequences:
+    def test_singles_covers_unique_oz_passes(self):
+        rng = np.random.RandomState(0)
+        seqs = make_sequences("singles", rng)
+        assert all(len(s) == 1 for s in seqs)
+        assert {s[0] for s in seqs} == set(OZ_PASS_SEQUENCE)
+
+    def test_oz_includes_pipeline_and_manual_tables(self):
+        rng = np.random.RandomState(0)
+        seqs = make_sequences("oz", rng)
+        assert list(OZ_PASS_SEQUENCE) in seqs
+        assert len(seqs) == 1 + len(MANUAL_SUBSEQUENCES)
+
+    def test_odg_episodes_flatten_table_rows(self):
+        rng = np.random.RandomState(0)
+        seqs = make_sequences("odg", rng, episodes=3, episode_length=4)
+        assert len(seqs) == 3
+        table_passes = {p for row in PAPER_ODG_SUBSEQUENCES for p in row}
+        min_row = min(len(row) for row in PAPER_ODG_SUBSEQUENCES)
+        for seq in seqs:
+            # 4 drawn sub-sequences, flattened: every pass comes from the
+            # table and the episode is at least 4 of the shortest rows.
+            assert set(seq) <= table_passes
+            assert len(seq) >= 4 * min_row
+
+    def test_random_mode_permutes_unique_passes(self):
+        rng = np.random.RandomState(0)
+        seqs = make_sequences("random", rng, episodes=2)
+        unique = sorted(set(OZ_PASS_SEQUENCE))
+        assert len(seqs) == 2
+        for seq in seqs:
+            assert sorted(seq) == unique
+
+    def test_all_mode_is_union(self):
+        rng = np.random.RandomState(0)
+        assert len(make_sequences("all", rng)) > len(
+            make_sequences("singles", np.random.RandomState(0))
+        )
+
+    def test_unknown_mode_raises(self):
+        with pytest.raises(ValueError):
+            make_sequences("bogus", np.random.RandomState(0))
+
+    def test_deterministic_in_rng_seed(self):
+        a = make_sequences("odg", np.random.RandomState(7), episodes=2)
+        b = make_sequences("odg", np.random.RandomState(7), episodes=2)
+        assert a == b
+
+
+class TestModulesEquivalent:
+    def test_equivalent_modules_pass(self):
+        a = parse_module(SUB_MODULE)
+        assert modules_equivalent(a, a.clone()) is None
+
+    def test_behaviour_change_reported(self, broken_passes):
+        from repro.passes.base import run_passes
+
+        a = parse_module(SUB_MODULE)
+        b = a.clone()
+        run_passes(b, ["test-swap-sub"])
+        msg = modules_equivalent(a, b)
+        assert msg is not None
+        assert "->" in msg
+
+    def test_missing_entry_reported(self):
+        a = parse_module(SUB_MODULE)
+        b = parse_module("define i32 @other() {\nentry:\n  ret i32 0\n}\n")
+        msg = modules_equivalent(a, b)
+        assert msg is not None and "disappeared" in msg
+
+    def test_no_driveable_entry_is_vacuous(self):
+        a = parse_module("""
+        define double @fp_only(double %x) {
+        entry:
+          ret double %x
+        }
+        """)
+        assert modules_equivalent(a, a.clone()) is None
+
+    def test_trapping_baseline_is_vacuous(self, broken_passes):
+        from repro.passes.base import run_passes
+
+        a = parse_module(TRAPPING_MODULE)
+        b = a.clone()
+        run_passes(b, ["test-swap-sub"])
+        assert modules_equivalent(a, b) is None
