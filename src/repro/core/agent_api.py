@@ -16,6 +16,7 @@ import numpy as np
 
 from ..ir.module import Module
 from ..ir.verifier import VerificationError, verify_module
+from ..observability import get_registry
 from ..rl.dqn import AgentConfig, DoubleDQNAgent, DQNAgent
 from .environment import (
     ActionSpace,
@@ -71,6 +72,44 @@ class TrainThroughput:
             "steps_per_second": round(self.steps_per_second, 2),
             "episodes_per_second": round(self.episodes_per_second, 2),
         }
+
+
+#: Histogram buckets for per-episode total reward (raw POSET-RL rewards
+#: reach ±10 on the size term alone).
+EPISODE_REWARD_BUCKETS = (
+    -20.0, -10.0, -5.0, -2.0, -1.0, -0.5, 0.0,
+    0.5, 1.0, 2.0, 5.0, 10.0, 20.0,
+)
+
+
+def _publish_episode(record: "TrainStats") -> None:
+    """Mirror one finished episode into the metric registry."""
+    registry = get_registry()
+    if not registry.enabled:
+        return
+    registry.counter(
+        "repro_train_episodes_total", "finished training episodes"
+    ).inc()
+    registry.counter(
+        "repro_train_env_steps_total", "environment transitions consumed"
+    ).inc(len(record.actions))
+    registry.histogram(
+        "repro_train_episode_reward", "total reward per episode",
+        buckets=EPISODE_REWARD_BUCKETS,
+    ).observe(record.total_reward)
+    registry.gauge(
+        "repro_train_epsilon", "current exploration rate"
+    ).set(record.epsilon)
+
+
+def _publish_throughput(report: "TrainThroughput") -> None:
+    registry = get_registry()
+    if not registry.enabled:
+        return
+    registry.gauge(
+        "repro_train_steps_per_second",
+        "environment steps per wall second of the last training run",
+    ).set(report.steps_per_second)
 
 
 class PosetRL:
@@ -168,6 +207,7 @@ class PosetRL:
                 actions=actions,
             )
             stats.append(record)
+            _publish_episode(record)
             if callback is not None:
                 callback(record)
         self.last_train_throughput = TrainThroughput(
@@ -178,6 +218,7 @@ class PosetRL:
             wall_seconds=time.perf_counter() - start,
             train_updates=self.agent.train_steps - train_updates_before,
         )
+        _publish_throughput(self.last_train_throughput)
         self.train_history.extend(stats)
         return stats
 
@@ -274,6 +315,7 @@ class PosetRL:
                         actions=rec.actions,
                     )
                     stats.append(record)
+                    _publish_episode(record)
                     if callback is not None:
                         callback(record)
         finally:
@@ -286,6 +328,7 @@ class PosetRL:
             wall_seconds=time.perf_counter() - start,
             train_updates=self.agent.train_steps - train_updates_before,
         )
+        _publish_throughput(self.last_train_throughput)
         self.train_history.extend(stats)
         return stats
 

@@ -15,6 +15,7 @@ pipeline entirely. ``cache=False`` restores the plain uncached paths.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -47,6 +48,12 @@ class StepInfo:
     changed: bool = True
     #: Whether this step was served from the transition cache.
     cache_hit: bool = False
+    #: Wall seconds spent in the pass pipeline for this step (0.0 on
+    #: transition-cache hits: no pass ran).
+    passes_seconds: float = 0.0
+    #: Wall seconds spent measuring (codegen size + MCA + embedding;
+    #: 0.0 on transition-cache hits and structural no-ops).
+    measure_seconds: float = 0.0
 
 
 class ActionSpace:
@@ -187,13 +194,17 @@ class PhaseOrderingEnv:
         passes = self.action_space.passes_for(action)
 
         if self.metrics.enabled:
-            size, throughput, changed, cache_hit = self._cached_apply(action)
+            (size, throughput, changed, cache_hit,
+             passes_s, measure_s) = self._cached_apply(action)
         else:
+            start = time.perf_counter()
             changed = self.action_space.apply(action, self.current)
+            passes_s = time.perf_counter() - start
             cache_hit = False
             size = self.metrics.size(self.current).total_bytes
             throughput = self.metrics.throughput(self.current).throughput
             self._state = self.observe()
+            measure_s = time.perf_counter() - start - passes_s
 
         reward = combined_reward(
             self.last_size,
@@ -214,6 +225,8 @@ class PhaseOrderingEnv:
             / self.base_throughput,
             changed=changed,
             cache_hit=cache_hit,
+            passes_seconds=passes_s,
+            measure_seconds=measure_s,
         )
         self.history.append(info)
         self.last_size = size
@@ -223,12 +236,14 @@ class PhaseOrderingEnv:
         state = self._state if self._state is not None else self.observe()
         return state, reward, done, info
 
-    def _cached_apply(self, action: int) -> Tuple[int, float, bool, bool]:
+    def _cached_apply(
+        self, action: int
+    ) -> Tuple[int, float, bool, bool, float, float]:
         """Apply ``action`` through the transition cache.
 
-        Returns ``(size, throughput, changed, cache_hit)`` and leaves
-        ``self.current`` / ``self._state`` / ``self._fingerprint``
-        describing the post-action module.
+        Returns ``(size, throughput, changed, cache_hit, passes_seconds,
+        measure_seconds)`` and leaves ``self.current`` / ``self._state``
+        / ``self._fingerprint`` describing the post-action module.
         """
         engine = self.metrics
         assert engine.transitions is not None
@@ -245,16 +260,21 @@ class PhaseOrderingEnv:
                 self._pending = hit.module
             self._fingerprint = hit.result_fingerprint
             self._state = hit.embedding
-            return hit.size, hit.throughput, hit.changed, True
+            return hit.size, hit.throughput, hit.changed, True, 0.0, 0.0
 
         module = self.current  # materializes a mutable copy if needed
+        start = time.perf_counter()
         applied = self.action_space.apply(action, module)
+        passes_s = time.perf_counter() - start
         # The changed-flag is advisory; fingerprint equality is the
         # authoritative no-op check (sound in both directions).
         result_fp = engine.fingerprint(module) if applied else fingerprint
         changed = result_fp != fingerprint
+        measure_s = 0.0
         if changed:
+            start = time.perf_counter()
             measured = engine.measure(module)
+            measure_s = time.perf_counter() - start
             size, throughput = measured.size, measured.throughput
             cycles, embedding = measured.cycles, measured.embedding
             # Hand the mutated module itself to the cache and keep only a
@@ -287,7 +307,7 @@ class PhaseOrderingEnv:
         )
         self._fingerprint = result_fp
         self._state = embedding
-        return size, throughput, changed, False
+        return size, throughput, changed, False, passes_s, measure_s
 
     # -- observability ---------------------------------------------------------
     def cache_stats(self) -> Dict[str, Dict[str, float]]:

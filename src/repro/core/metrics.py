@@ -24,6 +24,7 @@ that safe across different modules.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, Optional, Tuple
 
@@ -72,8 +73,13 @@ class Transition:
 class TransitionCache:
     """LRU map ``(module_fingerprint, action) → Transition``."""
 
-    def __init__(self, capacity: int = DEFAULT_TRANSITION_CACHE_SIZE):
-        self._cache = LRUCache(capacity)
+    def __init__(
+        self,
+        capacity: int = DEFAULT_TRANSITION_CACHE_SIZE,
+        name: Optional[str] = "transitions",
+        lock=None,
+    ):
+        self._cache = LRUCache(capacity, name=name, lock=lock)
 
     def get(
         self, fingerprint: str, action: Hashable
@@ -110,11 +116,17 @@ class MetricsEngine:
         enabled: bool = True,
         function_cache_size: int = DEFAULT_FUNCTION_CACHE_SIZE,
         transition_cache_size: int = DEFAULT_TRANSITION_CACHE_SIZE,
+        threadsafe: bool = False,
     ):
         self.target = target
         self.enabled = enabled
         self.function_cache_size = function_cache_size
         self.transition_cache_size = transition_cache_size
+        #: ``threadsafe=True`` guards every cache with one shared lock —
+        #: required when the engine is reachable from more than one thread
+        #: (the serving scheduler's engines are also read by client-thread
+        #: ``stats()`` calls). Training keeps the lock-free default.
+        self.threadsafe = threadsafe
         self._init_caches()
         self.encoder = encoder or IR2VecEncoder()
         if enabled and self.encoder.function_cache is None:
@@ -122,17 +134,18 @@ class MetricsEngine:
 
     def _init_caches(self) -> None:
         if self.enabled:
+            lock = threading.Lock() if self.threadsafe else None
             self.size_cache: Optional[LRUCache] = LRUCache(
-                self.function_cache_size
+                self.function_cache_size, name="size", lock=lock
             )
             self.mca_cache: Optional[LRUCache] = LRUCache(
-                self.function_cache_size
+                self.function_cache_size, name="mca", lock=lock
             )
             self._embedding_cache: Optional[LRUCache] = LRUCache(
-                self.function_cache_size
+                self.function_cache_size, name="embedding", lock=lock
             )
             self.transitions: Optional[TransitionCache] = TransitionCache(
-                self.transition_cache_size
+                self.transition_cache_size, lock=lock
             )
         else:
             self.size_cache = None
@@ -199,6 +212,7 @@ class MetricsEngine:
             "enabled": self.enabled,
             "function_cache_size": self.function_cache_size,
             "transition_cache_size": self.transition_cache_size,
+            "threadsafe": self.threadsafe,
         }
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
@@ -206,5 +220,6 @@ class MetricsEngine:
         self.enabled = state["enabled"]
         self.function_cache_size = state["function_cache_size"]
         self.transition_cache_size = state["transition_cache_size"]
+        self.threadsafe = state.get("threadsafe", False)
         self._init_caches()
         self.encoder = IR2VecEncoder(function_cache=self._embedding_cache)

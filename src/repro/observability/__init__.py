@@ -1,0 +1,122 @@
+"""Unified observability: metric registry, tracing spans, exporters.
+
+One process-wide :class:`MetricRegistry` and one :class:`Tracer` serve
+every layer — the pass pipeline, the LRU caches behind the metrics
+engine, the DQN training loop and the optimization service — so a single
+JSON snapshot or Prometheus scrape decomposes where time and work went.
+
+Observability is **off by default and free when off**: the module-level
+registry/tracer are no-op singletons, and every instrumented call site
+either binds nothing at construction time or gates on ``.enabled``.
+Turn it on before constructing the objects you want instrumented::
+
+    from repro.observability import enable, disable, export_snapshot
+
+    enable()                       # fresh registry + tracer
+    ...                            # build engines/services, run traffic
+    export_snapshot("metrics.json")
+    disable()
+
+or from the CLIs with ``--metrics-out metrics.json`` (serve, fuzz,
+profile), then render with ``python -m repro.tools.stats metrics.json``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple, Union
+
+from .export import (
+    SNAPSHOT_SCHEMA,
+    prometheus_text,
+    snapshot,
+    write_snapshot,
+)
+from .registry import (
+    DEFAULT_TIME_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    NULL_REGISTRY,
+    NullRegistry,
+)
+from .tracing import (
+    DEFAULT_MAX_TRACES,
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+)
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricRegistry", "NullRegistry",
+    "Span", "Tracer", "NullTracer",
+    "DEFAULT_TIME_BUCKETS", "DEFAULT_MAX_TRACES", "SNAPSHOT_SCHEMA",
+    "get_registry", "get_tracer", "set_registry", "set_tracer",
+    "enable", "disable", "enabled",
+    "snapshot", "write_snapshot", "export_snapshot", "prometheus_text",
+]
+
+_registry: Union[MetricRegistry, NullRegistry] = NULL_REGISTRY
+_tracer: Union[Tracer, NullTracer] = NULL_TRACER
+
+
+def get_registry() -> Union[MetricRegistry, NullRegistry]:
+    """The process-wide registry (the no-op singleton unless enabled)."""
+    return _registry
+
+
+def get_tracer() -> Union[Tracer, NullTracer]:
+    """The process-wide tracer (the no-op singleton unless enabled)."""
+    return _tracer
+
+
+def set_registry(
+    registry: Union[MetricRegistry, NullRegistry],
+) -> Union[MetricRegistry, NullRegistry]:
+    """Install a registry; returns the previous one."""
+    global _registry
+    previous, _registry = _registry, registry
+    return previous
+
+
+def set_tracer(
+    tracer: Union[Tracer, NullTracer],
+) -> Union[Tracer, NullTracer]:
+    """Install a tracer; returns the previous one."""
+    global _tracer
+    previous, _tracer = _tracer, tracer
+    return previous
+
+
+def enable(
+    max_traces: int = DEFAULT_MAX_TRACES,
+) -> Tuple[MetricRegistry, Tracer]:
+    """Install (and return) a fresh registry + tracer pair.
+
+    Call *before* constructing caches/engines/services: instruments are
+    bound at construction time, so objects built while disabled stay
+    uninstrumented (that is what keeps the disabled path free).
+    """
+    registry = MetricRegistry()
+    tracer = Tracer(max_traces=max_traces)
+    set_registry(registry)
+    set_tracer(tracer)
+    return registry, tracer
+
+
+def disable() -> None:
+    """Restore the no-op registry and tracer."""
+    set_registry(NULL_REGISTRY)
+    set_tracer(NULL_TRACER)
+
+
+def enabled() -> bool:
+    return _registry.enabled
+
+
+def export_snapshot(path: Optional[str] = None) -> Dict[str, object]:
+    """Snapshot the global registry + tracer (optionally writing JSON)."""
+    if path is not None:
+        return write_snapshot(path, _registry, _tracer)
+    return snapshot(_registry, _tracer)

@@ -1,0 +1,122 @@
+"""Exporters: JSON snapshots and Prometheus text format.
+
+A *snapshot* is one JSON-friendly dict holding every metric family (the
+:meth:`MetricRegistry.collect` schema) plus the tracer's recent traces.
+``--metrics-out`` on the train/serve/fuzz CLIs writes one at exit;
+``python -m repro.tools.stats`` renders or tails them, and
+:func:`prometheus_text` turns either a live registry or a saved snapshot
+into the Prometheus exposition format for scraping.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Mapping, Optional, Union
+
+from .registry import MetricRegistry, NullRegistry
+from .tracing import NullTracer, Tracer
+
+SNAPSHOT_SCHEMA = "repro.observability/v1"
+
+
+def snapshot(
+    registry: Union[MetricRegistry, NullRegistry],
+    tracer: Union[Tracer, NullTracer, None] = None,
+) -> Dict[str, object]:
+    """One JSON-friendly dict of everything the process has reported."""
+    out: Dict[str, object] = {
+        "schema": SNAPSHOT_SCHEMA,
+        "unix_time": time.time(),
+        "enabled": registry.enabled,
+        "metrics": registry.collect(),
+    }
+    if tracer is not None:
+        out["traces"] = [span.to_dict() for span in tracer.traces()]
+        out["traces_dropped"] = tracer.dropped
+    return out
+
+
+def write_snapshot(
+    path: str,
+    registry: Union[MetricRegistry, NullRegistry],
+    tracer: Union[Tracer, NullTracer, None] = None,
+) -> Dict[str, object]:
+    """Write :func:`snapshot` to ``path`` as JSON; returns the dict."""
+    payload = snapshot(registry, tracer)
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return payload
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _render_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{k}="{_escape_label(str(v))}"' for k, v in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    value = float(value)
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(
+    source: Union[MetricRegistry, NullRegistry, Dict[str, object], List[dict]],
+) -> str:
+    """Prometheus exposition text from a registry, snapshot, or family list.
+
+    Histograms render the full ``_bucket{le=...}`` / ``_sum`` / ``_count``
+    triple; counters keep their ``_total`` suffix as named at the call
+    site (the instrumentation already follows the convention).
+    """
+    if isinstance(source, (MetricRegistry, NullRegistry)):
+        families = source.collect()
+    elif isinstance(source, dict):
+        families = source.get("metrics", [])  # a snapshot dict
+    else:
+        families = source
+
+    lines: List[str] = []
+    for family in families:
+        name = family["name"]
+        kind = family["type"]
+        help_text = family.get("help") or ""
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for sample in family["samples"]:
+            labels = sample.get("labels") or {}
+            if kind == "histogram":
+                for le, count in sample["buckets"].items():
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = le
+                    lines.append(
+                        f"{name}_bucket{_render_labels(bucket_labels)} "
+                        f"{_format_value(count)}"
+                    )
+                lines.append(
+                    f"{name}_sum{_render_labels(labels)} "
+                    f"{_format_value(sample['sum'])}"
+                )
+                lines.append(
+                    f"{name}_count{_render_labels(labels)} "
+                    f"{_format_value(sample['count'])}"
+                )
+            else:
+                lines.append(
+                    f"{name}{_render_labels(labels)} "
+                    f"{_format_value(sample['value'])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,190 @@
+"""Nested tracing spans with a bounded ring buffer of recent traces.
+
+A *span* is one named, timed region with string tags and child spans; a
+*trace* is a finished root span. Spans nest per thread: entering a span
+while another is open on the same thread attaches it as a child, so a
+served request shows up as one tree — request → queue/forward/passes/
+measure/verify — and a traced pipeline run as pipeline → one span per
+pass.
+
+Like the metric registry, the module-level default is a
+:class:`NullTracer` whose ``span()`` hands back a shared no-op context
+manager; instrumented code gates on :attr:`Tracer.enabled` where even
+that is too much.
+
+Spans can also be built by hand (``Span(name, duration_s=...)``) and
+published with :meth:`Tracer.record` — the serving scheduler uses this
+to assemble one per-request trace from stage timings accumulated across
+interleaved batch ticks, where no single ``with`` block can bracket the
+request.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+#: Default ring-buffer capacity: recent traces only, by design.
+DEFAULT_MAX_TRACES = 64
+
+
+class Span:
+    """One named timed region; children are spans opened inside it."""
+
+    __slots__ = ("name", "tags", "duration_s", "children", "_start")
+
+    def __init__(
+        self,
+        name: str,
+        duration_s: float = 0.0,
+        tags: Optional[Dict[str, str]] = None,
+        children: Optional[List["Span"]] = None,
+    ):
+        self.name = name
+        self.tags = dict(tags) if tags else {}
+        self.duration_s = duration_s
+        self.children: List[Span] = list(children) if children else []
+        self._start = 0.0
+
+    def child(self, name: str, duration_s: float = 0.0, **tags: str) -> "Span":
+        """Attach and return a hand-built child span."""
+        span = Span(name, duration_s=duration_s, tags=tags or None)
+        self.children.append(span)
+        return span
+
+    def find(self, name: str) -> Optional["Span"]:
+        """First child (depth-first) with this name, or ``None``."""
+        for child in self.children:
+            if child.name == name:
+                return child
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "name": self.name,
+            "duration_s": round(self.duration_s, 6),
+        }
+        if self.tags:
+            out["tags"] = dict(self.tags)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<span {self.name} {1e3 * self.duration_s:.3f}ms "
+            f"children={len(self.children)}>"
+        )
+
+
+class _SpanContext:
+    """The ``with tracer.span(...)`` guard: times and files one span."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._span._start = time.perf_counter()
+        self._tracer._stack().append(self._span)
+        return self._span
+
+    def __exit__(self, *exc) -> None:
+        span = self._span
+        span.duration_s = time.perf_counter() - span._start
+        stack = self._tracer._stack()
+        # Pop back to (and past) our span even if an exception unwound
+        # nested spans without their __exit__ running.
+        while stack:
+            top = stack.pop()
+            if top is span:
+                break
+        if stack:
+            stack[-1].children.append(span)
+        else:
+            self._tracer.record(span)
+
+
+class Tracer:
+    """Per-thread span nesting + process-wide ring of finished traces."""
+
+    enabled = True
+
+    def __init__(self, max_traces: int = DEFAULT_MAX_TRACES):
+        if max_traces <= 0:
+            raise ValueError("max_traces must be positive")
+        self.max_traces = max_traces
+        self._lock = threading.Lock()
+        self._traces: Deque[Span] = deque(maxlen=max_traces)
+        self._local = threading.local()
+        self.dropped = 0
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **tags: str) -> _SpanContext:
+        """Context manager opening one span nested under the current one."""
+        return _SpanContext(self, Span(name, tags=tags or None))
+
+    def record(self, root: Span) -> None:
+        """Publish a finished root span as a trace (oldest evicted first)."""
+        with self._lock:
+            if len(self._traces) == self._traces.maxlen:
+                self.dropped += 1
+            self._traces.append(root)
+
+    def traces(self) -> List[Span]:
+        """Most recent traces, oldest first."""
+        with self._lock:
+            return list(self._traces)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._traces.clear()
+            self.dropped = 0
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> Span:
+        return NULL_SPAN
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+NULL_SPAN = Span("null")
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullTracer:
+    """The default: spans are no-ops, nothing is retained."""
+
+    enabled = False
+    dropped = 0
+
+    def span(self, name: str, **tags: str) -> _NullSpanContext:
+        return _NULL_SPAN_CONTEXT
+
+    def record(self, root: Span) -> None:
+        pass
+
+    def traces(self) -> List[Span]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+
+NULL_TRACER = NullTracer()

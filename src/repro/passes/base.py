@@ -104,35 +104,86 @@ class PassManager:
         return self
 
     def run(self, module: Module) -> bool:
+        import time
+
+        from ..observability import get_registry, get_tracer
+        from ..observability.tracing import Span
         from .stats import PipelineStats, StatsTimer
 
+        registry = get_registry()
+        tracer = get_tracer()
         changed = False
         self.changed_passes = []
         self.stats = PipelineStats() if self.collect_stats else None
-        for p in self.passes:
-            timer = (
-                StatsTimer(self.stats, p.name, module)
-                if self.stats is not None
-                else None
-            )
-            if timer is not None:
-                timer.__enter__()
-            try:
-                this_changed = bool(p.run_on_module(module))
-            except Exception as exc:
-                raise RuntimeError(f"pass -{p.name} failed: {exc}") from exc
-            if timer is not None:
-                timer.finish(this_changed)
-            if this_changed:
-                self.changed_passes.append(p.name)
-                changed = True
-            if self.verify:
+        instrument = self.stats is not None or registry.enabled
+        pipeline_ctx = (
+            tracer.span("pipeline", n_passes=str(len(self.passes)))
+            if tracer.enabled
+            else None
+        )
+        # Per-pass child spans are synthesized from the StatsTimer's
+        # measurement instead of opening a context manager per pass —
+        # the thread-local stack push/pop and duplicate clock reads cost
+        # too much on pipelines whose passes run in tens of microseconds.
+        pipeline_span = (
+            pipeline_ctx.__enter__() if pipeline_ctx is not None else None
+        )
+        running_count = module.instruction_count if instrument else None
+        try:
+            for p in self.passes:
+                if instrument:
+                    timer = StatsTimer(
+                        self.stats, p.name, module, registry=registry,
+                        before=running_count,
+                    )
+                    timer.__enter__()
+                    pass_start = timer.start
+                else:
+                    timer = None
+                    if pipeline_span is not None:
+                        pass_start = time.perf_counter()
                 try:
-                    verify_module(module)
+                    this_changed = bool(p.run_on_module(module))
                 except Exception as exc:
+                    if timer is not None:
+                        # Files the terminal record: the crashing pass
+                        # must appear in the stats meant to debug it.
+                        timer.__exit__(type(exc), exc, exc.__traceback__)
+                    if pipeline_span is not None:
+                        seconds = (
+                            timer.seconds if timer is not None
+                            else time.perf_counter() - pass_start
+                        )
+                        pipeline_span.children.append(
+                            Span(p.name, duration_s=seconds)
+                        )
                     raise RuntimeError(
-                        f"IR invalid after pass -{p.name}: {exc}"
+                        f"pass -{p.name} failed: {exc}"
                     ) from exc
+                if timer is not None:
+                    timer.finish(this_changed)
+                    running_count = timer.after
+                if pipeline_span is not None:
+                    seconds = (
+                        timer.seconds if timer is not None
+                        else time.perf_counter() - pass_start
+                    )
+                    pipeline_span.children.append(
+                        Span(p.name, duration_s=seconds)
+                    )
+                if this_changed:
+                    self.changed_passes.append(p.name)
+                    changed = True
+                if self.verify:
+                    try:
+                        verify_module(module)
+                    except Exception as exc:
+                        raise RuntimeError(
+                            f"IR invalid after pass -{p.name}: {exc}"
+                        ) from exc
+        finally:
+            if pipeline_ctx is not None:
+                pipeline_ctx.__exit__(None, None, None)
         return changed
 
 

@@ -4,13 +4,25 @@
 wall time, whether the module changed, and the instruction-count delta —
 the data an engineer reaches for when a pipeline misbehaves, and the raw
 material for the repo's pipeline-composition analyses.
+
+A pass that *raises* is recorded too: :meth:`StatsTimer.__exit__` files a
+terminal :class:`PassRecord` carrying the exception text, so the crashing
+invocation shows up (with its wall time up to the crash) in exactly the
+report meant to debug it instead of silently vanishing.
+
+When the process-wide metric registry (:mod:`repro.observability`) is
+enabled, every record is also published as ``repro_pass_*`` series —
+per-pass run/changed/error counters, accumulated wall seconds and
+instruction delta — independent of whether the caller kept a
+:class:`PipelineStats`.
 """
 
 from __future__ import annotations
 
 import time
+import weakref
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 
 @dataclass
@@ -22,6 +34,8 @@ class PassRecord:
     seconds: float
     instructions_before: int
     instructions_after: int
+    #: Exception text when the pass raised mid-run; ``None`` on success.
+    error: Optional[str] = None
 
     @property
     def instruction_delta(self) -> int:
@@ -45,18 +59,24 @@ class PipelineStats:
     def changed_passes(self) -> List[str]:
         return [r.name for r in self.records if r.changed]
 
+    @property
+    def errors(self) -> List[PassRecord]:
+        return [r for r in self.records if r.error is not None]
+
     def by_pass(self) -> Dict[str, Dict[str, float]]:
         """Aggregate time/changes/instruction-delta per pass name."""
         out: Dict[str, Dict[str, float]] = {}
         for r in self.records:
             agg = out.setdefault(
                 r.name,
-                {"runs": 0, "changed": 0, "seconds": 0.0, "delta": 0},
+                {"runs": 0, "changed": 0, "seconds": 0.0, "delta": 0,
+                 "errors": 0},
             )
             agg["runs"] += 1
             agg["changed"] += int(r.changed)
             agg["seconds"] += r.seconds
             agg["delta"] += r.instruction_delta
+            agg["errors"] += int(r.error is not None)
         return out
 
     def report(self) -> str:
@@ -65,41 +85,166 @@ class PipelineStats:
             self.by_pass().items(), key=lambda kv: -kv[1]["seconds"]
         )
         lines = [
-            f"{'pass':<28} {'runs':>5} {'changed':>8} {'Δinsts':>8} {'time':>9}"
+            f"{'pass':<28} {'runs':>5} {'changed':>8} {'Δinsts':>8} "
+            f"{'errors':>7} {'time':>9}"
         ]
         for name, agg in rows:
             lines.append(
                 f"{name:<28} {agg['runs']:>5.0f} {agg['changed']:>8.0f} "
-                f"{agg['delta']:>8.0f} {agg['seconds']:>8.3f}s"
+                f"{agg['delta']:>8.0f} {agg['errors']:>7.0f} "
+                f"{agg['seconds']:>8.3f}s"
             )
-        lines.append(f"{'TOTAL':<28} {'':>5} {'':>8} {'':>8} "
+        lines.append(f"{'TOTAL':<28} {'':>5} {'':>8} {'':>8} {'':>7} "
                      f"{self.total_seconds:>8.3f}s")
+        for r in self.errors:
+            lines.append(f"ERROR -{r.name}: {r.error}")
         return "\n".join(lines)
 
 
-class StatsTimer:
-    """Context manager measuring one pass invocation."""
+class _PassInstruments:
+    """Pre-resolved registry handles for one pass name.
 
-    def __init__(self, stats: PipelineStats, name: str, module):
+    Resolving an instrument (label-key sort, family lookup, two lock
+    acquisitions) costs microseconds — too much to repeat on every pass
+    invocation of a hot pipeline, so handles are memoized per
+    (registry, pass name) below.
+    """
+
+    __slots__ = ("runs", "seconds", "changed", "delta", "errors")
+
+    def __init__(self, registry, name: str):
+        labels = {"pass": name}
+        self.runs = registry.counter(
+            "repro_pass_runs_total", "pass invocations", labels=labels
+        )
+        self.seconds = registry.counter(
+            "repro_pass_seconds_total", "pass wall seconds", labels=labels
+        )
+        self.changed = registry.counter(
+            "repro_pass_changed_total",
+            "invocations that changed the module", labels=labels,
+        )
+        self.delta = registry.gauge(
+            "repro_pass_instruction_delta_sum",
+            "accumulated instruction-count delta (negative = shrank)",
+            labels=labels,
+        )
+        self.errors = registry.counter(
+            "repro_pass_errors_total", "invocations that raised",
+            labels=labels,
+        )
+
+
+#: registry -> {pass name -> _PassInstruments}; weak keys so a disabled
+#: registry's handles die with it.
+_INSTRUMENTS: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _pass_instruments(registry, name: str) -> _PassInstruments:
+    per_registry = _INSTRUMENTS.get(registry)
+    if per_registry is None:
+        per_registry = {}
+        _INSTRUMENTS[registry] = per_registry
+    instruments = per_registry.get(name)
+    if instruments is None:
+        # A racing thread may build a duplicate; both share the same
+        # underlying registry children, so last-write-wins is harmless.
+        instruments = _PassInstruments(registry, name)
+        per_registry[name] = instruments
+    return instruments
+
+
+def _publish(
+    registry, name: str, changed: bool, seconds: float, delta: int,
+    error: Optional[str],
+) -> None:
+    instruments = _pass_instruments(registry, name)
+    instruments.runs.inc()
+    instruments.seconds.inc(seconds)
+    if changed:
+        instruments.changed.inc()
+    if delta:
+        instruments.delta.inc(delta)
+    if error is not None:
+        instruments.errors.inc()
+
+
+def publish_record(registry, record: PassRecord) -> None:
+    """Mirror one record into the metric registry (enabled callers only)."""
+    _publish(
+        registry, record.name, record.changed, record.seconds,
+        record.instruction_delta, record.error,
+    )
+
+
+class StatsTimer:
+    """Context manager measuring one pass invocation.
+
+    The caller invokes :meth:`finish` on success; if the pass raises
+    instead, :meth:`__exit__` records a terminal :class:`PassRecord` with
+    the exception text so the crashing invocation is not lost. ``stats``
+    may be ``None`` (registry-only publication — then no
+    :class:`PassRecord` is even constructed, the values go straight to
+    the memoized instruments). After recording, :attr:`seconds` holds the
+    measured wall time for callers that also trace.
+    """
+
+    def __init__(self, stats: Optional[PipelineStats], name: str, module,
+                 registry=None, before: Optional[int] = None):
         self.stats = stats
         self.name = name
         self.module = module
+        self.registry = registry
+        self.seconds = 0.0
+        #: Pre-counted instruction count, for pipeline drivers that chain
+        #: timers (pass i's ``after`` is pass i+1's ``before``) to avoid
+        #: re-walking the module twice per pass.
+        self._before_override = before
+        self._finished = False
 
     def __enter__(self) -> "StatsTimer":
-        self.before = self.module.instruction_count
+        self.before = (
+            self.module.instruction_count
+            if self._before_override is None
+            else self._before_override
+        )
         self.start = time.perf_counter()
         return self
 
-    def finish(self, changed: bool) -> None:
-        self.stats.add(
-            PassRecord(
+    def _record(self, changed: bool, error: Optional[str] = None) -> None:
+        self.seconds = seconds = time.perf_counter() - self.start
+        self._finished = True
+        # A pass that reports "unchanged" left the module alone — skip
+        # the O(module) recount. A crashed pass may have mutated the
+        # module partially, so count defensively.
+        if changed or error is not None:
+            after = self.module.instruction_count
+        else:
+            after = self.before
+        self.after = after
+        if self.stats is not None:
+            record = PassRecord(
                 name=self.name,
                 changed=changed,
-                seconds=time.perf_counter() - self.start,
+                seconds=seconds,
                 instructions_before=self.before,
-                instructions_after=self.module.instruction_count,
+                instructions_after=after,
+                error=error,
             )
-        )
+            self.stats.add(record)
+            if self.registry is not None and self.registry.enabled:
+                publish_record(self.registry, record)
+        elif self.registry is not None and self.registry.enabled:
+            _publish(
+                self.registry, self.name, changed, seconds,
+                after - self.before, error,
+            )
 
-    def __exit__(self, *exc) -> None:
-        pass
+    def finish(self, changed: bool) -> None:
+        self._record(changed)
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self._finished:
+            return
+        if exc_type is not None:
+            self._record(changed=False, error=f"{exc_type.__name__}: {exc}")

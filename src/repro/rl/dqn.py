@@ -13,6 +13,7 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from ..observability import get_registry
 from .network import QNetwork
 from .replay import ReplayMemory
 from .schedule import LinearSchedule, paper_epsilon_schedule
@@ -203,7 +204,22 @@ class DQNAgent:
         next_value = self._next_q(next_states)
         targets = rewards + c.gamma * next_value * (~dones)
         self.train_steps += 1
-        return self.online.train_batch(states, actions, targets)
+        loss = self.online.train_batch(states, actions, targets)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "repro_train_updates_total", "gradient updates"
+            ).inc()
+            registry.gauge(
+                "repro_train_loss", "loss of the most recent update"
+            ).set(loss)
+            registry.gauge(
+                "repro_train_epsilon", "current exploration rate"
+            ).set(self.epsilon)
+            registry.gauge(
+                "repro_train_replay_size", "transitions in replay memory"
+            ).set(len(self.memory))
+        return loss
 
     # -- persistence ------------------------------------------------------------
     def save(self, path: str, metadata: Optional[dict] = None) -> None:

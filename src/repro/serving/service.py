@@ -60,6 +60,7 @@ from ..ir.module import Module
 from ..ir.parser import parse_module
 from ..ir.printer import print_module
 from ..ir.verifier import VerificationError, verify_module
+from ..observability import Span, get_registry, get_tracer
 from ..passes.pipelines import OZ_PASS_SEQUENCE, build_pipeline
 from ..rl.network import QNetwork
 from .cache import ResultCache, text_key
@@ -67,6 +68,78 @@ from .registry import ModelRegistry, RegisteredModel
 
 #: Cap on the verified-result fingerprint memo (entries are 32-char keys).
 _VERIFIED_MEMO_LIMIT = 65536
+
+#: Canonical order of the per-request latency stages (span children and
+#: ``repro_serving_stage_seconds`` labels).
+LATENCY_STAGES = ("queue", "forward", "passes", "measure", "verify")
+
+#: Request outcomes (``repro_serving_requests_total``/latency labels).
+_STATUSES = ("ok", "fallback", "rejected")
+
+
+class _ServingInstruments:
+    """Registry handles pre-resolved at service construction.
+
+    Resolving an instrument (label sorting, family lookup, two lock
+    acquisitions) costs microseconds — fine per pipeline run, too much
+    per request on the warm cache-hit path. Binding the children once
+    keeps the enabled hot path to bare ``inc``/``observe`` calls.
+    """
+
+    __slots__ = (
+        "requests", "latency", "stage", "batch_size", "queue_depth",
+        "cache_hits", "_registry", "_guard_trips",
+    )
+
+    def __init__(self, registry):
+        self._registry = registry
+        self.requests = {
+            s: registry.counter(
+                "repro_serving_requests_total", "requests by outcome",
+                labels={"status": s},
+            )
+            for s in _STATUSES
+        }
+        self.latency = {
+            s: registry.histogram(
+                "repro_serving_latency_seconds", "end-to-end request latency",
+                labels={"status": s},
+            )
+            for s in _STATUSES
+        }
+        self.stage = {
+            s: registry.histogram(
+                "repro_serving_stage_seconds",
+                "end-to-end latency decomposed by stage",
+                labels={"stage": s},
+            )
+            for s in LATENCY_STAGES
+        }
+        self.batch_size = registry.histogram(
+            "repro_serving_batch_size", "sessions stepped per batch tick",
+            buckets=(1, 2, 4, 8, 16, 32, 64),
+        )
+        self.queue_depth = registry.gauge(
+            "repro_serving_queue_depth", "sessions waiting to join"
+        )
+        self.cache_hits = registry.counter(
+            "repro_serving_result_cache_hits_total",
+            "requests answered from the result cache",
+        )
+        self._guard_trips: Dict[str, Any] = {}
+
+    def guard_trip(self, reason: str):
+        """Counter for one coarse guard-reason tag (open label set)."""
+        tag = reason.split(":", 1)[0]
+        counter = self._guard_trips.get(tag)
+        if counter is None:
+            counter = self._registry.counter(
+                "repro_serving_guard_trips_total",
+                "fallbacks and rejections by guard reason",
+                labels={"reason": tag},
+            )
+            self._guard_trips[tag] = counter
+        return counter
 
 
 @dataclass
@@ -144,7 +217,7 @@ class _Session:
 
     __slots__ = (
         "name", "fingerprint", "model", "future", "arrival", "deadline",
-        "env", "pool_key", "state", "finalized",
+        "env", "pool_key", "state", "finalized", "stage_seconds",
     )
 
     def __init__(
@@ -166,6 +239,9 @@ class _Session:
         self.pool_key: Optional[Tuple[str, str, int]] = None
         self.state: Optional[np.ndarray] = None
         self.finalized = False
+        #: Accumulated wall seconds per latency stage (see LATENCY_STAGES),
+        #: filled only while observability is enabled.
+        self.stage_seconds: Dict[str, float] = {}
 
 
 class OptimizationService:
@@ -229,6 +305,18 @@ class OptimizationService:
         }
         #: Per-reason guard counters, e.g. ``{"timeout": 2, "oversized": 1}``.
         self.error_counts: Dict[str, int] = {}
+
+        # Observability is bound at construction time: a service built
+        # while the global registry is disabled carries ``_observe=False``
+        # and runs the exact uninstrumented hot path. When enabled, the
+        # instrument children are resolved here, once, so per-request
+        # publication is plain ``inc``/``observe`` calls.
+        self._registry = get_registry()
+        self._tracer = get_tracer()
+        self._observe = self._registry.enabled
+        self._instruments = (
+            _ServingInstruments(self._registry) if self._observe else None
+        )
 
     # -- constructors -------------------------------------------------------
     @classmethod
@@ -348,10 +436,12 @@ class OptimizationService:
             hit = self.result_cache.get(fingerprint, model.version)
             if hit is not None:
                 self._count("cache_hits")
+                latency_s = time.monotonic() - arrival
                 future.set_result(replace(
-                    hit, name=name, cache_hit=True,
-                    latency_s=time.monotonic() - arrival,
+                    hit, name=name, cache_hit=True, latency_s=latency_s,
                 ))
+                self._publish_result(name, hit.status, latency_s,
+                                     cache_hit=True)
                 return future
 
         session = _Session(
@@ -366,6 +456,8 @@ class OptimizationService:
             if self._closed:
                 raise RuntimeError("service has been stopped")
             self._queue.append(session)
+            if self._observe:
+                self._instruments.queue_depth.set(len(self._queue))
             self._wake.notify_all()
         return future
 
@@ -436,10 +528,55 @@ class OptimizationService:
     ) -> None:
         self._count("rejected")
         self._count_error(reason)
+        latency_s = time.monotonic() - arrival
         future.set_result(OptimizeResult(
             name=name, status="rejected", reason=reason,
-            latency_s=time.monotonic() - arrival,
+            latency_s=latency_s,
         ))
+        self._publish_result(name, "rejected", latency_s, reason=reason)
+
+    # -- observability publication ------------------------------------------
+    def _publish_result(
+        self,
+        name: str,
+        status: str,
+        latency_s: float,
+        stage_seconds: Optional[Dict[str, float]] = None,
+        reason: Optional[str] = None,
+        cache_hit: bool = False,
+    ) -> None:
+        """Mirror one finished request into the metric registry/tracer.
+
+        No-op unless observability was enabled when the service was
+        constructed. Scheduler-completed requests carry ``stage_seconds``
+        and yield both per-stage histograms and one ``request`` span tree
+        (queue/forward/passes/measure/verify) in the trace ring.
+        """
+        if not self._observe:
+            return
+        instruments = self._instruments
+        instruments.requests[status].inc()
+        if cache_hit:
+            instruments.cache_hits.inc()
+        instruments.latency[status].observe(latency_s)
+        if reason is not None:
+            instruments.guard_trip(reason).inc()
+        if stage_seconds:
+            stage_instruments = instruments.stage
+            for stage in LATENCY_STAGES:
+                if stage in stage_seconds:
+                    stage_instruments[stage].observe(stage_seconds[stage])
+            if self._tracer.enabled:
+                tags = {"name": name, "status": status}
+                if reason is not None:
+                    tags["reason"] = reason
+                root = Span("request", duration_s=latency_s, tags=tags)
+                root.children = [
+                    Span(stage, duration_s=stage_seconds[stage])
+                    for stage in LATENCY_STAGES
+                    if stage in stage_seconds
+                ]
+                self._tracer.record(root)
 
     # -- scheduler thread ---------------------------------------------------
     def _loop(self) -> None:
@@ -464,6 +601,8 @@ class OptimizationService:
                     len(self._active) + len(admitted) < self.max_batch
                 ):
                     admitted.append(self._queue.popleft())
+                if self._observe and admitted:
+                    self._instruments.queue_depth.set(len(self._queue))
             for session in admitted:
                 self._admit(session)
             try:
@@ -481,15 +620,27 @@ class OptimizationService:
     def _engine_for(self, kind: str) -> MetricsEngine:
         engine = self._engines.get(kind)
         if engine is None:
+            # ``threadsafe``: the scheduler owns the rollouts, but client
+            # threads reach the same caches through ``stats()`` and the
+            # counters race without the lock.
             engine = MetricsEngine(
-                target=self.target, enabled=self.metrics_cache
+                target=self.target, enabled=self.metrics_cache,
+                threadsafe=True,
             )
             self._engines[kind] = engine
         return engine
 
     def _admit(self, session: _Session) -> None:
         """Attach a (pooled or fresh) environment and start the rollout."""
-        if time.monotonic() > session.deadline:
+        now = time.monotonic()
+        if self._observe:
+            # Pre-seed every stage so the per-step hot loop can use plain
+            # ``+=`` instead of ``.get()`` chains.
+            session.stage_seconds = {
+                "queue": now - session.arrival, "forward": 0.0,
+                "passes": 0.0, "measure": 0.0, "verify": 0.0,
+            }
+        if now > session.deadline:
             self._finalize_fallback(session, "timeout: expired in queue")
             return
         try:
@@ -541,11 +692,22 @@ class OptimizationService:
             groups.setdefault(session.model.version, []).append(session)
 
         self._count("batch_ticks")
+        observe = self._observe
         for sessions in groups.values():
             model = sessions[0].model
             states = np.stack([s.state for s in sessions])
             try:
-                actions = model.act(states)
+                if observe:
+                    forward_start = time.perf_counter()
+                    actions = model.act(states)
+                    forward_s = time.perf_counter() - forward_start
+                    for session in sessions:
+                        # Wall-clock attribution: every session in the
+                        # group waited on this one batched forward.
+                        session.stage_seconds["forward"] += forward_s
+                    self._instruments.batch_size.observe(len(sessions))
+                else:
+                    actions = model.act(states)
             except Exception as exc:
                 for session in sessions:
                     self._finalize_fallback(session, f"model_error: {exc}")
@@ -555,7 +717,7 @@ class OptimizationService:
                 env = session.env
                 assert env is not None
                 try:
-                    state, _, done, _ = env.step(int(action))
+                    state, _, done, info = env.step(int(action))
                 except Exception as exc:
                     self._finalize_fallback(
                         session,
@@ -563,12 +725,23 @@ class OptimizationService:
                         f"(action {int(action)}): {exc}",
                     )
                     continue
+                if observe:
+                    stages = session.stage_seconds
+                    stages["passes"] += info.passes_seconds
+                    stages["measure"] += info.measure_seconds
                 session.state = state
                 if done:
                     self._finalize_ok(session)
         self._active = [s for s in self._active if not s.finalized]
 
     # -- finalization (scheduler thread) ------------------------------------
+    def _note_verify_time(self, session: _Session, start: float) -> None:
+        if self._observe:
+            session.stage_seconds["verify"] = (
+                session.stage_seconds.get("verify", 0.0)
+                + (time.perf_counter() - start)
+            )
+
     def _release_env(self, session: _Session) -> None:
         env, session.env = session.env, None
         if env is not None and session.pool_key is not None:
@@ -580,6 +753,7 @@ class OptimizationService:
         """Verify the rollout result and answer with the policy report."""
         env = session.env
         assert env is not None
+        verify_start = time.perf_counter()
         try:
             result_fp = env.fingerprint
             needs_verify = self.verify and (
@@ -605,6 +779,7 @@ class OptimizationService:
                     original = self._modules[session.fingerprint]
                 mismatch = modules_equivalent(original, optimized)
                 if mismatch is not None:
+                    self._note_verify_time(session, verify_start)
                     self._finalize_fallback(session, f"miscompile: {mismatch}")
                     return
                 if result_fp is not None:
@@ -612,11 +787,14 @@ class OptimizationService:
                         self._sem_verified.clear()
                     self._sem_verified.add((session.fingerprint, result_fp))
         except VerificationError as exc:
+            self._note_verify_time(session, verify_start)
             self._finalize_fallback(session, f"verify_error: {exc}")
             return
         except Exception as exc:
+            self._note_verify_time(session, verify_start)
             self._finalize_fallback(session, f"finalize_error: {exc}")
             return
+        self._note_verify_time(session, verify_start)
 
         model = session.model
         actions = [info.action for info in env.history]
@@ -646,9 +824,12 @@ class OptimizationService:
         self._release_env(session)
         self._count("ok")
         session.finalized = True
-        session.future.set_result(replace(
-            result, latency_s=time.monotonic() - session.arrival
-        ))
+        latency_s = time.monotonic() - session.arrival
+        session.future.set_result(replace(result, latency_s=latency_s))
+        self._publish_result(
+            session.name, "ok", latency_s,
+            stage_seconds=session.stage_seconds,
+        )
 
     def _finalize_fallback(self, session: _Session, reason: str) -> None:
         """Answer with the stock ``-Oz`` result; never raises."""
@@ -658,6 +839,11 @@ class OptimizationService:
         result = self._fallback_result(session, reason)
         session.finalized = True
         session.future.set_result(result)
+        self._publish_result(
+            session.name, result.status, result.latency_s,
+            stage_seconds=session.stage_seconds or None,
+            reason=reason,
+        )
 
     def _fallback_result(self, session: _Session, reason: str) -> OptimizeResult:
         try:

@@ -56,6 +56,9 @@ class FuzzConfig:
     fn_name: str = "entry"
     #: budget for the reducer, in predicate evaluations per failure
     reduce_max_checks: int = 800
+    #: enable observability (per-pass metrics + traces) for the campaign
+    #: and write the snapshot to this JSON file when it finishes
+    snapshot_path: Optional[Union[str, Path]] = None
 
 
 @dataclass
@@ -172,6 +175,16 @@ def run_campaign(
 ) -> FuzzReport:
     """Run one campaign and return its report."""
     say = log or (lambda _msg: None)
+    self_enabled = False
+    if config.snapshot_path is not None:
+        from ..observability import enable, enabled
+
+        # Pass managers and the oracle consult the live registry on every
+        # run, so enabling here instruments the whole campaign. Restored
+        # at the end if the campaign turned it on itself.
+        if not enabled():
+            enable()
+            self_enabled = True
     report = FuzzReport()
     started = time.monotonic()
     corpus_serial = 0
@@ -244,4 +257,11 @@ def run_campaign(
 
     report.elapsed_s = time.monotonic() - started
     say(report.summary())
+    if config.snapshot_path is not None:
+        from ..observability import disable, export_snapshot
+
+        export_snapshot(str(config.snapshot_path))
+        say(f"metrics snapshot -> {config.snapshot_path}")
+        if self_enabled:
+            disable()
     return report

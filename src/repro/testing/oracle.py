@@ -37,8 +37,10 @@ from ..ir.interp import Interpreter, InterpError, OutOfFuel
 from ..ir.module import Function, Module
 from ..ir.types import IntType
 from ..ir.verifier import verify_module
+from ..observability import get_registry, get_tracer
 from ..passes.base import PassManager
 from ..passes.pipelines import OZ_PASS_SEQUENCE
+from ..passes.stats import StatsTimer
 
 #: default interpreter budget per run
 DEFAULT_FUEL = 500_000
@@ -189,23 +191,38 @@ class DifferentialOracle:
         except Exception as exc:
             return CheckResult("crash", detail=f"pass construction: {exc}",
                                passes=passes)
-        for p in managers:
-            try:
-                p.run_on_module(candidate)
-            except Exception as exc:
-                return CheckResult(
-                    "crash", detail=f"pass -{p.name} raised: {exc}",
-                    passes=passes,
-                )
-            if self.verify_each:
+        # The per-pass loop deliberately bypasses ``PassManager.run`` so a
+        # crash is attributed to the exact pass (and ``verify_each`` can
+        # bisect), so it mirrors that method's instrumentation here: when
+        # observability is on, every invocation lands in the registry and
+        # a ``sequence`` trace with per-pass child spans.
+        registry = get_registry()
+        tracer = get_tracer()
+        observe = registry.enabled
+        with tracer.span("sequence", n_passes=len(managers)):
+            for p in managers:
                 try:
-                    verify_module(candidate)
+                    if observe:
+                        with tracer.span(p.name, kind="pass"), StatsTimer(
+                            None, p.name, candidate, registry=registry
+                        ) as timer:
+                            timer.finish(bool(p.run_on_module(candidate)))
+                    else:
+                        p.run_on_module(candidate)
                 except Exception as exc:
                     return CheckResult(
-                        "verifier_error",
-                        detail=f"IR invalid after -{p.name}: {exc}",
+                        "crash", detail=f"pass -{p.name} raised: {exc}",
                         passes=passes,
                     )
+                if self.verify_each:
+                    try:
+                        verify_module(candidate)
+                    except Exception as exc:
+                        return CheckResult(
+                            "verifier_error",
+                            detail=f"IR invalid after -{p.name}: {exc}",
+                            passes=passes,
+                        )
         if not self.verify_each:
             try:
                 verify_module(candidate)

@@ -54,6 +54,10 @@ def build_argparser() -> argparse.ArgumentParser:
                         "breaking pass; slower)")
     parser.add_argument("--fail-on-miscompile", action="store_true",
                         help="exit nonzero if any failure is found (CI mode)")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="enable per-pass observability and write a "
+                        "metrics/trace snapshot to this JSON file (render "
+                        "it with python -m repro.tools.stats)")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="print the report as JSON on stdout")
     parser.add_argument("-q", "--quiet", action="store_true",
@@ -76,6 +80,7 @@ def run(argv: Optional[List[str]] = None) -> int:
         reduce=args.reduce,
         corpus_dir=args.corpus,
         verify_each=args.verify_each,
+        snapshot_path=args.metrics_out,
     )
     log = None if args.quiet else (lambda msg: sys.stderr.write(msg + "\n"))
     report = run_campaign(config, log=log)

@@ -133,6 +133,14 @@ def _run_train_harness(args, corpus) -> int:
     return 0
 
 
+def _maybe_export_metrics(args) -> None:
+    if getattr(args, "metrics_out", None):
+        from ..observability import export_snapshot
+
+        export_snapshot(args.metrics_out)
+        print(f"metrics snapshot -> {args.metrics_out}")
+
+
 def run(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(prog="repro-profile", description=__doc__)
     parser.add_argument("--target", default="x86-64",
@@ -161,9 +169,20 @@ def run(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--compare-serial", action="store_true",
                         help="with --train: also time the serial train loop "
                         "and print the speedup")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="enable observability and write a metrics/trace "
+                        "snapshot to this JSON file (render it with "
+                        "python -m repro.tools.stats)")
     parser.add_argument("input", nargs="?",
                         help="textual IR file (- for stdin)")
     args = parser.parse_args(argv)
+
+    # Enable before any env/engine is constructed: instruments are bound
+    # at construction time (see repro.observability).
+    if args.metrics_out:
+        from ..observability import enable as enable_observability
+
+        enable_observability()
 
     if args.suite:
         try:
@@ -190,7 +209,9 @@ def run(argv: Optional[List[str]] = None) -> int:
         parser.error("provide an input file or --suite")
 
     if args.train:
-        return _run_train_harness(args, corpus)
+        rc = _run_train_harness(args, corpus)
+        _maybe_export_metrics(args)
+        return rc
 
     action_space = make_action_space(args.action_space)
     engine = MetricsEngine(target=args.target, enabled=not args.no_cache)
@@ -232,6 +253,7 @@ def run(argv: Optional[List[str]] = None) -> int:
                   f"misses={counters['misses']:<8.0f} "
                   f"evictions={counters['evictions']:<6.0f} "
                   f"hit_rate={counters['hit_rate']:.2%}")
+    _maybe_export_metrics(args)
     return 0
 
 

@@ -28,6 +28,7 @@ from typing import List, Optional
 from ..codegen.target import TARGETS
 from ..core.agent_api import PosetRL
 from ..ir.printer import print_module
+from ..observability import enable as enable_observability, export_snapshot
 from ..serving import OptimizationService, request_pool, run_load
 from ..workloads.suites import load_suite
 
@@ -74,11 +75,20 @@ def build_argparser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--json", dest="json_path",
                         help="also write the report as JSON to this path")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="enable observability and write a metrics/trace "
+                        "snapshot to this JSON file (render it with "
+                        "python -m repro.tools.stats)")
     return parser
 
 
 def run(argv: Optional[List[str]] = None) -> int:
     args = build_argparser().parse_args(argv)
+
+    # Must happen before the service is constructed: instruments are
+    # bound at construction time (see repro.observability).
+    if args.metrics_out:
+        enable_observability()
 
     try:
         suite = load_suite(args.suite)
@@ -176,6 +186,10 @@ def run(argv: Optional[List[str]] = None) -> int:
     if args.json_path:
         with open(args.json_path, "w") as fh:
             json.dump(payload, fh, indent=2, default=str)
+
+    if args.metrics_out:
+        export_snapshot(args.metrics_out)
+        print(f"  metrics snapshot -> {args.metrics_out}")
 
     if args.fail_on_fallback:
         bad = report.status_counts.get("fallback", 0)

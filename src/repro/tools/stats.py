@@ -1,0 +1,226 @@
+"""Render observability snapshots: metrics tables, traces, Prometheus.
+
+Reads a JSON snapshot written by ``--metrics-out`` (serve/fuzz/profile)
+or :func:`repro.observability.export_snapshot` and renders it for a
+terminal: counters and gauges as one table, histograms with count /
+mean / approximate p50/p95/p99 (from the fixed buckets), and the most
+recent traces as indented span trees.
+
+``--follow`` tails the file: re-read and re-render every ``--interval``
+seconds until interrupted (the producer rewrites the snapshot in place).
+``--prom`` emits the Prometheus exposition text instead — pipe it to a
+file and point a ``textfile`` collector or a scrape-time converter at it.
+
+Examples::
+
+    python -m repro.tools.stats metrics.json
+    python -m repro.tools.stats metrics.json --traces 5
+    python -m repro.tools.stats metrics.json --follow --interval 2
+    python -m repro.tools.stats metrics.json --prom > metrics.prom
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List, Optional
+
+from ..observability import prometheus_text
+
+
+def _format_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    return "{" + ",".join(f"{k}={v}" for k, v in sorted(labels.items())) + "}"
+
+
+def _histogram_quantile(sample: dict, q: float) -> float:
+    """Approximate quantile from cumulative bucket counts (linear within
+    a bucket; the +Inf bucket reports its lower bound)."""
+    buckets = sample["buckets"]
+    total = sample["count"]
+    if not total:
+        return 0.0
+    rank = q * total
+    lower = 0.0
+    prev_count = 0
+    items = list(buckets.items())
+    for le, count in items:
+        if count >= rank:
+            if le == "+Inf":
+                return lower
+            upper = float(le)
+            span = count - prev_count
+            if span <= 0:
+                return upper
+            fraction = (rank - prev_count) / span
+            return lower + fraction * (upper - lower)
+        prev_count = count
+        if le != "+Inf":
+            lower = float(le)
+    return lower
+
+
+def render_metrics(families: List[dict]) -> str:
+    lines: List[str] = []
+    scalars = [f for f in families if f["type"] in ("counter", "gauge")]
+    histograms = [f for f in families if f["type"] == "histogram"]
+
+    if scalars:
+        lines.append(f"{'metric':<58} {'type':>8} {'value':>14}")
+        for family in scalars:
+            for sample in family["samples"]:
+                name = family["name"] + _format_labels(
+                    sample.get("labels") or {}
+                )
+                value = sample["value"]
+                rendered = (
+                    f"{value:.6g}" if isinstance(value, float) else str(value)
+                )
+                lines.append(
+                    f"{name:<58} {family['type']:>8} {rendered:>14}"
+                )
+    if histograms:
+        if scalars:
+            lines.append("")
+        lines.append(
+            f"{'histogram':<58} {'count':>8} {'mean':>10} "
+            f"{'p50':>10} {'p95':>10} {'p99':>10}"
+        )
+        for family in histograms:
+            for sample in family["samples"]:
+                name = family["name"] + _format_labels(
+                    sample.get("labels") or {}
+                )
+                count = sample["count"]
+                mean = sample["sum"] / count if count else 0.0
+                lines.append(
+                    f"{name:<58} {count:>8} {mean:>10.4g} "
+                    f"{_histogram_quantile(sample, 0.50):>10.4g} "
+                    f"{_histogram_quantile(sample, 0.95):>10.4g} "
+                    f"{_histogram_quantile(sample, 0.99):>10.4g}"
+                )
+    return "\n".join(lines)
+
+
+def _render_span(span: dict, indent: int, out: List[str]) -> None:
+    tags = span.get("tags") or {}
+    tag_text = (
+        " [" + " ".join(f"{k}={v}" for k, v in sorted(tags.items())) + "]"
+        if tags
+        else ""
+    )
+    out.append(
+        f"{'  ' * indent}{span['name']:<24} "
+        f"{1e3 * span.get('duration_s', 0.0):>10.3f}ms{tag_text}"
+    )
+    for child in span.get("children", []):
+        _render_span(child, indent + 1, out)
+
+
+def render_traces(traces: List[dict], limit: int) -> str:
+    if not traces:
+        return "(no traces recorded)"
+    out: List[str] = []
+    for span in traces[-limit:]:
+        _render_span(span, 0, out)
+        out.append("")
+    return "\n".join(out).rstrip()
+
+
+def render_snapshot(snap: dict, traces: int = 3) -> str:
+    lines: List[str] = []
+    when = snap.get("unix_time")
+    header = "observability snapshot"
+    if when:
+        header += time.strftime(
+            " (%Y-%m-%d %H:%M:%S)", time.localtime(when)
+        )
+    if not snap.get("enabled", True):
+        header += " [observability disabled: nothing was recorded]"
+    lines.append(header)
+    lines.append("")
+    body = render_metrics(snap.get("metrics", []))
+    lines.append(body if body else "(no metrics recorded)")
+    if traces > 0:
+        recorded = snap.get("traces", [])
+        lines.append("")
+        lines.append(f"recent traces ({len(recorded)} in ring, "
+                     f"showing last {min(traces, len(recorded))}):")
+        lines.append(render_traces(recorded, traces))
+    return "\n".join(lines)
+
+
+def build_argparser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-stats", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("snapshot", help="metrics JSON file written by "
+                        "--metrics-out (or - for stdin)")
+    parser.add_argument("--traces", type=int, default=3,
+                        help="how many recent traces to render (default 3; "
+                        "0 hides them)")
+    parser.add_argument("--prom", action="store_true",
+                        help="emit Prometheus exposition text instead of "
+                        "the human-readable rendering")
+    parser.add_argument("--follow", action="store_true",
+                        help="re-read and re-render the file until "
+                        "interrupted")
+    parser.add_argument("--interval", type=float, default=2.0,
+                        help="seconds between --follow refreshes (default 2)")
+    return parser
+
+
+def _load(path: str) -> dict:
+    if path == "-":
+        return json.load(sys.stdin)
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def run(argv: Optional[List[str]] = None) -> int:
+    args = build_argparser().parse_args(argv)
+    if args.follow and args.snapshot == "-":
+        print("--follow cannot tail stdin", file=sys.stderr)
+        return 2
+
+    while True:
+        try:
+            snap = _load(args.snapshot)
+        except FileNotFoundError:
+            print(f"no such snapshot: {args.snapshot}", file=sys.stderr)
+            return 1
+        except json.JSONDecodeError as exc:
+            # A producer may be mid-rewrite in --follow mode; report and
+            # (when following) retry on the next tick.
+            print(f"unreadable snapshot: {exc}", file=sys.stderr)
+            if not args.follow:
+                return 1
+            time.sleep(args.interval)
+            continue
+
+        if args.prom:
+            sys.stdout.write(prometheus_text(snap))
+        else:
+            print(render_snapshot(snap, traces=args.traces))
+        if not args.follow:
+            return 0
+        sys.stdout.flush()
+        time.sleep(args.interval)
+        print()
+
+
+def main() -> int:  # pragma: no cover - console entry
+    try:
+        return run()
+    except BrokenPipeError:
+        return 0
+    except KeyboardInterrupt:
+        return 130
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,139 @@
+"""Exporters and the global enable/disable switch."""
+
+import json
+
+import pytest
+
+from repro import observability as obs
+from repro.observability import (
+    MetricRegistry,
+    NULL_REGISTRY,
+    NULL_TRACER,
+    SNAPSHOT_SCHEMA,
+    Tracer,
+    prometheus_text,
+    snapshot,
+    write_snapshot,
+)
+
+
+@pytest.fixture
+def populated():
+    reg = MetricRegistry()
+    reg.counter("repro_hits_total", "hits", labels={"cache": "size"}).inc(4)
+    reg.gauge("repro_depth", "queue depth").set(2.5)
+    reg.histogram(
+        "repro_latency_seconds", "latency", buckets=(0.1, 1.0)
+    ).observe(0.3)
+    tracer = Tracer()
+    with tracer.span("root"):
+        with tracer.span("inner"):
+            pass
+    return reg, tracer
+
+
+class TestSnapshot:
+    def test_schema_and_sections(self, populated):
+        reg, tracer = populated
+        snap = snapshot(reg, tracer)
+        assert snap["schema"] == SNAPSHOT_SCHEMA
+        assert snap["enabled"] is True
+        assert {f["name"] for f in snap["metrics"]} == {
+            "repro_hits_total", "repro_depth", "repro_latency_seconds",
+        }
+        (trace,) = snap["traces"]
+        assert trace["name"] == "root"
+        assert trace["children"][0]["name"] == "inner"
+        assert snap["traces_dropped"] == 0
+
+    def test_snapshot_is_json_serializable(self, populated):
+        json.dumps(snapshot(*populated))
+
+    def test_write_snapshot_round_trips(self, populated, tmp_path):
+        path = tmp_path / "metrics.json"
+        written = write_snapshot(str(path), *populated)
+        assert json.loads(path.read_text())["metrics"] == json.loads(
+            json.dumps(written["metrics"])
+        )
+
+    def test_null_snapshot_is_marked_disabled(self):
+        snap = snapshot(NULL_REGISTRY, NULL_TRACER)
+        assert snap["enabled"] is False
+        assert snap["metrics"] == []
+        assert snap["traces"] == []
+
+
+class TestPrometheusText:
+    def test_counter_and_gauge_lines(self, populated):
+        reg, _ = populated
+        text = prometheus_text(reg)
+        assert "# TYPE repro_hits_total counter" in text
+        assert 'repro_hits_total{cache="size"} 4' in text
+        assert "# HELP repro_depth queue depth" in text
+        assert "repro_depth 2.5" in text
+
+    def test_histogram_bucket_sum_count_triple(self, populated):
+        reg, _ = populated
+        lines = prometheus_text(reg).splitlines()
+        assert 'repro_latency_seconds_bucket{le="0.1"} 0' in lines
+        assert 'repro_latency_seconds_bucket{le="1"} 1' in lines
+        assert 'repro_latency_seconds_bucket{le="+Inf"} 1' in lines
+        assert "repro_latency_seconds_sum 0.3" in lines
+        assert "repro_latency_seconds_count 1" in lines
+
+    def test_accepts_snapshot_dict_and_family_list(self, populated):
+        reg, tracer = populated
+        from_registry = prometheus_text(reg)
+        assert prometheus_text(snapshot(reg, tracer)) == from_registry
+        assert prometheus_text(reg.collect()) == from_registry
+
+    def test_label_values_are_escaped(self):
+        reg = MetricRegistry()
+        reg.counter("odd_total", labels={"p": 'a"b\\c\nd'}).inc()
+        text = prometheus_text(reg)
+        assert 'p="a\\"b\\\\c\\nd"' in text
+
+    def test_integer_values_render_without_decimal(self):
+        reg = MetricRegistry()
+        reg.counter("n_total").inc(3)
+        assert "n_total 3\n" in prometheus_text(reg)
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricRegistry()) == ""
+
+
+class TestGlobalSwitch:
+    def test_enable_disable_swap_the_singletons(self):
+        assert obs.enabled() is False
+        reg, tracer = obs.enable()
+        try:
+            assert obs.enabled() is True
+            assert obs.get_registry() is reg
+            assert obs.get_tracer() is tracer
+        finally:
+            obs.disable()
+        assert obs.get_registry() is NULL_REGISTRY
+        assert obs.get_tracer() is NULL_TRACER
+
+    def test_enable_returns_a_fresh_registry_each_time(self):
+        first, _ = obs.enable()
+        try:
+            first.counter("stale_total").inc()
+            second, _ = obs.enable()
+            assert second is not first
+            assert second.get_value("stale_total") is None
+        finally:
+            obs.disable()
+
+    def test_export_snapshot_uses_the_globals(self, tmp_path):
+        reg, _ = obs.enable()
+        try:
+            reg.counter("live_total").inc(2)
+            path = tmp_path / "snap.json"
+            snap = obs.export_snapshot(str(path))
+            assert snap["enabled"] is True
+            on_disk = json.loads(path.read_text())
+            (family,) = on_disk["metrics"]
+            assert family["name"] == "live_total"
+        finally:
+            obs.disable()

@@ -1,0 +1,158 @@
+"""Metric registry: instruments, labels, bucket edges, the no-op path."""
+
+import threading
+
+import pytest
+
+from repro.observability import (
+    DEFAULT_TIME_BUCKETS,
+    MetricRegistry,
+    NULL_REGISTRY,
+)
+from repro.observability.registry import NULL_INSTRUMENT
+
+
+class TestCounters:
+    def test_counter_starts_at_zero_and_accumulates(self):
+        reg = MetricRegistry()
+        c = reg.counter("requests_total", "requests")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        assert reg.get_value("requests_total") == 3.5
+
+    def test_counter_rejects_negative_increments(self):
+        c = MetricRegistry().counter("x_total")
+        with pytest.raises(ValueError):
+            c.inc(-1.0)
+
+    def test_same_name_same_labels_is_the_same_child(self):
+        reg = MetricRegistry()
+        a = reg.counter("hits_total", labels={"cache": "size"})
+        b = reg.counter("hits_total", labels={"cache": "size"})
+        assert a is b
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricRegistry()
+        a = reg.counter("hits_total", labels={"a": "1", "b": "2"})
+        b = reg.counter("hits_total", labels={"b": "2", "a": "1"})
+        assert a is b
+
+    def test_distinct_labels_are_distinct_children(self):
+        reg = MetricRegistry()
+        reg.counter("hits_total", labels={"cache": "size"}).inc(3)
+        reg.counter("hits_total", labels={"cache": "mca"}).inc(7)
+        assert reg.get_value("hits_total", {"cache": "size"}) == 3
+        assert reg.get_value("hits_total", {"cache": "mca"}) == 7
+        # The unlabeled child was never created.
+        assert reg.get_value("hits_total") is None
+
+
+class TestGauges:
+    def test_set_inc_dec(self):
+        g = MetricRegistry().gauge("depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.value == 7.0
+
+    def test_gauge_accepts_negative_values(self):
+        g = MetricRegistry().gauge("delta")
+        g.inc(-42)
+        assert g.value == -42.0
+
+
+class TestHistograms:
+    def test_bucket_edges_are_inclusive_upper_bounds(self):
+        h = MetricRegistry().histogram("lat", buckets=(1.0, 2.0))
+        # Exactly on an edge counts in that bucket (le semantics).
+        h.observe(1.0)
+        h.observe(1.5)
+        h.observe(2.0)
+        h.observe(99.0)  # +Inf bucket
+        assert h.counts == [1, 2, 1]
+        assert h.cumulative_counts() == [1, 3, 4]
+        assert h.count == 4
+        assert h.sum == pytest.approx(103.5)
+
+    def test_default_buckets_are_the_time_buckets(self):
+        h = MetricRegistry().histogram("lat")
+        assert h.buckets == DEFAULT_TIME_BUCKETS
+
+    def test_collect_renders_cumulative_buckets_with_inf(self):
+        reg = MetricRegistry()
+        reg.histogram("lat", "latency", buckets=(0.5, 1.0)).observe(0.7)
+        (family,) = reg.collect()
+        assert family["name"] == "lat"
+        assert family["type"] == "histogram"
+        (sample,) = family["samples"]
+        assert sample["buckets"] == {"0.5": 0, "1": 1, "+Inf": 1}
+        assert sample["count"] == 1
+
+    def test_get_value_is_none_for_histograms(self):
+        reg = MetricRegistry()
+        reg.histogram("lat").observe(0.1)
+        assert reg.get_value("lat") is None
+
+
+class TestFamilies:
+    def test_kind_conflict_raises(self):
+        reg = MetricRegistry()
+        reg.counter("thing_total")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("thing_total")
+
+    def test_collect_is_sorted_and_complete(self):
+        reg = MetricRegistry()
+        reg.gauge("b_gauge").set(1)
+        reg.counter("a_total").inc()
+        names = [f["name"] for f in reg.collect()]
+        assert names == ["a_total", "b_gauge"]
+
+    def test_get_value_absent_family_is_none(self):
+        assert MetricRegistry().get_value("never_registered") is None
+
+
+class TestThreadSafety:
+    def test_concurrent_increments_do_not_lose_updates(self):
+        reg = MetricRegistry()
+        c = reg.counter("n_total")
+        h = reg.histogram("v", buckets=(0.5,))
+        n, per_thread = 4, 2000
+
+        def work():
+            for _ in range(per_thread):
+                c.inc()
+                h.observe(0.1)
+
+        threads = [threading.Thread(target=work) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == n * per_thread
+        assert h.count == n * per_thread
+        assert h.cumulative_counts()[-1] == n * per_thread
+
+
+class TestNullRegistry:
+    def test_disabled_flags(self):
+        assert MetricRegistry().enabled is True
+        assert NULL_REGISTRY.enabled is False
+
+    def test_every_instrument_is_the_shared_noop(self):
+        assert NULL_REGISTRY.counter("a_total") is NULL_INSTRUMENT
+        assert NULL_REGISTRY.gauge("b") is NULL_INSTRUMENT
+        assert NULL_REGISTRY.histogram("c") is NULL_INSTRUMENT
+
+    def test_noop_instrument_swallows_everything(self):
+        i = NULL_REGISTRY.counter("a_total")
+        i.inc()
+        i.inc(-5)  # even invalid amounts: truly no-op
+        i.set(3)
+        i.observe(0.2)
+        i.dec()
+        assert i.value == 0.0
+        assert NULL_REGISTRY.collect() == []
+        assert NULL_REGISTRY.get_value("a_total") is None

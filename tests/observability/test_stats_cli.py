@@ -1,0 +1,85 @@
+"""The ``repro.tools.stats`` renderer and CLI entry point."""
+
+import json
+
+import pytest
+
+from repro.observability import MetricRegistry, Tracer, snapshot
+from repro.tools.stats import (
+    _histogram_quantile,
+    render_snapshot,
+    run,
+)
+
+
+def _snapshot():
+    reg = MetricRegistry()
+    reg.counter("repro_runs_total", labels={"pass": "dce"}).inc(7)
+    reg.gauge("repro_depth").set(3)
+    reg.histogram("repro_lat_seconds", buckets=(0.1, 1.0)).observe(0.5)
+    tracer = Tracer()
+    with tracer.span("request", status="ok"):
+        with tracer.span("verify"):
+            pass
+    return json.loads(json.dumps(snapshot(reg, tracer)))
+
+
+class TestQuantiles:
+    def test_interpolates_within_a_bucket(self):
+        sample = {"buckets": {"1": 0, "2": 10, "+Inf": 10}, "count": 10}
+        # All mass in (1, 2]: p50 interpolates to the middle.
+        assert _histogram_quantile(sample, 0.5) == pytest.approx(1.5)
+        assert _histogram_quantile(sample, 1.0) == pytest.approx(2.0)
+
+    def test_inf_bucket_reports_last_finite_bound(self):
+        sample = {"buckets": {"1": 0, "+Inf": 4}, "count": 4}
+        assert _histogram_quantile(sample, 0.99) == pytest.approx(1.0)
+
+    def test_empty_histogram_is_zero(self):
+        assert _histogram_quantile({"buckets": {"+Inf": 0}, "count": 0}, 0.5) == 0.0
+
+
+class TestRendering:
+    def test_render_includes_metrics_and_traces(self):
+        text = render_snapshot(_snapshot())
+        assert "repro_runs_total{pass=dce}" in text
+        assert "repro_lat_seconds" in text
+        assert "request" in text
+        assert "verify" in text
+
+    def test_traces_zero_hides_traces(self):
+        text = render_snapshot(_snapshot(), traces=0)
+        assert "request" not in text
+
+    def test_disabled_snapshot_is_labeled(self):
+        text = render_snapshot({"enabled": False, "metrics": []})
+        assert "disabled" in text
+        assert "(no metrics recorded)" in text
+
+
+class TestCli:
+    def test_renders_file(self, tmp_path, capsys):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(_snapshot()))
+        assert run([str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "repro_runs_total{pass=dce}" in out
+
+    def test_prom_mode_emits_exposition_text(self, tmp_path, capsys):
+        path = tmp_path / "m.json"
+        path.write_text(json.dumps(_snapshot()))
+        assert run([str(path), "--prom"]) == 0
+        out = capsys.readouterr().out
+        assert 'repro_runs_total{pass="dce"} 7' in out
+        assert "# TYPE repro_lat_seconds histogram" in out
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        assert run([str(tmp_path / "absent.json")]) == 1
+
+    def test_corrupt_file_fails_without_follow(self, tmp_path):
+        path = tmp_path / "m.json"
+        path.write_text("{not json")
+        assert run([str(path)]) == 1
+
+    def test_follow_stdin_rejected(self):
+        assert run(["-", "--follow"]) == 2

@@ -1,0 +1,143 @@
+"""Tracer: nesting, ring-buffer truncation, hand-built spans, no-op path."""
+
+import threading
+
+import pytest
+
+from repro.observability import NULL_TRACER, Span, Tracer
+from repro.observability.tracing import NULL_SPAN
+
+
+class TestNesting:
+    def test_nested_spans_form_a_tree(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("a"):
+                with tracer.span("a1"):
+                    pass
+            with tracer.span("b"):
+                pass
+        (trace,) = tracer.traces()
+        assert trace.name == "root"
+        assert [c.name for c in trace.children] == ["a", "b"]
+        assert [c.name for c in trace.children[0].children] == ["a1"]
+        # Only the root landed in the ring, not the inner spans.
+        assert len(tracer.traces()) == 1
+
+    def test_durations_are_positive_and_monotone(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("inner"):
+                pass
+        (trace,) = tracer.traces()
+        inner = trace.find("inner")
+        assert inner is not None
+        assert 0.0 <= inner.duration_s <= trace.duration_s
+
+    def test_tags_are_stringified_kwargs(self):
+        tracer = Tracer()
+        with tracer.span("root", phase="measure", n=3) as span:
+            assert span.tags == {"phase": "measure", "n": 3}
+
+    def test_exception_still_files_the_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("root"):
+                raise RuntimeError("boom")
+        (trace,) = tracer.traces()
+        assert trace.name == "root"
+
+    def test_exception_unwinding_past_unexited_children(self):
+        """A generator abandoned mid-span must not corrupt the stack."""
+        tracer = Tracer()
+        ctx = tracer.span("orphan")
+        with tracer.span("root"):
+            ctx.__enter__()  # never exited
+        (trace,) = tracer.traces()
+        assert trace.name == "root"
+        # The next root-level span still lands as its own trace.
+        with tracer.span("next"):
+            pass
+        assert [t.name for t in tracer.traces()] == ["root", "next"]
+
+
+class TestRing:
+    def test_ring_keeps_most_recent_and_counts_drops(self):
+        tracer = Tracer(max_traces=3)
+        for i in range(5):
+            with tracer.span(f"t{i}"):
+                pass
+        assert [t.name for t in tracer.traces()] == ["t2", "t3", "t4"]
+        assert tracer.dropped == 2
+
+    def test_clear_resets_ring_and_drop_counter(self):
+        tracer = Tracer(max_traces=1)
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        tracer.clear()
+        assert tracer.traces() == []
+        assert tracer.dropped == 0
+
+    def test_max_traces_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(max_traces=0)
+
+
+class TestHandBuiltSpans:
+    def test_record_publishes_a_synthesized_tree(self):
+        tracer = Tracer()
+        root = Span("request", duration_s=0.25, tags={"status": "ok"})
+        root.child("queue", duration_s=0.1)
+        root.child("verify", duration_s=0.02)
+        tracer.record(root)
+        (trace,) = tracer.traces()
+        assert trace.find("queue").duration_s == 0.1
+        assert trace.find("missing") is None
+
+    def test_to_dict_round_trips_structure(self):
+        root = Span("request", duration_s=0.5, tags={"name": "m"})
+        root.child("stage", duration_s=0.1)
+        d = root.to_dict()
+        assert d["name"] == "request"
+        assert d["tags"] == {"name": "m"}
+        assert d["children"][0] == {"name": "stage", "duration_s": 0.1}
+
+    def test_leaf_to_dict_omits_empty_fields(self):
+        assert Span("x").to_dict() == {"name": "x", "duration_s": 0.0}
+
+
+class TestThreadIsolation:
+    def test_each_thread_gets_its_own_stack(self):
+        tracer = Tracer()
+        ready = threading.Barrier(2)
+
+        def worker(name):
+            with tracer.span(name):
+                ready.wait(timeout=5)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"w{i}",)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Two roots, not one nested under the other.
+        assert sorted(t.name for t in tracer.traces()) == ["w0", "w1"]
+        assert all(not t.children for t in tracer.traces())
+
+
+class TestNullTracer:
+    def test_span_is_shared_noop(self):
+        with NULL_TRACER.span("anything", tag="x") as span:
+            assert span is NULL_SPAN
+        assert NULL_TRACER.traces() == []
+        assert NULL_TRACER.enabled is False
+
+    def test_record_and_clear_are_noops(self):
+        NULL_TRACER.record(Span("x"))
+        NULL_TRACER.clear()
+        assert NULL_TRACER.traces() == []
+        assert NULL_TRACER.dropped == 0

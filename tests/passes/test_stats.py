@@ -1,7 +1,11 @@
 """Pass-execution statistics collection."""
 
+import pytest
+
 from repro.passes import PassManager
+from repro.passes.base import Pass
 from repro.passes.pipelines import OZ_PASS_SEQUENCE
+from repro.passes.stats import PipelineStats, StatsTimer
 from repro.workloads import ProgramProfile, generate_program
 
 
@@ -54,3 +58,59 @@ def test_changed_passes_consistency():
     pm = PassManager(list(OZ_PASS_SEQUENCE), collect_stats=True)
     pm.run(_module())
     assert pm.stats.changed_passes == pm.changed_passes
+
+
+class _ExplodingPass(Pass):
+    name = "exploding"
+
+    def run_on_module(self, module):
+        raise ValueError("synthetic crash")
+
+
+class TestCrashingPassIsRecorded:
+    """Regression: a pass that raises used to vanish from the stats —
+    StatsTimer only recorded on the explicit ``finish`` call, so the
+    crashing invocation (the one an engineer is debugging) was the one
+    invocation missing from the report."""
+
+    def _crashing_manager(self):
+        return PassManager(
+            ["mem2reg", _ExplodingPass(), "dce"], collect_stats=True
+        )
+
+    def test_terminal_record_is_filed_with_the_error(self):
+        pm = self._crashing_manager()
+        with pytest.raises(RuntimeError, match="exploding"):
+            pm.run(_module())
+        names = [r.name for r in pm.stats.records]
+        assert names == ["mem2reg", "exploding"]  # dce never ran
+        record = pm.stats.records[-1]
+        assert record.error == "ValueError: synthetic crash"
+        assert record.changed is False
+        assert record.seconds >= 0.0
+
+    def test_crash_appears_in_report(self):
+        pm = self._crashing_manager()
+        with pytest.raises(RuntimeError):
+            pm.run(_module())
+        report = pm.stats.report()
+        assert "exploding" in report
+        assert "ERROR -exploding: ValueError: synthetic crash" in report
+        assert pm.stats.by_pass()["exploding"]["errors"] == 1
+        assert [r.name for r in pm.stats.errors] == ["exploding"]
+
+    def test_successful_runs_report_zero_errors(self):
+        pm = PassManager(["mem2reg", "dce"], collect_stats=True)
+        pm.run(_module())
+        assert pm.stats.errors == []
+        assert all(
+            agg["errors"] == 0 for agg in pm.stats.by_pass().values()
+        )
+
+    def test_timer_exit_without_exception_records_nothing_extra(self):
+        stats = PipelineStats()
+        module = _module()
+        with StatsTimer(stats, "manual", module) as timer:
+            timer.finish(changed=True)
+        assert len(stats.records) == 1
+        assert stats.records[0].error is None

@@ -1,0 +1,154 @@
+"""Serving observability integration: one request → full latency story.
+
+The acceptance shape: a single served request must yield (a) one
+``request`` span tree decomposing latency into queue/forward/passes/
+measure/verify and (b) non-zero ``repro_serving_stage_seconds``
+histograms for every stage, exportable as JSON and Prometheus text.
+"""
+
+import pytest
+
+from repro import PosetRL
+from repro import observability as obs
+from repro.ir.printer import print_module
+from repro.observability import prometheus_text
+from repro.serving import OptimizationService
+from repro.serving.service import LATENCY_STAGES
+from repro.workloads import ProgramProfile, generate_program
+
+
+@pytest.fixture(scope="module")
+def ir_text():
+    module = generate_program(
+        ProgramProfile(name="obs", seed=81, segments=2)
+    )
+    return print_module(module)
+
+
+@pytest.fixture
+def observed():
+    registry, tracer = obs.enable()
+    try:
+        yield registry, tracer
+    finally:
+        obs.disable()
+
+
+def _serve_one(ir_text, **kwargs):
+    kwargs.setdefault("batch_window_s", 0.001)
+    service = OptimizationService.from_agent(PosetRL(seed=0), **kwargs)
+    with service:
+        result = service.optimize(ir_text, name="obs-req")
+    return service, result
+
+
+class TestRequestDecomposition:
+    def test_one_request_yields_the_span_tree(self, observed, ir_text):
+        _, tracer = observed
+        _, result = _serve_one(ir_text)
+        assert result.status == "ok"
+        (trace,) = [t for t in tracer.traces() if t.name == "request"]
+        assert trace.tags["name"] == "obs-req"
+        assert trace.tags["status"] == "ok"
+        assert [c.name for c in trace.children] == list(LATENCY_STAGES)
+        # Stage times are real and bounded by the end-to-end latency.
+        stage_total = sum(c.duration_s for c in trace.children)
+        assert all(c.duration_s >= 0.0 for c in trace.children)
+        assert trace.duration_s > 0.0
+        assert stage_total <= trace.duration_s * 1.05
+
+    def test_stage_histograms_are_nonzero(self, observed, ir_text):
+        registry, _ = observed
+        _serve_one(ir_text)
+        families = {f["name"]: f for f in registry.collect()}
+        stage_family = families["repro_serving_stage_seconds"]
+        seen = {s["labels"]["stage"]: s for s in stage_family["samples"]}
+        assert set(seen) == set(LATENCY_STAGES)
+        for stage, sample in seen.items():
+            assert sample["count"] == 1, stage
+            assert sample["sum"] >= 0.0
+        # passes/measure actually did work for a fresh module.
+        assert seen["passes"]["sum"] > 0.0
+        assert seen["measure"]["sum"] > 0.0
+        latency = families["repro_serving_latency_seconds"]["samples"]
+        (ok_sample,) = [
+            s for s in latency if s["labels"]["status"] == "ok"
+        ]
+        assert ok_sample["count"] == 1
+        assert ok_sample["sum"] > 0.0
+
+    def test_request_counters_and_prometheus_render(self, observed, ir_text):
+        registry, _ = observed
+        _serve_one(ir_text)
+        assert registry.get_value(
+            "repro_serving_requests_total", {"status": "ok"}
+        ) == 1
+        text = prometheus_text(registry)
+        assert 'repro_serving_requests_total{status="ok"} 1' in text
+        assert 'repro_serving_stage_seconds_bucket{le="+Inf",stage="verify"} 1' in text
+
+    def test_batch_size_and_queue_depth_published(self, observed, ir_text):
+        registry, _ = observed
+        _serve_one(ir_text)
+        families = {f["name"]: f for f in registry.collect()}
+        (batch,) = families["repro_serving_batch_size"]["samples"]
+        assert batch["count"] >= 1
+        assert registry.get_value("repro_serving_queue_depth") == 0
+
+
+class TestResultCacheAndFallback:
+    def test_result_cache_hit_counter(self, observed, ir_text):
+        registry, _ = observed
+        kwargs = dict(batch_window_s=0.001, result_cache_size=16)
+        service = OptimizationService.from_agent(PosetRL(seed=0), **kwargs)
+        with service:
+            service.optimize(ir_text)
+            service.optimize(ir_text)  # identical → cache hit
+        assert registry.get_value(
+            "repro_serving_result_cache_hits_total"
+        ) == 1
+        assert registry.get_value(
+            "repro_serving_requests_total", {"status": "ok"}
+        ) == 2
+
+    def test_rejected_requests_publish_guard_reason(self, observed):
+        registry, _ = observed
+        service = OptimizationService.from_agent(
+            PosetRL(seed=0), batch_window_s=0.001
+        )
+        with service:
+            result = service.optimize("not ir at all {{{")
+        assert result.status == "rejected"
+        assert registry.get_value(
+            "repro_serving_requests_total", {"status": "rejected"}
+        ) == 1
+        # The reason tag is the coarse prefix, not the full message.
+        collected = {
+            tuple(sorted(s["labels"].items()))
+            for f in registry.collect()
+            if f["name"] == "repro_serving_guard_trips_total"
+            for s in f["samples"]
+        }
+        assert collected, "guard trip counter should exist"
+
+
+class TestDisabledPath:
+    def test_service_built_while_disabled_stays_uninstrumented(self, ir_text):
+        # Construction binds the no-op registry; enabling afterwards must
+        # not retroactively instrument the service's own metrics. (Pass
+        # and cache series are gated on the *live* registry and may still
+        # appear — only the repro_serving_* layer is construction-bound.)
+        service = OptimizationService.from_agent(
+            PosetRL(seed=0), batch_window_s=0.001
+        )
+        assert service._observe is False
+        registry, tracer = obs.enable()
+        try:
+            with service:
+                result = service.optimize(ir_text)
+            assert result.status == "ok"
+            names = {f["name"] for f in registry.collect()}
+            assert not any(n.startswith("repro_serving_") for n in names)
+            assert not any(t.name == "request" for t in tracer.traces())
+        finally:
+            obs.disable()
