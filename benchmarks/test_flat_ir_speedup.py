@@ -1,0 +1,96 @@
+"""Flat struct-of-arrays IR core: measure+encode speedup gate.
+
+Times one full measurement of a large generated module — object-file
+size, MCA throughput and the IR2Vec program embedding — through the
+object-walking path and through the flat kernels (warm
+:class:`~repro.ir.flat.FlatCore`, per-repetition fingerprint pack +
+array kernels, no result caches on either side), asserts the flat path
+is at least 5x faster and that every result is bit-identical, and writes
+the numbers to ``benchmarks/results/perf_flat_ir.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from conftest import save_results
+
+from repro.codegen import object_size
+from repro.embeddings.ir2vec import IR2VecEncoder
+from repro.ir.flat import FlatCore
+from repro.mca import estimate_throughput
+from repro.workloads import ProgramProfile, generate_program
+
+#: The asserted floor; observed ~8-9x on the module below.
+MIN_SPEEDUP = 5.0
+TARGET = "x86-64"
+
+
+def _best_of(fn, reps: int, rounds: int = 3) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        for _ in range(reps):
+            fn()
+        best = min(best, (time.perf_counter() - start) / reps)
+    return best
+
+
+def test_flat_measure_encode_speedup():
+    module = generate_program(
+        ProgramProfile(name="flatbench", seed=11, segments=120, helpers=6)
+    )
+    n_inst = sum(
+        len(b.instructions) for f in module.functions for b in f.blocks
+    )
+    encoder = IR2VecEncoder()
+    core = FlatCore(TARGET)
+
+    def object_path():
+        size = object_size(module, TARGET)
+        mca = estimate_throughput(module, TARGET)
+        emb = encoder.program_embedding(module)
+        return size, mca, emb
+
+    def flat_path():
+        fps = {fn.name: core.fingerprint(fn) for fn in module.functions}
+        size = object_size(module, TARGET, fingerprints=fps, flat=core)
+        mca = estimate_throughput(module, TARGET, fingerprints=fps, flat=core)
+        emb = encoder.program_embedding(module, fingerprints=fps, flat=core)
+        return size, mca, emb
+
+    # Warm both paths (builds the flat rows once), then prove every
+    # measurement is bit-identical before timing anything.
+    obj_size, obj_mca, obj_emb = object_path()
+    flat_size, flat_mca, flat_emb = flat_path()
+    assert obj_size == flat_size
+    assert obj_mca == flat_mca
+    assert np.array_equal(obj_emb, flat_emb)
+
+    object_s = _best_of(object_path, reps=3)
+    flat_s = _best_of(flat_path, reps=10)
+    speedup = object_s / flat_s
+
+    payload = {
+        "module": {
+            "instructions": n_inst,
+            "functions": len(module.functions),
+        },
+        "target": TARGET,
+        "object_ms": round(object_s * 1000, 3),
+        "flat_ms": round(flat_s * 1000, 3),
+        "speedup": round(speedup, 2),
+        "min_speedup": MIN_SPEEDUP,
+        "flat_core": core.stats_dict(),
+    }
+    save_results("perf_flat_ir", payload)
+    print(
+        f"\nflat IR measure+encode: {n_inst} insts  "
+        f"object {payload['object_ms']} ms  flat {payload['flat_ms']} ms  "
+        f"speedup {payload['speedup']}x"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"flat path only {speedup:.2f}x faster (< {MIN_SPEEDUP}x): {payload}"
+    )

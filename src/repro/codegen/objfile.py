@@ -10,11 +10,12 @@ overhead. This is the quantity the POSET-RL reward's BinSize terms measure.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
 
 from ..analysis.liveness import Liveness
 from ..caching import LRUCache
 from ..ir.fingerprint import function_fingerprint
+from ..ir.flat import FlatFunction, byte_row
 from ..ir.instructions import Alloca
 from ..ir.module import Function, Module
 from ..ir.values import ConstantString, GlobalVariable
@@ -88,6 +89,30 @@ def function_text_size(fn: Function, target: TargetDescriptor) -> FunctionSizeRe
     )
 
 
+def flat_function_text_size(
+    ff: FlatFunction, target: TargetDescriptor
+) -> FunctionSizeReport:
+    """:func:`function_text_size` over a flat view: one dot product of the
+    machine-op count vector with the target's byte-cost row."""
+    row = byte_row(target)
+    body = int(row @ ff.fn_mop_counts)
+    op_count = int(ff.fn_mop_counts.sum())
+
+    text = target.prologue_bytes + body + target.epilogue_bytes
+    if ff.has_alloca:
+        text += target.frame_setup_bytes
+
+    spills = max(0, ff.max_pressure - target.num_gp_registers)
+    text += spills * target.spill_bytes
+
+    return FunctionSizeReport(
+        name=ff.name,
+        text_bytes=_align(text, target.function_alignment),
+        machine_ops=op_count,
+        spill_pairs=spills,
+    )
+
+
 def _global_data_bytes(gv: GlobalVariable) -> int:
     init = gv.initializer
     size = max(gv.value_type.size, 1)
@@ -97,16 +122,27 @@ def _global_data_bytes(gv: GlobalVariable) -> int:
 
 
 def object_size(
-    module: Module, target="x86-64", cache: Optional[LRUCache] = None
+    module: Module,
+    target="x86-64",
+    cache: Optional[LRUCache] = None,
+    fingerprints: Optional[Mapping[str, str]] = None,
+    flat=None,
 ) -> SizeReport:
     """Size of the object file produced from ``module`` for ``target``.
 
     With ``cache`` (an :class:`~repro.caching.LRUCache`), per-function text
     sizes are memoized on the function's structural fingerprint: a module
     where only one of N functions changed re-lowers only that function.
+
+    ``fingerprints`` (name → digest) supplies fingerprints already computed
+    this step so each function is hashed at most once. ``flat`` (a
+    :class:`~repro.ir.flat.FlatCore` for the same target) sizes functions
+    from their flat machine-op counts instead of re-lowering.
     """
     if isinstance(target, str):
         target = get_target(target)
+    if flat is not None and flat.descriptor.name != target.name:
+        flat = None
     report = SizeReport(target=target.name)
 
     for fn in module.functions:
@@ -114,12 +150,21 @@ def object_size(
             if fn.has_uses:  # undefined symbol referenced -> symtab entry
                 report.symbol_bytes += SYMBOL_ENTRY_BYTES
             continue
+        if cache is not None or flat is not None:
+            fp = fingerprints.get(fn.name) if fingerprints is not None else None
+            if fp is None:
+                fp = function_fingerprint(fn)
         if cache is not None:
-            key = (function_fingerprint(fn), target.name)
+            key = (fp, target.name)
             fr = cache.get(key)
             if fr is None:
-                fr = function_text_size(fn, target)
+                if flat is not None:
+                    fr = flat_function_text_size(flat.get(fn, fp), target)
+                else:
+                    fr = function_text_size(fn, target)
                 cache.put(key, fr)
+        elif flat is not None:
+            fr = flat_function_text_size(flat.get(fn, fp), target)
         else:
             fr = function_text_size(fn, target)
         report.functions.append(fr)

@@ -103,11 +103,21 @@ class PhaseOrderingEnv:
         self.encoder = self.metrics.encoder
 
         # Baseline ("without any optimization") metrics — Eqns 2-3
-        # denominators — computed once.
-        self.base_size = self.metrics.size(module).total_bytes
-        self.base_throughput = self.metrics.throughput(module).throughput
+        # denominators — computed once. Per-function fingerprints are
+        # computed once here and threaded through every consumer.
+        base_fps = (
+            self.metrics.function_fingerprints(module)
+            if self.metrics.enabled
+            else None
+        )
+        self.base_size = self.metrics.size(module, base_fps).total_bytes
+        self.base_throughput = self.metrics.throughput(
+            module, base_fps
+        ).throughput
         self._base_fingerprint: Optional[str] = (
-            self.metrics.fingerprint(module) if self.metrics.enabled else None
+            self.metrics.fingerprint(module, base_fps)
+            if self.metrics.enabled
+            else None
         )
 
         # ``current`` is materialized lazily: ``_pending`` references a
@@ -267,13 +277,19 @@ class PhaseOrderingEnv:
         applied = self.action_space.apply(action, module)
         passes_s = time.perf_counter() - start
         # The changed-flag is advisory; fingerprint equality is the
-        # authoritative no-op check (sound in both directions).
-        result_fp = engine.fingerprint(module) if applied else fingerprint
+        # authoritative no-op check (sound in both directions). Function
+        # digests are computed once and reused by every measurement below.
+        function_fps = engine.function_fingerprints(module) if applied else None
+        result_fp = (
+            engine.fingerprint(module, function_fps)
+            if applied
+            else fingerprint
+        )
         changed = result_fp != fingerprint
         measure_s = 0.0
         if changed:
             start = time.perf_counter()
-            measured = engine.measure(module)
+            measured = engine.measure(module, function_fps)
             measure_s = time.perf_counter() - start
             size, throughput = measured.size, measured.throughput
             cycles, embedding = measured.cycles, measured.embedding

@@ -26,14 +26,15 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, Optional, Tuple
+from typing import Any, Dict, Hashable, Mapping, Optional, Tuple
 
 import numpy as np
 
 from ..caching import LRUCache
 from ..codegen.objfile import SizeReport, object_size
 from ..embeddings.ir2vec import IR2VecEncoder
-from ..ir.fingerprint import module_fingerprint
+from ..ir.fingerprint import function_fingerprint, module_fingerprint
+from ..ir.flat import FlatCore
 from ..ir.module import Module
 from ..mca.sched import McaSummary, estimate_throughput
 
@@ -117,6 +118,7 @@ class MetricsEngine:
         function_cache_size: int = DEFAULT_FUNCTION_CACHE_SIZE,
         transition_cache_size: int = DEFAULT_TRANSITION_CACHE_SIZE,
         threadsafe: bool = False,
+        flat: bool = True,
     ):
         self.target = target
         self.enabled = enabled
@@ -127,6 +129,11 @@ class MetricsEngine:
         #: (the serving scheduler's engines are also read by client-thread
         #: ``stats()`` calls). Training keeps the lock-free default.
         self.threadsafe = threadsafe
+        #: ``flat=True`` keeps a :class:`~repro.ir.flat.FlatCore` alive
+        #: across steps: cache misses measure through the struct-of-arrays
+        #: kernels (bit-identical results), rebuilding only functions whose
+        #: fingerprint changed.
+        self.flat = flat
         self._init_caches()
         self.encoder = encoder or IR2VecEncoder()
         if enabled and self.encoder.function_cache is None:
@@ -147,34 +154,85 @@ class MetricsEngine:
             self.transitions: Optional[TransitionCache] = TransitionCache(
                 self.transition_cache_size, lock=lock
             )
+            self._flat_core: Optional[FlatCore] = (
+                FlatCore(self.target, self.function_cache_size, lock=lock)
+                if self.flat
+                else None
+            )
         else:
             self.size_cache = None
             self.mca_cache = None
             self._embedding_cache = None
             self.transitions = None
+            self._flat_core = None
 
     # -- measurements ------------------------------------------------------
-    def fingerprint(self, module: Module) -> str:
-        return module_fingerprint(module)
+    def function_fingerprints(self, module: Module) -> Dict[str, str]:
+        """Per-function digests, computed once and threaded through every
+        consumer so a step hashes each function at most once."""
+        return {
+            fn.name: function_fingerprint(fn) for fn in module.functions
+        }
 
-    def size(self, module: Module) -> SizeReport:
-        return object_size(module, self.target, cache=self.size_cache)
+    def fingerprint(
+        self,
+        module: Module,
+        fingerprints: Optional[Mapping[str, str]] = None,
+    ) -> str:
+        return module_fingerprint(module, fingerprints)
 
-    def throughput(self, module: Module) -> McaSummary:
-        return estimate_throughput(module, self.target, cache=self.mca_cache)
+    def size(
+        self,
+        module: Module,
+        fingerprints: Optional[Mapping[str, str]] = None,
+    ) -> SizeReport:
+        return object_size(
+            module,
+            self.target,
+            cache=self.size_cache,
+            fingerprints=fingerprints,
+            flat=self._flat_core,
+        )
 
-    def embedding(self, module: Module) -> np.ndarray:
-        return self.encoder.program_embedding(module)
+    def throughput(
+        self,
+        module: Module,
+        fingerprints: Optional[Mapping[str, str]] = None,
+    ) -> McaSummary:
+        return estimate_throughput(
+            module,
+            self.target,
+            cache=self.mca_cache,
+            fingerprints=fingerprints,
+            flat=self._flat_core,
+        )
 
-    def measure(self, module: Module) -> ModuleMetrics:
+    def embedding(
+        self,
+        module: Module,
+        fingerprints: Optional[Mapping[str, str]] = None,
+    ) -> np.ndarray:
+        return self.encoder.program_embedding(
+            module, fingerprints=fingerprints, flat=self._flat_core
+        )
+
+    def measure(
+        self,
+        module: Module,
+        fingerprints: Optional[Mapping[str, str]] = None,
+    ) -> ModuleMetrics:
         """Size, throughput and state embedding in one shot."""
-        size_report = self.size(module)
-        mca = self.throughput(module)
+        if fingerprints is None and (
+            self.enabled or self._flat_core is not None
+        ):
+            fingerprints = self.function_fingerprints(module)
+        size_report = self.size(module, fingerprints)
+        mca = self.throughput(module, fingerprints)
         return ModuleMetrics(
             size=size_report.total_bytes,
             throughput=mca.throughput,
             cycles=mca.total_cycles,
-            embedding=self.embedding(module),
+            embedding=self.embedding(module, fingerprints),
             size_report=size_report,
             mca=mca,
         )
@@ -190,12 +248,15 @@ class MetricsEngine:
             and self._embedding_cache is not None
             and self.transitions is not None
         )
-        return {
+        out = {
             "size": self.size_cache.stats.as_dict(),
             "mca": self.mca_cache.stats.as_dict(),
             "embedding": self._embedding_cache.stats.as_dict(),
             "transitions": self.transitions.stats.as_dict(),
         }
+        if self._flat_core is not None:
+            out["flat"] = self._flat_core.stats_dict()
+        return out
 
     def clear(self) -> None:
         if self.enabled:
@@ -213,6 +274,7 @@ class MetricsEngine:
             "function_cache_size": self.function_cache_size,
             "transition_cache_size": self.transition_cache_size,
             "threadsafe": self.threadsafe,
+            "flat": self.flat,
         }
 
     def __setstate__(self, state: Dict[str, Any]) -> None:
@@ -221,5 +283,6 @@ class MetricsEngine:
         self.function_cache_size = state["function_cache_size"]
         self.transition_cache_size = state["transition_cache_size"]
         self.threadsafe = state.get("threadsafe", False)
+        self.flat = state.get("flat", True)
         self._init_caches()
         self.encoder = IR2VecEncoder(function_cache=self._embedding_cache)

@@ -12,7 +12,7 @@ signal the size reward pays for); the DQN consumes these as 300-d states.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -20,19 +20,19 @@ from ..analysis.liveness import Liveness
 from ..analysis.reaching import ReachingStores
 from ..caching import LRUCache
 from ..ir.fingerprint import function_fingerprint
+from ..ir.flat import (
+    OPCODE_TABLE,
+    OPERAND_KINDS,
+    TYPE_KIND_TABLE,
+    FlatFunction,
+    operand_kind_code,
+    operand_kind_name,
+    type_kind_name,
+)
 from ..ir.instructions import Instruction, Load
 from ..ir.module import BasicBlock, Function, Module
-from ..ir.types import (
-    ArrayType,
-    FloatType,
-    IntType,
-    LabelType,
-    PointerType,
-    StructType,
-    Type,
-    VectorType,
-)
-from ..ir.values import Argument, Constant, GlobalValue, Value
+from ..ir.types import Type
+from ..ir.values import Value
 from .vocabulary import DIMENSION, Vocabulary, default_vocabulary
 
 #: IR2Vec composition weights.
@@ -46,37 +46,18 @@ W_LIVE = 0.1
 
 
 def _type_kind(ty: Type) -> str:
-    if isinstance(ty, IntType):
-        return f"int{ty.bits}"
-    if isinstance(ty, FloatType):
-        return "float" if ty.bits == 32 else "double"
-    if isinstance(ty, PointerType):
-        return "pointer"
-    if isinstance(ty, ArrayType):
-        return "array"
-    if isinstance(ty, VectorType):
-        return "vector"
-    if isinstance(ty, StructType):
-        return "struct"
-    if isinstance(ty, LabelType):
-        return "label"
-    return "void"
+    return type_kind_name(ty)
 
 
 def _operand_kind(value: Value) -> str:
-    from ..ir.module import BasicBlock as BB, Function as Fn
+    return operand_kind_name(value)
 
-    if isinstance(value, Fn):
-        return "function"
-    if isinstance(value, BB):
-        return "block"
-    if isinstance(value, GlobalValue):
-        return "global"
-    if isinstance(value, Constant):
-        return "constant"
-    if isinstance(value, Argument):
-        return "argument"
-    return "instruction"
+
+def _weighted_reduce(rows: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """``Σ weights[i] * rows[i]`` — the one reduction both the object and
+    flat embedding paths share, so a function embedding is the same bits
+    no matter which path produced the (identical) inputs."""
+    return np.add.reduce(weights[:, None] * rows, axis=0)
 
 
 class IR2VecEncoder:
@@ -97,13 +78,46 @@ class IR2VecEncoder:
         self.vocab = vocabulary or default_vocabulary()
         self.dimension = self.vocab.dimension
         self.function_cache = function_cache
+        # Weight-premultiplied seed vectors (Wo·opcode, Wt·type, Wa·kind):
+        # both the scalar and flat paths consume these products, so the
+        # single table multiplication replaces one per accumulation.
+        self._opcode_vecs: Dict[str, np.ndarray] = {}
+        self._ty_vecs: Dict[str, np.ndarray] = {}
+        self._kind_vecs = tuple(
+            W_ARG * self.vocab.operand_kind(kind) for kind in OPERAND_KINDS
+        )
+        self._flat_mats: Optional[
+            Tuple[Tuple[int, int], np.ndarray, np.ndarray, np.ndarray]
+        ] = None
 
     # -- level 0: seed (syntactic) embeddings ------------------------------
     def seed_instruction(self, inst: Instruction) -> np.ndarray:
-        vec = W_OPCODE * self.vocab.opcode(inst.opcode)
-        vec = vec + W_TYPE * self.vocab.type_kind(_type_kind(inst.type))
+        """Seed = Wo·opcode + Wt·type + Wa·(operand-kind counts).
+
+        Accumulates in place into one preallocated vector, with the vocab
+        lookups hoisted into per-encoder tables. Operand contributions add
+        in canonical :data:`~repro.ir.flat.OPERAND_KINDS` order (counted,
+        not per-operand), the same order the flat gather kernel uses — the
+        two paths therefore run the identical float-op sequence.
+        """
+        opv = self._opcode_vecs.get(inst.opcode)
+        if opv is None:
+            opv = W_OPCODE * self.vocab.opcode(inst.opcode)
+            opv.setflags(write=False)
+            self._opcode_vecs[inst.opcode] = opv
+        vec = opv.copy()
+        kind = _type_kind(inst.type)
+        tyv = self._ty_vecs.get(kind)
+        if tyv is None:
+            tyv = W_TYPE * self.vocab.type_kind(kind)
+            tyv.setflags(write=False)
+            self._ty_vecs[kind] = tyv
+        vec += tyv
+        counts = [0.0] * len(OPERAND_KINDS)
         for op in inst.operands:
-            vec = vec + W_ARG * self.vocab.operand_kind(_operand_kind(op))
+            counts[operand_kind_code(op)] += 1.0
+        for k, kv in enumerate(self._kind_vecs):
+            vec += counts[k] * kv
         return vec
 
     # -- level 1: flow-aware instruction embeddings --------------------------
@@ -131,31 +145,105 @@ class IR2VecEncoder:
         return flowed
 
     # -- level 2: function and program embeddings -----------------------------
-    def function_embedding(self, fn: Function) -> np.ndarray:
+    def function_embedding(
+        self,
+        fn: Function,
+        fingerprint: Optional[str] = None,
+        flat=None,
+    ) -> np.ndarray:
+        """Embedding of one function.
+
+        ``fingerprint`` reuses a digest computed earlier this step (the
+        cache key); ``flat`` (a :class:`~repro.ir.flat.FlatCore`) encodes
+        through the gather/matmul kernel instead of the object walk.
+        """
         if fn.is_declaration:
             return np.zeros(self.dimension)
+        if self.function_cache is None and flat is None:
+            return self._compute_function_embedding(fn)
+        if fingerprint is None:
+            fingerprint = function_fingerprint(fn)
         if self.function_cache is not None:
-            key = function_fingerprint(fn)
-            cached = self.function_cache.get(key)
+            cached = self.function_cache.get(fingerprint)
             if cached is None:
-                cached = self._compute_function_embedding(fn)
+                if flat is not None:
+                    cached = self.flat_function_embedding(
+                        flat.get(fn, fingerprint)
+                    )
+                else:
+                    cached = self._compute_function_embedding(fn)
                 cached.setflags(write=False)
-                self.function_cache.put(key, cached)
+                self.function_cache.put(fingerprint, cached)
             return cached
-        return self._compute_function_embedding(fn)
+        return self.flat_function_embedding(flat.get(fn, fingerprint))
 
     def _compute_function_embedding(self, fn: Function) -> np.ndarray:
         flowed = self.function_instruction_embeddings(fn)
         liveness = Liveness(fn)
-        total = np.zeros(self.dimension)
-        for inst in fn.instructions():
+        insts = [inst for block in fn.blocks for inst in block.instructions]
+        if not insts:
+            return np.zeros(self.dimension)
+        rows = np.stack([flowed[id(inst)] for inst in insts])
+        weights = np.empty(len(insts))
+        for i, inst in enumerate(insts):
             weight = 1.0
             if not inst.type.is_void:
                 weight += W_LIVE * liveness.live_across_blocks(inst)
-            total += weight * flowed[id(inst)]
-        return total
+            weights[i] = weight
+        return _weighted_reduce(rows, weights)
 
-    def program_embedding(self, module: Module) -> np.ndarray:
+    # -- flat path ---------------------------------------------------------
+    def _flat_matrices(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vocab rows stacked for gathering by intern code; re-stacked when
+        the (append-only) intern tables grow."""
+        version = (len(OPCODE_TABLE), len(TYPE_KIND_TABLE))
+        mats = self._flat_mats
+        if mats is None or mats[0] != version:
+            opm = W_OPCODE * np.stack(
+                [self.vocab.opcode(name) for name in OPCODE_TABLE.names]
+            ) if len(OPCODE_TABLE) else np.zeros((0, self.dimension))
+            tym = W_TYPE * np.stack(
+                [self.vocab.type_kind(name) for name in TYPE_KIND_TABLE.names]
+            ) if len(TYPE_KIND_TABLE) else np.zeros((0, self.dimension))
+            kindm = np.stack(self._kind_vecs)
+            mats = (version, opm, tym, kindm)
+            self._flat_mats = mats
+        return mats[1], mats[2], mats[3]
+
+    def flat_function_embedding(self, ff: FlatFunction) -> np.ndarray:
+        """The object embedding as array kernels over a flat view.
+
+        Seeds are one gather + scaled adds in canonical operand-kind
+        order; the flow pass adds ``W_FLOW * seeds[src]`` to each
+        destination round by round (destinations are unique within a
+        round, and a destination's contributions arrive in its original
+        operand order — the same float-op sequence as the scalar loop);
+        the liveness-weighted reduction is the shared
+        :func:`_weighted_reduce`. Bit-identical to
+        :meth:`_compute_function_embedding` by construction.
+        """
+        opm, tym, kindm = self._flat_matrices()
+        seeds = opm[ff.opcodes]  # the gather materializes the accumulator
+        seeds += tym[ff.type_kinds]
+        for k in range(kindm.shape[0]):
+            seeds += ff.kind_counts[:, k, None] * kindm[k]
+
+        flowed = seeds.copy()
+        offs = ff.round_offsets
+        for r in range(len(offs) - 1):
+            s, e = offs[r], offs[r + 1]
+            flowed[ff.flow_dst[s:e]] += W_FLOW * seeds[ff.flow_src[s:e]]
+
+        weights = 1.0 + W_LIVE * ff.live_across
+        weights[ff.is_void] = 1.0
+        return _weighted_reduce(flowed, weights)
+
+    def program_embedding(
+        self,
+        module: Module,
+        fingerprints: Optional[Mapping[str, str]] = None,
+        flat=None,
+    ) -> np.ndarray:
         """The RL state vector: 300-d, float32.
 
         As in IR2Vec, the program embedding is the *sum* of function
@@ -167,7 +255,12 @@ class IR2VecEncoder:
         total = np.zeros(self.dimension)
         for fn in module.functions:
             if not fn.is_declaration:
-                total += self.function_embedding(fn)
+                fp = (
+                    fingerprints.get(fn.name)
+                    if fingerprints is not None
+                    else None
+                )
+                total += self.function_embedding(fn, fingerprint=fp, flat=flat)
         return (total / 100.0).astype(np.float32)
 
 

@@ -15,12 +15,15 @@ estimates with static block frequencies (loop depth and branch hints).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
+
+import numpy as np
 
 from ..analysis.blockfreq import BlockFrequency
 from ..analysis.loops import LoopInfo
 from ..caching import LRUCache
 from ..ir.fingerprint import function_fingerprint
+from ..ir.flat import FlatFunction, throughput_row
 from ..ir.instructions import Call, Instruction, Phi
 from ..ir.module import BasicBlock, Function, Module
 from ..codegen.isel import lower_instruction
@@ -143,6 +146,90 @@ def analyze_function(
     return FunctionReport(fn.name, cycles, uops, blocks)
 
 
+def _segment_max(values: np.ndarray, offsets: np.ndarray) -> np.ndarray:
+    """Per-segment max over a CSR layout; empty segments yield 0.0.
+
+    ``np.maximum.reduceat`` mishandles empty segments (it returns the
+    element *at* the start index), so reduce only over the non-empty
+    starts — dropping an empty segment's (duplicate) start keeps the
+    remaining starts strictly increasing, which is exactly the layout
+    reduceat folds correctly.
+    """
+    n = len(offsets) - 1
+    out = np.zeros(n)
+    sizes = np.diff(offsets)
+    nonempty = sizes > 0
+    if nonempty.any():
+        out[nonempty] = np.maximum.reduceat(values, offsets[:-1][nonempty])
+    return out
+
+
+def flat_analyze_function(ff: FlatFunction, model: PortModel) -> FunctionReport:
+    """:func:`analyze_function` over a flat view, all blocks at once.
+
+    Dispatch and resource bounds are row reductions. The latency chain
+    runs as a *wavefront*: instructions grouped by position within their
+    block — every dependence points at a smaller position, so one pass
+    over positions finalizes all blocks' finish times together in
+    dependency order. Bit-identical to the scalar loop: same division
+    (not reciprocal-multiply), same max-fold over the same operands, and
+    the frequency-weighted totals use Python's left-fold ``sum`` over the
+    per-block products, exactly as the object path folds them.
+    """
+    dispatch = ff.block_uops / model.dispatch_width
+    resource = (
+        (ff.block_mop_counts / throughput_row(model)).max(axis=1)
+        if ff.n_blocks
+        else np.zeros(0)
+    )
+
+    finish = np.zeros(ff.n_inst)  # phis stay at 0.0
+    lat = ff.inst_latency
+    deps = ff.wave_deps
+    dep_off = ff.wave_dep_offsets
+    for w in range(len(ff.wave_offsets) - 1):
+        w0, w1 = ff.wave_offsets[w], ff.wave_offsets[w + 1]
+        if w0 == w1:
+            continue
+        idx = ff.wave_insts[w0:w1]
+        s0, s1 = dep_off[w0], dep_off[w1]
+        ready = _segment_max(finish[deps[s0:s1]], dep_off[w0 : w1 + 1] - s0)
+        finish[idx] = ready + lat[idx]
+
+    critical = _segment_max(finish, ff.block_offsets)
+    recurrence = _segment_max(finish[ff.rec_idx], ff.rec_offsets)
+    latency_bound = np.maximum(critical / 4.0, recurrence)
+
+    bound = np.maximum(
+        np.maximum(dispatch, resource), np.maximum(latency_bound, 0.25)
+    )
+    cycles = float(sum(((bound + ff.overheads) * ff.freqs).tolist()))
+    uops = float(sum((ff.block_uops * ff.freqs).tolist()))
+
+    blocks = [
+        BlockReport(
+            name=ff.block_names[bi],
+            uops=int(ff.block_uops[bi]),
+            dispatch_bound=float(dispatch[bi]),
+            resource_bound=float(resource[bi]),
+            latency_bound=float(latency_bound[bi]),
+            frequency=float(ff.freqs[bi]),
+            branch_overhead=float(ff.overheads[bi]),
+        )
+        for bi in range(ff.n_blocks)
+    ]
+    return FunctionReport(ff.name, cycles, uops, blocks)
+
+
+def flat_call_counts(ff: FlatFunction) -> Dict[str, float]:
+    """:func:`_function_call_counts` from the flat view's recorded call
+    edges (same instruction order, same left-fold accumulation)."""
+    counts: Dict[str, float] = {}
+    for callee, f in ff.call_edges:
+        counts[callee] = counts.get(callee, 0.0) + f
+    return counts
+
+
 #: Cycle cost charged for calling an unknown external function.
 EXTERNAL_CALL_CYCLES = 20.0
 #: Frequency cap to keep recursive call graphs bounded.
@@ -184,13 +271,23 @@ def _function_call_counts(fn: Function) -> Dict[str, float]:
 
 
 def estimate_throughput(
-    module: Module, target="x86-64", cache: Optional[LRUCache] = None
+    module: Module,
+    target="x86-64",
+    cache: Optional[LRUCache] = None,
+    fingerprints: Optional[Mapping[str, str]] = None,
+    flat=None,
 ) -> McaSummary:
     """LLVM-MCA stand-in: static cycles/throughput for the whole module.
 
     With ``cache``, the per-function scheduling report and outgoing-call
     counts are memoized on the function's structural fingerprint; only the
     (cheap) interprocedural invocation fixed point is recombined per call.
+
+    ``fingerprints`` (name → digest) supplies fingerprints already computed
+    this step so each function is hashed at most once. ``flat`` (a
+    :class:`~repro.ir.flat.FlatCore` for the same target) schedules
+    functions through the batched wavefront kernel instead of the
+    per-instruction loop.
     """
     if isinstance(target, str):
         descriptor = get_target(target)
@@ -198,22 +295,36 @@ def estimate_throughput(
     else:  # pragma: no cover - convenience
         descriptor = target
         model = get_port_model(target.name)
+    if flat is not None and flat.descriptor.name != descriptor.name:
+        flat = None
 
     reports: Dict[str, FunctionReport] = {}
     call_counts: Dict[str, Dict[str, float]] = {}
     for fn in module.functions:
         if fn.is_declaration:
             continue
+        if cache is not None or flat is not None:
+            fp = fingerprints.get(fn.name) if fingerprints is not None else None
+            if fp is None:
+                fp = function_fingerprint(fn)
         if cache is not None:
-            key = (function_fingerprint(fn), descriptor.name)
+            key = (fp, descriptor.name)
             entry = cache.get(key)
             if entry is None:
-                entry = (
-                    analyze_function(fn, descriptor, model),
-                    _function_call_counts(fn),
-                )
+                if flat is not None:
+                    ff = flat.get(fn, fp)
+                    entry = (flat_analyze_function(ff, model), flat_call_counts(ff))
+                else:
+                    entry = (
+                        analyze_function(fn, descriptor, model),
+                        _function_call_counts(fn),
+                    )
                 cache.put(key, entry)
             reports[fn.name], call_counts[fn.name] = entry
+        elif flat is not None:
+            ff = flat.get(fn, fp)
+            reports[fn.name] = flat_analyze_function(ff, model)
+            call_counts[fn.name] = flat_call_counts(ff)
         else:
             reports[fn.name] = analyze_function(fn, descriptor, model)
             call_counts[fn.name] = _function_call_counts(fn)

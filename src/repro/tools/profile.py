@@ -154,6 +154,13 @@ def run(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--no-cache", action="store_true",
                         help="profile the uncached metrics paths")
+    parser.add_argument("--flat", default=True,
+                        action=argparse.BooleanOptionalAction,
+                        help="measure through the flat struct-of-arrays "
+                        "kernels (--no-flat restores the object walks)")
+    parser.add_argument("--compare-flat", action="store_true",
+                        help="profile the episode twice — flat kernels vs "
+                        "object walks — and print the speedup")
     parser.add_argument("--suite", help="profile a workload-suite benchmark "
                         "instead of an input file")
     parser.add_argument("--benchmark",
@@ -214,29 +221,35 @@ def run(argv: Optional[List[str]] = None) -> int:
         return rc
 
     action_space = make_action_space(args.action_space)
-    engine = MetricsEngine(target=args.target, enabled=not args.no_cache)
-    env = PhaseOrderingEnv(
-        module,
-        action_space=action_space,
-        target=args.target,
-        episode_length=max(args.steps, 1),
-        metrics=engine,
-    )
     import numpy as np
 
     rng = np.random.RandomState(args.seed)
     actions = [int(rng.randint(len(action_space))) for _ in range(args.steps)]
 
-    clock = _StageClock()
-    _instrument(env, engine, clock)
-    start = time.perf_counter()
-    for _ in range(args.episodes):
-        _profile_episode(env, actions)
-    wall = time.perf_counter() - start
+    def profile_once(flat: bool):
+        engine = MetricsEngine(
+            target=args.target, enabled=not args.no_cache, flat=flat
+        )
+        env = PhaseOrderingEnv(
+            module,
+            action_space=make_action_space(args.action_space),
+            target=args.target,
+            episode_length=max(args.steps, 1),
+            metrics=engine,
+        )
+        clock = _StageClock()
+        _instrument(env, engine, clock)
+        start = time.perf_counter()
+        for _ in range(args.episodes):
+            _profile_episode(env, actions)
+        return engine, clock, time.perf_counter() - start
+
+    engine, clock, wall = profile_once(args.flat)
 
     mode = "uncached" if args.no_cache else "cached"
+    kernels = "flat" if args.flat and not args.no_cache else "object"
     print(f"profile: {args.episodes} episode(s) x {args.steps} steps "
-          f"({mode}, target {args.target})")
+          f"({mode}, {kernels} kernels, target {args.target})")
     print(f"{'stage':<12} {'total s':>10} {'calls':>7} {'ms/call':>9} {'share':>7}")
     for stage in ("passes", "codegen", "mca", "embedding", "fingerprint"):
         total = clock.totals.get(stage, 0.0)
@@ -246,6 +259,26 @@ def run(argv: Optional[List[str]] = None) -> int:
         print(f"{stage:<12} {total:>10.4f} {calls:>7} {per:>9.3f} {share:>6.1f}%")
     print(f"{'wall':<12} {wall:>10.4f}")
 
+    if args.compare_flat:
+        _, other_clock, other_wall = profile_once(not args.flat)
+        this, other = ("flat", "object") if args.flat else ("object", "flat")
+
+        def measure_s(c: _StageClock) -> float:
+            return sum(
+                c.totals.get(s, 0.0)
+                for s in ("codegen", "mca", "embedding", "fingerprint")
+            )
+
+        a, b = measure_s(clock), measure_s(other_clock)
+        print(f"\ncompare: measure+encode {this} {a:.4f}s vs "
+              f"{other} {b:.4f}s", end="")
+        if a and b:
+            ratio = (b / a) if args.flat else (a / b)
+            print(f"  (flat speedup {ratio:.2f}x)")
+        else:
+            print()
+        print(f"compare: wall {this} {wall:.4f}s vs {other} {other_wall:.4f}s")
+
     if engine.enabled:
         print("\ncache counters:")
         for name, counters in engine.stats().items():
@@ -253,6 +286,12 @@ def run(argv: Optional[List[str]] = None) -> int:
                   f"misses={counters['misses']:<8.0f} "
                   f"evictions={counters['evictions']:<6.0f} "
                   f"hit_rate={counters['hit_rate']:.2%}")
+        if engine._flat_core is not None:
+            flat_stats = engine.stats()["flat"]
+            print(f"  flat core    builds={flat_stats['builds']:<6.0f} "
+                  f"row_rebuilds={flat_stats['row_rebuilds']:<8.0f} "
+                  f"invalidations={flat_stats['invalidations']:<6.0f} "
+                  f"bytes={flat_stats['bytes_resident']:,.0f}")
     _maybe_export_metrics(args)
     return 0
 
