@@ -29,7 +29,7 @@ import threading
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Any, Dict, Hashable, Optional
+from typing import Any, Callable, Dict, Hashable, Optional
 
 
 @dataclass
@@ -117,6 +117,7 @@ class LRUCache:
         capacity: int = 4096,
         name: Optional[str] = None,
         lock: Optional[threading.Lock] = None,
+        on_evict: Optional[Callable[[Hashable, Any], None]] = None,
     ):
         if capacity <= 0:
             raise ValueError("cache capacity must be positive")
@@ -124,6 +125,10 @@ class LRUCache:
         self.name = name
         self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
         self._lock = lock
+        # Called as ``on_evict(key, value)`` for capacity evictions only
+        # (not for ``clear``), while the cache's own lock (if any) is
+        # held — the callback must not call back into this cache.
+        self._on_evict = on_evict
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -177,8 +182,10 @@ class LRUCache:
             self._data.move_to_end(key)
         self._data[key] = value
         if len(self._data) > self.capacity:
-            self._data.popitem(last=False)
+            evicted_key, evicted_value = self._data.popitem(last=False)
             self.evictions += 1
+            if self._on_evict is not None:
+                self._on_evict(evicted_key, evicted_value)
 
     def clear(self) -> None:
         if self._lock is not None:

@@ -27,6 +27,7 @@ from typing import Dict, Optional, Tuple, Union
 
 from .export import (
     SNAPSHOT_SCHEMA,
+    merge_snapshots,
     prometheus_text,
     snapshot,
     write_snapshot,
@@ -55,6 +56,7 @@ __all__ = [
     "get_registry", "get_tracer", "set_registry", "set_tracer",
     "enable", "disable", "enabled",
     "snapshot", "write_snapshot", "export_snapshot", "prometheus_text",
+    "merge_snapshots",
 ]
 
 _registry: Union[MetricRegistry, NullRegistry] = NULL_REGISTRY

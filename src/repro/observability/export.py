@@ -50,6 +50,108 @@ def write_snapshot(
     return payload
 
 
+def merge_snapshots(snapshots: List[Dict[str, object]]) -> Dict[str, object]:
+    """Fold N per-process snapshots into one aggregated view.
+
+    The sharded gateway's workers each write their own ``--metrics-out``
+    snapshot (separate processes, separate registries); this merges them
+    — and optionally the gateway's own — so ``repro.tools.stats`` can
+    render fleet totals. Samples are matched on ``(family name, labels)``
+    and combined by type:
+
+    * counters sum (they count disjoint per-process events),
+    * histograms sum per-``le`` bucket counts, ``sum`` and ``count``
+      (valid because every registry in this codebase uses the same
+      bucket layout per family; mismatched layouts merge on the union of
+      bounds, with bounds missing from some inputs undercounted),
+    * gauges sum as well — every gauge this codebase exports is an
+      occupancy/depth-style quantity where the fleet total is the
+      meaningful aggregate.
+
+    Traces concatenate, tagged with their source index. ``unix_time`` is
+    the newest input's; ``enabled`` is true if any input was.
+    """
+    if not snapshots:
+        raise ValueError("no snapshots to merge")
+    if len(snapshots) == 1:
+        return dict(snapshots[0])
+
+    # (name, frozenset(labels)) -> merged sample; families keep first-seen
+    # help/type and the order they first appear across inputs.
+    families: Dict[str, Dict[str, object]] = {}
+    merged_samples: Dict[str, Dict[frozenset, Dict[str, object]]] = {}
+    traces: List[dict] = []
+    traces_dropped = 0
+    newest = 0.0
+    enabled = False
+
+    for index, snap in enumerate(snapshots):
+        newest = max(newest, float(snap.get("unix_time", 0.0)))
+        enabled = enabled or bool(snap.get("enabled"))
+        traces_dropped += int(snap.get("traces_dropped", 0))
+        for span in snap.get("traces", []) or []:
+            tagged = dict(span)
+            tagged["source"] = index
+            traces.append(tagged)
+        for family in snap.get("metrics", []) or []:
+            name = str(family["name"])
+            if name not in families:
+                families[name] = {
+                    "name": name,
+                    "type": family["type"],
+                    "help": family.get("help"),
+                }
+                merged_samples[name] = {}
+            by_labels = merged_samples[name]
+            kind = families[name]["type"]
+            for sample in family.get("samples", []):
+                labels = dict(sample.get("labels") or {})
+                key = frozenset(labels.items())
+                slot = by_labels.get(key)
+                if slot is None:
+                    slot = {"labels": labels}
+                    if kind == "histogram":
+                        slot["buckets"] = {}
+                        slot["sum"] = 0.0
+                        slot["count"] = 0
+                    else:
+                        slot["value"] = 0.0
+                    by_labels[key] = slot
+                if kind == "histogram":
+                    buckets: Dict[str, float] = slot["buckets"]
+                    for le, count in sample.get("buckets", {}).items():
+                        buckets[le] = buckets.get(le, 0) + count
+                    slot["sum"] = slot["sum"] + sample.get("sum", 0.0)
+                    slot["count"] = slot["count"] + sample.get("count", 0)
+                else:
+                    slot["value"] = slot["value"] + sample.get("value", 0.0)
+
+    def _le_sort_key(item):
+        le = item[0]
+        return float("inf") if le == "+Inf" else float(le)
+
+    metrics: List[Dict[str, object]] = []
+    for name, family in families.items():
+        samples = []
+        for slot in merged_samples[name].values():
+            if family["type"] == "histogram":
+                slot["buckets"] = dict(
+                    sorted(slot["buckets"].items(), key=_le_sort_key)
+                )
+            samples.append(slot)
+        metrics.append({**family, "samples": samples})
+
+    return {
+        "schema": SNAPSHOT_SCHEMA,
+        "unix_time": newest,
+        "enabled": enabled,
+        "merged_from": len(snapshots),
+        "metrics": metrics,
+        "traces": traces,
+        "traces_dropped": traces_dropped,
+    }
+
+
 def _escape_label(value: str) -> str:
     return (
         value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")

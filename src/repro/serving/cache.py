@@ -11,16 +11,24 @@ no size/MCA/embedding measurement, no environment step — the recorded
 report is returned verbatim (only per-request fields like latency and the
 ``cache_hit`` flag differ).
 
-In front of the structural key sits an exact-text memo: byte-identical
-resubmissions (the common serving case) skip even the parse and the
-fingerprint walk.
+In front of the structural key sits an exact-text **admission memo**:
+byte-identical resubmissions (the common serving case) skip even the
+parse and the fingerprint walk. The memo lives *inside* the cache so its
+lifetime is coupled to the results it points at: when the last
+``(fingerprint, version)`` entry for a fingerprint is evicted by
+capacity pressure, every text key memoized for that fingerprint is
+dropped with it — a stranded memo entry would otherwise keep answering
+with a fingerprint whose result is gone, and the memo itself would grow
+without bound. Text keys memoized before any result lands (the request
+is still in flight) are bounded separately by ``memo_capacity``.
 """
 
 from __future__ import annotations
 
 import hashlib
 import threading
-from typing import Any, Dict, Hashable, Optional, Tuple
+from collections import OrderedDict
+from typing import Any, Dict, Hashable, Optional, Set
 
 from ..caching import CacheStats, LRUCache
 
@@ -35,28 +43,97 @@ class ResultCache:
 
     The underlying :class:`~repro.caching.LRUCache` supplies the bounded
     storage and hit/miss/eviction counters; this wrapper adds the lock
-    (results are looked up from every client thread) and the composite
-    ``(fingerprint, model_version)`` key.
+    (results are looked up from every client thread), the composite
+    ``(fingerprint, model_version)`` key, and the exact-text admission
+    memo whose entries are evicted together with their fingerprint's
+    last result entry.
     """
 
-    def __init__(self, capacity: int = 1024):
+    def __init__(self, capacity: int = 1024, memo_capacity: Optional[int] = None):
         self._lock = threading.Lock()
-        self._cache = LRUCache(capacity)
+        self._cache = LRUCache(capacity, on_evict=self._entry_evicted)
+        #: Bound on text keys memoized ahead of (or outliving) results.
+        self._memo_capacity = 4 * capacity if memo_capacity is None else memo_capacity
+        if self._memo_capacity <= 0:
+            raise ValueError("memo_capacity must be positive")
+        self._text_memo: "OrderedDict[str, str]" = OrderedDict()
+        self._fp_texts: Dict[str, Set[str]] = {}
+        #: Live ``(fingerprint, version)`` entry count per fingerprint —
+        #: the memo for a fingerprint survives until this reaches zero.
+        self._fp_live: Dict[str, int] = {}
 
     def _key(self, fingerprint: str, model_version: str) -> Hashable:
         return (fingerprint, model_version)
 
+    # -- results ------------------------------------------------------------
     def get(self, fingerprint: str, model_version: str) -> Optional[Any]:
         with self._lock:
             return self._cache.get(self._key(fingerprint, model_version))
 
     def put(self, fingerprint: str, model_version: str, result: Any) -> None:
         with self._lock:
-            self._cache.put(self._key(fingerprint, model_version), result)
+            key = self._key(fingerprint, model_version)
+            if key not in self._cache:
+                self._fp_live[fingerprint] = self._fp_live.get(fingerprint, 0) + 1
+            self._cache.put(key, result)
 
+    def _entry_evicted(self, key: Hashable, value: Any) -> None:
+        # Runs under self._lock (callback fires inside self._cache.put).
+        fingerprint = key[0]
+        live = self._fp_live.get(fingerprint, 0) - 1
+        if live > 0:
+            self._fp_live[fingerprint] = live
+            return
+        self._fp_live.pop(fingerprint, None)
+        for text in self._fp_texts.pop(fingerprint, ()):
+            self._text_memo.pop(text, None)
+
+    # -- exact-text admission memo ------------------------------------------
+    def memo_text(self, key: str, fingerprint: str) -> None:
+        """Record that the exact text ``key`` parses to ``fingerprint``."""
+        with self._lock:
+            previous = self._text_memo.get(key)
+            if previous == fingerprint:
+                return
+            if previous is not None:
+                self._drop_text(key, previous)
+            self._text_memo[key] = fingerprint
+            self._fp_texts.setdefault(fingerprint, set()).add(key)
+            while len(self._text_memo) > self._memo_capacity:
+                old_key, old_fp = self._text_memo.popitem(last=False)
+                texts = self._fp_texts.get(old_fp)
+                if texts is not None:
+                    texts.discard(old_key)
+                    if not texts:
+                        del self._fp_texts[old_fp]
+
+    def _drop_text(self, key: str, fingerprint: str) -> None:
+        self._text_memo.pop(key, None)
+        texts = self._fp_texts.get(fingerprint)
+        if texts is not None:
+            texts.discard(key)
+            if not texts:
+                del self._fp_texts[fingerprint]
+
+    def lookup_text(self, key: str) -> Optional[str]:
+        """Fingerprint previously memoized for this exact text, if any."""
+        with self._lock:
+            return self._text_memo.get(key)
+
+    @property
+    def memo_size(self) -> int:
+        with self._lock:
+            return len(self._text_memo)
+
+    # -- bookkeeping ---------------------------------------------------------
     def clear(self) -> None:
         with self._lock:
+            # ``LRUCache.clear`` fires no eviction callbacks; everything
+            # goes at once here too.
             self._cache.clear()
+            self._text_memo.clear()
+            self._fp_texts.clear()
+            self._fp_live.clear()
 
     def __len__(self) -> int:
         with self._lock:

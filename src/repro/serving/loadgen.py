@@ -1,11 +1,21 @@
-"""Closed-loop load generator for :class:`OptimizationService`.
+"""Load generators for the serving stack: closed-loop and open-loop.
 
-``concurrency`` client threads pull requests from a shared pool and
-submit them back-to-back (each thread waits for its result before
-sending the next — closed-loop, so offered load adapts to service
-throughput). Per-request latencies are recorded from submit to result;
-the report carries throughput and p50/p95/p99 latency plus per-status
-counts, ready for ``benchmarks/results/perf_serving.json``.
+:func:`run_load` is the **closed-loop** harness: ``concurrency`` client
+threads submit back-to-back (each waits for its result before sending
+the next), so offered load adapts to service throughput. Good for
+measuring capacity; useless for studying overload, because a saturated
+service automatically throttles its own clients.
+
+:func:`run_open_loop` is the **open-loop** harness: arrivals follow a
+Poisson process at a fixed offered rate, *independent of completions* —
+exactly the regime where queues grow without bound unless admission
+control sheds. It models tenant mixes (weighted traffic shares with an
+optional per-tenant hint passed through to a gateway's rate limiter)
+and bursts (periodic windows where the arrival rate is multiplied), and
+reports goodput vs offered load, shed rate, per-tenant percentiles and
+the in-flight high-water mark. Per-request latencies are recorded from
+submit to result; reports serialize for
+``benchmarks/results/perf_serving.json`` / ``perf_gateway.json``.
 """
 
 from __future__ import annotations
@@ -155,3 +165,297 @@ def request_pool(
         name, ir_text = corpus[i % len(corpus)]
         pool.append(OptimizeRequest(ir_text=ir_text, name=name))
     return pool
+
+
+# ---------------------------------------------------------------------------
+# Open-loop harness
+# ---------------------------------------------------------------------------
+
+#: Statuses that count toward goodput. ``fallback`` still returns a valid
+#: (-Oz) optimization to the client, so it is useful work; ``rejected``
+#: (including gateway sheds, whose reason starts with ``shed:``) is not.
+GOOD_STATUSES = ("ok", "fallback")
+
+
+@dataclass
+class TenantMix:
+    """One tenant's slice of open-loop traffic.
+
+    ``weight`` is the tenant's share of arrivals (weights are normalized
+    across the mix); ``rate`` optionally overrides the gateway's default
+    per-tenant token-bucket rate for this tenant.
+    """
+
+    name: str
+    weight: float = 1.0
+    rate: Optional[float] = None
+
+
+@dataclass
+class OpenLoopReport:
+    """Aggregate outcome of one open-loop (fixed offered rate) run."""
+
+    offered: int
+    completed: int
+    wall_seconds: float
+    arrival_rate: float
+    latencies_s: List[float] = field(default_factory=list)
+    status_counts: Dict[str, int] = field(default_factory=dict)
+    shed: int = 0
+    cache_hits: int = 0
+    max_in_flight: int = 0
+    per_tenant: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def good(self) -> int:
+        return sum(self.status_counts.get(s, 0) for s in GOOD_STATUSES)
+
+    @property
+    def offered_rps(self) -> float:
+        return self.offered / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def goodput_rps(self) -> float:
+        return self.good / self.wall_seconds if self.wall_seconds else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.offered if self.offered else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """Percentile over *served* latencies (sheds resolve in
+        microseconds and would drag every quantile toward zero)."""
+        if not self.latencies_s:
+            return 0.0
+        return float(np.percentile(np.asarray(self.latencies_s), q))
+
+    @property
+    def p50_ms(self) -> float:
+        return 1e3 * self.latency_percentile(50)
+
+    @property
+    def p95_ms(self) -> float:
+        return 1e3 * self.latency_percentile(95)
+
+    @property
+    def p99_ms(self) -> float:
+        return 1e3 * self.latency_percentile(99)
+
+    def as_dict(self) -> Dict[str, object]:
+        lat = np.asarray(self.latencies_s) if self.latencies_s else np.zeros(1)
+        return {
+            "offered": self.offered,
+            "completed": self.completed,
+            "wall_seconds": round(self.wall_seconds, 4),
+            "arrival_rate_rps": round(self.arrival_rate, 2),
+            "offered_rps": round(self.offered_rps, 2),
+            "goodput_rps": round(self.goodput_rps, 2),
+            "shed": self.shed,
+            "shed_rate": round(self.shed_rate, 4),
+            "max_in_flight": self.max_in_flight,
+            "served_latency_ms": {
+                "mean": round(1e3 * float(lat.mean()), 3),
+                "p50": round(self.p50_ms, 3),
+                "p95": round(self.p95_ms, 3),
+                "p99": round(self.p99_ms, 3),
+                "max": round(1e3 * float(lat.max()), 3),
+            },
+            "status_counts": dict(self.status_counts),
+            "cache_hits": self.cache_hits,
+            "per_tenant": {k: dict(v) for k, v in self.per_tenant.items()},
+        }
+
+
+def _percentiles(values: List[float]) -> Dict[str, float]:
+    if not values:
+        return {"p50_ms": 0.0, "p99_ms": 0.0}
+    arr = np.asarray(values)
+    return {
+        "p50_ms": round(1e3 * float(np.percentile(arr, 50)), 3),
+        "p99_ms": round(1e3 * float(np.percentile(arr, 99)), 3),
+    }
+
+
+def run_open_loop(
+    target,
+    requests: Sequence[OptimizeRequest],
+    *,
+    arrival_rate: float,
+    total: Optional[int] = None,
+    duration_s: Optional[float] = None,
+    seed: int = 0,
+    burst_factor: float = 1.0,
+    burst_every_s: float = 0.0,
+    burst_duty: float = 0.5,
+    tenants: Optional[Sequence[TenantMix]] = None,
+    result_timeout_s: float = 120.0,
+) -> OpenLoopReport:
+    """Offer Poisson traffic at ``arrival_rate`` req/s, completions be damned.
+
+    ``target`` is anything with ``submit_request`` — an
+    :class:`OptimizationService` or a
+    :class:`~repro.serving.gateway.ShardedGateway` (whose
+    ``submit_request`` additionally accepts the tenant; detected by
+    signature so a plain service works unchanged). Arrivals come from a
+    single dispatcher thread with pre-drawn exponential gaps (seeded —
+    two runs offer the identical schedule); a dispatcher that falls
+    behind the schedule does not re-plan, it catches up, so the offered
+    rate is honoured on average even when ``submit`` itself is slow.
+
+    The run length is ``total`` arrivals or ``duration_s`` seconds of
+    schedule, whichever is given (``total`` wins if both). Bursts: when
+    ``burst_every_s > 0``, each window of that length spends
+    ``burst_duty`` of its start multiplying the rate by ``burst_factor``
+    — e.g. ``burst_every_s=2, burst_duty=0.25, burst_factor=8`` is a
+    0.5 s spike at 8x every 2 s.
+
+    Completions are recorded from done-callbacks; the report therefore
+    reflects end-to-end latency including any queueing, and ``shed``
+    counts results whose reason marks them as admission-control drops.
+    """
+    if arrival_rate <= 0:
+        raise ValueError("arrival_rate must be positive")
+    if not requests:
+        raise ValueError("request pool is empty")
+    if total is None and duration_s is None:
+        raise ValueError("give total arrivals or duration_s")
+
+    import inspect
+
+    takes_tenant = "tenant" in inspect.signature(
+        target.submit_request
+    ).parameters
+    mix = list(tenants) if tenants else [TenantMix("default")]
+    weights = np.asarray([max(0.0, t.weight) for t in mix], dtype=float)
+    if weights.sum() <= 0:
+        raise ValueError("tenant weights must sum to a positive value")
+    weights = weights / weights.sum()
+
+    rng = np.random.default_rng(seed)
+
+    def rate_at(t: float) -> float:
+        if burst_every_s > 0 and (t % burst_every_s) < burst_duty * burst_every_s:
+            return arrival_rate * burst_factor
+        return arrival_rate
+
+    # Pre-draw the schedule: (offset_s, request_index, tenant_index).
+    schedule: List[tuple] = []
+    t = 0.0
+    i = 0
+    while True:
+        if total is not None and len(schedule) >= total:
+            break
+        if total is None and t >= duration_s:
+            break
+        t += float(rng.exponential(1.0 / rate_at(t)))
+        if total is None and t >= duration_s:
+            break
+        tenant_idx = int(rng.choice(len(mix), p=weights))
+        schedule.append((t, i % len(requests), tenant_idx))
+        i += 1
+    if not schedule:
+        raise ValueError("schedule is empty; raise arrival_rate or duration_s")
+
+    lock = threading.Lock()
+    done = threading.Event()
+    state = {
+        "completed": 0,
+        "in_flight": 0,
+        "max_in_flight": 0,
+        "shed": 0,
+        "cache_hits": 0,
+    }
+    status_counts: Dict[str, int] = {}
+    served_latencies: List[float] = []
+    tenant_served: Dict[str, List[float]] = {t.name: [] for t in mix}
+    tenant_counts: Dict[str, Dict[str, int]] = {
+        t.name: {"offered": 0, "good": 0, "shed": 0} for t in mix
+    }
+    offered_total = len(schedule)
+
+    def completion(tenant: str, submitted: float):
+        def callback(future) -> None:
+            try:
+                result = future.result()
+            except Exception:  # noqa: BLE001 - count as rejected
+                result = None
+            latency = time.monotonic() - submitted
+            with lock:
+                state["in_flight"] -= 1
+                state["completed"] += 1
+                if result is None:
+                    status_counts["error"] = status_counts.get("error", 0) + 1
+                else:
+                    status = result.status
+                    status_counts[status] = status_counts.get(status, 0) + 1
+                    if result.cache_hit:
+                        state["cache_hits"] += 1
+                    is_shed = bool(
+                        result.reason and result.reason.startswith("shed")
+                    )
+                    if is_shed:
+                        state["shed"] += 1
+                        tenant_counts[tenant]["shed"] += 1
+                    elif status in GOOD_STATUSES:
+                        tenant_counts[tenant]["good"] += 1
+                        served_latencies.append(latency)
+                        tenant_served[tenant].append(latency)
+                if state["completed"] >= offered_total:
+                    done.set()
+
+        return callback
+
+    start = time.monotonic()
+    for offset, req_idx, tenant_idx in schedule:
+        now = time.monotonic() - start
+        if offset > now:
+            time.sleep(offset - now)
+        request = requests[req_idx]
+        tenant = mix[tenant_idx].name
+        submitted = time.monotonic()
+        with lock:
+            state["in_flight"] += 1
+            if state["in_flight"] > state["max_in_flight"]:
+                state["max_in_flight"] = state["in_flight"]
+            tenant_counts[tenant]["offered"] += 1
+        try:
+            if takes_tenant:
+                future = target.submit_request(request, tenant=tenant)
+            else:
+                future = target.submit_request(request)
+        except Exception:  # noqa: BLE001 - target refused outright
+            with lock:
+                state["in_flight"] -= 1
+                state["completed"] += 1
+                status_counts["error"] = status_counts.get("error", 0) + 1
+                if state["completed"] >= offered_total:
+                    done.set()
+            continue
+        future.add_done_callback(completion(tenant, submitted))
+    # Open loop ends when the last *arrival* is offered; wait for the
+    # stragglers so percentiles include requests completed after that.
+    done.wait(timeout=result_timeout_s)
+    wall = time.monotonic() - start
+
+    per_tenant: Dict[str, Dict[str, float]] = {}
+    for t_mix in mix:
+        name = t_mix.name
+        counts = tenant_counts[name]
+        stats: Dict[str, float] = dict(counts)
+        stats.update(_percentiles(tenant_served[name]))
+        if counts["offered"]:
+            stats["shed_rate"] = round(counts["shed"] / counts["offered"], 4)
+        per_tenant[name] = stats
+
+    return OpenLoopReport(
+        offered=offered_total,
+        completed=state["completed"],
+        wall_seconds=wall,
+        arrival_rate=arrival_rate,
+        latencies_s=served_latencies,
+        status_counts=status_counts,
+        shed=state["shed"],
+        cache_hits=state["cache_hits"],
+        max_in_flight=state["max_in_flight"],
+        per_tenant=per_tenant,
+    )

@@ -69,6 +69,10 @@ from .registry import ModelRegistry, RegisteredModel
 #: Cap on the verified-result fingerprint memo (entries are 32-char keys).
 _VERIFIED_MEMO_LIMIT = 65536
 
+#: Cap on the text-key admission memo when it cannot live in the result
+#: cache (rejections, and everything when ``result_cache_size=None``).
+_FP_MEMO_LIMIT = 65536
+
 #: Canonical order of the per-request latency stages (span children and
 #: ``repro_serving_stage_seconds`` labels).
 LATENCY_STAGES = ("queue", "forward", "passes", "measure", "verify")
@@ -171,6 +175,9 @@ class OptimizeResult:
     optimized_ir: Optional[str] = None
     cache_hit: bool = False
     latency_s: float = 0.0
+    #: Shard index that served this request (set by the sharded gateway;
+    #: ``None`` for the single-process service).
+    shard: Optional[int] = None
 
     @property
     def ok(self) -> bool:
@@ -209,6 +216,8 @@ class OptimizeResult:
             latency_s=round(self.latency_s, 6),
             size_reduction_pct=round(self.size_reduction_pct, 2),
         )
+        if self.shard is not None:
+            out["shard"] = self.shard
         return out
 
 
@@ -293,7 +302,11 @@ class OptimizationService:
         self._closed = False
 
         # Exact-text admission memo (client threads, under ``_memo_lock``):
-        # text key -> ("ok", fingerprint) | ("rejected", reason).
+        # text key -> ("ok", fingerprint) | ("rejected", reason). With a
+        # result cache configured, accepted texts are memoized *in the
+        # cache* instead (``ResultCache.memo_text``) so their lifetime is
+        # coupled to the results they point at; this dict then only holds
+        # rejections, bounded by ``_FP_MEMO_LIMIT``.
         self._memo_lock = threading.Lock()
         self._fp_memo: Dict[str, Tuple[str, str]] = {}
         self._modules: Dict[str, Module] = {}
@@ -388,6 +401,18 @@ class OptimizationService:
 
     def stop(self, timeout: float = 30.0) -> None:
         """Stop accepting requests, drain in-flight work, join the thread."""
+        self.drain(timeout)
+
+    def drain(self, timeout: float = 30.0) -> Dict[str, Any]:
+        """Graceful shutdown: stop accepting, flush in-flight batches.
+
+        New :meth:`submit` calls raise immediately; every request already
+        queued or mid-rollout is driven to completion (its future
+        resolves with a real result — nothing is dropped), and the final
+        counter totals are returned so a supervisor (e.g. the sharded
+        gateway's worker shutdown) can fold them into an aggregate view.
+        Idempotent: a second call returns the same totals.
+        """
         with self._wake:
             self._closed = True
             self._running = False
@@ -395,6 +420,11 @@ class OptimizationService:
             thread = self._thread
         if thread is not None:
             thread.join(timeout)
+        with self._memo_lock:
+            return {
+                "counters": dict(self.counters),
+                "errors": dict(self.error_counts),
+            }
 
     def __enter__(self) -> "OptimizationService":
         return self.start()
@@ -416,6 +446,11 @@ class OptimizationService:
         between submission and execution does not change this request's
         policy.
         """
+        if self._closed:
+            # Checked again under the lock before enqueueing; this early
+            # copy also stops the cache-hit fast path from answering
+            # after a drain ("stops accepting" means cached results too).
+            raise RuntimeError("service has been stopped")
         future: "Future[OptimizeResult]" = Future()
         arrival = time.monotonic()
         self._count("requests")
@@ -423,6 +458,10 @@ class OptimizationService:
         key = text_key(ir_text)
         with self._memo_lock:
             memo = self._fp_memo.get(key)
+        if memo is None and self.result_cache is not None:
+            fingerprint = self.result_cache.lookup_text(key)
+            if fingerprint is not None:
+                memo = ("ok", fingerprint)
         if memo is None:
             memo = self._admission_check(key, ir_text)
         kind, payload = memo
@@ -510,7 +549,14 @@ class OptimizationService:
                 memo = ("ok", fingerprint)
                 with self._memo_lock:
                     self._modules.setdefault(fingerprint, module)
+                if self.result_cache is not None:
+                    # Memoize in the cache so the entry's lifetime is
+                    # coupled to the results it points at.
+                    self.result_cache.memo_text(key, fingerprint)
+                    return memo
         with self._memo_lock:
+            if len(self._fp_memo) >= _FP_MEMO_LIMIT:
+                self._fp_memo.clear()
             self._fp_memo[key] = memo
         return memo
 

@@ -1,10 +1,19 @@
-"""Load harness for the batched optimization service.
+"""Load harness for the batched optimization service and sharded gateway.
 
 Builds an :class:`~repro.serving.OptimizationService` (from a checkpoint
-or a freshly-seeded policy), drives it with closed-loop clients over a
-benchmark suite, and reports throughput, p50/p95/p99 latency and the
-service's guard/cache counters. ``--compare-serial`` also times the
-serial per-request ``PosetRL.predict`` path and prints the speedup.
+or a freshly-seeded policy) — or, with ``--shards N``, a
+:class:`~repro.serving.ShardedGateway` over N worker subprocesses —
+drives it with closed-loop clients over a benchmark suite, and reports
+throughput, p50/p95/p99 latency and the service's guard/cache counters.
+``--compare-serial`` also times the serial per-request
+``PosetRL.predict`` path and prints the speedup.
+
+``--arrival-rate R`` switches to the **open-loop** harness: Poisson
+arrivals offered at R req/s regardless of completions, with optional
+bursts (``--burst-factor/--burst-every/--burst-duty``) and a tenant mix
+(``--tenants``, rate-limited per tenant via ``--tenant-rate``). This is
+the overload mode: expect nonzero shed and bounded p99 rather than
+lossless service.
 
 Examples::
 
@@ -15,6 +24,10 @@ Examples::
         --no-result-cache --json results.json
     python -m repro.tools.serve --suite mibench --requests 12 \\
         --fail-on-fallback     # CI smoke mode
+    python -m repro.tools.serve --suite mibench --shards 4 --requests 128
+    python -m repro.tools.serve --suite mibench --shards 2 \\
+        --arrival-rate 40 --duration 10 --burst-factor 4 --burst-every 2 \\
+        --tenants 3 --tenant-rate 10 --max-pending 32
 """
 
 from __future__ import annotations
@@ -29,7 +42,14 @@ from ..codegen.target import TARGETS
 from ..core.agent_api import PosetRL
 from ..ir.printer import print_module
 from ..observability import enable as enable_observability, export_snapshot
-from ..serving import OptimizationService, request_pool, run_load
+from ..serving import (
+    OptimizationService,
+    ShardedGateway,
+    TenantMix,
+    request_pool,
+    run_load,
+    run_open_loop,
+)
 from ..workloads.suites import load_suite
 
 
@@ -71,15 +91,59 @@ def build_argparser() -> argparse.ArgumentParser:
                         "and print the speedup")
     parser.add_argument("--fail-on-fallback", action="store_true",
                         help="exit non-zero if any request fell back to -Oz "
-                        "or was rejected (CI smoke gate)")
+                        "or was rejected (CI smoke gate); gateway sheds "
+                        "under an open-loop overload do not count")
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--json", dest="json_path",
                         help="also write the report as JSON to this path")
     parser.add_argument("--metrics-out", metavar="PATH",
                         help="enable observability and write a metrics/trace "
                         "snapshot to this JSON file (render it with "
-                        "python -m repro.tools.stats)")
+                        "python -m repro.tools.stats); with --shards, each "
+                        "worker writes PATH with a -shardN stem suffix too")
+
+    gateway = parser.add_argument_group("sharded gateway")
+    gateway.add_argument("--shards", type=int, default=0,
+                         help="serve through a ShardedGateway with this many "
+                         "worker subprocesses (default 0: single in-process "
+                         "service)")
+    gateway.add_argument("--max-pending", type=int, default=64,
+                         help="gateway admission window: in-flight requests "
+                         "beyond this are shed (default 64)")
+    gateway.add_argument("--tenant-rate", type=float, default=None,
+                         help="token-bucket rate limit per tenant, req/s "
+                         "(default: unlimited)")
+    gateway.add_argument("--tenant-burst", type=float, default=None,
+                         help="token-bucket burst capacity per tenant "
+                         "(default: max(1, rate))")
+
+    openloop = parser.add_argument_group("open-loop traffic")
+    openloop.add_argument("--arrival-rate", type=float, default=None,
+                          help="offer Poisson traffic at this rate (req/s) "
+                          "instead of closed-loop clients")
+    openloop.add_argument("--duration", type=float, default=None,
+                          help="open-loop run length in seconds (default: "
+                          "--requests arrivals)")
+    openloop.add_argument("--burst-factor", type=float, default=1.0,
+                          help="multiply the arrival rate by this during "
+                          "bursts (default 1: no bursts)")
+    openloop.add_argument("--burst-every", type=float, default=0.0,
+                          help="burst window period in seconds (default 0: "
+                          "no bursts)")
+    openloop.add_argument("--burst-duty", type=float, default=0.5,
+                          help="fraction of each window spent bursting "
+                          "(default 0.5)")
+    openloop.add_argument("--tenants", type=int, default=1,
+                          help="number of equal-weight tenants in the "
+                          "open-loop mix (default 1)")
     return parser
+
+
+def _shard_metrics_template(path: str) -> str:
+    stem, dot, ext = path.rpartition(".")
+    if not dot:
+        return path + "-shard{shard}"
+    return f"{stem}-shard{{shard}}.{ext}"
 
 
 def run(argv: Optional[List[str]] = None) -> int:
@@ -97,65 +161,142 @@ def run(argv: Optional[List[str]] = None) -> int:
         return 1
     corpus = [(name, print_module(module)) for name, module in suite]
 
+    service_kwargs = dict(
+        max_batch=args.max_batch,
+        batch_window_s=args.window_ms / 1e3,
+        request_timeout_s=args.timeout_s,
+        result_cache_size=None if args.no_result_cache else 1024,
+        include_ir=False,
+        semantic_check=args.semantic_check,
+    )
+
     agent: Optional[PosetRL] = None
-    if args.checkpoint:
-        service = OptimizationService.from_checkpoint(
+    if args.shards > 0:
+        gateway_kwargs = dict(
+            max_pending=args.max_pending,
+            tenant_rate=args.tenant_rate,
+            tenant_burst=args.tenant_burst,
+            shard_metrics_template=(
+                _shard_metrics_template(args.metrics_out)
+                if args.metrics_out else None
+            ),
+            **service_kwargs,
+        )
+        if args.checkpoint:
+            target = ShardedGateway.from_checkpoint(
+                args.checkpoint, args.shards,
+                action_space=args.action_space,
+                target=args.target,
+                **gateway_kwargs,
+            )
+        else:
+            agent = PosetRL(
+                action_space=args.action_space or "odg",
+                target=args.target, seed=args.seed,
+            )
+            target = ShardedGateway.from_agent(
+                agent, args.shards, **gateway_kwargs
+            )
+        model_desc = (f"{target.model_version} "
+                      f"({target.spec.action_space}) x{args.shards} shards")
+        model_info = {
+            "version": target.model_version,
+            "action_space": target.spec.action_space,
+            "shards": args.shards,
+        }
+    elif args.checkpoint:
+        target = OptimizationService.from_checkpoint(
             args.checkpoint,
             action_space=args.action_space,
             target=args.target,
-            max_batch=args.max_batch,
-            batch_window_s=args.window_ms / 1e3,
-            request_timeout_s=args.timeout_s,
-            result_cache_size=None if args.no_result_cache else 1024,
-            include_ir=False,
-            semantic_check=args.semantic_check,
+            **service_kwargs,
         )
     else:
         agent = PosetRL(
             action_space=args.action_space or "odg",
             target=args.target, seed=args.seed,
         )
-        service = OptimizationService.from_agent(
-            agent,
-            max_batch=args.max_batch,
-            batch_window_s=args.window_ms / 1e3,
-            request_timeout_s=args.timeout_s,
-            result_cache_size=None if args.no_result_cache else 1024,
-            include_ir=False,
-            semantic_check=args.semantic_check,
-        )
+        target = OptimizationService.from_agent(agent, **service_kwargs)
+
+    if args.shards <= 0:
+        model = target.registry.active
+        model_desc = f"{model.version} ({model.action_space_kind})"
+        model_info = model.describe()
 
     requests = request_pool(corpus, args.requests)
-    with service:
+    open_loop = args.arrival_rate is not None
+    with target:
         if not args.no_warmup:
             run_load(
-                service,
+                target,
                 request_pool(corpus, len(corpus)),
                 concurrency=args.concurrency,
             )
-        report = run_load(service, requests, concurrency=args.concurrency)
-        stats = service.stats()
+        if open_loop:
+            tenants = [
+                TenantMix(f"tenant{i}") for i in range(max(1, args.tenants))
+            ]
+            report = run_open_loop(
+                target,
+                requests,
+                arrival_rate=args.arrival_rate,
+                total=None if args.duration else args.requests,
+                duration_s=args.duration,
+                seed=args.seed,
+                burst_factor=args.burst_factor,
+                burst_every_s=args.burst_every,
+                burst_duty=args.burst_duty,
+                tenants=tenants,
+                result_timeout_s=args.timeout_s + 60.0,
+            )
+        else:
+            report = run_load(target, requests, concurrency=args.concurrency)
+        stats = target.stats()
 
-    model = service.registry.active
     print(f"serving load report: suite={args.suite} "
-          f"model={model.version} ({model.action_space_kind}) "
-          f"target={args.target}")
-    print(f"  requests={report.requests} concurrency={report.concurrency} "
-          f"max_batch={args.max_batch} window={args.window_ms:.1f}ms")
-    print(f"  wall={report.wall_seconds:.3f}s "
-          f"throughput={report.throughput_rps:.1f} req/s")
-    print(f"  latency p50={report.p50_ms:.2f}ms p95={report.p95_ms:.2f}ms "
-          f"p99={report.p99_ms:.2f}ms")
+          f"model={model_desc} target={args.target}")
+    if open_loop:
+        print(f"  open-loop: offered={report.offered} "
+              f"({report.offered_rps:.1f} req/s offered, "
+              f"rate={args.arrival_rate:.1f}) wall={report.wall_seconds:.3f}s")
+        print(f"  goodput={report.goodput_rps:.1f} req/s "
+              f"shed={report.shed} ({100 * report.shed_rate:.1f}%) "
+              f"max_in_flight={report.max_in_flight}")
+        print(f"  served latency p50={report.p50_ms:.2f}ms "
+              f"p95={report.p95_ms:.2f}ms p99={report.p99_ms:.2f}ms")
+        if len(report.per_tenant) > 1:
+            for tenant, tstats in sorted(report.per_tenant.items()):
+                print(f"    {tenant}: {tstats}")
+    else:
+        print(f"  requests={report.requests} "
+              f"concurrency={report.concurrency} "
+              f"max_batch={args.max_batch} window={args.window_ms:.1f}ms")
+        print(f"  wall={report.wall_seconds:.3f}s "
+              f"throughput={report.throughput_rps:.1f} req/s")
+        print(f"  latency p50={report.p50_ms:.2f}ms p95={report.p95_ms:.2f}ms "
+              f"p99={report.p99_ms:.2f}ms")
     print(f"  statuses={report.status_counts} cache_hits={report.cache_hits}")
-    if stats["errors"]:
-        print(f"  guard counters: {stats['errors']}")
+
+    if args.shards > 0:
+        gw_stats = stats.as_dict()
+        print(f"  gateway counters: {gw_stats['counters']}")
+        if gw_stats["shed_reasons"]:
+            print(f"  shed reasons: {gw_stats['shed_reasons']}")
+        payload_stats = gw_stats
+        guard_errors = {}
+    else:
+        if stats["errors"]:
+            print(f"  guard counters: {stats['errors']}")
+        payload_stats = stats
+        guard_errors = stats["errors"]
 
     payload = {
         "suite": args.suite,
         "target": args.target,
-        "model": model.describe(),
+        "model": model_info,
+        "shards": args.shards,
         "load": report.as_dict(),
-        "service_stats": stats,
+        "service_stats": payload_stats,
     }
 
     if args.compare_serial:
@@ -172,9 +313,10 @@ def run(argv: Optional[List[str]] = None) -> int:
             serial_agent.predict(module)
         serial_wall = time.perf_counter() - start
         serial_rps = len(modules) / serial_wall if serial_wall else 0.0
-        speedup = (
-            report.throughput_rps / serial_rps if serial_rps else float("inf")
+        measured_rps = (
+            report.goodput_rps if open_loop else report.throughput_rps
         )
+        speedup = measured_rps / serial_rps if serial_rps else float("inf")
         print(f"  serial predict: {serial_wall:.3f}s "
               f"({serial_rps:.1f} req/s) -> batched speedup {speedup:.2f}x")
         payload["serial"] = {
@@ -190,13 +332,26 @@ def run(argv: Optional[List[str]] = None) -> int:
     if args.metrics_out:
         export_snapshot(args.metrics_out)
         print(f"  metrics snapshot -> {args.metrics_out}")
+        if args.shards > 0:
+            template = _shard_metrics_template(args.metrics_out)
+            shard_paths = " ".join(
+                template.format(shard=i) for i in range(args.shards)
+            )
+            print(f"  per-shard snapshots -> {shard_paths}")
+            print(f"  merge: python -m repro.tools.stats "
+                  f"{args.metrics_out} {shard_paths}")
 
     if args.fail_on_fallback:
         bad = report.status_counts.get("fallback", 0)
-        bad += report.status_counts.get("rejected", 0)
+        rejected = report.status_counts.get("rejected", 0)
+        if open_loop:
+            # Sheds are the admission control working as designed under
+            # offered overload; only hard rejections count against CI.
+            rejected = max(0, rejected - getattr(report, "shed", 0))
+        bad += rejected
         if bad:
             print(f"FAIL: {bad} request(s) fell back or were rejected "
-                  f"(guard counters: {stats['errors']})", file=sys.stderr)
+                  f"(guard counters: {guard_errors})", file=sys.stderr)
             return 1
         print("  no fallbacks, no rejections")
     return 0

@@ -11,12 +11,19 @@ seconds until interrupted (the producer rewrites the snapshot in place).
 ``--prom`` emits the Prometheus exposition text instead — pipe it to a
 file and point a ``textfile`` collector or a scrape-time converter at it.
 
+Multiple snapshots merge into one aggregated view before rendering —
+counters and histogram buckets sum across inputs, matched on family
+name + labels. That is how per-shard gateway worker snapshots
+(``repro.tools.serve --shards N --metrics-out ...`` writes one file per
+worker) become fleet totals.
+
 Examples::
 
     python -m repro.tools.stats metrics.json
     python -m repro.tools.stats metrics.json --traces 5
     python -m repro.tools.stats metrics.json --follow --interval 2
     python -m repro.tools.stats metrics.json --prom > metrics.prom
+    python -m repro.tools.stats metrics-shard*.json --prom
 """
 
 from __future__ import annotations
@@ -27,7 +34,7 @@ import sys
 import time
 from typing import Dict, List, Optional
 
-from ..observability import prometheus_text
+from ..observability import merge_snapshots, prometheus_text
 
 
 def _format_labels(labels: Dict[str, str]) -> str:
@@ -158,8 +165,10 @@ def build_argparser() -> argparse.ArgumentParser:
         prog="repro-stats", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    parser.add_argument("snapshot", help="metrics JSON file written by "
-                        "--metrics-out (or - for stdin)")
+    parser.add_argument("snapshot", nargs="+",
+                        help="metrics JSON file(s) written by --metrics-out "
+                        "(or - for stdin); several files are merged into "
+                        "one aggregated view")
     parser.add_argument("--traces", type=int, default=3,
                         help="how many recent traces to render (default 3; "
                         "0 hides them)")
@@ -183,15 +192,19 @@ def _load(path: str) -> dict:
 
 def run(argv: Optional[List[str]] = None) -> int:
     args = build_argparser().parse_args(argv)
-    if args.follow and args.snapshot == "-":
+    if args.follow and "-" in args.snapshot:
         print("--follow cannot tail stdin", file=sys.stderr)
+        return 2
+    if args.snapshot.count("-") > 1:
+        print("stdin (-) can be given at most once", file=sys.stderr)
         return 2
 
     while True:
         try:
-            snap = _load(args.snapshot)
-        except FileNotFoundError:
-            print(f"no such snapshot: {args.snapshot}", file=sys.stderr)
+            snaps = [_load(path) for path in args.snapshot]
+            snap = merge_snapshots(snaps)
+        except FileNotFoundError as exc:
+            print(f"no such snapshot: {exc.filename}", file=sys.stderr)
             return 1
         except json.JSONDecodeError as exc:
             # A producer may be mid-rewrite in --follow mode; report and
