@@ -1,0 +1,151 @@
+"""Closed-loop learning pipeline: journal throughput and tap overhead.
+
+Two gates, emitted into ``benchmarks/results/perf_learning.json``:
+
+* **journal throughput** — synthetic trajectories through
+  ``ExperienceJournal`` (write + atomic segment flush) and back through
+  ``OnlineTrainer.ingest`` (read + replay-ring fill). Both sides must
+  sustain well beyond serving's trajectory production rate — the
+  journal must never be the reason the tap drops experience.
+* **tap overhead** — the same closed-loop serving load with and without
+  an experience tap attached. The tap sits on the scheduler's finalize
+  path, so it must be a rounding error next to the rollout itself; the
+  gate only guards against a pathological slowdown.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import PosetRL
+from repro.ir.printer import print_module
+from repro.learning import ExperienceJournal, ExperienceTap, OnlineTrainer
+from repro.serving import OptimizationService, request_pool, run_load
+from repro.workloads import ProgramProfile, generate_program
+
+from conftest import format_table, print_artifact, save_results
+
+STATE_DIM = 300
+EPISODE_LENGTH = 6
+
+# Floors are deliberately loose: they catch an accidental O(n^2) or a
+# sync-on-every-append regression, not machine-to-machine variance.
+MIN_JOURNAL_WRITE_TPS = 5_000.0
+MIN_JOURNAL_INGEST_TPS = 5_000.0
+MAX_TAP_SLOWDOWN = 2.0  # tapped serving may not run 2x slower
+
+
+def _synthetic_trajectories(count: int, steps: int = 15, seed: int = 0):
+    rng = np.random.RandomState(seed)
+    out = []
+    for _ in range(count):
+        states = rng.standard_normal(
+            (steps + 1, STATE_DIM)
+        ).astype(np.float32)
+        actions = rng.randint(0, 34, size=steps)
+        rewards = rng.standard_normal(steps)
+        out.append((list(states), list(actions), list(rewards)))
+    return out
+
+
+def test_journal_write_and_ingest_throughput(tmp_path):
+    trajectories = _synthetic_trajectories(200)
+    transitions = sum(len(t[1]) for t in trajectories)
+    journal_dir = str(tmp_path / "journal")
+    tap = ExperienceTap(ExperienceJournal(journal_dir, segment_size=256))
+
+    start = time.perf_counter()
+    for states, actions, rewards in trajectories:
+        assert tap.record(states, actions, rewards)
+    tap.flush()
+    write_s = time.perf_counter() - start
+    write_tps = transitions / write_s
+
+    base = str(tmp_path / "base.npz")
+    PosetRL(seed=0, episode_length=EPISODE_LENGTH).save(base)
+    trainer = OnlineTrainer(base, [journal_dir], replay_capacity=8192)
+    start = time.perf_counter()
+    ingested = trainer.ingest()
+    ingest_s = time.perf_counter() - start
+    assert ingested == transitions
+    ingest_tps = ingested / ingest_s
+
+    payload = {
+        "transitions": transitions,
+        "segments": len(tap.journal.segments()),
+        "write_seconds": round(write_s, 4),
+        "write_transitions_per_s": round(write_tps, 1),
+        "ingest_seconds": round(ingest_s, 4),
+        "ingest_transitions_per_s": round(ingest_tps, 1),
+    }
+    save_results("perf_learning_journal", payload)
+    print_artifact(
+        "Experience journal throughput",
+        format_table(
+            ["side", "transitions/s"],
+            [["write+flush", f"{write_tps:,.0f}"],
+             ["read+ingest", f"{ingest_tps:,.0f}"]],
+        ),
+    )
+    assert write_tps >= MIN_JOURNAL_WRITE_TPS
+    assert ingest_tps >= MIN_JOURNAL_INGEST_TPS
+
+
+def test_tap_overhead_on_serving(tmp_path):
+    corpus = [
+        (
+            f"tapbench{i}",
+            print_module(
+                generate_program(
+                    ProgramProfile(name=f"tapbench{i}", seed=40 + i,
+                                   segments=2)
+                )
+            ),
+        )
+        for i in range(4)
+    ]
+    agent = PosetRL(seed=0, episode_length=EPISODE_LENGTH)
+
+    def run_once(experience_tap):
+        service = OptimizationService.from_agent(
+            agent,
+            experience_tap=experience_tap,
+            result_cache_size=None,
+            include_ir=False,
+            batch_window_s=0.001,
+        )
+        with service:
+            # Warm the metrics caches so both runs measure steady state.
+            run_load(service, request_pool(corpus, len(corpus)),
+                     concurrency=2)
+            report = run_load(service, request_pool(corpus, 16),
+                              concurrency=2)
+        assert report.status_counts == {"ok": 16 + 0}
+        return report.wall_seconds
+
+    plain_s = run_once(None)
+    tap = ExperienceTap(
+        ExperienceJournal(str(tmp_path / "journal"), segment_size=64)
+    )
+    tapped_s = run_once(tap)
+    assert tap.counters["trajectories"] == 16 + 4  # warmup logs too
+    slowdown = tapped_s / plain_s if plain_s else 1.0
+
+    payload = {
+        "plain_seconds": round(plain_s, 4),
+        "tapped_seconds": round(tapped_s, 4),
+        "slowdown": round(slowdown, 3),
+    }
+    save_results("perf_learning_tap", payload)
+    print_artifact(
+        "Experience tap overhead",
+        format_table(
+            ["mode", "wall s"],
+            [["no tap", f"{plain_s:.3f}"],
+             ["tapped", f"{tapped_s:.3f}"],
+             ["slowdown", f"{slowdown:.2f}x"]],
+        ),
+    )
+    assert slowdown <= MAX_TAP_SLOWDOWN

@@ -1,0 +1,44 @@
+"""Closed-loop continuous learning from live serving traffic.
+
+The loop (see docs/LEARNING.md):
+
+1. Serving taps completed rollouts into a bounded on-disk
+   :class:`ExperienceJournal` (:class:`ExperienceTap`).
+2. A background :class:`OnlineTrainer` fine-tunes from a pinned base
+   checkpoint on the journaled experience and emits candidates.
+3. An :class:`EvaluationGate` accepts a candidate only if it is no
+   worse than the incumbent on a fixed holdout suite *and* passes a
+   differential fuzz canary with zero miscompiles.
+4. The :class:`LearningController` hot-swaps winners into serving and
+   automatically rolls back when the post-promotion guard-trip rate
+   breaches its threshold.
+"""
+
+from .controller import (
+    CycleReport,
+    LearningController,
+    registry_health_sampler,
+)
+from .gate import (
+    EvaluationGate,
+    GateVerdict,
+    HoldoutScore,
+    constant_action_network,
+)
+from .journal import ExperienceJournal, JournalReader
+from .tap import ExperienceTap
+from .trainer import OnlineTrainer
+
+__all__ = [
+    "CycleReport",
+    "EvaluationGate",
+    "ExperienceJournal",
+    "ExperienceTap",
+    "GateVerdict",
+    "HoldoutScore",
+    "JournalReader",
+    "LearningController",
+    "OnlineTrainer",
+    "constant_action_network",
+    "registry_health_sampler",
+]

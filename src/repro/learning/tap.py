@@ -1,0 +1,81 @@
+"""Experience tap: serving-side trajectory capture.
+
+The scheduler hands a completed rollout to the tap as the raw pieces it
+already has in hand — the visited state embeddings (``T + 1`` rows
+including the terminal state), the chosen action indices and the
+per-step rewards. The tap derives ``next_states`` / ``dones`` and
+appends the trajectory to an :class:`~repro.learning.journal.ExperienceJournal`.
+
+The tap sits on the serving hot path, so it must never raise into the
+scheduler: :meth:`record` swallows and counts failures instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from ..observability import get_registry
+from .journal import ExperienceJournal
+
+
+class ExperienceTap:
+    """Logs completed serving rollouts into an experience journal."""
+
+    def __init__(self, journal: ExperienceJournal):
+        self.journal = journal
+        self.counters: Dict[str, int] = {
+            "trajectories": 0,
+            "transitions": 0,
+            "errors": 0,
+        }
+
+    def record(
+        self,
+        states: Sequence[np.ndarray],
+        actions: Sequence[int],
+        rewards: Sequence[float],
+    ) -> bool:
+        """Log one trajectory; ``states`` holds ``len(actions) + 1`` rows.
+
+        Returns whether the trajectory was accepted. Never raises.
+        """
+        try:
+            n = len(actions)
+            if n == 0 or len(states) != n + 1 or len(rewards) != n:
+                raise ValueError("malformed trajectory")
+            stacked = np.asarray(states, dtype=np.float32)
+            dones = np.zeros(n, dtype=bool)
+            dones[-1] = True
+            self.journal.append(
+                stacked[:-1],
+                np.asarray(actions, dtype=np.int64),
+                np.asarray(rewards, dtype=np.float64),
+                stacked[1:],
+                dones,
+            )
+        except Exception:
+            self.counters["errors"] += 1
+            return False
+        self.counters["trajectories"] += 1
+        self.counters["transitions"] += n
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "repro_learning_trajectories_total",
+                "serving trajectories logged to the experience journal",
+            ).inc()
+            registry.counter(
+                "repro_learning_transitions_total",
+                "transitions logged to the experience journal",
+            ).inc(n)
+        return True
+
+    def flush(self) -> Optional[str]:
+        """Flush buffered trajectories to disk (e.g. on drain)."""
+        try:
+            return self.journal.flush()
+        except Exception:
+            self.counters["errors"] += 1
+            return None

@@ -1,0 +1,175 @@
+"""Background online trainer.
+
+Fine-tunes from a pinned base checkpoint on journaled traffic
+experience. The trainer owns a :class:`~repro.rl.dqn.DoubleDQNAgent`
+whose online *and* target networks start as copies of the base network
+— fine-tuning always departs from the same anchor, never from an
+unvetted previous candidate, so a bad candidate can't poison the next
+one. Each cycle ingests new journal segments into the agent's
+array-backed replay ring, runs a bounded number of gradient updates,
+and emits a frozen candidate :class:`~repro.rl.network.QNetwork` for
+the :class:`~repro.learning.gate.EvaluationGate` to judge.
+
+The replay ring itself snapshots to disk (:meth:`OnlineTrainer.
+snapshot_replay`) so a restarted trainer resumes with the same buffer
+and the same RNG stream.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional
+
+from ..observability import get_registry
+from ..rl.dqn import AgentConfig, DoubleDQNAgent
+from ..rl.network import QNetwork
+from ..rl.replay import ReplayMemory
+from .journal import JournalReader
+
+
+class OnlineTrainer:
+    """Fine-tunes a pinned base checkpoint on journaled experience."""
+
+    def __init__(
+        self,
+        base_checkpoint: str,
+        journal_dirs: Iterable[str],
+        *,
+        replay_capacity: int = 10_000,
+        batch_size: int = 32,
+        steps_per_cycle: int = 64,
+        min_buffer: int = 64,
+        learning_rate: Optional[float] = None,
+        seed: int = 0,
+    ):
+        self.base_checkpoint = base_checkpoint
+        self.base_network = QNetwork.load(base_checkpoint)
+        self.base_metadata = QNetwork.load_metadata(base_checkpoint)
+        self.steps_per_cycle = steps_per_cycle
+        config = AgentConfig(
+            state_dim=self.base_network.state_dim,
+            num_actions=self.base_network.num_actions,
+            hidden=self.base_network.hidden,
+            learning_rate=(
+                self.base_network.learning_rate
+                if learning_rate is None
+                else learning_rate
+            ),
+            batch_size=batch_size,
+            replay_capacity=replay_capacity,
+            min_replay=min_buffer,
+            seed=seed,
+        )
+        self.agent = DoubleDQNAgent(config)
+        # Pinned base: both networks depart from the checkpoint weights.
+        self.agent.online.copy_from(self.base_network)
+        self.agent.target.copy_from(self.base_network)
+        self.reader = JournalReader(journal_dirs)
+        self.fine_tune_steps = 0
+        self.candidates_emitted = 0
+        self.counters: Dict[str, int] = {
+            "ingested_transitions": 0,
+            "ingest_calls": 0,
+            "train_updates": 0,
+        }
+
+    @property
+    def memory(self) -> ReplayMemory:
+        return self.agent.memory
+
+    # -- experience ingest ---------------------------------------------------
+    def ingest(self) -> int:
+        """Pull new journal segments into the replay ring; returns rows added.
+
+        Rewards are scaled exactly as online :meth:`DQNAgent.remember`
+        scales them, but no training cadence runs here — the trainer
+        drives updates explicitly in :meth:`train`.
+        """
+        added = 0
+        for states, actions, rewards, next_states, dones in self.reader.read_new():
+            self.memory.push_batch(
+                states,
+                actions,
+                rewards * self.agent.config.reward_scale,
+                next_states,
+                dones,
+            )
+            added += len(actions)
+        self.counters["ingest_calls"] += 1
+        self.counters["ingested_transitions"] += added
+        registry = get_registry()
+        if registry.enabled and added:
+            registry.counter(
+                "repro_learning_ingested_transitions_total",
+                "journal transitions ingested into the trainer replay ring",
+            ).inc(added)
+        if registry.enabled:
+            registry.gauge(
+                "repro_learning_replay_size",
+                "transitions in the online trainer replay ring",
+            ).set(len(self.memory))
+        return added
+
+    # -- training ------------------------------------------------------------
+    def train(self, updates: Optional[int] = None) -> List[float]:
+        """Run one fine-tune cycle; returns the losses of the updates run."""
+        losses = self.agent.train_from_replay(
+            self.steps_per_cycle if updates is None else updates
+        )
+        self.fine_tune_steps += len(losses)
+        self.counters["train_updates"] += len(losses)
+        registry = get_registry()
+        if registry.enabled and losses:
+            registry.counter(
+                "repro_learning_train_steps_total",
+                "online fine-tune gradient updates",
+            ).inc(len(losses))
+        return losses
+
+    # -- candidates ----------------------------------------------------------
+    def make_candidate(
+        self, metadata: Optional[Dict[str, Any]] = None
+    ) -> QNetwork:
+        """Freeze the current online weights as a candidate network."""
+        net = self.agent.online
+        candidate = QNetwork(
+            net.state_dim,
+            net.num_actions,
+            net.hidden,
+            net.learning_rate,
+        )
+        candidate.copy_from(net)
+        self.candidates_emitted += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(
+                "repro_learning_candidates_total",
+                "candidate networks emitted by the online trainer",
+            ).inc()
+        return candidate
+
+    def candidate_metadata(self) -> Dict[str, Any]:
+        meta = dict(self.base_metadata)
+        meta.update(
+            base_checkpoint=self.base_checkpoint,
+            fine_tune_steps=self.fine_tune_steps,
+            ingested_transitions=self.counters["ingested_transitions"],
+            trained_online=True,
+        )
+        return meta
+
+    # -- restart survival ----------------------------------------------------
+    def snapshot_replay(self, path: str) -> None:
+        self.memory.save(path)
+
+    def restore_replay(self, path: str) -> None:
+        """Replace the agent's replay ring with a saved snapshot."""
+        restored = ReplayMemory.load(path)
+        if (
+            restored.state_dim is not None
+            and restored.state_dim != self.base_network.state_dim
+        ):
+            raise ValueError(
+                f"replay snapshot state_dim {restored.state_dim} does not "
+                f"match base network state_dim {self.base_network.state_dim}"
+            )
+        self.agent.memory = restored

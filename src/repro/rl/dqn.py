@@ -9,7 +9,7 @@ ablation benchmarks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
@@ -220,6 +220,32 @@ class DQNAgent:
                 "repro_train_replay_size", "transitions in replay memory"
             ).set(len(self.memory))
         return loss
+
+    def train_from_replay(self, updates: int) -> List[float]:
+        """Run up to ``updates`` gradient steps from the stored replay only.
+
+        This is the offline fine-tune entry point: no environment steps,
+        no exploration — just repeated sampling of whatever experience
+        has been pushed into :attr:`memory` (e.g. journaled traffic
+        trajectories). The target network is synchronized every
+        ``target_sync_every / train_every`` updates so the sync-per-update
+        ratio matches online training. Returns the losses of the updates
+        actually run — empty when the buffer is below ``min_replay`` /
+        ``batch_size``.
+        """
+        c = self.config
+        needed = max(c.batch_size, c.min_replay)
+        losses: List[float] = []
+        if updates <= 0 or len(self.memory) < needed:
+            return losses
+        sync_every = max(1, c.target_sync_every // max(1, c.train_every))
+        for i in range(updates):
+            loss = self._train_step()
+            self.last_loss = loss
+            losses.append(loss)
+            if (i + 1) % sync_every == 0:
+                self.target.copy_from(self.online)
+        return losses
 
     # -- persistence ------------------------------------------------------------
     def save(self, path: str, metadata: Optional[dict] = None) -> None:

@@ -15,6 +15,7 @@ same indices (and therefore bit-identical batches) as before.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
@@ -153,6 +154,74 @@ class ReplayMemory:
             self._next_states[indices],
             self._dones[indices],
         )
+
+    def save(self, path: str) -> None:
+        """Snapshot the full ring (arrays, indices, RNG state) to ``path``.
+
+        The snapshot is written atomically (tmp file + rename) so a crash
+        mid-save never leaves a truncated ``.npz`` behind. An empty,
+        not-yet-allocated memory is also saveable.
+        """
+        rng_kind, rng_keys, rng_pos, rng_has_gauss, rng_cached = (
+            self._rng.get_state()
+        )
+        payload = {
+            "meta": np.array([self.capacity, self._write, self._size], dtype=np.int64),
+            "rng_kind": np.array(rng_kind),
+            "rng_keys": np.asarray(rng_keys),
+            "rng_pos": np.array(rng_pos, dtype=np.int64),
+            "rng_has_gauss": np.array(rng_has_gauss, dtype=np.int64),
+            "rng_cached": np.array(rng_cached, dtype=np.float64),
+        }
+        if self._states is not None:
+            payload.update(
+                states=self._states,
+                actions=self._actions,
+                rewards=self._rewards,
+                next_states=self._next_states,
+                dones=self._dones,
+            )
+        tmp = f"{path}.tmp-{os.getpid()}"
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez(fh, **payload)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    @classmethod
+    def load(cls, path: str) -> "ReplayMemory":
+        """Restore a memory saved by :meth:`save`.
+
+        The restored instance continues the exact RNG stream of the saved
+        one: a ``sample`` after load draws the same indices the original
+        would have drawn next.
+        """
+        with np.load(path, allow_pickle=False) as data:
+            capacity, write, size = (int(v) for v in data["meta"])
+            memory = cls(capacity=capacity)
+            memory._write = write
+            memory._size = size
+            memory._rng.set_state(
+                (
+                    str(data["rng_kind"]),
+                    data["rng_keys"].copy(),
+                    int(data["rng_pos"]),
+                    int(data["rng_has_gauss"]),
+                    float(data["rng_cached"]),
+                )
+            )
+            if "states" in data:
+                memory._states = data["states"].astype(np.float32, copy=True)
+                memory._next_states = data["next_states"].astype(
+                    np.float32, copy=True
+                )
+                memory._actions = data["actions"].astype(np.int64, copy=True)
+                memory._rewards = data["rewards"].astype(np.float64, copy=True)
+                memory._dones = data["dones"].astype(bool, copy=True)
+        return memory
 
     def __getitem__(self, index: int) -> Transition:
         """The ``index``-th oldest transition as a :class:`Transition`."""

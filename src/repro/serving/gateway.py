@@ -47,6 +47,7 @@ metrics live in the worker processes; give each worker a
 from __future__ import annotations
 
 import multiprocessing as mp
+import os
 import threading
 import time
 from concurrent.futures import Future
@@ -144,6 +145,12 @@ class ShardSpec:
     #: registry and writes a snapshot here on drain/close (format as in
     #: ``--metrics-out``; merge shards with ``repro.tools.stats``).
     metrics_out: Optional[str] = None
+    #: Experience journal directory for closed-loop learning: when set,
+    #: the worker logs verified rollouts there via an
+    #: :class:`~repro.learning.tap.ExperienceTap` (the gateway gives each
+    #: shard its own subdirectory — see :meth:`ShardedGateway._spec_for`).
+    journal_dir: Optional[str] = None
+    journal_segment_size: int = 64
 
 
 def _build_worker_service(spec: ShardSpec) -> OptimizationService:
@@ -164,6 +171,15 @@ def _build_worker_service(spec: ShardSpec) -> OptimizationService:
         )
     else:
         raise ValueError("ShardSpec needs a checkpoint or a network")
+    experience_tap = None
+    if spec.journal_dir is not None:
+        from ..learning import ExperienceJournal, ExperienceTap
+
+        experience_tap = ExperienceTap(
+            ExperienceJournal(
+                spec.journal_dir, segment_size=spec.journal_segment_size
+            )
+        )
     return OptimizationService(
         registry,
         target=spec.target,
@@ -175,10 +191,15 @@ def _build_worker_service(spec: ShardSpec) -> OptimizationService:
         include_ir=spec.include_ir,
         verify=spec.verify,
         semantic_check=spec.semantic_check,
+        experience_tap=experience_tap,
     )
 
 
 def _register_in_worker(registry: ModelRegistry, payload: Dict[str, Any]) -> str:
+    if payload.get("activate_only"):
+        # Rollback path: re-activate a version the worker already holds
+        # (no weights cross the pipe).
+        return registry.activate(payload["version"]).version
     if payload.get("checkpoint") is not None:
         return registry.register_checkpoint(
             payload["checkpoint"],
@@ -300,7 +321,7 @@ class _Pending:
 
     __slots__ = (
         "req_id", "future", "name", "tenant", "ir_text", "shard",
-        "arrival", "retried",
+        "arrival", "retried", "key", "waiters",
     )
 
     def __init__(self, req_id, future, name, tenant, ir_text, shard, arrival):
@@ -312,6 +333,12 @@ class _Pending:
         self.shard = shard
         self.arrival = arrival
         self.retried = False
+        #: Exact-text key for request coalescing (``None`` when the
+        #: request was never registered for coalescing).
+        self.key: Optional[str] = None
+        #: Duplicate in-flight submissions riding on this computation:
+        #: ``(future, name, arrival)`` per coalesced request.
+        self.waiters: List[Tuple] = []
 
 
 class _ShardHandle:
@@ -362,7 +389,7 @@ class _GatewayInstruments:
 
     __slots__ = (
         "requests", "latency", "shed", "in_flight", "occupancy",
-        "memo_hits", "memo_misses", "restarts", "failovers",
+        "memo_hits", "memo_misses", "restarts", "failovers", "coalesced",
     )
 
     def __init__(self, registry, n_shards: int):
@@ -418,6 +445,10 @@ class _GatewayInstruments:
             "repro_gateway_failovers_total",
             "in-flight requests re-dispatched to a sibling shard",
         )
+        self.coalesced = registry.counter(
+            "repro_gateway_coalesced_total",
+            "duplicate in-flight requests that shared one computation",
+        )
 
 
 class ShardedGateway:
@@ -437,6 +468,7 @@ class ShardedGateway:
         max_restarts_per_shard: int = 100,
         route_memo_size: int = 65536,
         shard_metrics_template: Optional[str] = None,
+        coalesce: bool = True,
     ):
         if n_shards <= 0:
             raise ValueError("n_shards must be positive")
@@ -456,6 +488,11 @@ class ShardedGateway:
         #: ``str.format``-able template with ``{shard}``, e.g.
         #: ``"metrics-shard{shard}.json"`` — per-worker snapshot paths.
         self.shard_metrics_template = shard_metrics_template
+        #: Share one computation across byte-identical in-flight requests.
+        #: Coalesced duplicates bypass the ``max_pending`` window (they
+        #: add no shard load), so disable this when client-side
+        #: outstanding-future counts must stay inside the window.
+        self.coalesce = coalesce
 
         self._ctx = mp.get_context()
         self._lock = threading.Lock()
@@ -463,6 +500,10 @@ class ShardedGateway:
             _ShardHandle(i) for i in range(n_shards)
         ]
         self._pending: Dict[int, _Pending] = {}
+        # Request coalescing: exact-text key -> req_id of the in-flight
+        # computation duplicates should ride on. Entries live exactly as
+        # long as their pending request (same lock).
+        self._coalesce: Dict[str, int] = {}
         self._req_counter = 0
         self._started = False
         self._closed = False
@@ -482,7 +523,7 @@ class ShardedGateway:
         self.counters: Dict[str, int] = {
             "requests": 0, "ok": 0, "fallback": 0, "rejected": 0,
             "shed": 0, "routed_memo_hits": 0, "routed_memo_misses": 0,
-            "worker_restarts": 0, "failovers": 0,
+            "worker_restarts": 0, "failovers": 0, "coalesced": 0,
         }
         self.shed_reasons: Dict[str, int] = {}
 
@@ -583,6 +624,13 @@ class ShardedGateway:
                 spec,
                 metrics_out=self.shard_metrics_template.format(shard=shard),
             )
+        if spec.journal_dir is not None:
+            # One journal subdirectory per shard: writers never contend,
+            # and the trainer's JournalReader just lists every subdir.
+            spec = replace(
+                spec,
+                journal_dir=os.path.join(spec.journal_dir, f"shard{shard}"),
+            )
         return spec
 
     def _spawn_worker(self, handle: _ShardHandle) -> None:
@@ -638,10 +686,15 @@ class ShardedGateway:
         with self._lock:
             leftovers = list(self._pending.values())
             self._pending.clear()
+            self._coalesce.clear()
         for pending in leftovers:
             self._resolve_shed(pending.future, pending.name,
                                "gateway_shutdown: request abandoned",
                                arrival=pending.arrival, status="rejected")
+            for w_future, w_name, w_arrival in pending.waiters:
+                self._resolve_shed(w_future, w_name,
+                                   "gateway_shutdown: request abandoned",
+                                   arrival=w_arrival, status="rejected")
         return {
             h.index: h.final_counters or {} for h in self._handles
         }
@@ -681,6 +734,25 @@ class ShardedGateway:
                        f"shed: rate_limited tenant={tenant}")
             return future
 
+        # Coalescing: a byte-identical request already in flight answers
+        # this one too — one rollout, N futures. Checked before the
+        # depth gate (a coalesced duplicate adds no shard load), after
+        # the rate limit (each duplicate still spends a tenant token).
+        key = text_key(ir_text)
+        if self.coalesce:
+            with self._lock:
+                leader_id = self._coalesce.get(key)
+                leader = (
+                    self._pending.get(leader_id)
+                    if leader_id is not None else None
+                )
+                if leader is not None:
+                    leader.waiters.append((future, name, arrival))
+                    self.counters["coalesced"] += 1
+            if leader is not None:
+                if self._observe:
+                    self._instruments.coalesced.inc()
+                return future
         with self._lock:
             depth = len(self._pending)
         if depth >= self.max_pending:
@@ -689,14 +761,17 @@ class ShardedGateway:
                        f"(max_pending={self.max_pending})")
             return future
 
-        route = self._route(ir_text)
+        route = self._route(ir_text, key=key)
         if route[0] == "r":
             self._resolve_shed(future, name, route[1], arrival=arrival,
                                status="rejected")
             self._count("rejected")
             return future
         shard = route[1]
-        self._dispatch(future, name, tenant, ir_text, shard, arrival)
+        self._dispatch(
+            future, name, tenant, ir_text, shard, arrival,
+            key=key if self.coalesce else None,
+        )
         return future
 
     def submit_request(
@@ -734,9 +809,12 @@ class ShardedGateway:
                 self._buckets[tenant] = bucket
             return bucket.try_acquire()
 
-    def _route(self, ir_text: str) -> Tuple[str, Any]:
+    def _route(
+        self, ir_text: str, key: Optional[str] = None
+    ) -> Tuple[str, Any]:
         """``("s", shard)`` or ``("r", reason)``, memoized on exact text."""
-        key = text_key(ir_text)
+        if key is None:
+            key = text_key(ir_text)
         with self._route_lock:
             memo = self._route_memo.get(key)
         if memo is not None:
@@ -777,6 +855,8 @@ class ShardedGateway:
     def _dispatch(
         self, future, name, tenant, ir_text, shard, arrival,
         retried: bool = False,
+        key: Optional[str] = None,
+        waiters: Optional[List[Tuple]] = None,
     ) -> None:
         with self._lock:
             handle = self._live_handle(shard)
@@ -786,6 +866,11 @@ class ShardedGateway:
                 req_id, future, name, tenant, ir_text, handle.index, arrival
             )
             pending.retried = retried
+            if key is not None:
+                pending.key = key
+                self._coalesce[key] = req_id
+            if waiters:
+                pending.waiters = waiters
             self._pending[req_id] = pending
             self._publish_depth()
         self._send(handle, ("submit", req_id, name, ir_text))
@@ -845,10 +930,13 @@ class ShardedGateway:
     ) -> None:
         with self._lock:
             pending = self._pending.pop(req_id, None)
+            if pending is not None:
+                self._drop_coalesce(pending)
             self._publish_depth()
         if pending is None:  # already failed over / shutdown
             return
-        latency_s = time.monotonic() - pending.arrival
+        now = time.monotonic()
+        latency_s = now - pending.arrival
         out = replace(
             result, name=pending.name, shard=handle.index,
             latency_s=latency_s,
@@ -863,6 +951,30 @@ class ShardedGateway:
             if bucket is not None:
                 bucket.observe(latency_s)
         pending.future.set_result(out)
+        # One computation, N futures: every coalesced duplicate gets the
+        # same result under its own name and latency.
+        for w_future, w_name, w_arrival in pending.waiters:
+            w_latency = now - w_arrival
+            self._count(status if status in self.counters else "rejected")
+            if self._observe:
+                self._instruments.requests[
+                    status if status in self._instruments.requests
+                    else "rejected"
+                ].inc()
+                bucket = self._instruments.latency.get(status)
+                if bucket is not None:
+                    bucket.observe(w_latency)
+            w_future.set_result(replace(
+                result, name=w_name, shard=handle.index, latency_s=w_latency,
+            ))
+
+    def _drop_coalesce(self, pending: _Pending) -> None:
+        """Remove the coalesce entry owned by ``pending`` (under lock)."""
+        if (
+            pending.key is not None
+            and self._coalesce.get(pending.key) == pending.req_id
+        ):
+            del self._coalesce[pending.key]
 
     # -- shedding -----------------------------------------------------------
     def _shed(self, future, name, arrival, tag: str, reason: str) -> None:
@@ -925,6 +1037,7 @@ class ShardedGateway:
             ]
             for p in orphans:
                 del self._pending[p.req_id]
+                self._drop_coalesce(p)
             self._publish_depth()
 
         if handle.proc is not None:
@@ -951,19 +1064,25 @@ class ShardedGateway:
             else handle.index
         for p in orphans:
             if p.retried:
+                reason = f"worker_lost: shard {handle.index} died twice"
                 self._count("rejected")
                 self._resolve_shed(
-                    p.future, p.name,
-                    f"worker_lost: shard {handle.index} died twice",
+                    p.future, p.name, reason,
                     arrival=p.arrival, status="rejected",
                 )
+                for w_future, w_name, w_arrival in p.waiters:
+                    self._count("rejected")
+                    self._resolve_shed(
+                        w_future, w_name, reason,
+                        arrival=w_arrival, status="rejected",
+                    )
                 continue
             self._count("failovers")
             if self._observe:
                 self._instruments.failovers.inc()
             self._dispatch(
                 p.future, p.name, p.tenant, p.ir_text, sibling, p.arrival,
-                retried=True,
+                retried=True, key=p.key, waiters=p.waiters,
             )
 
     # -- observability ------------------------------------------------------
@@ -1031,7 +1150,6 @@ class ShardedGateway:
         """
         if (checkpoint is None) == (network is None):
             raise ValueError("provide exactly one of checkpoint / network")
-        self.start()
         payload = {
             "checkpoint": checkpoint,
             "network": network,
@@ -1041,6 +1159,33 @@ class ShardedGateway:
             "metadata": metadata,
             "activate": activate,
         }
+        return self._broadcast_register(
+            payload, version=version, activate=activate, timeout=timeout
+        )
+
+    def activate_version(
+        self, version: str, timeout: float = 30.0
+    ) -> Dict[int, Optional[str]]:
+        """Re-activate a version every worker already holds (rollback).
+
+        No weights cross the pipe: each worker's registry still has the
+        previously registered version and simply switches back to it.
+        Returns ``{shard: error_or_None}`` like :meth:`hot_reload`.
+        """
+        payload = {"activate_only": True, "version": version}
+        return self._broadcast_register(
+            payload, version=version, activate=True, timeout=timeout
+        )
+
+    def _broadcast_register(
+        self,
+        payload: Dict[str, Any],
+        *,
+        version: str,
+        activate: bool,
+        timeout: float,
+    ) -> Dict[int, Optional[str]]:
+        self.start()
         outcomes: Dict[int, Optional[str]] = {}
         waits: List[Tuple[_ShardHandle, threading.Event, List]] = []
         for handle in self._handles:

@@ -22,7 +22,7 @@ from __future__ import annotations
 import itertools
 import threading
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -73,6 +73,7 @@ class ModelRegistry:
         self._models: Dict[str, RegisteredModel] = {}
         self._active: Optional[RegisteredModel] = None
         self._counter = itertools.count(1)
+        self._pinned: set = set()
 
     # -- registration -------------------------------------------------------
     def register(
@@ -185,3 +186,43 @@ class ModelRegistry:
     def __len__(self) -> int:
         with self._lock:
             return len(self._models)
+
+    # -- retention ----------------------------------------------------------
+    def pin(self, version: str) -> None:
+        """Protect ``version`` from :meth:`prune` (e.g. a base checkpoint)."""
+        with self._lock:
+            if version not in self._models:
+                raise KeyError(f"unknown model version {version!r}")
+            self._pinned.add(version)
+
+    def unpin(self, version: str) -> None:
+        with self._lock:
+            self._pinned.discard(version)
+
+    def pinned(self) -> List[str]:
+        with self._lock:
+            return sorted(self._pinned)
+
+    def prune(self, keep_last: int = 2, *, keep: Iterable[str] = ()) -> List[str]:
+        """Drop old versions, returning the ones removed.
+
+        Retained unconditionally: pinned versions, the active (incumbent)
+        version, anything named in ``keep`` (e.g. the rollback target),
+        and the ``keep_last`` most recently registered versions. A
+        long-running trainer that registers a candidate per cycle calls
+        this to keep the registry bounded.
+        """
+        if keep_last < 0:
+            raise ValueError("keep_last must be >= 0")
+        with self._lock:
+            order = list(self._models)  # insertion order == registration order
+            protected = set(self._pinned)
+            protected.update(keep)
+            if self._active is not None:
+                protected.add(self._active.version)
+            if keep_last:
+                protected.update(order[-keep_last:])
+            removed = [v for v in order if v not in protected]
+            for version in removed:
+                del self._models[version]
+            return removed

@@ -226,7 +226,7 @@ class _Session:
 
     __slots__ = (
         "name", "fingerprint", "model", "future", "arrival", "deadline",
-        "env", "pool_key", "state", "finalized", "stage_seconds",
+        "env", "pool_key", "state", "finalized", "stage_seconds", "traj",
     )
 
     def __init__(
@@ -251,6 +251,11 @@ class _Session:
         #: Accumulated wall seconds per latency stage (see LATENCY_STAGES),
         #: filled only while observability is enabled.
         self.stage_seconds: Dict[str, float] = {}
+        #: ``(states, actions, rewards)`` captured for the experience tap
+        #: (``None`` when no tap is configured). ``states`` ends up with
+        #: one more row than ``actions``: the rollout's visited states
+        #: including the terminal one.
+        self.traj: Optional[Tuple[list, list, list]] = None
 
 
 class OptimizationService:
@@ -270,6 +275,7 @@ class OptimizationService:
         verify: bool = True,
         semantic_check: bool = False,
         metrics_cache: bool = True,
+        experience_tap=None,
     ):
         if max_batch <= 0:
             raise ValueError("max_batch must be positive")
@@ -283,6 +289,10 @@ class OptimizationService:
         self.verify = verify
         self.semantic_check = semantic_check
         self.metrics_cache = metrics_cache
+        #: Optional :class:`~repro.learning.tap.ExperienceTap` — completed
+        #: (verified) rollouts are logged as RL trajectories for the
+        #: online trainer. Fallbacks and cache hits are never logged.
+        self.experience_tap = experience_tap
         self.result_cache: Optional[ResultCache] = (
             ResultCache(result_cache_size) if result_cache_size else None
         )
@@ -420,6 +430,8 @@ class OptimizationService:
             thread = self._thread
         if thread is not None:
             thread.join(timeout)
+        if self.experience_tap is not None:
+            self.experience_tap.flush()
         with self._memo_lock:
             return {
                 "counters": dict(self.counters),
@@ -711,6 +723,8 @@ class OptimizationService:
             session.env = env
             session.pool_key = pool_key
             session.state = env.reset()
+            if self.experience_tap is not None:
+                session.traj = ([session.state], [], [])
             self._active.append(session)
         except Exception as exc:
             self._finalize_fallback(session, f"env_error: {exc}")
@@ -763,7 +777,7 @@ class OptimizationService:
                 env = session.env
                 assert env is not None
                 try:
-                    state, _, done, info = env.step(int(action))
+                    state, reward, done, info = env.step(int(action))
                 except Exception as exc:
                     self._finalize_fallback(
                         session,
@@ -776,6 +790,11 @@ class OptimizationService:
                     stages["passes"] += info.passes_seconds
                     stages["measure"] += info.measure_seconds
                 session.state = state
+                if session.traj is not None:
+                    states, acts, rewards = session.traj
+                    states.append(state)
+                    acts.append(int(action))
+                    rewards.append(float(reward))
                 if done:
                     self._finalize_ok(session)
         self._active = [s for s in self._active if not s.finalized]
@@ -867,6 +886,11 @@ class OptimizationService:
         )
         if self.result_cache is not None:
             self.result_cache.put(session.fingerprint, model.version, result)
+        if self.experience_tap is not None and session.traj is not None:
+            # Only verified "ok" rollouts become training experience; the
+            # tap itself never raises into the scheduler.
+            states, traj_actions, traj_rewards = session.traj
+            self.experience_tap.record(states, traj_actions, traj_rewards)
         self._release_env(session)
         self._count("ok")
         session.finalized = True

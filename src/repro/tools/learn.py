@@ -1,0 +1,335 @@
+"""Closed-loop learning harness: traffic → journal → train → gate → swap.
+
+Drives seeded synthetic traffic through a serving plane with the
+experience tap enabled, then runs
+:class:`~repro.learning.LearningController` cycles over the journaled
+experience: fine-tune from the pinned base checkpoint, gate each
+candidate on a fixed holdout suite + differential fuzz canary, and
+hot-swap winners into the live registry.
+
+``--inject-regression`` additionally proves the gate's rejection paths:
+a deliberately regressed candidate (the worst constant-action policy on
+the holdout) and a corrupted checkpoint file must both be rejected —
+the run exits non-zero if either slips through. This is the CI
+``learning-smoke`` mode.
+
+Examples::
+
+    python -m repro.tools.learn --suite mibench --requests 24 --cycles 2
+    python -m repro.tools.learn --suite mibench --checkpoint model.npz \\
+        --requests 48 --cycles 3 --train-steps 64 --journal-dir /tmp/j
+    python -m repro.tools.learn --suite mibench --requests 24 --cycles 1 \\
+        --inject-regression --fail-on-no-promotion \\
+        --metrics-out learning-metrics.json       # CI smoke mode
+    python -m repro.tools.learn --suite mibench --shards 2 --requests 32
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+from typing import List, Optional
+
+from ..codegen.target import TARGETS
+from ..core.agent_api import PosetRL
+from ..core.environment import DEFAULT_EPISODE_LENGTH
+from ..ir.printer import print_module
+from ..learning import (
+    EvaluationGate,
+    ExperienceJournal,
+    ExperienceTap,
+    LearningController,
+    OnlineTrainer,
+)
+from ..observability import enable as enable_observability, export_snapshot
+from ..rl.network import QNetwork
+from ..serving import (
+    OptimizationService,
+    ShardedGateway,
+    request_pool,
+    run_load,
+)
+from ..workloads.suites import load_suite
+
+
+def build_argparser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-learn", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--suite", default="mibench",
+                        help="workload suite for traffic and the holdout "
+                        "(default mibench)")
+    parser.add_argument("--checkpoint",
+                        help="base checkpoint to fine-tune from (default: "
+                        "a freshly-initialized policy, saved next to the "
+                        "journal)")
+    parser.add_argument("--action-space", choices=("odg", "manual"),
+                        default=None)
+    parser.add_argument("--target", default="x86-64",
+                        choices=sorted(set(TARGETS)))
+    parser.add_argument("--requests", type=int, default=24,
+                        help="traffic requests to drive (default 24)")
+    parser.add_argument("--concurrency", type=int, default=4)
+    parser.add_argument("--cycles", type=int, default=2,
+                        help="learning cycles to run (default 2)")
+    parser.add_argument("--train-steps", type=int, default=48,
+                        help="gradient updates per cycle (default 48)")
+    parser.add_argument("--holdout", type=int, default=3,
+                        help="holdout suite size: the first N suite modules "
+                        "(default 3)")
+    parser.add_argument("--canary-seeds", type=int, default=2,
+                        help="fuzz programs in the canary (default 2)")
+    parser.add_argument("--canary-segments", type=int, default=3)
+    parser.add_argument("--size-tolerance", type=float, default=0.25,
+                        help="holdout size-reduction tolerance in percentage "
+                        "points (default 0.25)")
+    parser.add_argument("--throughput-tolerance", type=float, default=0.25)
+    parser.add_argument("--rollback-threshold", type=float, default=0.5,
+                        help="post-promotion guard-trip rate that triggers "
+                        "rollback (default 0.5)")
+    parser.add_argument("--journal-dir",
+                        help="experience journal directory (default: a "
+                        "fresh temp dir)")
+    parser.add_argument("--segment-size", type=int, default=8,
+                        help="journal trajectories per segment (default 8; "
+                        "small so short runs still flush)")
+    parser.add_argument("--replay-capacity", type=int, default=4096)
+    parser.add_argument("--batch-size", type=int, default=16)
+    parser.add_argument("--min-buffer", type=int, default=32,
+                        help="replay rows required before training "
+                        "(default 32)")
+    parser.add_argument("--shards", type=int, default=0,
+                        help="serve traffic through a ShardedGateway with "
+                        "this many workers (default 0: in-process service)")
+    parser.add_argument("--no-verify", action="store_true",
+                        help="skip post-optimization verification in serving "
+                        "(faster smoke runs)")
+    parser.add_argument("--inject-regression", action="store_true",
+                        help="also prove the gate rejects a deliberately "
+                        "regressed candidate and a corrupted checkpoint "
+                        "(exit non-zero if either is accepted)")
+    parser.add_argument("--fail-on-no-promotion", action="store_true",
+                        help="exit non-zero unless at least one candidate "
+                        "was promoted (CI gate)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--json", dest="json_path",
+                        help="write the run report as JSON to this path")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="enable observability and write a metrics "
+                        "snapshot to this JSON file")
+    return parser
+
+
+def run(argv: Optional[List[str]] = None) -> int:
+    args = build_argparser().parse_args(argv)
+
+    if args.metrics_out:
+        enable_observability()
+
+    try:
+        suite = load_suite(args.suite)
+    except KeyError as exc:
+        print(exc.args[0], file=sys.stderr)
+        return 1
+    corpus = [(name, print_module(module)) for name, module in suite]
+    holdout = [module for _, module in suite[: max(1, args.holdout)]]
+
+    journal_dir = args.journal_dir or tempfile.mkdtemp(prefix="repro-journal-")
+    os.makedirs(journal_dir, exist_ok=True)
+
+    base_checkpoint = args.checkpoint
+    if base_checkpoint is None:
+        seed_agent = PosetRL(
+            action_space=args.action_space or "odg",
+            target=args.target, seed=args.seed,
+        )
+        base_checkpoint = os.path.join(journal_dir, "base.npz")
+        seed_agent.save(base_checkpoint)
+    metadata = QNetwork.load_metadata(base_checkpoint)
+    action_space = args.action_space or str(metadata.get("action_space", "odg"))
+    episode_length = int(
+        metadata.get("episode_length", DEFAULT_EPISODE_LENGTH)
+    )
+
+    serve_kwargs = dict(
+        result_cache_size=None,  # every request must produce a rollout
+        include_ir=False,
+        verify=not args.no_verify,
+        batch_window_s=0.002,
+    )
+    if args.shards > 0:
+        target = ShardedGateway.from_checkpoint(
+            base_checkpoint, args.shards,
+            action_space=action_space,
+            target=args.target,
+            journal_dir=journal_dir,
+            journal_segment_size=args.segment_size,
+            **serve_kwargs,
+        )
+        journal_dirs = [
+            os.path.join(journal_dir, f"shard{i}") for i in range(args.shards)
+        ]
+    else:
+        service_journal = os.path.join(journal_dir, "service")
+        tap = ExperienceTap(ExperienceJournal(
+            service_journal, segment_size=args.segment_size
+        ))
+        target = OptimizationService.from_checkpoint(
+            base_checkpoint,
+            action_space=action_space,
+            target=args.target,
+            experience_tap=tap,
+            **serve_kwargs,
+        )
+        journal_dirs = [service_journal]
+
+    print(f"learning run: suite={args.suite} base={base_checkpoint} "
+          f"action_space={action_space} shards={args.shards} "
+          f"journal={journal_dir}")
+
+    exit_code = 0
+    payload = {
+        "suite": args.suite,
+        "base_checkpoint": base_checkpoint,
+        "shards": args.shards,
+        "journal_dir": journal_dir,
+        "cycles": [],
+    }
+    with target:
+        load_report = run_load(
+            target,
+            request_pool(corpus, args.requests),
+            concurrency=args.concurrency,
+        )
+        print(f"  traffic: {load_report.requests} requests "
+              f"statuses={load_report.status_counts} "
+              f"({load_report.throughput_rps:.1f} req/s)")
+        payload["traffic"] = load_report.as_dict()
+
+        # Make sure buffered trajectories hit disk before the trainer
+        # reads (worker journals also flush on segment boundaries).
+        if args.shards <= 0:
+            target.experience_tap.flush()
+
+        trainer = OnlineTrainer(
+            base_checkpoint,
+            journal_dirs,
+            replay_capacity=args.replay_capacity,
+            batch_size=args.batch_size,
+            steps_per_cycle=args.train_steps,
+            min_buffer=args.min_buffer,
+            seed=args.seed,
+        )
+        gate = EvaluationGate(
+            holdout,
+            target=args.target,
+            action_space=action_space,
+            episode_length=episode_length,
+            size_tolerance_pct=args.size_tolerance,
+            throughput_tolerance_pct=args.throughput_tolerance,
+            canary_seeds=tuple(
+                1801 + i for i in range(max(1, args.canary_seeds))
+            ),
+            canary_segments=args.canary_segments,
+        )
+        controller = LearningController(
+            target, trainer, gate,
+            rollback_threshold=args.rollback_threshold,
+        )
+
+        for cycle in range(args.cycles):
+            report = controller.run_cycle()
+            controller.check_rollback()
+            line = (f"  cycle {cycle + 1}: ingested={report.ingested} "
+                    f"updates={report.train_updates}")
+            if report.candidate_version:
+                verdict = report.verdict
+                line += (f" candidate={report.candidate_version} "
+                         f"gate={'pass' if verdict.passed else 'fail'}"
+                         f"{'' if verdict.passed else ' ' + '; '.join(verdict.reasons)}"
+                         f" promoted={report.promoted}")
+            elif report.details.get("skipped"):
+                line += f" skipped ({report.details['skipped']})"
+            print(line)
+            payload["cycles"].append({
+                "ingested": report.ingested,
+                "train_updates": report.train_updates,
+                "candidate": report.candidate_version,
+                "verdict": (
+                    report.verdict.describe() if report.verdict else None
+                ),
+                "promoted": report.promoted,
+            })
+
+        injection = None
+        if args.inject_regression:
+            injection = {}
+            bad_net, bad_action = gate.worst_constant_candidate(
+                trainer.base_network
+            )
+            verdict, promoted = controller.consider(bad_net, "injected-bad")
+            rejected = (not promoted) and (not verdict.passed)
+            injection["regressed_candidate"] = {
+                "constant_action": bad_action,
+                "rejected": rejected,
+                "reasons": verdict.reasons,
+            }
+            print(f"  injected regression (constant action {bad_action}): "
+                  f"{'rejected' if rejected else 'ACCEPTED (bug!)'}")
+            if not rejected:
+                exit_code = 1
+
+            corrupt_path = os.path.join(journal_dir, "corrupt.npz")
+            with open(corrupt_path, "wb") as fh:
+                fh.write(b"not a checkpoint at all")
+            corrupt_verdict = gate.evaluate_checkpoint(
+                corrupt_path, trainer.base_network
+            )
+            corrupt_rejected = not corrupt_verdict.passed
+            injection["corrupted_checkpoint"] = {
+                "rejected": corrupt_rejected,
+                "reasons": corrupt_verdict.reasons,
+            }
+            print(f"  corrupted checkpoint: "
+                  f"{'rejected' if corrupt_rejected else 'ACCEPTED (bug!)'}")
+            if not corrupt_rejected:
+                exit_code = 1
+        payload["injection"] = injection
+
+    print(f"  learning: promotions={controller.promotions} "
+          f"rollbacks={controller.rollbacks} "
+          f"fine_tune_steps={trainer.fine_tune_steps} "
+          f"ingested={trainer.counters['ingested_transitions']}")
+    payload["learning"] = {
+        "promotions": controller.promotions,
+        "rollbacks": controller.rollbacks,
+        "fine_tune_steps": trainer.fine_tune_steps,
+        "ingested_transitions": trainer.counters["ingested_transitions"],
+        "candidates": trainer.candidates_emitted,
+    }
+
+    if args.fail_on_no_promotion and controller.promotions == 0:
+        print("FAIL: no candidate was promoted", file=sys.stderr)
+        exit_code = 1
+
+    if args.json_path:
+        with open(args.json_path, "w") as fh:
+            json.dump(payload, fh, indent=2, default=str)
+    if args.metrics_out:
+        export_snapshot(args.metrics_out)
+        print(f"  metrics snapshot -> {args.metrics_out}")
+    return exit_code
+
+
+def main() -> int:  # pragma: no cover - console entry
+    try:
+        return run()
+    except BrokenPipeError:
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,7 +34,9 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 import time
 from typing import List, Optional
 
@@ -101,6 +103,13 @@ def build_argparser() -> argparse.ArgumentParser:
                         "snapshot to this JSON file (render it with "
                         "python -m repro.tools.stats); with --shards, each "
                         "worker writes PATH with a -shardN stem suffix too")
+    parser.add_argument("--learn", action="store_true",
+                        help="tap verified rollouts into an experience "
+                        "journal for closed-loop learning (see "
+                        "python -m repro.tools.learn and docs/LEARNING.md)")
+    parser.add_argument("--journal-dir", metavar="DIR",
+                        help="experience journal directory for --learn "
+                        "(default: a fresh temp dir, printed at startup)")
 
     gateway = parser.add_argument_group("sharded gateway")
     gateway.add_argument("--shards", type=int, default=0,
@@ -139,6 +148,14 @@ def build_argparser() -> argparse.ArgumentParser:
     return parser
 
 
+def _make_tap(journal_dir: str):
+    from ..learning import ExperienceJournal, ExperienceTap
+
+    return ExperienceTap(ExperienceJournal(
+        os.path.join(journal_dir, "service"), segment_size=64
+    ))
+
+
 def _shard_metrics_template(path: str) -> str:
     stem, dot, ext = path.rpartition(".")
     if not dot:
@@ -170,6 +187,14 @@ def run(argv: Optional[List[str]] = None) -> int:
         semantic_check=args.semantic_check,
     )
 
+    journal_dir: Optional[str] = None
+    if args.learn or args.journal_dir:
+        journal_dir = args.journal_dir or tempfile.mkdtemp(
+            prefix="repro-journal-"
+        )
+        print(f"experience journal: {journal_dir} "
+              f"(train from it with python -m repro.tools.learn)")
+
     agent: Optional[PosetRL] = None
     if args.shards > 0:
         gateway_kwargs = dict(
@@ -182,6 +207,8 @@ def run(argv: Optional[List[str]] = None) -> int:
             ),
             **service_kwargs,
         )
+        if journal_dir is not None:
+            gateway_kwargs["journal_dir"] = journal_dir
         if args.checkpoint:
             target = ShardedGateway.from_checkpoint(
                 args.checkpoint, args.shards,
@@ -205,6 +232,8 @@ def run(argv: Optional[List[str]] = None) -> int:
             "shards": args.shards,
         }
     elif args.checkpoint:
+        if journal_dir is not None:
+            service_kwargs["experience_tap"] = _make_tap(journal_dir)
         target = OptimizationService.from_checkpoint(
             args.checkpoint,
             action_space=args.action_space,
@@ -212,6 +241,8 @@ def run(argv: Optional[List[str]] = None) -> int:
             **service_kwargs,
         )
     else:
+        if journal_dir is not None:
+            service_kwargs["experience_tap"] = _make_tap(journal_dir)
         agent = PosetRL(
             action_space=args.action_space or "odg",
             target=args.target, seed=args.seed,

@@ -1,0 +1,230 @@
+"""End-to-end closed loop: traffic → journal → train → gate → swap.
+
+The acceptance path for the learning subsystem: seeded traffic through
+a live ``OptimizationService`` produces journaled experience; the
+trainer's candidate clears the holdout + canary gate and is hot-swapped
+without dropping in-flight requests; an injected bad candidate is
+rejected; a post-promotion guard-trip spike triggers automatic
+rollback. Asserted through the ``repro_learning_*`` metrics and the
+registry state, exactly as a production watchdog would see it.
+"""
+
+import numpy as np
+import pytest
+
+from repro import PosetRL
+from repro import observability as obs
+from repro.ir.printer import print_module
+from repro.learning import (
+    EvaluationGate,
+    ExperienceJournal,
+    ExperienceTap,
+    LearningController,
+    OnlineTrainer,
+)
+from repro.serving import OptimizationService
+from repro.workloads import ProgramProfile, generate_program
+
+EPISODE_LENGTH = 4
+
+
+@pytest.fixture(scope="module")
+def modules():
+    return [
+        generate_program(ProgramProfile(name=f"loop{i}", seed=60 + i, segments=2))
+        for i in range(3)
+    ]
+
+
+@pytest.fixture(scope="module")
+def texts(modules):
+    return [print_module(m) for m in modules]
+
+
+@pytest.fixture()
+def metrics():
+    registry, _ = obs.enable()
+    try:
+        yield registry
+    finally:
+        obs.disable()
+
+
+def make_stack(tmp_path, *, segment_size=8, batch_window_s=0.001):
+    """Base checkpoint + tapped service, ready for traffic."""
+    base = str(tmp_path / "base.npz")
+    PosetRL(seed=0, episode_length=EPISODE_LENGTH).save(base)
+    journal_dir = str(tmp_path / "journal")
+    tap = ExperienceTap(
+        ExperienceJournal(journal_dir, segment_size=segment_size)
+    )
+    service = OptimizationService.from_checkpoint(
+        base,
+        experience_tap=tap,
+        result_cache_size=None,  # every request must produce a rollout
+        include_ir=False,
+        batch_window_s=batch_window_s,
+    )
+    return base, journal_dir, service
+
+
+def make_loop(base, journal_dir, service, **controller_kwargs):
+    trainer = OnlineTrainer(
+        base, [journal_dir],
+        replay_capacity=512, batch_size=8, steps_per_cycle=4, min_buffer=8,
+    )
+    gate = EvaluationGate(
+        [generate_program(ProgramProfile(name="hold", seed=60, segments=2))],
+        episode_length=EPISODE_LENGTH,
+        size_tolerance_pct=0.25,
+        throughput_tolerance_pct=0.25,
+        canary_seeds=(1801,),
+        canary_segments=2,
+    )
+    controller = LearningController(
+        service, trainer, gate, **controller_kwargs
+    )
+    return trainer, gate, controller
+
+
+class TestClosedLoop:
+    def test_traffic_to_promotion_without_dropping_in_flight(
+        self, tmp_path, texts, metrics
+    ):
+        base, journal_dir, service = make_stack(tmp_path)
+        with service:
+            for text in texts * 2:
+                assert service.optimize(text).status == "ok"
+            service.experience_tap.flush()
+            trainer, gate, controller = make_loop(base, journal_dir, service)
+
+            # Hold requests in flight across the promotion: sessions pin
+            # their model at submit, so these must finish on v1 even
+            # though the candidate lands while they are queued.
+            in_flight = [service.submit(t) for t in texts]
+
+            report = controller.run_cycle()
+            # At least the six flushed traffic trajectories (the in-flight
+            # ones may or may not have hit disk before the ingest read).
+            assert report.ingested >= 6 * EPISODE_LENGTH
+            assert report.train_updates == 4
+            assert report.verdict.passed, report.verdict.reasons
+            assert report.promoted
+            assert report.candidate_version == "online-1"
+
+            # The swap is live for new traffic...
+            assert service.registry.active.version == "online-1"
+            assert (
+                service.registry.active.metadata["promoted_over"] == "v1"
+            )
+            after = service.optimize(texts[0])
+            assert after.status == "ok"
+            assert after.model_version == "online-1"
+            # ...and nothing in flight was dropped or migrated mid-rollout.
+            for future in in_flight:
+                result = future.result(timeout=30)
+                assert result.status == "ok"
+                assert result.model_version == "v1"
+
+        # The watchdog's view: the metric registry tells the same story.
+        assert metrics.get_value("repro_learning_trajectories_total") >= 6
+        # Six traffic rollouts + three in-flight + the post-swap request.
+        assert (
+            metrics.get_value("repro_learning_transitions_total")
+            == 10 * EPISODE_LENGTH
+        )
+        assert metrics.get_value("repro_learning_train_steps_total") == 4
+        assert metrics.get_value("repro_learning_candidates_total") == 1
+        assert metrics.get_value("repro_learning_promotions_total") == 1
+        assert metrics.get_value(
+            "repro_learning_gate_verdicts_total", labels={"verdict": "pass"}
+        ) == 1
+
+    def test_injected_bad_candidate_is_rejected(self, tmp_path, texts, metrics):
+        base, journal_dir, service = make_stack(tmp_path)
+        with service:
+            for text in texts * 2:
+                service.optimize(text)
+            service.experience_tap.flush()
+            trainer, gate, controller = make_loop(base, journal_dir, service)
+            assert controller.run_cycle().promoted
+
+            bad, bad_action = gate.worst_constant_candidate(
+                trainer.base_network
+            )
+            verdict, promoted = controller.consider(bad, "injected-bad")
+            assert not promoted
+            assert not verdict.passed
+            assert verdict.reasons
+            # The incumbent kept serving; the reject is on the books.
+            assert service.registry.active.version == "online-1"
+            assert "injected-bad" not in service.registry.versions()
+        assert metrics.get_value(
+            "repro_learning_gate_verdicts_total", labels={"verdict": "fail"}
+        ) >= 1
+
+    def test_guard_trip_spike_triggers_auto_rollback(
+        self, tmp_path, texts, metrics
+    ):
+        health = [0, 0]
+        base, journal_dir, service = make_stack(tmp_path)
+        with service:
+            for text in texts * 2:
+                service.optimize(text)
+            service.experience_tap.flush()
+            trainer, gate, controller = make_loop(
+                base, journal_dir, service,
+                rollback_threshold=0.5,
+                rollback_min_requests=4,
+                health_sampler=lambda: tuple(health),
+            )
+            assert controller.run_cycle().promoted
+            assert service.registry.active.version == "online-1"
+
+            # Below the minimum sample the controller refuses to judge.
+            health[:] = [2, 2]
+            assert not controller.check_rollback()
+            # A healthy delta keeps the promotion.
+            health[:] = [10, 1]
+            assert not controller.check_rollback()
+            # The spike: 15 of the 20 completions since promotion tripped
+            # the guard — rate 0.75 breaches the 0.5 bar.
+            health[:] = [20, 15]
+            assert controller.check_rollback()
+            assert service.registry.active.version == "v1"
+            assert controller.rollbacks == 1
+            # Watch state is cleared: no double rollback.
+            health[:] = [40, 29]
+            assert not controller.check_rollback()
+        assert metrics.get_value("repro_learning_rollbacks_total") == 1
+        rate = metrics.get_value(
+            "repro_learning_post_promotion_fallback_rate"
+        )
+        assert rate == pytest.approx(0.75)
+
+    def test_cycle_without_experience_is_skipped(self, tmp_path, metrics):
+        base, journal_dir, service = make_stack(tmp_path)
+        with service:
+            trainer, gate, controller = make_loop(base, journal_dir, service)
+            report = controller.run_cycle()
+            assert report.ingested == 0
+            assert report.candidate_version is None
+            assert "skipped" in report.details
+            assert service.registry.active.version == "v1"
+
+    def test_promotion_prunes_stale_versions(self, tmp_path, texts):
+        base, journal_dir, service = make_stack(tmp_path)
+        with service:
+            for text in texts * 2:
+                service.optimize(text)
+            service.experience_tap.flush()
+            trainer, gate, controller = make_loop(
+                base, journal_dir, service, prune_keep_last=2
+            )
+            for _ in range(3):
+                assert controller.run_cycle().promoted
+            versions = service.registry.versions()
+            assert service.registry.active.version == "online-3"
+            # The rollback target of the live promotion must survive.
+            assert "online-2" in versions
+            assert "online-1" not in versions

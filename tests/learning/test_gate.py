@@ -1,0 +1,111 @@
+"""Evaluation gate: holdout comparison, fuzz canary, rejection paths."""
+
+import numpy as np
+import pytest
+
+from repro.learning import EvaluationGate, constant_action_network
+from repro.rl.network import QNetwork
+from repro.workloads import ProgramProfile, generate_program
+
+
+@pytest.fixture(scope="module")
+def holdout():
+    return [
+        generate_program(ProgramProfile(name=f"gate{i}", seed=90 + i, segments=2))
+        for i in range(2)
+    ]
+
+
+@pytest.fixture(scope="module")
+def gate(holdout):
+    return EvaluationGate(
+        holdout,
+        episode_length=4,
+        canary_seeds=(1801,),
+        canary_segments=2,
+    )
+
+
+@pytest.fixture(scope="module")
+def network():
+    return QNetwork(300, 34, (16,), seed=0)
+
+
+class TestGate:
+    def test_identical_candidate_passes(self, gate, network):
+        verdict = gate.evaluate(network, network)
+        assert verdict.passed
+        assert verdict.reasons == []
+        assert verdict.canary_checks == 1
+        assert verdict.canary_failures == 0
+        assert verdict.candidate.size_reduction_pct == pytest.approx(
+            verdict.incumbent.size_reduction_pct
+        )
+
+    def test_constant_action_network_is_constant(self, network):
+        net = constant_action_network(network, 7)
+        states = np.random.RandomState(0).standard_normal((5, 300))
+        assert list(net.predict(states).argmax(axis=1)) == [7] * 5
+
+    def test_worst_constant_candidate_rejected(self, gate, network):
+        bad, action = gate.worst_constant_candidate(network)
+        assert 0 <= action < 34
+        verdict = gate.evaluate(bad, network)
+        assert not verdict.passed
+        assert any("holdout" in r for r in verdict.reasons)
+
+    def test_shape_mismatch_rejected(self, gate, network):
+        wrong = QNetwork(300, 15, (16,), seed=0)  # manual-sized head
+        verdict = gate.evaluate(wrong, network)
+        assert not verdict.passed
+        assert verdict.reasons[0].startswith("shape_mismatch")
+
+    def test_corrupted_checkpoint_rejected(self, gate, network, tmp_path):
+        path = tmp_path / "corrupt.npz"
+        path.write_bytes(b"definitely not a checkpoint")
+        verdict = gate.evaluate_checkpoint(str(path), network)
+        assert not verdict.passed
+        assert verdict.reasons[0].startswith("load_error")
+
+    def test_missing_checkpoint_rejected(self, gate, network, tmp_path):
+        verdict = gate.evaluate_checkpoint(str(tmp_path / "nope.npz"), network)
+        assert not verdict.passed
+        assert verdict.reasons[0].startswith("load_error")
+
+    def test_valid_checkpoint_accepted(self, gate, network, tmp_path):
+        path = tmp_path / "ok.npz"
+        network.save(str(path))
+        verdict = gate.evaluate_checkpoint(str(path), network)
+        assert verdict.passed
+
+    def test_holdout_score_is_deterministic(self, gate, network):
+        a = gate.holdout_score(network)
+        b = gate.holdout_score(network)
+        assert a.size_reduction_pct == b.size_reduction_pct
+        assert a.throughput_gain_pct == b.throughput_gain_pct
+
+    def test_empty_holdout_rejected(self):
+        with pytest.raises(ValueError, match="holdout"):
+            EvaluationGate([])
+
+    def test_describe_carries_scores(self, gate, network):
+        verdict = gate.evaluate(network, network)
+        desc = verdict.describe()
+        assert desc["passed"] is True
+        assert "candidate_size_reduction_pct" in desc
+        assert "incumbent_throughput_gain_pct" in desc
+
+    def test_tolerance_admits_small_regression(self, holdout, network):
+        # With an enormous tolerance even the worst constant policy passes
+        # the holdout half — only the canary can reject it then.
+        lax = EvaluationGate(
+            holdout,
+            episode_length=4,
+            size_tolerance_pct=1e9,
+            throughput_tolerance_pct=1e9,
+            canary_seeds=(1801,),
+            canary_segments=2,
+        )
+        bad, _ = lax.worst_constant_candidate(network)
+        verdict = lax.evaluate(bad, network)
+        assert not any("holdout" in r for r in verdict.reasons)

@@ -1,0 +1,143 @@
+"""Promotion/rollback races: pinned in-flight work, stale candidates."""
+
+import pytest
+
+from repro import PosetRL
+from repro.ir.printer import print_module
+from repro.learning import (
+    EvaluationGate,
+    ExperienceJournal,
+    ExperienceTap,
+    LearningController,
+    OnlineTrainer,
+)
+from repro.serving import OptimizationService
+from repro.workloads import ProgramProfile, generate_program
+
+EPISODE_LENGTH = 4
+
+
+@pytest.fixture(scope="module")
+def texts():
+    return [
+        print_module(
+            generate_program(ProgramProfile(name=f"race{i}", seed=50 + i, segments=2))
+        )
+        for i in range(3)
+    ]
+
+
+def make_parts(tmp_path, service, *, health_sampler=None):
+    base = str(tmp_path / "base.npz")
+    PosetRL(seed=0, episode_length=EPISODE_LENGTH).save(base)
+    trainer = OnlineTrainer(base, [str(tmp_path / "journal")])
+    gate = EvaluationGate(
+        [generate_program(ProgramProfile(name="hold", seed=50, segments=2))],
+        episode_length=EPISODE_LENGTH,
+        size_tolerance_pct=0.25,
+        throughput_tolerance_pct=0.25,
+        canary_seeds=(1801,),
+        canary_segments=2,
+    )
+    controller = LearningController(
+        service, trainer, gate, health_sampler=health_sampler
+    )
+    return trainer, gate, controller
+
+
+def make_service(tmp_path, **kwargs):
+    base = str(tmp_path / "svc-base.npz")
+    PosetRL(seed=0, episode_length=EPISODE_LENGTH).save(base)
+    kwargs.setdefault("batch_window_s", 0.05)
+    kwargs.setdefault("result_cache_size", None)
+    kwargs.setdefault("include_ir", False)
+    return OptimizationService.from_checkpoint(base, **kwargs)
+
+
+class TestPromotionRaces:
+    def test_hot_swap_mid_stream_pins_in_flight_to_old_version(
+        self, tmp_path, texts
+    ):
+        with make_service(tmp_path) as service:
+            trainer, gate, controller = make_parts(tmp_path, service)
+            # Submit inside the batch window, then land a promotion while
+            # the sessions are still queued or mid-rollout.
+            futures = [service.submit(t) for t in texts]
+            candidate = trainer.make_candidate()
+            controller.promote(candidate, "online-1", previous="v1")
+            assert service.registry.active.version == "online-1"
+            for future in futures:
+                result = future.result(timeout=30)
+                assert result.status == "ok"
+                # Pinned at submit: the swap never migrates a live rollout.
+                assert result.model_version == "v1"
+            fresh = service.optimize(texts[0])
+            assert fresh.model_version == "online-1"
+
+    def test_rollback_during_second_evaluation_discards_stale_candidate(
+        self, tmp_path, texts
+    ):
+        health = [0, 0]
+        with make_service(tmp_path) as service:
+            trainer, gate, controller = make_parts(
+                tmp_path, service, health_sampler=lambda: tuple(health)
+            )
+            first = trainer.make_candidate()
+            verdict, promoted = controller.consider(first, "online-1")
+            assert promoted
+            assert service.registry.active.version == "online-1"
+
+            # While the second candidate is being gated, the watchdog sees
+            # a guard-trip spike and rolls the first promotion back.
+            original_evaluate = gate.evaluate
+
+            def evaluate_with_concurrent_rollback(candidate, incumbent):
+                result = original_evaluate(candidate, incumbent)
+                health[:] = [20, 19]
+                assert controller.check_rollback()
+                return result
+
+            gate.evaluate = evaluate_with_concurrent_rollback
+            second = trainer.make_candidate()
+            verdict, promoted = controller.consider(second, "online-2")
+
+            # The rollback won: the candidate's verdict was measured
+            # against a dead incumbent, so it must not be promoted.
+            assert not promoted
+            assert any(
+                r.startswith("stale_incumbent") for r in verdict.reasons
+            )
+            assert service.registry.active.version == "v1"
+            assert controller.rollbacks == 1
+            assert "online-2" not in service.registry.versions()
+
+    def test_corrupted_checkpoint_cannot_reach_serving(self, tmp_path, texts):
+        with make_service(tmp_path) as service:
+            trainer, gate, controller = make_parts(tmp_path, service)
+            corrupt = tmp_path / "evil.npz"
+            corrupt.write_bytes(b"\x00" * 64)
+            verdict = gate.evaluate_checkpoint(
+                str(corrupt), trainer.base_network
+            )
+            assert not verdict.passed
+            assert verdict.reasons[0].startswith("load_error")
+            assert service.registry.versions() == ["v1"]
+            assert service.registry.active.version == "v1"
+
+    def test_double_promotion_keeps_latest_and_its_rollback_target(
+        self, tmp_path, texts
+    ):
+        with make_service(tmp_path) as service:
+            trainer, gate, controller = make_parts(tmp_path, service)
+            controller.promote(
+                trainer.make_candidate(), "online-1", previous="v1"
+            )
+            controller.promote(
+                trainer.make_candidate(), "online-2", previous="online-1"
+            )
+            assert service.registry.active.version == "online-2"
+            # A guard-trip spike now rolls back to online-1, not v1.
+            controller._health_sampler = lambda: (50, 49)
+            controller._watch = ("online-1", (0, 0))
+            assert controller.check_rollback()
+            assert service.registry.active.version == "online-1"

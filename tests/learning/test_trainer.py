@@ -1,0 +1,147 @@
+"""Online trainer: journal ingest, fine-tuning, candidates, snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.learning import ExperienceJournal, OnlineTrainer
+from repro.rl.network import QNetwork
+
+STATE_DIM = 300
+
+
+@pytest.fixture()
+def base_checkpoint(tmp_path):
+    path = str(tmp_path / "base.npz")
+    QNetwork(STATE_DIM, 34, (16,), seed=0).save(
+        path, metadata={"action_space": "odg", "episode_length": 4}
+    )
+    return path
+
+
+def _write_experience(directory, transitions=64, seed=0):
+    journal = ExperienceJournal(str(directory), segment_size=16)
+    rng = np.random.RandomState(seed)
+    n = 0
+    while n < transitions:
+        k = min(8, transitions - n)
+        states = rng.standard_normal((k, STATE_DIM)).astype(np.float32)
+        next_states = rng.standard_normal((k, STATE_DIM)).astype(np.float32)
+        dones = np.zeros(k, dtype=bool)
+        dones[-1] = True
+        journal.append(
+            states, rng.randint(0, 34, size=k), rng.standard_normal(k),
+            next_states, dones,
+        )
+        n += k
+    journal.flush()
+    return journal
+
+
+class TestIngest:
+    def test_ingest_fills_replay(self, tmp_path, base_checkpoint):
+        _write_experience(tmp_path / "j", transitions=40)
+        trainer = OnlineTrainer(base_checkpoint, [str(tmp_path / "j")])
+        assert trainer.ingest() == 40
+        assert len(trainer.memory) == 40
+        # Second ingest sees nothing new.
+        assert trainer.ingest() == 0
+        assert trainer.counters["ingested_transitions"] == 40
+
+    def test_rewards_scaled_like_online_remember(self, tmp_path, base_checkpoint):
+        journal = ExperienceJournal(str(tmp_path / "j"), segment_size=100)
+        states = np.ones((2, STATE_DIM), dtype=np.float32)
+        journal.append(
+            states, [1, 2], [10.0, -4.0], states, [False, True]
+        )
+        journal.flush()
+        trainer = OnlineTrainer(base_checkpoint, [str(tmp_path / "j")])
+        trainer.ingest()
+        scale = trainer.agent.config.reward_scale
+        rewards = trainer.memory._rewards[: len(trainer.memory)]
+        assert sorted(rewards) == pytest.approx(sorted([10.0 * scale, -4.0 * scale]))
+
+
+class TestTraining:
+    def test_below_min_buffer_trains_nothing(self, tmp_path, base_checkpoint):
+        _write_experience(tmp_path / "j", transitions=8)
+        trainer = OnlineTrainer(
+            base_checkpoint, [str(tmp_path / "j")], min_buffer=32
+        )
+        trainer.ingest()
+        assert trainer.train() == []
+        assert trainer.fine_tune_steps == 0
+
+    def test_training_moves_candidate_not_base(self, tmp_path, base_checkpoint):
+        _write_experience(tmp_path / "j", transitions=64)
+        trainer = OnlineTrainer(
+            base_checkpoint, [str(tmp_path / "j")],
+            min_buffer=32, batch_size=16, steps_per_cycle=8,
+        )
+        trainer.ingest()
+        base_before = [w.copy() for w in trainer.base_network.get_weights()]
+        losses = trainer.train()
+        assert len(losses) == 8
+        assert trainer.fine_tune_steps == 8
+        candidate = trainer.make_candidate()
+        # Fine-tuning changed the online weights...
+        assert any(
+            not np.array_equal(a, b)
+            for a, b in zip(candidate.get_weights(), base_before)
+        )
+        # ...but the pinned base anchor is untouched.
+        for a, b in zip(trainer.base_network.get_weights(), base_before):
+            assert np.array_equal(a, b)
+
+    def test_candidate_is_frozen_copy(self, tmp_path, base_checkpoint):
+        trainer = OnlineTrainer(base_checkpoint, [str(tmp_path / "j")])
+        candidate = trainer.make_candidate()
+        assert candidate is not trainer.agent.online
+        mutated = trainer.agent.online.get_weights()
+        mutated[0][:] = 123.0
+        trainer.agent.online.set_weights(mutated)
+        assert not np.array_equal(
+            candidate.get_weights()[0], trainer.agent.online.get_weights()[0]
+        )
+
+    def test_candidate_metadata(self, tmp_path, base_checkpoint):
+        _write_experience(tmp_path / "j", transitions=64)
+        trainer = OnlineTrainer(
+            base_checkpoint, [str(tmp_path / "j")],
+            min_buffer=32, steps_per_cycle=4,
+        )
+        trainer.ingest()
+        trainer.train()
+        meta = trainer.candidate_metadata()
+        assert meta["base_checkpoint"] == base_checkpoint
+        assert meta["fine_tune_steps"] == 4
+        assert meta["ingested_transitions"] == 64
+        assert meta["trained_online"] is True
+        assert meta["action_space"] == "odg"  # inherited from the base
+
+
+class TestSnapshots:
+    def test_replay_snapshot_roundtrip(self, tmp_path, base_checkpoint):
+        _write_experience(tmp_path / "j", transitions=48)
+        trainer = OnlineTrainer(base_checkpoint, [str(tmp_path / "j")])
+        trainer.ingest()
+        snap = str(tmp_path / "replay.npz")
+        trainer.snapshot_replay(snap)
+        expected = trainer.memory.sample(16)
+
+        restarted = OnlineTrainer(base_checkpoint, [str(tmp_path / "j")])
+        restarted.restore_replay(snap)
+        assert len(restarted.memory) == 48
+        got = restarted.memory.sample(16)
+        for a, b in zip(expected, got):
+            assert np.array_equal(a, b)
+
+    def test_restore_rejects_state_dim_mismatch(self, tmp_path, base_checkpoint):
+        from repro.rl import ReplayMemory
+
+        other = ReplayMemory(capacity=8)
+        other.push(np.zeros(7), 0, 0.0, np.zeros(7), True)
+        snap = str(tmp_path / "bad.npz")
+        other.save(snap)
+        trainer = OnlineTrainer(base_checkpoint, [str(tmp_path / "j")])
+        with pytest.raises(ValueError, match="state_dim"):
+            trainer.restore_replay(snap)

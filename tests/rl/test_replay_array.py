@@ -203,3 +203,81 @@ class TestCompatibilityView:
         assert mem.state_dim is None
         mem.push(np.zeros(7), 0, 0.0, np.zeros(7), False)
         assert mem.state_dim == 7
+
+
+class TestSaveLoad:
+    def _filled(self, n, capacity=16, seed=3):
+        mem = ReplayMemory(capacity=capacity, seed=seed)
+        rng = np.random.RandomState(seed)
+        for i in range(n):
+            mem.push(
+                rng.standard_normal(5), i % 4, float(i),
+                rng.standard_normal(5), i % 3 == 0,
+            )
+        return mem
+
+    def test_roundtrip_preserves_contents(self, tmp_path):
+        mem = self._filled(10)
+        path = str(tmp_path / "replay.npz")
+        mem.save(path)
+        restored = ReplayMemory.load(path)
+        assert len(restored) == 10
+        assert restored.capacity == mem.capacity
+        assert restored.state_dim == 5
+        for i in range(10):
+            assert np.array_equal(restored[i].state, mem[i].state)
+            assert restored[i].action == mem[i].action
+            assert restored[i].reward == mem[i].reward
+            assert restored[i].done == mem[i].done
+
+    def test_roundtrip_preserves_wraparound(self, tmp_path):
+        mem = self._filled(23, capacity=8)  # wrapped nearly three times
+        path = str(tmp_path / "replay.npz")
+        mem.save(path)
+        restored = ReplayMemory.load(path)
+        assert len(restored) == 8
+        assert [restored[i].reward for i in range(8)] == [
+            mem[i].reward for i in range(8)
+        ]
+        # Writes continue at the same ring position.
+        restored.push(np.zeros(5), 0, 99.0, np.zeros(5), False)
+        mem.push(np.zeros(5), 0, 99.0, np.zeros(5), False)
+        assert [restored[i].reward for i in range(8)] == [
+            mem[i].reward for i in range(8)
+        ]
+
+    def test_resume_determinism_of_sampling(self, tmp_path):
+        """A restored memory continues the exact sampling RNG stream."""
+        mem = self._filled(12)
+        mem.sample(4)  # advance the stream before snapshotting
+        path = str(tmp_path / "replay.npz")
+        mem.save(path)
+        restored = ReplayMemory.load(path)
+        for _ in range(3):
+            expected = mem.sample(4)
+            got = restored.sample(4)
+            for a, b in zip(expected, got):
+                assert np.array_equal(a, b)
+
+    def test_empty_memory_roundtrip(self, tmp_path):
+        mem = ReplayMemory(capacity=6, seed=1)
+        path = str(tmp_path / "empty.npz")
+        mem.save(path)
+        restored = ReplayMemory.load(path)
+        assert len(restored) == 0
+        assert restored.state_dim is None
+        restored.push(np.zeros(3), 0, 1.0, np.zeros(3), True)
+        assert len(restored) == 1
+
+    def test_save_overwrites_atomically(self, tmp_path):
+        mem = self._filled(4)
+        path = str(tmp_path / "replay.npz")
+        mem.save(path)
+        mem.push(np.zeros(5), 1, 42.0, np.zeros(5), False)
+        mem.save(path)
+        restored = ReplayMemory.load(path)
+        assert len(restored) == 5
+        assert restored[4].reward == 42.0
+        # No tmp droppings left behind.
+        leftovers = [p for p in tmp_path.iterdir() if "tmp" in p.name]
+        assert leftovers == []

@@ -297,7 +297,11 @@ class TestOpenLoop:
         # must shed (nonzero) while served latency stays bounded by
         # max_pending * per-request cost rather than growing with the
         # backlog.
-        with make_gateway(agent, n_shards=2, max_pending=4) as gw:
+        # coalesce=False: this test drives duplicate texts and asserts
+        # the raw admission window; coalescing (which legitimately lets
+        # duplicates ride outside the window) has its own test file.
+        with make_gateway(agent, n_shards=2, max_pending=4,
+                          coalesce=False) as gw:
             requests = [
                 OptimizeRequest(ir_text=t, name=f"m{i}")
                 for i, t in enumerate(texts)

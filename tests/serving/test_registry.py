@@ -120,3 +120,66 @@ class TestCheckpointMetadata:
         registry = ModelRegistry()
         registry.register_checkpoint(path)  # defaults to odg
         assert registry.active.action_space_kind == "odg"
+
+
+class TestPruneAndPin:
+    def _registry(self, n=5):
+        registry = ModelRegistry()
+        for i in range(n):
+            registry.register(_net(seed=i))  # v1..vN, v1 active
+        return registry
+
+    def test_prune_keeps_last_n_and_active(self):
+        registry = self._registry(5)
+        removed = registry.prune(keep_last=2)
+        # v1 is active, v4/v5 are the newest two.
+        assert removed == ["v2", "v3"]
+        assert registry.versions() == ["v1", "v4", "v5"]
+        assert registry.active.version == "v1"
+
+    def test_pinned_version_survives_prune(self):
+        registry = self._registry(5)
+        registry.activate("v5")
+        registry.pin("v1")
+        removed = registry.prune(keep_last=1)
+        assert removed == ["v2", "v3", "v4"]
+        assert registry.versions() == ["v1", "v5"]
+        assert registry.pinned() == ["v1"]
+
+    def test_unpin_reexposes_to_prune(self):
+        registry = self._registry(3)
+        registry.activate("v3")
+        registry.pin("v1")
+        registry.unpin("v1")
+        assert registry.prune(keep_last=1) == ["v1", "v2"]
+
+    def test_keep_protects_rollback_target(self):
+        registry = self._registry(5)
+        registry.activate("v5")
+        removed = registry.prune(keep_last=1, keep=("v2",))
+        assert "v2" not in removed
+        assert registry.versions() == ["v2", "v5"]
+
+    def test_pin_unknown_version_raises(self):
+        registry = self._registry(2)
+        with pytest.raises(KeyError, match="v9"):
+            registry.pin("v9")
+
+    def test_negative_keep_last_rejected(self):
+        with pytest.raises(ValueError, match="keep_last"):
+            self._registry(2).prune(keep_last=-1)
+
+    def test_keep_last_zero_keeps_only_protected(self):
+        registry = self._registry(4)
+        registry.activate("v4")
+        assert registry.prune(keep_last=0) == ["v1", "v2", "v3"]
+        assert registry.versions() == ["v4"]
+
+    def test_prune_empty_registry(self):
+        assert ModelRegistry().prune() == []
+
+    def test_pruned_version_cannot_be_activated(self):
+        registry = self._registry(4)
+        registry.prune(keep_last=1)
+        with pytest.raises(KeyError):
+            registry.activate("v2")
