@@ -39,6 +39,7 @@ class OnlineTrainer:
         steps_per_cycle: int = 64,
         min_buffer: int = 64,
         learning_rate: Optional[float] = None,
+        prioritized: bool = False,
         seed: int = 0,
     ):
         self.base_checkpoint = base_checkpoint
@@ -57,6 +58,7 @@ class OnlineTrainer:
             batch_size=batch_size,
             replay_capacity=replay_capacity,
             min_replay=min_buffer,
+            prioritized_replay=prioritized,
             seed=seed,
         )
         self.agent = DoubleDQNAgent(config)
@@ -162,8 +164,12 @@ class OnlineTrainer:
         self.memory.save(path)
 
     def restore_replay(self, path: str) -> None:
-        """Replace the agent's replay ring with a saved snapshot."""
-        restored = ReplayMemory.load(path)
+        """Replace the agent's replay ring with a saved snapshot.
+
+        Loads through the agent's own memory class, so a prioritized
+        trainer restores its sum-tree priorities (a plain-ring snapshot
+        re-enters every row at max priority)."""
+        restored = type(self.agent.memory).load(path)
         if (
             restored.state_dim is not None
             and restored.state_dim != self.base_network.state_dim

@@ -15,6 +15,7 @@ import numpy as np
 
 from ..observability import get_registry
 from .network import QNetwork
+from .priority import PrioritizedReplayMemory
 from .replay import ReplayMemory
 from .schedule import LinearSchedule, paper_epsilon_schedule
 
@@ -41,6 +42,13 @@ class AgentConfig:
     #: raw POSET-RL rewards reach ±10 (α=10 on size fractions), which would
     #: keep the Huber loss in its linear (slow) regime.
     reward_scale: float = 0.1
+    #: Prioritized (sum-tree proportional) replay instead of uniform.
+    #: Sampling follows |TD error|^alpha; importance-sampling weights use
+    #: beta annealed beta_start → 1 over ``priority_beta_steps`` agent steps.
+    prioritized_replay: bool = False
+    priority_alpha: float = 0.6
+    priority_beta_start: float = 0.4
+    priority_beta_steps: int = 20_000
     seed: int = 0
 
 
@@ -59,7 +67,15 @@ class DQNAgent:
             c.state_dim, c.num_actions, c.hidden, c.learning_rate, seed=c.seed + 1
         )
         self.target.copy_from(self.online)
-        self.memory = ReplayMemory(c.replay_capacity, seed=c.seed)
+        if c.prioritized_replay:
+            self.memory: ReplayMemory = PrioritizedReplayMemory(
+                c.replay_capacity,
+                seed=c.seed,
+                alpha=c.priority_alpha,
+                beta=c.priority_beta_start,
+            )
+        else:
+            self.memory = ReplayMemory(c.replay_capacity, seed=c.seed)
         self.epsilon_schedule = LinearSchedule(
             c.epsilon_start, c.epsilon_end, c.epsilon_steps
         )
@@ -196,15 +212,36 @@ class DQNAgent:
         target_q = self.target.predict(next_states)
         return target_q.max(axis=1)
 
+    @property
+    def priority_beta(self) -> float:
+        """IS-correction exponent, annealed beta_start → 1 over training."""
+        c = self.config
+        frac = min(1.0, self.steps / max(1, c.priority_beta_steps))
+        return c.priority_beta_start + (1.0 - c.priority_beta_start) * frac
+
     def _train_step(self) -> float:
         c = self.config
-        states, actions, rewards, next_states, dones = self.memory.sample(
-            c.batch_size
-        )
-        next_value = self._next_q(next_states)
-        targets = rewards + c.gamma * next_value * (~dones)
-        self.train_steps += 1
-        loss = self.online.train_batch(states, actions, targets)
+        if isinstance(self.memory, PrioritizedReplayMemory):
+            batch, indices, weights = self.memory.sample_prioritized(
+                c.batch_size, beta=self.priority_beta
+            )
+            states, actions, rewards, next_states, dones = batch
+            next_value = self._next_q(next_states)
+            targets = rewards + c.gamma * next_value * (~dones)
+            self.train_steps += 1
+            loss, td_errors = self.online.train_batch(
+                states, actions, targets,
+                sample_weights=weights, return_td_errors=True,
+            )
+            self.memory.update_priorities(indices, np.abs(td_errors))
+        else:
+            states, actions, rewards, next_states, dones = self.memory.sample(
+                c.batch_size
+            )
+            next_value = self._next_q(next_states)
+            targets = rewards + c.gamma * next_value * (~dones)
+            self.train_steps += 1
+            loss = self.online.train_batch(states, actions, targets)
         registry = get_registry()
         if registry.enabled:
             registry.counter(
@@ -219,6 +256,16 @@ class DQNAgent:
             registry.gauge(
                 "repro_train_replay_size", "transitions in replay memory"
             ).set(len(self.memory))
+            if isinstance(self.memory, PrioritizedReplayMemory):
+                stats = self.memory.priority_stats()
+                registry.gauge(
+                    "repro_learner_replay_priority_mean",
+                    "mean live replay priority mass",
+                ).set(stats["mean"])
+                registry.gauge(
+                    "repro_learner_replay_priority_max",
+                    "max live replay priority mass",
+                ).set(stats["max"])
         return loss
 
     def train_from_replay(self, updates: int) -> List[float]:

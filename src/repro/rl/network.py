@@ -46,6 +46,29 @@ class DenseLayer:
         return grad_x, grad_w, grad_b
 
 
+def adam_step(
+    layer: DenseLayer, grad_w: np.ndarray, grad_b: np.ndarray, t: int,
+    learning_rate: float,
+    beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8,
+) -> None:
+    """One Adam update of a layer's weight/bias from their gradients.
+
+    Shared by :class:`QNetwork` and the PPO policy/value network — the
+    optimizer state lives on the layer, the timestep on the caller.
+    """
+    for grad, m, v, param in (
+        (grad_w, layer.m_w, layer.v_w, layer.weight),
+        (grad_b, layer.m_b, layer.v_b, layer.bias),
+    ):
+        m *= beta1
+        m += (1 - beta1) * grad
+        v *= beta2
+        v += (1 - beta2) * grad**2
+        m_hat = m / (1 - beta1**t)
+        v_hat = v / (1 - beta2**t)
+        param -= learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+
+
 class QNetwork:
     """MLP mapping state vectors to per-action Q-values."""
 
@@ -91,8 +114,17 @@ class QNetwork:
         actions: np.ndarray,
         targets: np.ndarray,
         huber_delta: float = 1.0,
-    ) -> float:
-        """One Adam step fitting Q(s, a) toward ``targets``; returns loss."""
+        sample_weights: Optional[np.ndarray] = None,
+        return_td_errors: bool = False,
+    ) -> Any:
+        """One Adam step fitting Q(s, a) toward ``targets``; returns loss.
+
+        ``sample_weights`` scales each row's loss and gradient — the
+        importance-sampling correction of prioritized replay. With
+        ``return_td_errors`` the per-row signed TD errors (pre-clip,
+        pre-weight) come back alongside the loss so the caller can feed
+        new priorities to the buffer.
+        """
         x = np.atleast_2d(np.asarray(states, dtype=np.float64))
         batch = x.shape[0]
         activations: List[np.ndarray] = [x]
@@ -106,11 +138,17 @@ class QNetwork:
 
         picked = q[np.arange(batch), actions]
         error = picked - targets
+        row_weights = (
+            np.ones(batch)
+            if sample_weights is None
+            else np.asarray(sample_weights, dtype=np.float64).ravel()
+        )
         # Huber loss gradient (clipped error).
-        grad_picked = np.clip(error, -huber_delta, huber_delta) / batch
+        grad_picked = row_weights * np.clip(error, -huber_delta, huber_delta) / batch
         loss = float(
             np.mean(
-                np.where(
+                row_weights
+                * np.where(
                     np.abs(error) <= huber_delta,
                     0.5 * error**2,
                     huber_delta * (np.abs(error) - 0.5 * huber_delta),
@@ -127,25 +165,18 @@ class QNetwork:
             layer = self.layers[i]
             grad, grad_w, grad_b = layer.backward(activations[i], pres[i], grad)
             self._adam_step(layer, grad_w, grad_b)
+        if return_td_errors:
+            return loss, error
         return loss
 
     def _adam_step(
         self, layer: DenseLayer, grad_w: np.ndarray, grad_b: np.ndarray,
         beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8,
     ) -> None:
-        t = self._adam_t
-        lr = self.learning_rate
-        for grad, m, v, param in (
-            (grad_w, layer.m_w, layer.v_w, layer.weight),
-            (grad_b, layer.m_b, layer.v_b, layer.bias),
-        ):
-            m *= beta1
-            m += (1 - beta1) * grad
-            v *= beta2
-            v += (1 - beta2) * grad**2
-            m_hat = m / (1 - beta1**t)
-            v_hat = v / (1 - beta2**t)
-            param -= lr * m_hat / (np.sqrt(v_hat) + eps)
+        adam_step(
+            layer, grad_w, grad_b, self._adam_t, self.learning_rate,
+            beta1=beta1, beta2=beta2, eps=eps,
+        )
 
     # -- weight management ------------------------------------------------------
     def get_weights(self) -> List[np.ndarray]:

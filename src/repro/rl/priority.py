@@ -1,0 +1,275 @@
+"""Prioritized experience replay: a sum-tree index over the replay ring.
+
+:class:`SumTree` is a flat-array binary indexed tree holding one
+priority per replay slot; internal nodes cache subtree sums so both
+priority updates and prefix-sum (categorical) sampling are
+``O(log capacity)``. :class:`PrioritizedReplayMemory` extends the
+preallocated numpy :class:`~repro.rl.replay.ReplayMemory` ring with that
+index, implementing proportional prioritized sampling (Schaul et al.):
+new transitions enter at the current maximum priority, batches are drawn
+by stratified prefix-sum descent, importance-sampling weights correct
+the induced bias, and TD errors feed back via
+:meth:`PrioritizedReplayMemory.update_priorities`.
+
+Priorities are clamped to a strictly positive floor before the
+``alpha`` exponent is applied — a zero TD error therefore never makes a
+transition unsampleable, and the tree total never collapses to zero
+while transitions are stored.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .replay import ReplayMemory
+
+
+class SumTree:
+    """Fixed-capacity sum tree over leaf values ``0..capacity-1``.
+
+    Leaves live in one contiguous block of a ``2 * pow2(capacity)``
+    array (1-indexed heap layout); every internal node stores the sum of
+    its two children, so ``tree[1]`` is the total mass and a prefix-sum
+    query descends one level per iteration.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        size = 1
+        while size < capacity:
+            size *= 2
+        self._leaf_base = size
+        self._tree = np.zeros(2 * size, dtype=np.float64)
+
+    @property
+    def total(self) -> float:
+        return float(self._tree[1])
+
+    def value(self, indices) -> np.ndarray:
+        """Leaf values at ``indices`` (vectorized)."""
+        return self._tree[self._leaf_base + np.asarray(indices, dtype=np.int64)]
+
+    @property
+    def values(self) -> np.ndarray:
+        """Read-only view of all leaf values (length ``capacity``)."""
+        out = self._tree[self._leaf_base:self._leaf_base + self.capacity]
+        out = out.view()
+        out.flags.writeable = False
+        return out
+
+    def set(self, indices, values) -> None:
+        """Assign leaf values and repair every affected ancestor sum.
+
+        Duplicate indices keep the *last* value, matching sequential
+        assignment semantics.
+        """
+        indices = np.asarray(indices, dtype=np.int64).ravel()
+        values = np.broadcast_to(
+            np.asarray(values, dtype=np.float64).ravel(), indices.shape
+        )
+        if indices.size == 0:
+            return
+        if indices.min() < 0 or indices.max() >= self.capacity:
+            raise IndexError("leaf index out of range")
+        nodes = self._leaf_base + indices
+        self._tree[nodes] = values
+        parents = np.unique(nodes // 2)
+        while parents[0] >= 1:
+            self._tree[parents] = (
+                self._tree[2 * parents] + self._tree[2 * parents + 1]
+            )
+            if parents[0] == 1:
+                break
+            parents = np.unique(parents // 2)
+
+    def find_prefix(self, masses) -> np.ndarray:
+        """Leaf indices whose cumulative-sum interval contains ``masses``.
+
+        Equivalent to ``searchsorted(cumsum(values), mass, side='right')``
+        for masses in ``[0, total)``, computed by descending the tree.
+        """
+        masses = np.array(masses, dtype=np.float64).ravel()
+        nodes = np.ones(masses.shape, dtype=np.int64)
+        while nodes[0] < self._leaf_base:
+            left = 2 * nodes
+            left_sum = self._tree[left]
+            go_right = masses >= left_sum
+            masses = np.where(go_right, masses - left_sum, masses)
+            nodes = np.where(go_right, left + 1, left)
+        return np.minimum(nodes - self._leaf_base, self.capacity - 1)
+
+    # -- persistence --------------------------------------------------------
+    def state(self) -> np.ndarray:
+        """The leaf array — sufficient to rebuild the tree exactly."""
+        return self._tree[self._leaf_base:self._leaf_base + self.capacity].copy()
+
+    def restore(self, leaves: np.ndarray) -> None:
+        leaves = np.asarray(leaves, dtype=np.float64)
+        if leaves.shape != (self.capacity,):
+            raise ValueError(
+                f"expected {self.capacity} leaves, got {leaves.shape}"
+            )
+        self.set(np.arange(self.capacity), leaves)
+
+
+class PrioritizedReplayMemory(ReplayMemory):
+    """Replay ring with proportional prioritized sampling.
+
+    The uniform :meth:`~repro.rl.replay.ReplayMemory.sample` API is
+    inherited unchanged (and keeps its own RNG stream semantics);
+    prioritized consumers call :meth:`sample_prioritized`, which returns
+    the batch together with the sampled ring indices and normalized
+    importance-sampling weights, then report TD errors back through
+    :meth:`update_priorities`.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 10_000,
+        seed: int = 0,
+        *,
+        alpha: float = 0.6,
+        beta: float = 0.4,
+        min_priority: float = 1e-3,
+    ):
+        super().__init__(capacity, seed=seed)
+        if not 0.0 <= alpha <= 1.0:
+            raise ValueError("alpha must be in [0, 1]")
+        if min_priority <= 0.0:
+            raise ValueError("min_priority must be strictly positive")
+        self.alpha = alpha
+        self.beta = beta
+        self.min_priority = min_priority
+        self.tree = SumTree(capacity)
+        self._max_priority = 1.0
+
+    # -- writes -------------------------------------------------------------
+    def _clamped_mass(self, priorities) -> np.ndarray:
+        clamped = np.maximum(
+            np.asarray(priorities, dtype=np.float64), self.min_priority
+        )
+        return clamped ** self.alpha
+
+    def push(self, state, action, reward, next_state, done) -> None:
+        slot = self._write
+        super().push(state, action, reward, next_state, done)
+        self.tree.set([slot], self._clamped_mass([self._max_priority]))
+
+    def push_batch(self, states, actions, rewards, next_states, dones) -> None:
+        states = np.asarray(states, dtype=np.float32)
+        n = states.shape[0]
+        if n == 0:
+            return
+        if n > self.capacity:
+            # Mirror the base truncation before touching the tree so the
+            # recursive call sees an insertable batch.
+            super().push_batch(states, actions, rewards, next_states, dones)
+            self.tree.set(
+                np.arange(self.capacity),
+                self._clamped_mass(
+                    np.full(self.capacity, self._max_priority)
+                ),
+            )
+            return
+        slots = (self._write + np.arange(n)) % self.capacity
+        super().push_batch(states, actions, rewards, next_states, dones)
+        self.tree.set(slots, self._clamped_mass(np.full(n, self._max_priority)))
+
+    # -- prioritized reads ----------------------------------------------------
+    def sample_prioritized(
+        self, batch_size: int, beta: Optional[float] = None
+    ) -> Tuple[
+        Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        np.ndarray,
+        np.ndarray,
+    ]:
+        """Stratified proportional batch: ``(batch, indices, is_weights)``.
+
+        One uniform draw per batch row (a single vectorized RNG call)
+        positions each sample inside its equal-mass segment of the total
+        priority, so high-priority transitions are drawn proportionally
+        often while coverage stays spread over the mass. Weights are
+        ``(N * P(i))^-beta`` normalized by the batch maximum.
+
+        The empty/underfull guard runs *before* the RNG is touched — a
+        failed call never advances the sampling stream (the bit-identical
+        serial-equivalence guarantee depends on this).
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if batch_size > self._size:
+            raise ValueError("not enough transitions to sample")
+        assert self._states is not None
+        beta = self.beta if beta is None else beta
+        total = self.tree.total
+        segment = total / batch_size
+        offsets = self._rng.random_sample(batch_size)
+        masses = (np.arange(batch_size) + offsets) * segment
+        indices = self.tree.find_prefix(masses)
+        # Float descent can only land on an unwritten (zero-mass) slot at
+        # the very edge of the distribution; clamp into the stored region.
+        indices = np.minimum(indices, self._size - 1)
+        probs = self.tree.value(indices) / total
+        weights = (self._size * probs) ** (-beta)
+        weights = weights / weights.max()
+        batch = (
+            self._states[indices],
+            self._actions[indices],
+            self._rewards[indices],
+            self._next_states[indices],
+            self._dones[indices],
+        )
+        return batch, indices, weights
+
+    def update_priorities(self, indices, priorities) -> None:
+        """Set new (TD-error magnitude) priorities for sampled slots."""
+        priorities = np.abs(np.asarray(priorities, dtype=np.float64)).ravel()
+        if priorities.size:
+            self._max_priority = max(
+                self._max_priority, float(priorities.max())
+            )
+        self.tree.set(indices, self._clamped_mass(priorities))
+
+    def priority_stats(self) -> dict:
+        """Summary of the live priority mass (for observability export)."""
+        if self._size == 0:
+            return {"total": 0.0, "mean": 0.0, "max": 0.0}
+        live = self.tree.values[: self._size] if self._size < self.capacity \
+            else self.tree.values
+        return {
+            "total": float(self.tree.total),
+            "mean": float(live.mean()),
+            "max": float(live.max()),
+        }
+
+    # -- persistence ----------------------------------------------------------
+    def _extra_payload(self) -> dict:
+        return {
+            "priorities": self.tree.state(),
+            "priority_meta": np.array(
+                [self.alpha, self.beta, self.min_priority, self._max_priority],
+                dtype=np.float64,
+            ),
+        }
+
+    def _restore_extra(self, data) -> None:
+        if "priority_meta" in getattr(data, "files", data):
+            alpha, beta, min_priority, max_priority = (
+                float(v) for v in data["priority_meta"]
+            )
+            self.alpha = alpha
+            self.beta = beta
+            self.min_priority = min_priority
+            self._max_priority = max_priority
+            self.tree.restore(data["priorities"])
+        elif self._size:
+            # Snapshot written by a plain ReplayMemory: every stored
+            # transition re-enters at the (default) max priority.
+            slots = np.arange(min(self._size, self.capacity))
+            self.tree.set(
+                slots, self._clamped_mass(np.full(len(slots), self._max_priority))
+            )

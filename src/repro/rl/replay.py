@@ -142,7 +142,17 @@ class ReplayMemory:
     def sample(
         self, batch_size: int
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-        """Uniform batch as stacked arrays (s, a, r, s', done)."""
+        """Uniform batch as stacked arrays (s, a, r, s', done).
+
+        Every invalid request — non-positive ``batch_size``, an empty
+        buffer, or more rows than are stored — raises *before* the
+        sampling RNG is touched: a failed call never advances the index
+        stream, so retrying after more pushes draws exactly what an
+        error-free run would have drawn (the bit-identical training
+        guarantee depends on this alignment).
+        """
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
         if batch_size > self._size:
             raise ValueError("not enough transitions to sample")
         assert self._states is not None
@@ -181,6 +191,7 @@ class ReplayMemory:
                 next_states=self._next_states,
                 dones=self._dones,
             )
+        payload.update(self._extra_payload())
         tmp = f"{path}.tmp-{os.getpid()}"
         try:
             with open(tmp, "wb") as fh:
@@ -221,7 +232,15 @@ class ReplayMemory:
                 memory._actions = data["actions"].astype(np.int64, copy=True)
                 memory._rewards = data["rewards"].astype(np.float64, copy=True)
                 memory._dones = data["dones"].astype(bool, copy=True)
+            memory._restore_extra(data)
         return memory
+
+    def _extra_payload(self) -> dict:
+        """Subclass hook: extra arrays to embed in :meth:`save` snapshots."""
+        return {}
+
+    def _restore_extra(self, data) -> None:
+        """Subclass hook: restore :meth:`_extra_payload` state on load."""
 
     def __getitem__(self, index: int) -> Transition:
         """The ``index``-th oldest transition as a :class:`Transition`."""

@@ -5,12 +5,17 @@ pipeline (``apply``), codegen size, MCA scheduling, IR2Vec embedding,
 fingerprinting — and prints a table of per-stage totals, plus cache
 counters when the incremental metrics engine is on.
 
-``--train N`` switches to the training-throughput harness: it runs
-``PosetRL.train_vectorized`` for N environment steps over the selected
-corpus and prints the :class:`~repro.core.agent_api.TrainThroughput`
-report (steps/sec, episodes/sec, training updates). ``--compare-serial``
-additionally times the serial ``PosetRL.train`` loop on the same budget
-and prints the speedup.
+``--train N`` switches to the training-throughput harness: it runs one
+training loop — ``--train-mode`` picks serial, vectorized (default) or
+the distributed actor-learner pipeline, ``--algo`` picks the learner
+(ddqn / dqn / prioritized-ddqn / ppo) — for N environment steps over the
+selected corpus and prints the
+:class:`~repro.core.agent_api.TrainThroughput` report (steps/sec,
+episodes/sec, training updates). ``--compare-serial`` additionally times
+the serial ``PosetRL.train`` loop on the same budget and prints the
+speedup; distributed runs also print the pipeline report (broadcasts,
+snapshot staleness, per-actor rates) and ``--fail-on-no-broadcast``
+turns a broadcast-free or unclean run into a nonzero exit for CI.
 
 Examples::
 
@@ -21,6 +26,9 @@ Examples::
     python -m repro.tools.profile --suite mibench --train 480 --n-envs 8
     python -m repro.tools.profile --suite mibench --train 480 --n-envs 8 \\
         --workers 8 --no-cache --compare-serial
+    python -m repro.tools.profile --suite mibench --train 120 \\
+        --train-mode distributed --actors 2 --algo prioritized-ddqn \\
+        --fail-on-no-broadcast
 """
 
 from __future__ import annotations
@@ -91,8 +99,21 @@ def _print_throughput(label: str, report) -> None:
           f"updates={report.train_updates}")
 
 
+def _print_distributed_report(report) -> None:
+    print(f"{'pipeline':<12} broadcasts={report.broadcasts:<4} "
+          f"mean_staleness={report.mean_staleness:>6.1f}  "
+          f"max_staleness={report.max_staleness:<5} "
+          f"clean_drain={report.clean_drain}")
+    for actor_id, rate in sorted(report.actor_steps_per_second.items()):
+        print(f"{'actor ' + str(actor_id):<12} steps/s={rate:>8.1f}")
+    if report.priority_stats:
+        ps = report.priority_stats
+        print(f"{'priorities':<12} total={ps['total']:>10.3f}  "
+              f"mean={ps['mean']:>8.4f}  max={ps['max']:>8.4f}")
+
+
 def _run_train_harness(args, corpus) -> int:
-    """Time ``train_vectorized`` (and optionally the serial loop)."""
+    """Time one training mode (serial / vectorized / distributed)."""
     from ..core.agent_api import PosetRL
 
     def make_agent() -> PosetRL:
@@ -100,22 +121,43 @@ def _run_train_harness(args, corpus) -> int:
             action_space=args.action_space,
             target=args.target,
             episode_length=max(args.steps, 1),
+            algo=args.algo,
             seed=args.seed,
             cache=not args.no_cache,
         )
 
     mode = "uncached" if args.no_cache else "cached"
     print(f"training-throughput harness: {args.train} steps, "
+          f"mode={args.train_mode}, algo={args.algo}, "
           f"n_envs={args.n_envs}, workers={args.workers}, "
-          f"corpus={len(corpus)} module(s), {mode}")
+          f"actors={args.actors}, corpus={len(corpus)} module(s), {mode}")
     agent = make_agent()
-    agent.train_vectorized(
-        corpus, total_steps=args.train, n_envs=args.n_envs,
-        workers=args.workers,
-    )
+    if args.train_mode == "distributed":
+        agent.train_distributed(
+            corpus, total_steps=args.train, actors=args.actors,
+            chunk_size=args.chunk_size, broadcast_every=args.broadcast_every,
+        )
+        report = agent.last_distributed_report
+        _print_throughput("distributed", agent.last_train_throughput)
+        _print_distributed_report(report)
+        if args.fail_on_no_broadcast and (
+            report.broadcasts == 0 or not report.clean_drain
+        ):
+            print("FAIL: no weight broadcast reached an actor or the drain "
+                  "was not clean", file=sys.stderr)
+            return 1
+    elif args.train_mode == "serial":
+        episodes = max(1, args.train // max(args.steps, 1))
+        agent.train(corpus, episodes=episodes)
+        _print_throughput("serial", agent.last_train_throughput)
+    else:
+        agent.train_vectorized(
+            corpus, total_steps=args.train, n_envs=args.n_envs,
+            workers=args.workers,
+        )
+        _print_throughput("vectorized", agent.last_train_throughput)
     vec = agent.last_train_throughput
-    _print_throughput("vectorized", vec)
-    if args.compare_serial:
+    if args.compare_serial and args.train_mode != "serial":
         serial_agent = make_agent()
         episodes = max(1, args.train // max(args.steps, 1))
         serial_agent.train(corpus, episodes=episodes)
@@ -123,7 +165,7 @@ def _run_train_harness(args, corpus) -> int:
         _print_throughput("serial", serial)
         if serial.steps_per_second:
             print(f"speedup: {vec.steps_per_second / serial.steps_per_second:.2f}x "
-                  f"(vectorized vs serial steps/sec)")
+                  f"({args.train_mode} vs serial steps/sec)")
     if not args.no_cache:
         print("\ncache counters:")
         for name, counters in agent.cache_stats().items():
@@ -168,11 +210,30 @@ def run(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--train", type=int, metavar="STEPS",
                         help="run the training-throughput harness for this "
                         "many environment steps instead of stage profiling")
+    parser.add_argument("--train-mode", default="vectorized",
+                        choices=("serial", "vectorized", "distributed"),
+                        help="training loop for --train (default vectorized)")
+    parser.add_argument("--algo", default="ddqn",
+                        choices=("ddqn", "dqn", "prioritized-ddqn", "ppo"),
+                        help="learning algorithm for --train (default ddqn)")
     parser.add_argument("--n-envs", type=int, default=8,
                         help="vector width for --train (default 8)")
     parser.add_argument("--workers", type=int, default=0,
                         help="environment worker processes for --train "
                         "(default 0: step in-process)")
+    parser.add_argument("--actors", type=int, default=2,
+                        help="actor processes for --train-mode distributed "
+                        "(default 2)")
+    parser.add_argument("--chunk-size", type=int, default=None,
+                        help="transitions per actor rollout chunk "
+                        "(default: one episode)")
+    parser.add_argument("--broadcast-every", type=int, default=2,
+                        help="re-broadcast learner weights to an actor after "
+                        "this many of its chunks (default 2)")
+    parser.add_argument("--fail-on-no-broadcast", action="store_true",
+                        help="with --train-mode distributed: exit nonzero "
+                        "unless at least one weight broadcast reached an "
+                        "actor and every actor drained cleanly")
     parser.add_argument("--compare-serial", action="store_true",
                         help="with --train: also time the serial train loop "
                         "and print the speedup")

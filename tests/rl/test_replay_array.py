@@ -205,6 +205,50 @@ class TestCompatibilityView:
         assert mem.state_dim == 7
 
 
+class TestErrorPathsPreserveRngStream:
+    """A failed ``sample`` must not consume RNG state: retrying after the
+    buffer fills has to draw the same indices a fresh never-failed memory
+    would — otherwise restarts and distributed learners that probe an
+    underfull ring desync from the serial trajectory."""
+
+    def _assert_same_stream(self, a: ReplayMemory, b: ReplayMemory) -> None:
+        sa, sb = a._rng.get_state(), b._rng.get_state()
+        assert np.array_equal(sa[1], sb[1]) and sa[2] == sb[2]
+
+    def test_underfull_sample_does_not_touch_rng(self):
+        probed = ReplayMemory(capacity=8, seed=5)
+        clean = ReplayMemory(capacity=8, seed=5)
+        probed.push(np.zeros(3), 0, 0.0, np.zeros(3), False)
+        clean.push(np.zeros(3), 0, 0.0, np.zeros(3), False)
+        for _ in range(4):
+            with pytest.raises(ValueError):
+                probed.sample(4)
+        self._assert_same_stream(probed, clean)
+        for t in _random_transitions(5, dim=3, seed=1):
+            probed.push(*t)
+            clean.push(*t)
+        for g, w in zip(probed.sample(4), clean.sample(4)):
+            assert np.array_equal(g, w)
+
+    def test_empty_sample_does_not_touch_rng(self):
+        probed = ReplayMemory(capacity=8, seed=5)
+        clean = ReplayMemory(capacity=8, seed=5)
+        with pytest.raises(ValueError):
+            probed.sample(1)
+        self._assert_same_stream(probed, clean)
+
+    def test_nonpositive_batch_rejected_before_rng(self):
+        probed = ReplayMemory(capacity=8, seed=5)
+        clean = ReplayMemory(capacity=8, seed=5)
+        for t in _random_transitions(8, dim=3, seed=2):
+            probed.push(*t)
+            clean.push(*t)
+        for bad in (0, -3):
+            with pytest.raises(ValueError):
+                probed.sample(bad)
+        self._assert_same_stream(probed, clean)
+
+
 class TestSaveLoad:
     def _filled(self, n, capacity=16, seed=3):
         mem = ReplayMemory(capacity=capacity, seed=seed)
